@@ -1,0 +1,121 @@
+"""Ablation — scheduler policies on the §5.2 nine-job problem.
+
+Compares, on measured throughput (the Figure 4 sweep):
+
+* the **class-aware** scheduler (the paper's proposal — picks SPN);
+* the **random** baseline (expected value = multiplicity-weighted average);
+* the **composition-aware** predictor (this repo's extension): ranks all
+  ten schedules by predicted excess resource pressure from learned class
+  compositions, with no simulation — checked for rank agreement with the
+  measured ordering.
+"""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.analysis.reports import format_table
+from repro.core.labels import ClassComposition, SnapshotClass
+from repro.db.records import RunRecord
+from repro.db.store import ApplicationDB
+from repro.scheduler.composition_aware import (
+    CompositionAwareScheduler,
+    rank_schedules_by_prediction,
+)
+
+from conftest import emit
+
+
+def learned_db(classifier):
+    """Profile S, P, N solo and store their learned compositions."""
+    from repro.sim.execution import profiled_run
+    from repro.scheduler.throughput import default_job_factories
+
+    db = ApplicationDB()
+    for code, factory in default_job_factories().items():
+        run = profiled_run(factory(), seed=700)
+        result = classifier.classify_series(run.series)
+        db.add_run(
+            RunRecord(
+                application=code,
+                node=run.node,
+                t0=run.t0,
+                t1=run.t1,
+                num_samples=result.num_samples,
+                application_class=result.application_class,
+                composition=result.composition,
+            )
+        )
+    return db
+
+
+@pytest.fixture(scope="module")
+def prediction(classifier):
+    db = learned_db(classifier)
+    sched = CompositionAwareScheduler(db)
+    return rank_schedules_by_prediction(sched, {"S": "S", "P": "P", "N": "N"})
+
+
+def test_ablation_scheduler_regenerate(benchmark, classifier, fig45_outcome, prediction, out_dir):
+    db = learned_db(classifier)
+    sched = CompositionAwareScheduler(db)
+    benchmark(rank_schedules_by_prediction, sched, {"S": "S", "P": "P", "N": "N"})
+
+    measured = {r.schedule.number: r.system_jobs_per_day for r in fig45_outcome.results}
+    policies = [
+        ["class-aware (paper)", f"{measured[10]:.0f}", "picks SPN deterministically"],
+        [
+            "random (expectation)",
+            f"{fig45_outcome.weighted_average():.0f}",
+            "multiplicity-weighted mean",
+        ],
+        ["best possible", f"{fig45_outcome.best.system_jobs_per_day:.0f}", "oracle"],
+        [
+            "worst possible",
+            f"{min(measured.values()):.0f}",
+            "fully segregated",
+        ],
+        [
+            "composition-aware pick",
+            f"{measured[prediction[0][0]]:.0f}",
+            f"predicted best = schedule {prediction[0][0]}, zero simulation",
+        ],
+    ]
+    emit(
+        out_dir,
+        "ablation_scheduler.txt",
+        "Ablation: scheduling policies (measured system jobs/day)\n"
+        + format_table(["policy", "jobs/day", "note"], policies),
+    )
+
+
+def test_class_aware_beats_random(fig45_outcome):
+    measured_spn = fig45_outcome.results[-1].system_jobs_per_day
+    assert measured_spn > fig45_outcome.weighted_average() * 1.08
+
+
+def test_composition_prediction_picks_a_top_schedule(fig45_outcome, prediction):
+    """The simulation-free prediction lands in the measured top three."""
+    measured = sorted(
+        fig45_outcome.results, key=lambda r: -r.system_jobs_per_day
+    )
+    top3 = {r.schedule.number for r in measured[:3]}
+    assert prediction[0][0] in top3
+
+
+def test_composition_prediction_rank_correlates(fig45_outcome, prediction):
+    """Predicted pressure anti-correlates with measured throughput."""
+    measured = {r.schedule.number: r.system_jobs_per_day for r in fig45_outcome.results}
+    scores = dict(prediction)
+    numbers = sorted(measured)
+    rho, _ = scipy.stats.spearmanr(
+        [scores[n] for n in numbers], [measured[n] for n in numbers]
+    )
+    assert rho < -0.5
+
+
+def test_learned_compositions_match_expectations(classifier):
+    db = learned_db(classifier)
+    assert db.stats("S").consensus_class is SnapshotClass.CPU
+    assert db.stats("P").consensus_class is SnapshotClass.IO
+    assert db.stats("N").consensus_class is SnapshotClass.NET

@@ -1,0 +1,87 @@
+"""Extension — simulator and monitoring throughput.
+
+Not a paper artefact, but the property every other bench rests on: the
+discrete-time engine must simulate hours of cluster time in seconds of
+wall time.  Measures tick rate with the full §5.2 load (9 jobs + server
+on 4 VMs with monitoring attached) and gmond collection cost.
+"""
+
+import numpy as np
+
+from repro.monitoring.stack import MonitoringStack
+from repro.scheduler.schedules import spn_schedule
+from repro.scheduler.throughput import SCHEDULE_VMS, default_job_factories
+from repro.sim.engine import SimulationEngine
+from repro.vm.cluster import paper_testbed
+from repro.workloads.base import WorkloadInstance
+
+from conftest import emit
+
+
+def loaded_engine(with_monitoring: bool):
+    cluster = paper_testbed()
+    engine = SimulationEngine(cluster, seed=0)
+    if with_monitoring:
+        MonitoringStack(engine, seed=1)
+    factories = default_job_factories()
+    for vm, group in zip(SCHEDULE_VMS, spn_schedule().groups):
+        for code in group:
+            engine.add_instance(WorkloadInstance(factories[code](), vm_name=vm, loop=True))
+    return engine
+
+
+def test_engine_tick_rate_under_full_load(benchmark, out_dir):
+    engine = loaded_engine(with_monitoring=True)
+
+    def run_chunk():
+        engine.run(until=engine.now + 300.0)
+
+    benchmark.pedantic(run_chunk, rounds=5, iterations=1)
+    ticks_per_s = 300.0 / benchmark.stats.stats.mean
+    emit(
+        out_dir,
+        "ext_engine_perf.txt",
+        "Extension: engine throughput under the full Fig-4 load\n"
+        f"  simulated seconds per wall second: {ticks_per_s:,.0f}\n"
+        "  (9 looping jobs, 4 monitored VMs, 5 s heartbeats)",
+    )
+    # An hour of cluster time must take well under a minute of wall time.
+    assert ticks_per_s > 500.0
+
+
+def test_monitoring_overhead_is_bounded(benchmark):
+    """Monitoring adds bounded overhead to the simulation loop."""
+    import time
+
+    def wall(with_monitoring):
+        engine = loaded_engine(with_monitoring)
+        t = time.perf_counter()
+        engine.run(until=600.0)
+        return time.perf_counter() - t
+
+    bare = min(wall(False) for _ in range(2))
+    monitored = min(wall(True) for _ in range(2))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert monitored < bare * 3.0 + 0.5
+
+
+def test_gmond_collection_cost(benchmark):
+    """One 33-metric collection must cost well under the 5 s interval."""
+    from repro.monitoring.gmond import Gmond
+    from repro.monitoring.multicast import MulticastChannel
+    from repro.vm.cluster import single_vm_cluster
+
+    cluster = single_vm_cluster()
+    vm = cluster.vm("VM1")
+    gmond = Gmond(vm, MulticastChannel(), rng=np.random.default_rng(0))
+    clock = {"now": 0.0}
+
+    def collect():
+        clock["now"] += 5.0
+        vm.counters.account_cpu(2.0, 0.5, 0.1, 0.0, 2.4)
+        vm.counters.advance_time(5.0, 1.0)
+        return gmond.collect(clock["now"])
+
+    values = benchmark(collect)
+    assert values.shape == (33,)
+    assert benchmark.stats.stats.mean < 0.005  # « 5 s sampling interval

@@ -1,0 +1,65 @@
+"""Extension — generalization beyond the hand-modelled benchmark suite.
+
+The paper's §5.1 evaluates on fifteen specific programs.  This bench
+measures how the trained classifier handles *randomly generated*
+workloads it has never seen: 5 random programs per class (CPU/IO/NET/MEM)
+with random phase structures and cross-class pollution phases, validated
+as a run-level confusion matrix.
+"""
+
+import pytest
+
+from repro.core.labels import SnapshotClass
+from repro.experiments.validation import validate_workloads
+from repro.workloads.synth import generate_suite
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report(classifier):
+    suite = generate_suite(per_class=5, seed=77)
+    return validate_workloads(classifier, suite, seed=970)
+
+
+def test_generalization_regenerate(benchmark, classifier, report, out_dir):
+    suite = generate_suite(per_class=1, seed=78)
+    benchmark.pedantic(
+        validate_workloads, args=(classifier, suite), kwargs={"seed": 990},
+        rounds=1, iterations=1,
+    )
+    misses = "\n".join(
+        f"  {r.workload_name}: intended {r.truth.name}, classified {r.predicted.name}"
+        for r in report.misclassified()
+    ) or "  (none)"
+    emit(
+        out_dir,
+        "ext_generalization.txt",
+        "Extension: run-level confusion matrix on 20 random unseen workloads\n"
+        + report.matrix.render()
+        + f"\n\naccuracy: {report.matrix.accuracy() * 100:.0f}%"
+        + f"\nmisclassified:\n{misses}",
+    )
+
+
+def test_generalization_accuracy(report):
+    assert report.matrix.accuracy() >= 0.8
+
+
+def test_cpu_and_net_never_confused(report):
+    """CPU and NET signatures are orthogonal; no cross-confusion allowed."""
+    counts = report.matrix.counts
+    assert counts[int(SnapshotClass.CPU), int(SnapshotClass.NET)] == 0
+    assert counts[int(SnapshotClass.NET), int(SnapshotClass.CPU)] == 0
+
+
+def test_confusions_stay_within_paper_category(report):
+    """Any confusion is IO↔MEM — classes the paper itself merges into one
+    application-level category ('IO & Paging Intensive')."""
+    merged = {int(SnapshotClass.IO), int(SnapshotClass.MEM)}
+    counts = report.matrix.counts
+    for truth in range(counts.shape[0]):
+        for pred in range(counts.shape[1]):
+            if truth == pred or counts[truth, pred] == 0:
+                continue
+            assert {truth, pred} <= merged, (truth, pred, counts[truth, pred])

@@ -1,0 +1,73 @@
+"""Extension — online (streaming) classification latency.
+
+§5.3's conclusion is that the pipeline is cheap enough for online
+training; the online classifier makes that concrete by classifying each
+announcement as it arrives.  This bench measures the per-announcement
+latency (must be « the 5 s sampling interval) and verifies the stream
+agrees with batch classification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineClassifier
+from repro.monitoring.multicast import MetricAnnouncement, MulticastChannel
+from repro.sim.execution import profiled_run
+from repro.workloads.io import postmark
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    return profiled_run(postmark(), seed=220)
+
+
+def test_online_per_announcement_latency(benchmark, classifier, recorded_run, out_dir):
+    series = recorded_run.series
+    channel = MulticastChannel()
+    online = OnlineClassifier(classifier, channel)
+    clock = {"j": 0}
+
+    def feed_one():
+        j = clock["j"] % len(series)
+        clock["j"] += 1
+        channel.announce(
+            MetricAnnouncement(
+                node="VM1",
+                timestamp=float(clock["j"]) * 5.0,
+                values=series.matrix[:, j],
+            )
+        )
+
+    benchmark(feed_one)
+    per_announcement_ms = benchmark.stats.stats.mean * 1000.0
+    emit(
+        out_dir,
+        "ext_online.txt",
+        "Extension: online classification latency\n"
+        f"  per announcement: {per_announcement_ms:.3f} ms "
+        "(sampling interval: 5000 ms)\n"
+        f"  snapshots streamed: {online.state('VM1').snapshots_seen}",
+    )
+    assert per_announcement_ms < 50.0
+
+
+def test_online_agrees_with_batch(classifier, recorded_run):
+    series = recorded_run.series
+    batch = classifier.classify_series(series)
+    channel = MulticastChannel()
+    online = OnlineClassifier(classifier, channel)
+    for j in range(len(series)):
+        channel.announce(
+            MetricAnnouncement(
+                node="VM1",
+                timestamp=float(series.timestamps[j]),
+                values=series.matrix[:, j],
+            )
+        )
+    state = online.state("VM1")
+    assert state.majority_class() is batch.application_class
+    assert np.allclose(
+        state.composition().fractions, batch.composition.fractions, atol=1e-9
+    )

@@ -1,0 +1,58 @@
+"""Figure 3 — cluster diagrams of classifications in PC space.
+
+Regenerates the paper's four diagrams — (a) training data, (b)
+SimpleScalar, (c) Autobench, (d) VMD — as ASCII scatter plots, asserts
+the class mix of each matches the paper, and benchmarks diagram
+generation.
+"""
+
+import pytest
+
+from repro.core.labels import SnapshotClass
+from repro.experiments.fig3 import run_fig3
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def fig3(classifier):
+    return run_fig3(classifier, seed=200)
+
+
+def test_fig3_regenerate(benchmark, classifier, out_dir):
+    outcome = benchmark.pedantic(run_fig3, args=(classifier,), kwargs={"seed": 200}, rounds=1, iterations=1)
+
+    # (a) training data shows all five classes.
+    assert len(outcome.training.classes_present()) == 5
+    # (b) SimpleScalar: idle + CPU only.
+    b = outcome.tests["simplescalar"]
+    assert SnapshotClass.CPU in b.classes_present()
+    assert set(b.classes_present()) <= {SnapshotClass.IDLE, SnapshotClass.CPU}
+    # (c) Autobench: idle + NET only.
+    c = outcome.tests["autobench"]
+    assert SnapshotClass.NET in c.classes_present()
+    assert set(c.classes_present()) <= {SnapshotClass.IDLE, SnapshotClass.NET}
+    # (d) VMD: idle + IO + NET mix.
+    d = outcome.tests["vmd"]
+    assert {SnapshotClass.IDLE, SnapshotClass.IO, SnapshotClass.NET} <= set(
+        d.classes_present()
+    )
+
+    text = "\n\n".join(diag.render_ascii(72, 20) for diag in outcome.all_diagrams())
+    emit(out_dir, "fig3_clustering.txt", text)
+
+
+def test_fig3_training_clusters_separated(fig3):
+    """Class centroids in PC space are pairwise distinct (visible clusters)."""
+    import numpy as np
+
+    centroids = fig3.training.class_centroids()
+    keys = list(centroids)
+    for i, a in enumerate(keys):
+        for b in keys[i + 1 :]:
+            assert np.linalg.norm(centroids[a] - centroids[b]) > 0.3, (a, b)
+
+
+def test_fig3_diagram_render_cost(benchmark, fig3):
+    text = benchmark(fig3.training.render_ascii, 72, 20)
+    assert "C=CPU" in text

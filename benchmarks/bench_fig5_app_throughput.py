@@ -1,0 +1,59 @@
+"""Figure 5 — per-application throughput comparison of different schedules.
+
+Regenerates the MIN/MAX/AVG-vs-SPN comparison for SPECseis96, PostMark,
+and NetPIPE, asserting the paper's observations: SPN meets or beats the
+per-application average for every application, and each application's
+maximum is achieved by a sub-schedule whose *system* throughput is
+sub-optimal.
+"""
+
+from repro.analysis.reports import format_table
+from repro.scheduler.throughput import per_app_summaries
+
+from conftest import emit
+
+
+def test_fig5_regenerate(benchmark, fig45_outcome, out_dir):
+    summaries = benchmark(per_app_summaries, fig45_outcome.results)
+    rows = [
+        [
+            s.code,
+            f"{s.minimum:.0f}",
+            f"{s.maximum:.0f}",
+            f"{s.average:.0f}",
+            f"{s.spn:.0f}",
+            f"{s.spn_gain_over_average_percent:+.1f}%",
+            s.max_schedule_label,
+        ]
+        for s in summaries
+    ]
+    text = "Figure 5: Application throughput comparisons (jobs/day)\n" + format_table(
+        ["App", "MIN", "MAX", "AVG", "SPN", "SPN vs AVG", "MAX at"], rows
+    ) + "\n(paper: S +24.9%, P +48.1%, N +4.3% over average under SPN)"
+    emit(out_dir, "fig5_app_throughput.txt", text)
+
+
+def test_fig5_spn_at_or_above_average(fig45_outcome):
+    for s in fig45_outcome.per_app:
+        assert s.spn >= s.average * 0.98, s.code
+
+
+def test_fig5_postmark_gains_most(fig45_outcome):
+    """Paper: PostMark gains 48.13% — by far the largest winner."""
+    gains = {s.code: s.spn_gain_over_average_percent for s in fig45_outcome.per_app}
+    assert gains["P"] > gains["S"]
+    assert gains["P"] > gains["N"]
+    assert gains["P"] > 25.0
+
+
+def test_fig5_max_from_suboptimal_subschedule(fig45_outcome):
+    """S and N peak in schedules whose total throughput is not the best."""
+    best_label = fig45_outcome.best.schedule.label()
+    for s in fig45_outcome.per_app:
+        if s.code in ("S", "N"):
+            assert s.max_schedule_label != best_label, s.code
+
+
+def test_fig5_min_max_bracket_spn(fig45_outcome):
+    for s in fig45_outcome.per_app:
+        assert s.minimum - 1e-9 <= s.spn <= s.maximum + 1e-9

@@ -1,0 +1,98 @@
+"""Table 3 — application class compositions of all fourteen test runs.
+
+Regenerates the full table (including the SPECseis96 A/B/C variants and
+PostMark local/NFS variants) and asserts the paper's qualitative results:
+dominant classes, the B-run class shift and runtime stretch, and the
+NFS-induced IO→NET flip.
+"""
+
+import pytest
+
+from repro.analysis.reports import render_table3
+from repro.core.labels import SnapshotClass
+from repro.experiments.table3 import run_table3
+
+from conftest import emit
+
+#: Dominant class the paper reports per test run.
+PAPER_DOMINANT = {
+    "specseis96-A": SnapshotClass.CPU,
+    "specseis96-C": SnapshotClass.CPU,
+    "ch3d": SnapshotClass.CPU,
+    "simplescalar": SnapshotClass.CPU,
+    "postmark": SnapshotClass.IO,
+    "bonnie": SnapshotClass.IO,
+    "stream": SnapshotClass.IO,
+    "postmark-nfs": SnapshotClass.NET,
+    "netpipe": SnapshotClass.NET,
+    "autobench": SnapshotClass.NET,
+    "sftp": SnapshotClass.NET,
+    "xspim": SnapshotClass.IO,
+}
+
+
+@pytest.fixture(scope="module")
+def table3(classifier):
+    return run_table3(classifier, seed=100)
+
+
+def test_table3_regenerate(benchmark, classifier, out_dir):
+    outcome = benchmark.pedantic(
+        run_table3, args=(classifier,), kwargs={"seed": 100}, rounds=1, iterations=1
+    )
+    emit(
+        out_dir,
+        "table3_composition.txt",
+        "Table 3: Application class compositions\n" + render_table3(outcome.named_results()),
+    )
+    assert len(outcome.rows) == 14
+
+
+def test_table3_dominant_classes_match_paper(table3):
+    for key, expected in PAPER_DOMINANT.items():
+        row = table3.row(key)
+        assert row.result.application_class is expected, (
+            key,
+            row.result.composition.as_percentages(),
+        )
+
+
+def test_table3_specseis_b_class_shift(table3):
+    """B (32 MB VM): CPU/IO/paging mix instead of A's pure CPU."""
+    a = table3.row("specseis96-A").result
+    b = table3.row("specseis96-B").result
+    assert a.composition.cpu > 0.99
+    assert 0.3 < b.composition.cpu < 0.7
+    assert b.composition.io > 0.2
+    assert b.composition.mem > 0.03
+
+
+def test_table3_specseis_b_runtime_stretch(table3):
+    """Paper: 291m42s → 426m58s (~1.46x)."""
+    a = table3.row("specseis96-A").run
+    b = table3.row("specseis96-B").run
+    assert b.duration / a.duration == pytest.approx(1.46, abs=0.15)
+
+
+def test_table3_postmark_nfs_flip(table3):
+    """Local directory → IO; NFS directory → NET."""
+    local = table3.row("postmark").result
+    nfs = table3.row("postmark-nfs").result
+    assert local.application_class is SnapshotClass.IO
+    assert nfs.application_class is SnapshotClass.NET
+    assert nfs.composition.net > 0.9
+
+
+def test_table3_vmd_interactive_mix(table3):
+    """Paper: 37.21% idle / 40.70% IO / 22.09% NET."""
+    vmd = table3.row("vmd").result
+    assert vmd.composition.idle == pytest.approx(0.372, abs=0.08)
+    assert vmd.composition.io == pytest.approx(0.407, abs=0.08)
+    assert vmd.composition.net == pytest.approx(0.221, abs=0.08)
+    assert vmd.category == "Idle + Others"
+
+
+def test_table3_sample_counts_near_paper(table3):
+    """m = (t1 − t0)/d: A ≈ 3434, B ≈ 5150 in the paper."""
+    assert table3.row("specseis96-A").result.num_samples == pytest.approx(3434, rel=0.1)
+    assert table3.row("specseis96-B").result.num_samples == pytest.approx(5150, rel=0.1)

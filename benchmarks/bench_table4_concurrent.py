@@ -1,0 +1,47 @@
+"""Table 4 — system throughput: concurrent vs sequential executions.
+
+Regenerates the CH3D + PostMark co-scheduling experiment and asserts the
+paper's result shape: both jobs stretch individually, but co-scheduling
+finishes the pair sooner than running them back-to-back.
+"""
+
+import pytest
+
+from repro.analysis.reports import render_table4
+from repro.experiments.table4 import run_table4
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return run_table4(seed=300)
+
+
+def test_table4_regenerate(benchmark, out_dir):
+    outcome = benchmark.pedantic(run_table4, kwargs={"seed": 300}, rounds=1, iterations=1)
+    concurrent, sequential = outcome.as_mappings()
+    emit(
+        out_dir,
+        "table4_concurrent.txt",
+        "Table 4: Concurrent vs Sequential executions\n"
+        + render_table4(concurrent, sequential)
+        + f"\nThroughput gain of concurrent execution: {outcome.speedup_percent:.1f}%"
+        + "\n(paper: CH3D 488→613 s, PostMark 264→310 s, 752 s → 613 s)",
+    )
+
+
+def test_table4_solo_times_match_paper(table4):
+    assert table4.solo_ch3d == pytest.approx(488.0, rel=0.05)
+    assert table4.solo_postmark == pytest.approx(264.0, rel=0.1)
+
+
+def test_table4_concurrent_stretches(table4):
+    assert 1.05 < table4.concurrent_ch3d / table4.solo_ch3d < 1.5
+    assert 1.05 < table4.concurrent_postmark / table4.solo_postmark < 1.7
+
+
+def test_table4_concurrent_wins(table4):
+    """The headline: 613 s < 752 s in the paper."""
+    assert table4.concurrent_total < table4.sequential_total
+    assert table4.speedup_percent > 5.0

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Expensive experiment artefacts (the trained classifier, the ten-schedule
+sweep) are built once per session and shared across benches.  Every bench
+writes its regenerated table/figure to ``benchmarks/out/`` and also
+prints it (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig45 import Fig45Outcome, run_fig45
+from repro.experiments.training import TrainingOutcome, build_trained_classifier
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def training_outcome() -> TrainingOutcome:
+    return build_trained_classifier(seed=0)
+
+
+@pytest.fixture(scope="session")
+def classifier(training_outcome):
+    return training_outcome.classifier
+
+
+@pytest.fixture(scope="session")
+def fig45_outcome() -> Fig45Outcome:
+    """The ten-schedule throughput sweep (shared by Fig 4 and Fig 5 benches)."""
+    return run_fig45(horizon=2400.0, seed=400)
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated artefact and persist it under benchmarks/out/."""
+    print(f"\n{text}\n")
+    (out_dir / name).write_text(text + "\n")

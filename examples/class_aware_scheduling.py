@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Class-aware scheduling on the paper's two-host testbed (§5.2).
+
+Evaluates all ten schedules of three SPECseis96 (S), three PostMark (P),
+and three NetPIPE (N) jobs on three VMs, shows that a scheduler armed
+with application-class knowledge picks schedule 10 {(SPN),(SPN),(SPN)},
+and quantifies the system-throughput improvement over random
+scheduling — the paper's headline 22.11% result.  Also reruns Table 4
+(concurrent vs sequential CH3D + PostMark).
+
+Run:  python examples/class_aware_scheduling.py   (~10 s)
+"""
+
+from repro.analysis.reports import format_table, render_bar_chart, render_table4
+from repro.db.store import ApplicationDB
+from repro.experiments.fig45 import class_aware_choice, run_fig45
+from repro.experiments.table4 import run_table4
+
+
+def main() -> None:
+    print("=== Table 4: Concurrent vs sequential execution ===")
+    t4 = run_table4(seed=300)
+    concurrent, sequential = t4.as_mappings()
+    print(render_table4(concurrent, sequential))
+    print(f"Concurrent execution finishes both jobs {t4.speedup_percent:.1f}% sooner.\n")
+
+    print("=== Figure 4: System throughput of all ten schedules ===")
+    outcome = run_fig45(horizon=2400.0, seed=400)
+    labels = [f"{r.schedule.number:2d} {r.schedule.label()}" for r in outcome.results]
+    values = [r.system_jobs_per_day for r in outcome.results]
+    print(render_bar_chart(labels, values, width=40, unit=" jobs/day"))
+    print()
+
+    chosen = class_aware_choice(ApplicationDB())
+    print(f"Class-aware scheduler picks schedule {chosen} (expected 10).")
+    print(f"Best measured schedule:   {outcome.best.schedule.number}")
+    print(
+        f"SPN improvement over the weighted average of all schedules: "
+        f"{outcome.spn_improvement_percent():.2f}%  (paper: 22.11%)\n"
+    )
+
+    print("=== Figure 5: Per-application throughput, MIN/MAX/AVG vs SPN ===")
+    rows = []
+    for s in outcome.per_app:
+        rows.append(
+            [
+                s.code,
+                f"{s.minimum:.0f}",
+                f"{s.maximum:.0f}",
+                f"{s.average:.0f}",
+                f"{s.spn:.0f}",
+                f"{s.spn_gain_over_average_percent:+.1f}%",
+                s.max_schedule_label,
+            ]
+        )
+    print(
+        format_table(
+            ["App", "MIN", "MAX", "AVG", "SPN", "SPN vs AVG", "MAX achieved by"],
+            rows,
+        )
+    )
+    print(
+        "\nNote how each application's MAX comes from a sub-schedule whose"
+        " total throughput is sub-optimal — exactly the paper's observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

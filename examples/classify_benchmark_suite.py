@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Classify the full Table 2/3 benchmark suite.
+
+Profiles all fourteen test runs of the paper's Table 3 — including the
+SPECseis96 A/B/C input-size and VM-memory variants and the PostMark
+local-vs-NFS environment variants — and prints the regenerated class
+composition table alongside the paper's expectations.
+
+Run:  python examples/classify_benchmark_suite.py          # full suite (~15 s)
+      python examples/classify_benchmark_suite.py --fast   # skip the two long SPECseis runs
+"""
+
+import sys
+
+from repro.analysis.reports import format_table, render_table3
+from repro.experiments.table3 import run_table3
+from repro.experiments.training import build_trained_classifier
+
+#: Paper Table 3 dominant classes, for the comparison column.
+PAPER_DOMINANT = {
+    "specseis96-A": "CPU",
+    "specseis96-C": "CPU",
+    "ch3d": "CPU",
+    "simplescalar": "CPU",
+    "postmark": "IO",
+    "bonnie": "IO",
+    "specseis96-B": "CPU/IO mix",
+    "stream": "IO",
+    "postmark-nfs": "NET",
+    "netpipe": "NET",
+    "autobench": "NET",
+    "sftp": "NET",
+    "vmd": "idle/IO/NET mix",
+    "xspim": "IO",
+}
+
+FAST_SKIP = ["specseis96-A", "specseis96-B"]
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    keys = [k for k in PAPER_DOMINANT if not (fast and k in FAST_SKIP)]
+
+    print("Training classifier ...")
+    classifier = build_trained_classifier(seed=0).classifier
+
+    print(f"Profiling and classifying {len(keys)} test runs ...\n")
+    outcome = run_table3(classifier, seed=100, keys=keys)
+
+    print("=== Regenerated Table 3: Application class compositions ===")
+    print(render_table3(outcome.named_results()))
+    print()
+
+    rows = []
+    for row in outcome.rows:
+        rows.append(
+            [
+                row.key,
+                row.result.application_class.name,
+                PAPER_DOMINANT[row.key],
+                row.result.category,
+                f"{row.run.duration:.0f}s",
+            ]
+        )
+    print("=== Dominant class vs paper expectation ===")
+    print(
+        format_table(
+            ["Application", "Measured", "Paper", "Category", "Runtime"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Multi-stage application analysis and migration opportunities.
+
+The paper's introduction motivates classification partly by long-running
+multi-stage scientific applications: different execution stages stress
+different resources, so identifying stages "presents opportunities to
+exploit better matching of resource availability and application
+resource requirement ... with process migration techniques".
+
+This example runs SPECseis96 in a memory-starved VM (where its
+alternating compute/dataset-sweep stages express as CPU vs IO/paging
+snapshot classes), segments the classified run into execution stages,
+streams the same run through the online classifier, and reports
+migration opportunities.
+
+Run:  python examples/multistage_analysis.py   (~6 s)
+"""
+
+from repro.analysis.reports import format_table
+from repro.core.online import OnlineClassifier
+from repro.core.stages import find_migration_opportunities, segment_stages
+from repro.experiments.training import build_trained_classifier
+from repro.monitoring.stack import MonitoringStack
+from repro.sim.engine import SimulationEngine
+from repro.sim.execution import classification_testbed, profiled_run
+from repro.workloads.base import WorkloadInstance
+from repro.workloads.cpu import specseis96
+
+
+def batch_stage_analysis(classifier) -> None:
+    print("Profiling SPECseis96 (medium) in a 32 MB VM (the paper's B setup) ...")
+    run = profiled_run(specseis96("medium"), vm_mem_mb=32.0, seed=60)
+    result = classifier.classify_series(run.series)
+    print(f"  runtime {run.duration:.0f} s, m = {result.num_samples} snapshots")
+    print(f"  overall composition: "
+          f"{ {k: round(v, 1) for k, v in result.composition.as_percentages().items() if v > 0.5} }\n")
+
+    analysis = segment_stages(result, run.series, smoothing_window=3)
+    print(f"Detected {analysis.num_stages} execution stages "
+          f"(multi-stage: {analysis.is_multi_stage()}):")
+    rows = [
+        [
+            str(s.index),
+            s.snapshot_class.name,
+            f"{s.start_time:.0f}–{s.end_time:.0f} s",
+            str(s.num_snapshots),
+        ]
+        for s in analysis.stages[:12]
+    ]
+    print(format_table(["stage", "class", "window", "snapshots"], rows))
+    if analysis.num_stages > 12:
+        print(f"  ... and {analysis.num_stages - 12} more stages")
+
+    opportunities = find_migration_opportunities(analysis, min_stage_duration_s=60.0)
+    print(f"\nMigration opportunities (stages ≥ 60 s with a resource change): "
+          f"{len(opportunities)}")
+    for opp in opportunities[:5]:
+        a, b = opp.class_change
+        print(f"  t = {opp.to_stage.start_time:6.0f} s: {a.name} stage "
+              f"({opp.from_stage.duration:.0f} s) → {b.name} stage "
+              f"({opp.to_stage.duration:.0f} s)")
+
+
+def online_stage_tracking(classifier) -> None:
+    print("\nOnline tracking of the same run (streaming, no post-processing):")
+    cluster = classification_testbed(vm_mem_mb=32.0)
+    engine = SimulationEngine(cluster, seed=61)
+    stack = MonitoringStack(engine, seed=62)
+    online = OnlineClassifier(classifier, stack.channel, nodes=["VM1"])
+    engine.add_instance(WorkloadInstance(specseis96("small"), vm_name="VM1"))
+
+    transitions = []
+    last = None
+
+    def watch(now: float) -> None:
+        nonlocal last
+        try:
+            stable = online.stable_class("VM1", min_streak=3)
+        except KeyError:
+            return
+        if stable is not None and stable is not last:
+            transitions.append((now, stable))
+            last = stable
+
+    engine.add_tick_listener(watch)
+    engine.run()
+    print(f"  stable-class transitions observed live: {len(transitions)}")
+    for t, cls in transitions[:8]:
+        print(f"    t = {t:6.0f} s → {cls.name}")
+    state = online.state("VM1")
+    print(f"  final online majority class: {state.majority_class().name} "
+          f"over {state.snapshots_seen} snapshots")
+
+
+def main() -> None:
+    print("Training classifier ...")
+    classifier = build_trained_classifier(seed=0).classifier
+    batch_stage_analysis(classifier)
+    online_stage_tracking(classifier)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: train the application classifier and classify one run.
+
+Reproduces the paper's core loop in miniature:
+
+1. build the trained classifier (profiles the four training applications
+   plus the idle state in dedicated VMs — paper §4.2.3);
+2. run a test application (PostMark) in a dedicated VM while the
+   Ganglia-style monitoring substrate samples it every 5 seconds;
+3. classify every snapshot with PCA + 3-NN, take the majority vote, and
+   print the class composition and PC-space cluster diagram.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.clustering import ClusterDiagram
+from repro.analysis.reports import render_table3
+from repro.experiments.training import build_trained_classifier
+from repro.sim.execution import profiled_run
+from repro.workloads.io import postmark
+
+
+def main() -> None:
+    print("Training classifier on PostMark/SPECseis96/Pagebench/Ettcp/idle ...")
+    outcome = build_trained_classifier(seed=0)
+    classifier = outcome.classifier
+    print(f"  training snapshots: {outcome.total_training_samples()}")
+    ratios = classifier.pca.explained_variance_ratio_
+    print(f"  PCA kept q=2 components explaining {100 * ratios.sum():.1f}% of variance\n")
+
+    print("Profiling a PostMark run in a dedicated 256 MB VM ...")
+    run = profiled_run(postmark(), vm_mem_mb=256.0, seed=42)
+    print(f"  execution time: {run.duration:.0f} s, snapshots: m = {run.num_samples}\n")
+
+    result = classifier.classify_series(run.series)
+    print(f"Application class (majority vote): {result.application_class.name}")
+    print(f"Application category:              {result.category}")
+    print(
+        "Unit classification cost:          "
+        f"{result.timings.per_sample_ms(result.num_samples):.3f} ms/sample\n"
+    )
+    print(render_table3([("PostMark", result)]))
+    print()
+    print(ClusterDiagram.from_result(result, title="PostMark snapshots in PC space").render_ascii(60, 16))
+
+
+if __name__ == "__main__":
+    main()

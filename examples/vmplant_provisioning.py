@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""VMPlant-style provisioning, learned behaviour, pricing, and reservations.
+
+The workflow the paper situates its classifier in (§2, §4.3, §4.4):
+
+1. define an application-specific VM template as a DAG of configuration
+   actions (VMPlant) and clone it onto a physical host;
+2. run the application in its dedicated clone over several historical
+   runs, classifying each run and recording it in the application DB;
+3. price runs with the provider's cost model
+   (UnitApplicationCost = α·cpu% + β·mem% + γ·io% + δ·net% + ε·idle%);
+4. derive a resource-reservation recommendation from the statistical
+   abstract of the run history.
+
+Run:  python examples/vmplant_provisioning.py   (~6 s)
+"""
+
+from repro.core.cost_model import UnitCostModel
+from repro.db.records import RunRecord
+from repro.db.store import ApplicationDB
+from repro.experiments.training import build_trained_classifier
+from repro.scheduler.reservation import recommend_reservation
+from repro.sim.engine import SimulationEngine
+from repro.sim.execution import classification_testbed
+from repro.monitoring.stack import MonitoringStack
+from repro.vm.dag import ConfigDAG, install_package, set_attribute, set_memory, set_vcpus
+from repro.vm.vmplant import CloneRequest, VMPlant
+from repro.workloads.base import WorkloadInstance
+from repro.workloads.io import postmark
+
+
+def build_template() -> ConfigDAG:
+    dag = ConfigDAG("postmark-vm")
+    dag.add_action(set_memory(256))
+    dag.add_action(set_vcpus(1), after=["set-memory-256"])
+    dag.add_action(install_package("postmark"), after=["set-vcpus-1"])
+    dag.add_action(set_attribute("monitoring", "gmond"), after=["install-postmark"])
+    return dag
+
+
+def profile_clone_run(vm_name: str, seed: int):
+    """Run PostMark in an already-provisioned clone and return its series."""
+    cluster = classification_testbed(target_vm=vm_name)
+    engine = SimulationEngine(cluster, seed=seed)
+    stack = MonitoringStack(engine, seed=seed + 1)
+    engine.add_instance(WorkloadInstance(postmark(), vm_name=vm_name))
+    stack.profiler.start(vm_name, now=0.0)
+    engine.run()
+    session = stack.profiler.stop(now=engine.now)
+    series = stack.filter.extract(stack.profiler.data_pool(), vm_name)
+    return series, session.t0, engine.now
+
+
+def main() -> None:
+    # --- 1. provision -----------------------------------------------------
+    from repro.vm.cluster import Cluster
+
+    plant_cluster = Cluster("provisioning")
+    plant_cluster.add_host("hostA")
+    plant = VMPlant(cluster=plant_cluster)
+    plant.register_template("postmark-vm", build_template())
+    clone = plant.clone(CloneRequest(template="postmark-vm", host="hostA"))
+    spec = plant.materialize_spec(CloneRequest(template="postmark-vm", host="hostA"))
+    print(f"Cloned VM {clone.name!r}: {spec.mem_mb:.0f} MB, {spec.vcpus} vCPU, "
+          f"packages={list(spec.packages)}\n")
+
+    # --- 2. learn over historical runs -------------------------------------
+    print("Training classifier ...")
+    classifier = build_trained_classifier(seed=0).classifier
+    db = ApplicationDB()
+    print("Profiling three historical PostMark runs ...")
+    for seed in (11, 12, 13):
+        series, t0, t1 = profile_clone_run("VM1", seed=seed)
+        result = classifier.classify_series(series)
+        db.add_run(
+            RunRecord(
+                application="postmark",
+                node=series.node,
+                t0=t0,
+                t1=t1,
+                num_samples=result.num_samples,
+                application_class=result.application_class,
+                composition=result.composition,
+                environment={"template": "postmark-vm"},
+            )
+        )
+        print(
+            f"  run (seed {seed}): {t1 - t0:.0f} s, class {result.application_class.name}, "
+            f"IO share {100 * result.composition.io:.1f}%"
+        )
+
+    stats = db.stats("postmark")
+    print(f"\nStatistical abstract over {stats.run_count} runs:")
+    print(f"  consensus class:    {stats.consensus_class.name}")
+    print(f"  mean execution:     {stats.mean_execution_time:.0f} s "
+          f"(σ = {stats.execution_time_std:.1f} s)")
+
+    # --- 3. price a run -----------------------------------------------------
+    provider = UnitCostModel(alpha=4.0, beta=3.0, gamma=5.0, delta=2.0, epsilon=0.5)
+    unit = provider.unit_application_cost(stats.mean_composition)
+    total = provider.run_cost(stats.mean_composition, stats.mean_execution_time)
+    print(f"\nProvider pricing (α=4 β=3 γ=5 δ=2 ε=0.5):")
+    print(f"  unit application cost: {unit:.2f} per second")
+    print(f"  typical run price:     {total:.0f}")
+
+    # --- 4. reservation -----------------------------------------------------
+    reservation = recommend_reservation(stats, headroom_sigmas=2.0)
+    print("\nReservation recommendation (mean + 2σ headroom):")
+    print(f"  cpu {reservation.cpu_share:.2f}  io {reservation.io_share:.2f}  "
+          f"net {reservation.net_share:.2f}  mem {reservation.mem_share:.2f}")
+    print(f"  duration bound: {reservation.duration_bound_s:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Post-processing and presentation: cluster diagrams, table rendering."""
+
+from .clustering import CLASS_GLYPHS, ClusterDiagram
+from .export import (
+    export_cluster_diagram,
+    export_compositions,
+    export_schedule_throughput,
+    export_series_metrics,
+)
+from .timeline import render_stage_summary, render_timeline
+from .reports import (
+    TABLE3_COLUMNS,
+    format_table,
+    percent_cell,
+    render_bar_chart,
+    render_table3,
+    render_table4,
+    table3_row,
+)
+
+__all__ = [
+    "CLASS_GLYPHS",
+    "ClusterDiagram",
+    "export_cluster_diagram",
+    "export_compositions",
+    "export_schedule_throughput",
+    "export_series_metrics",
+    "render_stage_summary",
+    "render_timeline",
+    "TABLE3_COLUMNS",
+    "format_table",
+    "percent_cell",
+    "render_bar_chart",
+    "render_table3",
+    "render_table4",
+    "table3_row",
+]

@@ -1,0 +1,117 @@
+"""Cluster diagrams in principal-component space (paper Figure 3).
+
+The classifier's first output format: snapshots projected onto the two
+extracted principal components, grouped by assigned class.  The paper
+renders these as 2-D scatter plots; this module provides the diagram
+data structure plus an ASCII renderer so experiments can display results
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.labels import ALL_CLASSES, SnapshotClass
+from ..core.pipeline import ApplicationClassifier, ClassificationResult
+
+#: One-character glyph per class for ASCII scatter rendering.
+CLASS_GLYPHS: dict[SnapshotClass, str] = {
+    SnapshotClass.IDLE: ".",
+    SnapshotClass.IO: "I",
+    SnapshotClass.CPU: "C",
+    SnapshotClass.NET: "N",
+    SnapshotClass.MEM: "M",
+}
+
+
+@dataclass
+class ClusterDiagram:
+    """Projected snapshots plus their class labels."""
+
+    title: str
+    points: np.ndarray = field(repr=False)  # (m, 2)
+    labels: np.ndarray = field(repr=False)  # (m,) class codes
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.points.ndim != 2 or self.points.shape[1] < 2:
+            raise ValueError("diagram needs (m, >=2) projected points")
+        if self.labels.shape[0] != self.points.shape[0]:
+            raise ValueError("labels must align with points")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_training(cls, classifier: ApplicationClassifier, title: str = "Training data") -> "ClusterDiagram":
+        """Figure 3(a): the training pool in PC space.
+
+        Raises
+        ------
+        RuntimeError
+            If the classifier is untrained.
+        """
+        if classifier.training_scores_ is None or classifier.training_labels_ is None:
+            raise RuntimeError("classifier has no training projections")
+        return cls(title=title, points=classifier.training_scores_, labels=classifier.training_labels_)
+
+    @classmethod
+    def from_result(cls, result: ClassificationResult, title: str | None = None) -> "ClusterDiagram":
+        """Figure 3(b–d): a test application's snapshots in PC space."""
+        return cls(
+            title=title or f"Classification of {result.node}",
+            points=result.scores,
+            labels=result.class_vector,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def classes_present(self) -> list[SnapshotClass]:
+        """Classes with at least one point, in enum order."""
+        present = set(int(v) for v in np.unique(self.labels))
+        return [c for c in ALL_CLASSES if int(c) in present]
+
+    def points_of(self, c: SnapshotClass) -> np.ndarray:
+        """The (k, 2) points assigned class *c*."""
+        return self.points[self.labels == int(c), :2]
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """(xmin, xmax, ymin, ymax) of the projected points."""
+        x, y = self.points[:, 0], self.points[:, 1]
+        return float(x.min()), float(x.max()), float(y.min()), float(y.max())
+
+    def class_centroids(self) -> dict[SnapshotClass, np.ndarray]:
+        """Mean PC-space position per present class."""
+        return {c: self.points_of(c).mean(axis=0) for c in self.classes_present()}
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render_ascii(self, width: int = 72, height: int = 24) -> str:
+        """Scatter plot as text; one glyph per class, later classes on top.
+
+        Raises
+        ------
+        ValueError
+            For degenerate canvas sizes.
+        """
+        if width < 8 or height < 4:
+            raise ValueError("canvas too small")
+        xmin, xmax, ymin, ymax = self.bounds()
+        xspan = max(xmax - xmin, 1e-9)
+        yspan = max(ymax - ymin, 1e-9)
+        grid = [[" "] * width for _ in range(height)]
+        for c in self.classes_present():
+            glyph = CLASS_GLYPHS[c]
+            for x, y in self.points_of(c):
+                col = int((x - xmin) / xspan * (width - 1))
+                row = int((ymax - y) / yspan * (height - 1))
+                grid[row][col] = glyph
+        legend = "  ".join(f"{CLASS_GLYPHS[c]}={c.name}" for c in self.classes_present())
+        border = "+" + "-" * width + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in grid)
+        return f"{self.title}\n{border}\n{body}\n{border}\n{legend}"

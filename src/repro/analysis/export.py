@@ -1,0 +1,83 @@
+"""CSV export of regenerated evaluation artefacts.
+
+Downstream users typically re-plot the paper's figures with their own
+tooling; these helpers dump the underlying data series — cluster-diagram
+points, schedule throughput bars, composition tables — as plain CSV.
+Only the standard library is used (no pandas dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from ..core.labels import TABLE3_ORDER, SnapshotClass
+from ..core.pipeline import ClassificationResult
+from .clustering import ClusterDiagram
+
+
+def export_cluster_diagram(diagram: ClusterDiagram, path: str | Path) -> Path:
+    """Write a diagram's points as ``class,pc1,pc2`` rows."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["class", "pc1", "pc2"])
+        for label, point in zip(diagram.labels, diagram.points):
+            writer.writerow([SnapshotClass(int(label)).name, f"{point[0]:.6f}", f"{point[1]:.6f}"])
+    return path
+
+
+def export_compositions(
+    named_results: Sequence[tuple[str, ClassificationResult]], path: str | Path
+) -> Path:
+    """Write Table 3 rows as ``application,num_samples,idle,io,cpu,net,mem``."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["application", "num_samples"] + [c.name.lower() for c in TABLE3_ORDER]
+        )
+        for name, result in named_results:
+            writer.writerow(
+                [name, result.num_samples]
+                + [f"{result.composition.fraction(c):.6f}" for c in TABLE3_ORDER]
+            )
+    return path
+
+
+def export_schedule_throughput(
+    labels: Sequence[str], values: Sequence[float], path: str | Path
+) -> Path:
+    """Write Figure 4 bars as ``schedule,jobs_per_day`` rows.
+
+    Raises
+    ------
+    ValueError
+        If labels and values differ in length.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["schedule", "jobs_per_day"])
+        for label, value in zip(labels, values):
+            writer.writerow([label, f"{value:.3f}"])
+    return path
+
+
+def export_series_metrics(
+    series, metric_names: Sequence[str], path: str | Path
+) -> Path:
+    """Write selected metric time series as ``timestamp,<metrics...>`` rows."""
+    path = Path(path)
+    sub = series.select_metrics(list(metric_names))
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp"] + list(metric_names))
+        for j in range(len(series)):
+            writer.writerow(
+                [f"{series.timestamps[j]:.1f}"] + [f"{sub[i, j]:.6f}" for i in range(len(metric_names))]
+            )
+    return path

@@ -1,0 +1,116 @@
+"""Fixed-width text rendering of the paper's tables and figures.
+
+Every benchmark harness prints its results through these helpers, so the
+regenerated rows visually match the paper's layout (Table 3's dash for
+zero percentages, Figure 4's schedule labels, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.labels import SnapshotClass
+from ..core.pipeline import ClassificationResult
+
+#: Table 3 column order (paper): Idle, I/O, CPU, Network, Paging.
+TABLE3_COLUMNS: tuple[SnapshotClass, ...] = (
+    SnapshotClass.IDLE,
+    SnapshotClass.IO,
+    SnapshotClass.CPU,
+    SnapshotClass.NET,
+    SnapshotClass.MEM,
+)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], indent: str = "") -> str:
+    """Render rows as an aligned fixed-width table.
+
+    Raises
+    ------
+    ValueError
+        If any row width differs from the header width.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return indent + "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+    sep = indent + "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
+
+
+def percent_cell(fraction: float, dash_below: float = 0.0005) -> str:
+    """Format a composition fraction as the paper does: ``–`` for ~0."""
+    if fraction < dash_below:
+        return "–"
+    return f"{100.0 * fraction:.2f}%"
+
+
+def table3_row(name: str, result: ClassificationResult) -> list[str]:
+    """One Table 3 row: application, sample count, five percentages."""
+    return [
+        name,
+        str(result.num_samples),
+        *(percent_cell(result.composition.fraction(c)) for c in TABLE3_COLUMNS),
+    ]
+
+
+def render_table3(named_results: Sequence[tuple[str, ClassificationResult]]) -> str:
+    """The full Table 3: application class compositions."""
+    headers = ["Test Application", "# of Samples", "Idle", "I/O", "CPU", "Network", "Paging"]
+    rows = [table3_row(name, result) for name, result in named_results]
+    return format_table(headers, rows)
+
+
+def render_table4(
+    concurrent: dict[str, float], sequential: dict[str, float]
+) -> str:
+    """Table 4: concurrent vs sequential elapsed times.
+
+    *concurrent* and *sequential* map application name → elapsed seconds.
+
+    Raises
+    ------
+    ValueError
+        If the two mappings cover different applications.
+    """
+    if set(concurrent) != set(sequential):
+        raise ValueError("concurrent and sequential must cover the same applications")
+    apps = list(concurrent)
+    headers = ["Execution", *apps, "Time Taken to Finish All Jobs"]
+    conc_total = max(concurrent.values())
+    seq_total = sum(sequential.values())
+    rows = [
+        ["Concurrent", *(f"{concurrent[a]:.0f}" for a in apps), f"{conc_total:.0f}"],
+        ["Sequential", *(f"{sequential[a]:.0f}" for a in apps), f"{seq_total:.0f}"],
+    ]
+    return format_table(headers, rows)
+
+
+def render_bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 50, unit: str = ""
+) -> str:
+    """Horizontal text bar chart (used for Figures 4 and 5).
+
+    Raises
+    ------
+    ValueError
+        On mismatched inputs or non-positive width.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if width < 1:
+        raise ValueError("width must be positive")
+    if not values:
+        return "(no data)"
+    peak = max(values)
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(value / peak * width)) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.0f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Class timeline rendering.
+
+A compact one-glyph-per-snapshot strip of a run's class vector over
+time — the quickest way to *see* a multi-stage application's structure::
+
+    t=5s   CCCCCCCCCCCCIIIIIIIIIIIIIICCCCCCCCCCCC   t=600s
+           C=CPU  I=IO
+
+Complements the PC-space cluster diagrams (which show *where* snapshots
+fall) by showing *when*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.labels import ALL_CLASSES, SnapshotClass
+from ..core.pipeline import ClassificationResult
+from ..core.stages import StageAnalysis
+from .clustering import CLASS_GLYPHS
+
+
+def render_timeline(
+    result: ClassificationResult,
+    timestamps: np.ndarray | None = None,
+    width: int = 72,
+) -> str:
+    """Render a classified run as a class strip.
+
+    Longer runs are downsampled to *width* glyphs by majority within each
+    bucket.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive width.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    vec = np.asarray(result.class_vector, dtype=np.int64)
+    m = vec.size
+    if m <= width:
+        strip = "".join(CLASS_GLYPHS[SnapshotClass(int(c))] for c in vec)
+    else:
+        edges = np.linspace(0, m, width + 1).astype(int)
+        glyphs = []
+        for lo, hi in zip(edges, edges[1:]):
+            bucket = vec[lo:max(hi, lo + 1)]
+            counts = np.bincount(bucket, minlength=len(ALL_CLASSES))
+            glyphs.append(CLASS_GLYPHS[SnapshotClass(int(counts.argmax()))])
+        strip = "".join(glyphs)
+    present = sorted(set(int(c) for c in vec))
+    legend = "  ".join(f"{CLASS_GLYPHS[SnapshotClass(c)]}={SnapshotClass(c).name}" for c in present)
+    if timestamps is not None and len(timestamps) == m and m > 0:
+        header = f"t={timestamps[0]:.0f}s … t={timestamps[-1]:.0f}s  ({m} snapshots)"
+    else:
+        header = f"{m} snapshots"
+    return f"{header}\n{strip}\n{legend}"
+
+
+def render_stage_summary(analysis: StageAnalysis, max_stages: int = 20) -> str:
+    """One line per stage: index, class, window, length.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive stage limit.
+    """
+    if max_stages < 1:
+        raise ValueError("max_stages must be positive")
+    lines = []
+    for stage in analysis.stages[:max_stages]:
+        lines.append(
+            f"  stage {stage.index:3d}  {stage.snapshot_class.name:5s}"
+            f"  {stage.start_time:8.0f}–{stage.end_time:<8.0f}s"
+            f"  ({stage.num_snapshots} snapshots)"
+        )
+    if analysis.num_stages > max_stages:
+        lines.append(f"  … and {analysis.num_stages - max_stages} more stages")
+    head = (
+        f"{analysis.num_stages} stages, dominant "
+        f"{analysis.dominant_stage_class().name}, multi-stage: "
+        f"{analysis.is_multi_stage()}"
+    )
+    return "\n".join([head, *lines])

@@ -1,0 +1,70 @@
+"""Cost-based scheduling model (paper §4.4).
+
+Resource providers define unit costs for each resource; the unit cost of
+executing an application is the class-composition-weighted average::
+
+    UnitApplicationCost = α·cpu% + β·mem% + γ·io% + δ·net% + ε·idle%
+
+where the percentages are the application classifier's composition
+output.  Multiplying by the recorded execution time prices a whole run,
+giving providers individualized pricing schemes grounded in what the
+application actually consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .labels import ClassComposition
+
+
+@dataclass(frozen=True)
+class UnitCostModel:
+    """Per-resource unit costs (currency units per class-second).
+
+    Parameters
+    ----------
+    alpha:
+        CPU capacity unit cost.
+    beta:
+        Memory capacity unit cost.
+    gamma:
+        I/O capacity unit cost.
+    delta:
+        Network capacity unit cost.
+    epsilon:
+        Idle (reservation-only) unit cost.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: float = 1.0
+    delta: float = 1.0
+    epsilon: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma", "delta", "epsilon"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"unit cost {name} must be non-negative")
+
+    def unit_application_cost(self, composition: ClassComposition) -> float:
+        """The weighted-average unit cost of one application-second."""
+        return (
+            self.alpha * composition.cpu
+            + self.beta * composition.mem
+            + self.gamma * composition.io
+            + self.delta * composition.net
+            + self.epsilon * composition.idle
+        )
+
+    def run_cost(self, composition: ClassComposition, execution_time_s: float) -> float:
+        """Total price of a run of *execution_time_s* seconds.
+
+        Raises
+        ------
+        ValueError
+            For negative execution times.
+        """
+        if execution_time_s < 0:
+            raise ValueError("execution time must be non-negative")
+        return self.unit_application_cost(composition) * execution_time_s

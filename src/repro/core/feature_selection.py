@@ -1,0 +1,143 @@
+"""Automated relevance/redundancy feature selection.
+
+The paper selects its 8 input metrics *manually*, "based on expert
+knowledge and the principle of increasing relevance and reducing
+redundancy [Yu & Liu]", and names automating this step as future work
+(§7).  This module implements that future work:
+
+* **relevance** of a metric to the class labels is measured by the
+  correlation ratio η² (between-class variance over total variance —
+  the natural analogue of symmetrical uncertainty for continuous
+  features and categorical classes);
+* **redundancy** between metrics is measured by absolute Pearson
+  correlation;
+* selection greedily takes metrics in decreasing relevance order,
+  skipping any metric too correlated with an already-selected one —
+  the fast filter structure of Yu & Liu's FCBF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .preprocessing import _check_matrix
+
+
+def correlation_ratio(feature: np.ndarray, labels: np.ndarray) -> float:
+    """η²: fraction of a feature's variance explained by class membership.
+
+    Returns 0 for constant features.
+    """
+    feature = np.asarray(feature, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if feature.ndim != 1 or feature.shape != labels.shape:
+        raise ValueError("feature and labels must be 1-D and aligned")
+    total_var = feature.var()
+    if total_var < 1e-18:
+        return 0.0
+    grand_mean = feature.mean()
+    between = 0.0
+    for c in np.unique(labels):
+        members = feature[labels == c]
+        between += members.size * (members.mean() - grand_mean) ** 2
+    return float(between / (feature.size * total_var))
+
+
+def pearson_redundancy_matrix(x: np.ndarray) -> np.ndarray:
+    """Absolute Pearson correlation between all feature pairs.
+
+    Constant features get zero correlation with everything.
+    """
+    x = _check_matrix(x)
+    centered = x - x.mean(axis=0)
+    std = centered.std(axis=0)
+    safe = std.copy()
+    safe[safe < 1e-12] = 1.0
+    z = centered / safe
+    corr = np.abs(z.T @ z) / x.shape[0]
+    corr[std < 1e-12, :] = 0.0
+    corr[:, std < 1e-12] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of automated feature selection."""
+
+    selected: tuple[str, ...]
+    relevance: dict[str, float]
+    rejected_redundant: tuple[str, ...]
+
+
+def select_features(
+    x: np.ndarray,
+    labels: np.ndarray,
+    names: list[str] | tuple[str, ...],
+    max_features: int = 8,
+    redundancy_threshold: float = 0.9,
+    min_relevance: float = 0.01,
+) -> SelectionResult:
+    """Pick up to *max_features* relevant, non-redundant metrics.
+
+    Parameters
+    ----------
+    x:
+        ``(m, p)`` labelled training features (raw scale is fine — both
+        measures are scale-invariant).
+    labels:
+        Length-m class codes.
+    names:
+        Metric name per column of *x*.
+    max_features:
+        Upper bound on the selected subset size.
+    redundancy_threshold:
+        A candidate more correlated than this with any already-selected
+        metric is rejected as redundant.
+    min_relevance:
+        Candidates below this η² are ignored outright.
+
+    Raises
+    ------
+    ValueError
+        On shape mismatches or a degenerate configuration.
+    """
+    x = _check_matrix(x)
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != x.shape[0]:
+        raise ValueError("labels must align with samples")
+    if len(names) != x.shape[1]:
+        raise ValueError(f"{len(names)} names for {x.shape[1]} columns")
+    if max_features < 1:
+        raise ValueError("max_features must be >= 1")
+    if not 0.0 < redundancy_threshold <= 1.0:
+        raise ValueError("redundancy_threshold must be in (0, 1]")
+
+    relevance = {
+        name: correlation_ratio(x[:, j], labels) for j, name in enumerate(names)
+    }
+    corr = pearson_redundancy_matrix(x)
+    index = {name: j for j, name in enumerate(names)}
+    ranked = sorted(
+        (n for n in names if relevance[n] >= min_relevance),
+        key=lambda n: (-relevance[n], n),
+    )
+    selected: list[str] = []
+    rejected: list[str] = []
+    for name in ranked:
+        if len(selected) >= max_features:
+            break
+        j = index[name]
+        if any(corr[j, index[s]] > redundancy_threshold for s in selected):
+            rejected.append(name)
+            continue
+        selected.append(name)
+    if not selected:
+        raise ValueError("no feature passed the relevance threshold")
+    return SelectionResult(
+        selected=tuple(selected),
+        relevance=relevance,
+        rejected_redundant=tuple(rejected),
+    )

@@ -1,0 +1,160 @@
+"""Online (streaming) classification service.
+
+The paper's §5.3 cost analysis concludes the classifier is cheap enough
+"to consider the classifier for online training".  This module supplies
+the runtime piece: an :class:`OnlineClassifier` subscribes to the
+monitoring substrate's multicast channel and classifies every node's
+announcements *as they arrive*, maintaining per-node rolling state —
+current class, class streak, and running composition — that a scheduler
+can query mid-run instead of waiting for the application to finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..monitoring.multicast import MetricAnnouncement, MulticastChannel
+from .labels import ALL_CLASSES, ClassComposition, SnapshotClass
+from .pipeline import ApplicationClassifier
+
+
+@dataclass
+class NodeClassificationState:
+    """Rolling classification state of one monitored node."""
+
+    node: str
+    class_counts: np.ndarray = field(
+        default_factory=lambda: np.zeros(len(ALL_CLASSES), dtype=np.int64)
+    )
+    current_class: SnapshotClass | None = None
+    streak: int = 0
+    snapshots_seen: int = 0
+    last_timestamp: float | None = None
+
+    def record(self, cls: SnapshotClass, timestamp: float) -> None:
+        self.class_counts[int(cls)] += 1
+        self.snapshots_seen += 1
+        self.last_timestamp = timestamp
+        if cls is self.current_class:
+            self.streak += 1
+        else:
+            self.current_class = cls
+            self.streak = 1
+
+    def composition(self) -> ClassComposition:
+        """Running class composition over everything seen so far.
+
+        Raises
+        ------
+        ValueError
+            Before any snapshot arrives.
+        """
+        if self.snapshots_seen == 0:
+            raise ValueError(f"no snapshots seen for node {self.node!r}")
+        return ClassComposition(
+            fractions=tuple((self.class_counts / self.snapshots_seen).tolist())
+        )
+
+    def majority_class(self) -> SnapshotClass:
+        """Majority vote over everything seen so far."""
+        if self.snapshots_seen == 0:
+            raise ValueError(f"no snapshots seen for node {self.node!r}")
+        return SnapshotClass(int(self.class_counts.argmax()))
+
+
+class OnlineClassifier:
+    """Classify monitoring announcements as they arrive.
+
+    Parameters
+    ----------
+    classifier:
+        A *trained* :class:`~repro.core.pipeline.ApplicationClassifier`.
+    channel:
+        Multicast channel to subscribe to.
+    nodes:
+        Optional allow-list; announcements from other nodes are ignored
+        (e.g. track only the application VM, not the server VM).
+
+    Raises
+    ------
+    RuntimeError
+        If the classifier is untrained.
+    """
+
+    def __init__(
+        self,
+        classifier: ApplicationClassifier,
+        channel: MulticastChannel,
+        nodes: list[str] | None = None,
+    ) -> None:
+        if not classifier.trained:
+            raise RuntimeError("online classification requires a trained classifier")
+        self.classifier = classifier
+        self.channel = channel
+        self._allow = set(nodes) if nodes is not None else None
+        self._states: dict[str, NodeClassificationState] = {}
+        self._selector_names = classifier.preprocessor.selector.names
+        # Bound-method access creates a fresh object each time; keep one
+        # reference so unsubscribe can match it by identity.
+        self._callback = self._on_announcement
+        channel.subscribe(self._callback)
+
+    # ------------------------------------------------------------------
+    # streaming path
+    # ------------------------------------------------------------------
+    def _on_announcement(self, announcement: MetricAnnouncement) -> None:
+        if self._allow is not None and announcement.node not in self._allow:
+            return
+        cls = self.classify_announcement(announcement)
+        state = self._states.get(announcement.node)
+        if state is None:
+            state = NodeClassificationState(node=announcement.node)
+            self._states[announcement.node] = state
+        state.record(cls, announcement.timestamp)
+
+    def classify_announcement(self, announcement: MetricAnnouncement) -> SnapshotClass:
+        """Classify a single 33-metric announcement vector."""
+        from ..metrics.catalog import metric_indices
+
+        raw = announcement.values[metric_indices(self._selector_names)][None, :]
+        code = self.classifier.classify_snapshot_features(raw)[0]
+        return SnapshotClass(int(code))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[str]:
+        """Nodes with at least one classified snapshot, sorted."""
+        return sorted(self._states)
+
+    def state(self, node: str) -> NodeClassificationState:
+        """Rolling state of *node*.
+
+        Raises
+        ------
+        KeyError
+            If the node has produced no classified snapshots.
+        """
+        try:
+            return self._states[node]
+        except KeyError:
+            raise KeyError(f"no classified snapshots from node {node!r}") from None
+
+    def stable_class(self, node: str, min_streak: int = 3) -> SnapshotClass | None:
+        """The node's current class, if it has persisted *min_streak* snapshots.
+
+        Returns ``None`` during transients — the online analogue of the
+        batch majority vote's noise suppression.
+        """
+        if min_streak < 1:
+            raise ValueError("min_streak must be positive")
+        state = self.state(node)
+        if state.current_class is not None and state.streak >= min_streak:
+            return state.current_class
+        return None
+
+    def detach(self) -> None:
+        """Unsubscribe from the channel (stop consuming announcements)."""
+        self.channel.unsubscribe(self._callback)

@@ -1,0 +1,197 @@
+"""The application classifier pipeline (paper Figure 2).
+
+End-to-end dimension reduction and classification::
+
+    A(n×m) --preprocess--> A'(p×m) --PCA--> B(q×m) --classify--> C(1×m) --vote--> Class
+
+* train on labelled snapshot series from the training applications
+  (PostMark→IO, SPECseis96→CPU, Pagebench→MEM, Ettcp→NET, idle→IDLE);
+* classify each snapshot of a test run with the 3-NN classifier in the
+  2-component PCA space;
+* output both the majority-vote application *Class* and the full *class
+  composition*, plus per-stage wall-clock timings (the paper's §5.3
+  classification-cost accounting).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.series import SnapshotSeries
+from .knn import KNeighborsClassifier
+from .labels import (
+    ClassComposition,
+    SnapshotClass,
+    application_category,
+    majority_vote,
+)
+from .pca import PCA
+from .preprocessing import MetricSelector, Preprocessor
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds spent in each classification stage."""
+
+    preprocess_s: float = 0.0
+    pca_s: float = 0.0
+    classify_s: float = 0.0
+    vote_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.preprocess_s + self.pca_s + self.classify_s + self.vote_s
+
+    def per_sample_ms(self, num_samples: int) -> float:
+        """Unit classification cost in milliseconds per snapshot."""
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        return 1000.0 * self.total_s / num_samples
+
+
+@dataclass
+class ClassificationResult:
+    """Everything the classification center outputs for one run."""
+
+    node: str
+    num_samples: int
+    class_vector: np.ndarray = field(repr=False)
+    composition: ClassComposition
+    application_class: SnapshotClass
+    category: str
+    scores: np.ndarray = field(repr=False)
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    def percent(self, c: SnapshotClass) -> float:
+        """Composition percentage of class *c* (Table 3 format)."""
+        return 100.0 * self.composition.fraction(c)
+
+
+class ApplicationClassifier:
+    """PCA + k-NN application classifier.
+
+    Parameters
+    ----------
+    selector:
+        Metric subset to use (default: the paper's 8 expert metrics).
+    n_components:
+        PCA components ``q``; the paper's threshold extracts exactly 2.
+        Mutually exclusive with *min_variance_fraction*.
+    min_variance_fraction:
+        Variance-based component selection, if preferred.
+    k:
+        Neighbors in the vote (default 3, odd required).
+    """
+
+    def __init__(
+        self,
+        selector: MetricSelector | None = None,
+        n_components: int | None = 2,
+        min_variance_fraction: float | None = None,
+        k: int = 3,
+    ) -> None:
+        self.preprocessor = Preprocessor(selector=selector or MetricSelector())
+        if min_variance_fraction is not None:
+            n_components = None
+        self.pca = PCA(n_components=n_components, min_variance_fraction=min_variance_fraction)
+        self.knn = KNeighborsClassifier(k=k)
+        self.training_scores_: np.ndarray | None = None
+        self.training_labels_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train(self, training_data: Sequence[tuple[SnapshotSeries, SnapshotClass]]) -> "ApplicationClassifier":
+        """Fit preprocessing, PCA, and the k-NN pool on labelled series.
+
+        Every snapshot of each series is labelled with the series' class
+        (the paper trains on whole runs of class-representative
+        applications).
+
+        Raises
+        ------
+        ValueError
+            If no training data, or fewer than 2 distinct classes, are
+            provided.
+        """
+        if not training_data:
+            raise ValueError("no training data given")
+        labels = {label for _, label in training_data}
+        if len(labels) < 2:
+            raise ValueError("training data must cover at least 2 classes")
+        series_list = [series for series, _ in training_data]
+        self.preprocessor.fit(series_list)
+        features = []
+        y = []
+        for series, label in training_data:
+            f = self.preprocessor.transform_series(series)
+            features.append(f)
+            y.append(np.full(f.shape[0], int(label), dtype=np.int64))
+        x = np.vstack(features)
+        y_arr = np.concatenate(y)
+        scores = self.pca.fit_transform(x)
+        self.knn.fit(scores, y_arr)
+        self.training_scores_ = scores
+        self.training_labels_ = y_arr
+        return self
+
+    @property
+    def trained(self) -> bool:
+        return self.knn.fitted
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def classify_series(self, series: SnapshotSeries) -> ClassificationResult:
+        """Classify every snapshot of *series* and aggregate.
+
+        Raises
+        ------
+        RuntimeError
+            If called before training.
+        ValueError
+            If the series is empty.
+        """
+        if not self.trained:
+            raise RuntimeError("classifier not trained")
+        if len(series) == 0:
+            raise ValueError("cannot classify an empty series")
+        timings = StageTimings()
+
+        t = time.perf_counter()
+        features = self.preprocessor.transform_series(series)
+        timings.preprocess_s = time.perf_counter() - t
+
+        t = time.perf_counter()
+        scores = self.pca.transform(features)
+        timings.pca_s = time.perf_counter() - t
+
+        t = time.perf_counter()
+        class_vector = self.knn.predict(scores)
+        timings.classify_s = time.perf_counter() - t
+
+        t = time.perf_counter()
+        composition = ClassComposition.from_class_vector(class_vector)
+        app_class = majority_vote(class_vector)
+        category = application_category(composition)
+        timings.vote_s = time.perf_counter() - t
+
+        return ClassificationResult(
+            node=series.node,
+            num_samples=len(series),
+            class_vector=class_vector,
+            composition=composition,
+            application_class=app_class,
+            category=category,
+            scores=scores,
+            timings=timings,
+        )
+
+    def classify_snapshot_features(self, features: np.ndarray) -> np.ndarray:
+        """Classify pre-selected raw feature rows (utility for streaming)."""
+        normalized = self.preprocessor.transform_features(features)
+        return self.knn.predict(self.pca.transform(normalized))

@@ -1,0 +1,159 @@
+"""Data preprocessing (paper §4.2.1 and Figure 2, step ``A(n×m) → A'(p×m)``).
+
+Two stages, both fitted on training data and then applied unchanged to
+test data:
+
+1. **Expert metric selection** — keep the 8 metrics of Table 1 (four
+   pairs, each correlated with one application class, chosen for
+   increasing relevance and reducing redundancy).
+2. **Normalization** — zero mean, unit variance per metric, so that
+   metrics with large natural scales (bytes/s ~ 10⁷) do not dominate the
+   PCA scatter or the k-NN distances.
+
+Everything operates on the samples-as-rows layout: ``(m, p)`` matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.catalog import EXPERT_METRIC_NAMES, validate_metric_names
+from ..metrics.series import SnapshotSeries
+
+
+@dataclass
+class MetricSelector:
+    """Selects a fixed metric subset from snapshot series.
+
+    Parameters
+    ----------
+    names:
+        Metric names to keep, in output-column order.  Defaults to the
+        paper's 8 expert metrics.
+    """
+
+    names: tuple[str, ...] = EXPERT_METRIC_NAMES
+
+    def __post_init__(self) -> None:
+        validate_metric_names(self.names)
+        if not self.names:
+            raise ValueError("selector needs at least one metric")
+
+    @property
+    def dimension(self) -> int:
+        """Output feature dimension ``p``."""
+        return len(self.names)
+
+    def transform_series(self, series: SnapshotSeries) -> np.ndarray:
+        """Return the ``(m, p)`` feature matrix of the selected metrics."""
+        return series.feature_matrix(self.names)
+
+
+class Normalizer:
+    """Zero-mean unit-variance normalization, fit on training data.
+
+    Constant metrics (zero variance in the training pool) are scaled by
+    1 instead of 0⁻¹ so they contribute nothing to distances rather than
+    producing NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, x: np.ndarray) -> "Normalizer":
+        """Learn per-column mean and standard deviation from ``(m, p)`` data.
+
+        Raises
+        ------
+        ValueError
+            On empty or non-2D input.
+        """
+        x = _check_matrix(x)
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Constant-column guard: relative threshold, so a column of equal
+        # large values whose mean subtraction leaves float-rounding residue
+        # is treated as constant rather than normalized to ±1.
+        constant = std < 1e-9 * np.maximum(1.0, np.abs(self.mean_))
+        std[constant] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the fitted normalization.
+
+        Raises
+        ------
+        RuntimeError
+            If called before :meth:`fit`.
+        ValueError
+            On dimension mismatch.
+        """
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("Normalizer.transform called before fit")
+        x = _check_matrix(x)
+        if x.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {x.shape[1]}"
+            )
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on *x* and return its normalized form."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Undo the normalization (used by reconstruction diagnostics)."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("Normalizer.inverse_transform called before fit")
+        z = _check_matrix(z)
+        return z * self.scale_ + self.mean_
+
+
+@dataclass
+class Preprocessor:
+    """Expert selection + normalization, as one fitted unit."""
+
+    selector: MetricSelector = field(default_factory=MetricSelector)
+    normalizer: Normalizer = field(default_factory=Normalizer)
+
+    def fit(self, training_series: Sequence[SnapshotSeries]) -> "Preprocessor":
+        """Fit the normalizer on the pooled training series.
+
+        Raises
+        ------
+        ValueError
+            If no training series are given.
+        """
+        if not training_series:
+            raise ValueError("need at least one training series")
+        pooled = np.vstack([self.selector.transform_series(s) for s in training_series])
+        self.normalizer.fit(pooled)
+        return self
+
+    def transform_series(self, series: SnapshotSeries) -> np.ndarray:
+        """Series → normalized ``(m, p)`` feature matrix."""
+        return self.normalizer.transform(self.selector.transform_series(series))
+
+    def transform_features(self, x: np.ndarray) -> np.ndarray:
+        """Pre-selected raw features → normalized features."""
+        return self.normalizer.transform(x)
+
+
+def _check_matrix(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected a 2-D samples×features matrix, got shape {x.shape}")
+    if x.shape[0] == 0:
+        raise ValueError("matrix has no samples")
+    if not np.all(np.isfinite(x)):
+        raise ValueError("matrix contains non-finite values")
+    return x

@@ -1,0 +1,202 @@
+"""Multi-stage application analysis.
+
+The paper motivates classification partly by *multi-stage applications*
+(§1): long-running scientific jobs whose stages stress different
+resources, so identifying stages "presents opportunities to exploit
+better matching of resource availability and application resource
+requirement ... for instance, with process migration techniques".  §6
+adds that the classifier "can be used to learn the resource consumption
+patterns of ... multi-stage application's sub-stage".
+
+This module implements that analysis on top of the classifier's output:
+the per-snapshot class vector ``C(1×m)`` is smoothed with a sliding-mode
+filter (to suppress single-snapshot flicker) and segmented into maximal
+runs of one class — the application's *execution stages*.  Each stage
+carries its time window and class; stage statistics feed migration-
+opportunity detection: a stage is a migration opportunity when it is
+long enough to amortize a migration and stresses a different resource
+than its predecessor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.series import SnapshotSeries
+from .labels import ALL_CLASSES, ClassComposition, SnapshotClass
+from .pipeline import ClassificationResult
+
+
+def mode_filter(classes: np.ndarray, window: int = 3) -> np.ndarray:
+    """Sliding-window majority smoothing of a class vector.
+
+    Each element is replaced by the most frequent class in the centred
+    window (ties keep the original value).  *window* must be odd.
+
+    Raises
+    ------
+    ValueError
+        For even or non-positive windows.
+    """
+    classes = np.asarray(classes, dtype=np.int64)
+    if window < 1 or window % 2 == 0:
+        raise ValueError("window must be a positive odd number")
+    if window == 1 or classes.size <= 2:
+        return classes.copy()
+    half = window // 2
+    out = classes.copy()
+    n_classes = int(classes.max()) + 1
+    for i in range(classes.size):
+        lo, hi = max(0, i - half), min(classes.size, i + half + 1)
+        counts = np.bincount(classes[lo:hi], minlength=n_classes)
+        best = int(counts.argmax())
+        if counts[best] > counts[classes[i]]:
+            out[i] = best
+    return out
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One maximal run of snapshots sharing a class."""
+
+    index: int
+    snapshot_class: SnapshotClass
+    start_snapshot: int
+    end_snapshot: int  # inclusive
+    start_time: float
+    end_time: float
+
+    def __post_init__(self) -> None:
+        if self.end_snapshot < self.start_snapshot:
+            raise ValueError("stage ends before it starts")
+
+    @property
+    def num_snapshots(self) -> int:
+        return self.end_snapshot - self.start_snapshot + 1
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class StageAnalysis:
+    """Segmentation of one run into execution stages."""
+
+    stages: list[Stage]
+    smoothed_classes: np.ndarray
+    sampling_interval: float
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("analysis needs at least one stage")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def is_multi_stage(self) -> bool:
+        """More than one distinct class appears among the stages."""
+        return len({s.snapshot_class for s in self.stages}) > 1
+
+    def dominant_stage_class(self) -> SnapshotClass:
+        """Class holding the most total snapshot time across stages."""
+        totals = {c: 0 for c in ALL_CLASSES}
+        for s in self.stages:
+            totals[s.snapshot_class] += s.num_snapshots
+        return max(totals, key=lambda c: (totals[c], -int(c)))
+
+    def stage_composition(self) -> ClassComposition:
+        """Fraction of snapshots per class, post-smoothing."""
+        return ClassComposition.from_class_vector(self.smoothed_classes)
+
+    def stages_of(self, c: SnapshotClass) -> list[Stage]:
+        return [s for s in self.stages if s.snapshot_class is c]
+
+    def mean_stage_duration(self) -> float:
+        return float(np.mean([s.num_snapshots for s in self.stages])) * self.sampling_interval
+
+
+def segment_stages(
+    result: ClassificationResult,
+    series: SnapshotSeries,
+    smoothing_window: int = 3,
+) -> StageAnalysis:
+    """Segment a classified run into execution stages.
+
+    Parameters
+    ----------
+    result:
+        Classifier output for the run.
+    series:
+        The snapshot series that produced *result* (supplies timestamps).
+    smoothing_window:
+        Mode-filter width; 1 disables smoothing.
+
+    Raises
+    ------
+    ValueError
+        If the series length does not match the class vector.
+    """
+    if len(series) != result.num_samples:
+        raise ValueError(
+            f"series has {len(series)} snapshots but the result covers {result.num_samples}"
+        )
+    smoothed = mode_filter(result.class_vector, window=smoothing_window)
+    interval = series.sampling_interval() or 1.0
+    boundaries = np.flatnonzero(np.diff(smoothed)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries - 1, [smoothed.size - 1]])
+    stages = [
+        Stage(
+            index=i,
+            snapshot_class=SnapshotClass(int(smoothed[s])),
+            start_snapshot=int(s),
+            end_snapshot=int(e),
+            start_time=float(series.timestamps[s]),
+            end_time=float(series.timestamps[e]),
+        )
+        for i, (s, e) in enumerate(zip(starts, ends))
+    ]
+    return StageAnalysis(stages=stages, smoothed_classes=smoothed, sampling_interval=interval)
+
+
+@dataclass(frozen=True)
+class MigrationOpportunity:
+    """A stage transition worth re-placing the application for."""
+
+    from_stage: Stage
+    to_stage: Stage
+
+    @property
+    def class_change(self) -> tuple[SnapshotClass, SnapshotClass]:
+        return (self.from_stage.snapshot_class, self.to_stage.snapshot_class)
+
+
+def find_migration_opportunities(
+    analysis: StageAnalysis,
+    min_stage_duration_s: float = 60.0,
+    ignore_idle: bool = True,
+) -> list[MigrationOpportunity]:
+    """Stage transitions where re-placement could pay off.
+
+    A transition qualifies when both the departing and the arriving stage
+    last at least *min_stage_duration_s* (long enough to amortize a
+    migration) and the stressed resource actually changes.  Transitions
+    into or out of IDLE are skipped by default — idle machines don't need
+    re-placing.
+    """
+    if min_stage_duration_s < 0:
+        raise ValueError("min_stage_duration_s must be non-negative")
+    out: list[MigrationOpportunity] = []
+    for a, b in zip(analysis.stages, analysis.stages[1:]):
+        if a.snapshot_class is b.snapshot_class:
+            continue
+        if ignore_idle and SnapshotClass.IDLE in (a.snapshot_class, b.snapshot_class):
+            continue
+        if a.duration < min_stage_duration_s or b.duration < min_stage_duration_s:
+            continue
+        out.append(MigrationOpportunity(from_stage=a, to_stage=b))
+    return out

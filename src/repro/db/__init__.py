@@ -1,0 +1,16 @@
+"""Application database: classified run records, statistics, prediction, persistence."""
+
+from .prediction import KnnRuntimePredictor, MeanPredictor, RuntimePrediction
+from .records import RunRecord
+from .stats import ApplicationStats, aggregate_runs
+from .store import ApplicationDB
+
+__all__ = [
+    "KnnRuntimePredictor",
+    "MeanPredictor",
+    "RuntimePrediction",
+    "RunRecord",
+    "ApplicationStats",
+    "aggregate_runs",
+    "ApplicationDB",
+]

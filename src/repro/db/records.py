@@ -1,0 +1,78 @@
+"""Application database records (paper §4.3, Figure 1).
+
+Post-processed classification results — application class, class
+composition, execution time — are stored per run and accumulated per
+application across historical runs, so schedulers can query learned
+behaviour instead of re-profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.labels import ALL_CLASSES, ClassComposition, SnapshotClass
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One classified application run."""
+
+    application: str
+    node: str
+    t0: float
+    t1: float
+    num_samples: int
+    application_class: SnapshotClass
+    composition: ClassComposition
+    environment: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise ValueError("run end precedes run start")
+        if self.num_samples < 1:
+            raise ValueError("run must contain at least one snapshot")
+
+    @property
+    def execution_time(self) -> float:
+        """Wall-clock duration ``t1 − t0``."""
+        return self.t1 - self.t0
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "application": self.application,
+            "node": self.node,
+            "t0": self.t0,
+            "t1": self.t1,
+            "num_samples": self.num_samples,
+            "application_class": self.application_class.name,
+            "composition": list(self.composition.fractions),
+            "environment": dict(self.environment),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunRecord":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises
+        ------
+        KeyError / ValueError
+            On malformed input.
+        """
+        fractions = data["composition"]
+        if len(fractions) != len(ALL_CLASSES):
+            raise ValueError(f"composition must have {len(ALL_CLASSES)} entries")
+        return cls(
+            application=str(data["application"]),
+            node=str(data["node"]),
+            t0=float(data["t0"]),
+            t1=float(data["t1"]),
+            num_samples=int(data["num_samples"]),
+            application_class=SnapshotClass.from_label(data["application_class"]),
+            composition=ClassComposition(fractions=tuple(float(f) for f in fractions)),
+            environment=dict(data.get("environment", {})),
+        )

@@ -1,0 +1,67 @@
+"""Statistical abstracts over historical runs (paper §1, §4.3).
+
+The scheduler consumes not just the latest class of an application, but
+the statistics of its behaviour over historical runs: mean/variance of
+each class-composition component and of the execution time, plus the
+consensus application class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.labels import ALL_CLASSES, ClassComposition, SnapshotClass
+from .records import RunRecord
+
+
+@dataclass(frozen=True)
+class ApplicationStats:
+    """Aggregate behaviour of one application across runs."""
+
+    application: str
+    run_count: int
+    mean_composition: ClassComposition
+    composition_std: tuple[float, ...]
+    mean_execution_time: float
+    execution_time_std: float
+    consensus_class: SnapshotClass
+
+    def composition_mean(self, c: SnapshotClass) -> float:
+        """Mean fraction of class *c* across runs."""
+        return self.mean_composition.fraction(c)
+
+
+def aggregate_runs(records: Sequence[RunRecord]) -> ApplicationStats:
+    """Compute the statistical abstract of one application's run history.
+
+    Raises
+    ------
+    ValueError
+        If the records are empty or span several applications.
+    """
+    if not records:
+        raise ValueError("no records to aggregate")
+    apps = {r.application for r in records}
+    if len(apps) != 1:
+        raise ValueError(f"records span multiple applications: {sorted(apps)}")
+    comps = np.array([r.composition.fractions for r in records], dtype=np.float64)
+    times = np.array([r.execution_time for r in records], dtype=np.float64)
+    mean_comp = comps.mean(axis=0)
+    # Re-normalize to absorb floating-point drift before validation.
+    mean_comp = mean_comp / mean_comp.sum()
+    # Consensus class: snapshot-weighted majority over runs.
+    weighted = np.zeros(len(ALL_CLASSES), dtype=np.float64)
+    for r in records:
+        weighted += np.asarray(r.composition.fractions) * r.num_samples
+    return ApplicationStats(
+        application=records[0].application,
+        run_count=len(records),
+        mean_composition=ClassComposition(fractions=tuple(mean_comp.tolist())),
+        composition_std=tuple(comps.std(axis=0).tolist()),
+        mean_execution_time=float(times.mean()),
+        execution_time_std=float(times.std()),
+        consensus_class=SnapshotClass(int(np.argmax(weighted))),
+    )

@@ -1,0 +1,115 @@
+"""The application database (paper Figure 1's "Application DB").
+
+In-memory store of classified run records with optional JSON
+persistence.  Provides the queries schedulers need: run history,
+per-application statistical abstracts, and class lookup with a default
+for never-seen applications.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..core.labels import SnapshotClass
+from .records import RunRecord
+from .stats import ApplicationStats, aggregate_runs
+
+
+class ApplicationDB:
+    """Store and query classified application runs."""
+
+    def __init__(self) -> None:
+        self._runs: dict[str, list[RunRecord]] = {}
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def add_run(self, record: RunRecord) -> None:
+        """Append one run record."""
+        self._runs.setdefault(record.application, []).append(record)
+
+    def add_runs(self, records: Iterable[RunRecord]) -> None:
+        """Append many run records."""
+        for r in records:
+            self.add_run(r)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._runs.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def applications(self) -> list[str]:
+        """Known application names, sorted."""
+        return sorted(self._runs)
+
+    def runs(self, application: str) -> list[RunRecord]:
+        """All recorded runs of *application* (insertion order).
+
+        Raises
+        ------
+        KeyError
+            If the application has no recorded runs.
+        """
+        try:
+            return list(self._runs[application])
+        except KeyError:
+            raise KeyError(f"no runs recorded for application {application!r}") from None
+
+    def run_count(self, application: str) -> int:
+        """Number of recorded runs (0 for unknown applications)."""
+        return len(self._runs.get(application, []))
+
+    def stats(self, application: str) -> ApplicationStats:
+        """Statistical abstract of *application*'s history.
+
+        Raises
+        ------
+        KeyError
+            If the application has no recorded runs.
+        """
+        return aggregate_runs(self.runs(application))
+
+    def known_class(self, application: str, default: SnapshotClass | None = None) -> SnapshotClass | None:
+        """Consensus class of *application*, or *default* if never seen."""
+        if application not in self._runs:
+            return default
+        return self.stats(application).consensus_class
+
+    def total_runs(self) -> int:
+        """Total records across all applications."""
+        return sum(len(rs) for rs in self._runs.values())
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write all records to a JSON file."""
+        payload = {
+            app: [r.to_dict() for r in records] for app, records in self._runs.items()
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ApplicationDB":
+        """Read a database from a JSON file written by :meth:`save`.
+
+        Raises
+        ------
+        FileNotFoundError / json.JSONDecodeError / ValueError
+            On missing or malformed files.
+        """
+        payload = json.loads(Path(path).read_text())
+        db = cls()
+        for app, records in payload.items():
+            for data in records:
+                record = RunRecord.from_dict(data)
+                if record.application != app:
+                    raise ValueError(
+                        f"record application {record.application!r} filed under {app!r}"
+                    )
+                db.add_run(record)
+        return db

@@ -1,0 +1,43 @@
+"""End-to-end drivers for every paper experiment (shared by examples and benches)."""
+
+from .cost import CostBreakdown, collect_snapshot_pool, measure_cost
+from .fig3 import FIG3_TEST_KEYS, Fig3Outcome, run_fig3
+from .fig45 import Fig45Outcome, class_aware_choice, run_fig45
+from .table3 import Table3Outcome, Table3Row, classify_entry, run_table3
+from .table4 import Table4Outcome, run_table4
+from .ablation import AblationPoint, holdout_accuracy, split_series
+from .training import TrainingOutcome, build_trained_classifier, profile_training_entry
+from .validation import (
+    ConfusionMatrix,
+    ValidationReport,
+    ValidationRun,
+    validate_workloads,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "collect_snapshot_pool",
+    "measure_cost",
+    "FIG3_TEST_KEYS",
+    "Fig3Outcome",
+    "run_fig3",
+    "Fig45Outcome",
+    "class_aware_choice",
+    "run_fig45",
+    "Table3Outcome",
+    "Table3Row",
+    "classify_entry",
+    "run_table3",
+    "Table4Outcome",
+    "run_table4",
+    "AblationPoint",
+    "holdout_accuracy",
+    "split_series",
+    "ConfusionMatrix",
+    "ValidationReport",
+    "ValidationRun",
+    "validate_workloads",
+    "TrainingOutcome",
+    "build_trained_classifier",
+    "profile_training_entry",
+]

@@ -1,0 +1,45 @@
+"""Figure 3 driver: cluster diagrams.
+
+Regenerates the paper's four sample diagrams: (a) the training data,
+(b) SimpleScalar (CPU-intensive), (c) Autobench (network-intensive),
+(d) VMD (interactive idle/IO/NET mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.clustering import ClusterDiagram
+from ..core.pipeline import ApplicationClassifier
+from ..sim.execution import profiled_run
+from ..workloads.catalog import entry
+
+#: Catalog keys of the three test diagrams, in figure order (b, c, d).
+FIG3_TEST_KEYS: tuple[str, ...] = ("simplescalar", "autobench", "vmd")
+
+
+@dataclass
+class Fig3Outcome:
+    """The four diagrams of Figure 3."""
+
+    training: ClusterDiagram
+    tests: dict[str, ClusterDiagram] = field(default_factory=dict)
+
+    def all_diagrams(self) -> list[ClusterDiagram]:
+        return [self.training, *(self.tests[k] for k in FIG3_TEST_KEYS if k in self.tests)]
+
+
+def run_fig3(classifier: ApplicationClassifier, seed: int = 200) -> Fig3Outcome:
+    """Produce the training diagram and the three test diagrams."""
+    outcome = Fig3Outcome(
+        training=ClusterDiagram.from_training(classifier, title="Figure 3(a): Training data")
+    )
+    subfigure = "bcd"
+    for i, key in enumerate(FIG3_TEST_KEYS):
+        e = entry(key)
+        run = profiled_run(e.build(), vm_mem_mb=e.vm_mem_mb, seed=seed + i)
+        result = classifier.classify_series(run.series)
+        outcome.tests[key] = ClusterDiagram.from_result(
+            result, title=f"Figure 3({subfigure[i]}): {key}"
+        )
+    return outcome

@@ -1,0 +1,64 @@
+"""Figure 4 / Figure 5 driver: schedule throughput comparison.
+
+Evaluates all ten schedules on the paper's testbed, identifies the
+class-aware pick (schedule 10, SPN), and computes the improvement over
+the random-scheduling baseline plus the per-application MIN/MAX/AVG vs
+SPN summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..scheduler.class_aware import ClassAwareScheduler
+from ..scheduler.throughput import (
+    PerAppSummary,
+    ScheduleThroughput,
+    average_system_throughput,
+    evaluate_all_schedules,
+    improvement_percent,
+    per_app_summaries,
+)
+from ..db.store import ApplicationDB
+
+
+@dataclass
+class Fig45Outcome:
+    """Results behind both scheduling figures."""
+
+    results: list[ScheduleThroughput] = field(default_factory=list)
+    per_app: list[PerAppSummary] = field(default_factory=list)
+
+    @property
+    def spn(self) -> ScheduleThroughput:
+        """Schedule 10 — the class-aware scheduler's choice."""
+        return self.results[-1]
+
+    @property
+    def best(self) -> ScheduleThroughput:
+        """The empirically best schedule."""
+        return max(self.results, key=lambda r: r.system_jobs_per_day)
+
+    def weighted_average(self) -> float:
+        """Multiplicity-weighted average (random-assignment expectation)."""
+        return average_system_throughput(self.results, weighting="multiplicity")
+
+    def uniform_average(self) -> float:
+        """Plain average over the ten schedules."""
+        return average_system_throughput(self.results, weighting="uniform")
+
+    def spn_improvement_percent(self, weighting: str = "multiplicity") -> float:
+        """The paper's headline number (22.11% in their testbed)."""
+        return improvement_percent(self.spn, self.results, weighting=weighting)
+
+
+def run_fig45(horizon: float = 2400.0, seed: int = 400) -> Fig45Outcome:
+    """Evaluate all ten schedules and summarize."""
+    results = evaluate_all_schedules(horizon=horizon, seed=seed)
+    return Fig45Outcome(results=results, per_app=per_app_summaries(results))
+
+
+def class_aware_choice(db: ApplicationDB | None = None) -> int:
+    """The schedule number a class-aware scheduler picks (expected: 10)."""
+    scheduler = ClassAwareScheduler(db or ApplicationDB())
+    return scheduler.pick_schedule().number

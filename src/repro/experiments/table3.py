@@ -1,0 +1,78 @@
+"""Table 3 driver: class compositions of all fourteen test runs.
+
+Profiles every catalog test entry in its configured VM (including the
+SPECseis96 A/B/C variants and PostMark local/NFS variants), classifies
+the runs, and returns rows in the paper's order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.pipeline import ApplicationClassifier, ClassificationResult
+from ..sim.execution import RunResult, profiled_run
+from ..workloads.catalog import CatalogEntry, test_entries
+
+
+@dataclass
+class Table3Row:
+    """One classified test run."""
+
+    entry: CatalogEntry
+    run: RunResult
+    result: ClassificationResult
+
+    @property
+    def key(self) -> str:
+        return self.entry.key
+
+    @property
+    def dominant_class(self) -> str:
+        return self.result.application_class.name
+
+
+@dataclass
+class Table3Outcome:
+    """All Table 3 rows, in paper order."""
+
+    rows: list[Table3Row] = field(default_factory=list)
+
+    def row(self, key: str) -> Table3Row:
+        """Look up a row by catalog key.
+
+        Raises
+        ------
+        KeyError
+            If no such test entry was run.
+        """
+        for r in self.rows:
+            if r.key == key:
+                return r
+        raise KeyError(f"no Table 3 row for {key!r}")
+
+    def named_results(self) -> list[tuple[str, ClassificationResult]]:
+        """(name, result) pairs for :func:`repro.analysis.reports.render_table3`."""
+        return [(r.key, r.result) for r in self.rows]
+
+
+def classify_entry(
+    classifier: ApplicationClassifier, entry: CatalogEntry, seed: int = 100
+) -> Table3Row:
+    """Profile and classify one catalog test entry."""
+    run = profiled_run(entry.build(), vm_mem_mb=entry.vm_mem_mb, seed=seed)
+    result = classifier.classify_series(run.series)
+    return Table3Row(entry=entry, run=run, result=result)
+
+
+def run_table3(
+    classifier: ApplicationClassifier,
+    seed: int = 100,
+    keys: list[str] | None = None,
+) -> Table3Outcome:
+    """Classify all (or the selected) Table 3 test entries."""
+    outcome = Table3Outcome()
+    for i, entry in enumerate(test_entries()):
+        if keys is not None and entry.key not in keys:
+            continue
+        outcome.rows.append(classify_entry(classifier, entry, seed=seed + i))
+    return outcome

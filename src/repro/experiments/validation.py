@@ -1,0 +1,143 @@
+"""Classification-ability validation (paper §5.1).
+
+Run-level confusion matrix and accuracy over a labelled set of profiled
+runs: each run's ground truth is its *intended* dominant class, the
+prediction is the classifier's majority-vote class.  Used both on the
+paper's Table 3 suite (where ground truth comes from the paper's
+reported dominants) and on randomly generated workloads
+(:mod:`repro.workloads.synth`) to measure generalization beyond the
+hand-modelled suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.labels import ALL_CLASSES, SnapshotClass
+from ..core.pipeline import ApplicationClassifier
+from ..sim.execution import profiled_run
+from ..workloads.base import Workload
+
+
+@dataclass
+class ConfusionMatrix:
+    """Run-level confusion counts over the five classes."""
+
+    counts: np.ndarray = field(
+        default_factory=lambda: np.zeros((len(ALL_CLASSES), len(ALL_CLASSES)), dtype=np.int64)
+    )
+
+    def record(self, truth: SnapshotClass, predicted: SnapshotClass) -> None:
+        self.counts[int(truth), int(predicted)] += 1
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def accuracy(self) -> float:
+        """Fraction of runs whose majority class matches the intent.
+
+        Raises
+        ------
+        ValueError
+            With no recorded runs.
+        """
+        if self.total == 0:
+            raise ValueError("no runs recorded")
+        return float(np.trace(self.counts) / self.total)
+
+    def precision(self, c: SnapshotClass) -> float:
+        """Of runs predicted *c*, the fraction truly *c* (1.0 if none predicted)."""
+        col = self.counts[:, int(c)].sum()
+        if col == 0:
+            return 1.0
+        return float(self.counts[int(c), int(c)] / col)
+
+    def recall(self, c: SnapshotClass) -> float:
+        """Of runs truly *c*, the fraction predicted *c* (1.0 if none true)."""
+        row = self.counts[int(c), :].sum()
+        if row == 0:
+            return 1.0
+        return float(self.counts[int(c), int(c)] / row)
+
+    def render(self) -> str:
+        """Fixed-width text rendering (truth rows × prediction columns)."""
+        names = [c.name for c in ALL_CLASSES]
+        width = max(len(n) for n in names) + 2
+        header = " " * width + "".join(n.rjust(width) for n in names)
+        lines = [header]
+        for c in ALL_CLASSES:
+            row = names[int(c)].ljust(width) + "".join(
+                str(int(v)).rjust(width) for v in self.counts[int(c)]
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ValidationRun:
+    """One validated run."""
+
+    workload_name: str
+    truth: SnapshotClass
+    predicted: SnapshotClass
+    duration: float
+
+    @property
+    def correct(self) -> bool:
+        return self.truth is self.predicted
+
+
+@dataclass
+class ValidationReport:
+    """Confusion matrix plus per-run details."""
+
+    matrix: ConfusionMatrix
+    runs: list[ValidationRun]
+
+    def misclassified(self) -> list[ValidationRun]:
+        return [r for r in self.runs if not r.correct]
+
+
+def validate_workloads(
+    classifier: ApplicationClassifier,
+    workloads: list[Workload],
+    vm_mem_mb: float = 256.0,
+    seed: int = 900,
+) -> ValidationReport:
+    """Profile and classify *workloads*; compare against their intent.
+
+    Each workload's ``expected_class`` is the ground truth; workloads
+    with non-class intents (``"MIXED"``, empty) are rejected.
+
+    Raises
+    ------
+    ValueError
+        On an empty list or a workload without a class-valued intent.
+    """
+    if not workloads:
+        raise ValueError("no workloads to validate")
+    matrix = ConfusionMatrix()
+    runs: list[ValidationRun] = []
+    for i, workload in enumerate(workloads):
+        try:
+            truth = SnapshotClass.from_label(workload.expected_class)
+        except KeyError:
+            raise ValueError(
+                f"workload {workload.name!r} has non-class intent "
+                f"{workload.expected_class!r}"
+            ) from None
+        run = profiled_run(workload, vm_mem_mb=vm_mem_mb, seed=seed + i)
+        result = classifier.classify_series(run.series)
+        matrix.record(truth, result.application_class)
+        runs.append(
+            ValidationRun(
+                workload_name=workload.name,
+                truth=truth,
+                predicted=result.application_class,
+                duration=run.duration,
+            )
+        )
+    return ValidationReport(matrix=matrix, runs=runs)

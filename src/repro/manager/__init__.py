@@ -1,0 +1,5 @@
+"""Resource-manager facade: the full learn→store→schedule pipeline."""
+
+from .service import LearnOutcome, ResourceManager
+
+__all__ = ["LearnOutcome", "ResourceManager"]

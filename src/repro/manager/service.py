@@ -1,0 +1,225 @@
+"""The resource-manager facade.
+
+The paper situates its classifier inside a resource-management pipeline:
+problem-solving environments (In-VIGO) submit requests; VMPlant clones a
+dedicated VM; the profiler collects metrics between t0 and t1; the
+classification center labels the run; the application DB accumulates
+learned behaviour; and schedulers, reservation sizing, pricing, and
+runtime prediction all consume that knowledge.
+
+:class:`ResourceManager` packages that pipeline behind one object — the
+entry point a downstream adopter actually wants::
+
+    manager = ResourceManager(seed=0)
+    manager.profile_and_learn("postmark", postmark())
+    manager.profile_and_learn("seis", specseis96("small"))
+    placement = manager.schedule(["postmark", "seis"] * 2, machines=2)
+    reservation = manager.reserve("postmark")
+    price = manager.price("postmark", UnitCostModel(alpha=4, gamma=6))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.cost_model import UnitCostModel
+from ..core.labels import ClassComposition, SnapshotClass
+from ..core.pipeline import ApplicationClassifier, ClassificationResult
+from ..db.prediction import KnnRuntimePredictor, MeanPredictor, RuntimePrediction
+from ..db.records import RunRecord
+from ..db.store import ApplicationDB
+from ..experiments.training import build_trained_classifier
+from ..scheduler.class_aware import ClassAwareScheduler, Placement
+from ..scheduler.composition_aware import CompositionAwareScheduler
+from ..scheduler.reservation import ResourceReservation, recommend_reservation
+from ..sim.execution import RunResult, profiled_run
+from ..workloads.base import Workload
+
+
+@dataclass
+class LearnOutcome:
+    """What one profiling run taught the manager."""
+
+    record: RunRecord
+    result: ClassificationResult
+    run: RunResult
+
+
+@dataclass
+class ResourceManager:
+    """One-stop pipeline: profile → classify → learn → schedule/price/reserve.
+
+    Parameters
+    ----------
+    classifier:
+        A trained classifier, or ``None`` to train the paper's default on
+        first use (five training-application profiles, a few seconds).
+    db:
+        The application database; a fresh one by default.
+    seed:
+        Base seed for training and profiling runs.
+    """
+
+    classifier: ApplicationClassifier | None = None
+    db: ApplicationDB = field(default_factory=ApplicationDB)
+    seed: int = 0
+    _profile_counter: int = 0
+
+    # ------------------------------------------------------------------
+    # classifier lifecycle
+    # ------------------------------------------------------------------
+    def ensure_trained(self) -> ApplicationClassifier:
+        """Train the default classifier on first use; return it."""
+        if self.classifier is None:
+            self.classifier = build_trained_classifier(seed=self.seed).classifier
+        if not self.classifier.trained:
+            raise RuntimeError("a classifier was supplied but is untrained")
+        return self.classifier
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+    def classify_only(self, workload: Workload, vm_mem_mb: float = 256.0) -> ClassificationResult:
+        """Profile and classify a workload without recording it."""
+        classifier = self.ensure_trained()
+        self._profile_counter += 1
+        run = profiled_run(workload, vm_mem_mb=vm_mem_mb, seed=self.seed + 1000 + self._profile_counter)
+        return classifier.classify_series(run.series)
+
+    def profile_and_learn(
+        self,
+        application: str,
+        workload: Workload,
+        vm_mem_mb: float = 256.0,
+    ) -> LearnOutcome:
+        """Run *workload* in a dedicated VM, classify it, store the record."""
+        classifier = self.ensure_trained()
+        self._profile_counter += 1
+        run = profiled_run(
+            workload, vm_mem_mb=vm_mem_mb, seed=self.seed + 1000 + self._profile_counter
+        )
+        result = classifier.classify_series(run.series)
+        record = RunRecord(
+            application=application,
+            node=run.node,
+            t0=run.t0,
+            t1=run.t1,
+            num_samples=result.num_samples,
+            application_class=result.application_class,
+            composition=result.composition,
+            environment={"vm_mem_mb": vm_mem_mb},
+        )
+        self.db.add_run(record)
+        return LearnOutcome(record=record, result=result, run=run)
+
+    def known_applications(self) -> list[str]:
+        """Applications with at least one learned run."""
+        return self.db.applications()
+
+    def class_of(self, application: str) -> SnapshotClass:
+        """Learned consensus class.
+
+        Raises
+        ------
+        KeyError
+            If the application was never profiled.
+        """
+        known = self.db.known_class(application)
+        if known is None:
+            raise KeyError(f"application {application!r} has no learned runs")
+        return known
+
+    # ------------------------------------------------------------------
+    # consumers of learned knowledge
+    # ------------------------------------------------------------------
+    def schedule(
+        self, jobs: list[str], machines: int, policy: str = "class"
+    ) -> Placement:
+        """Place *jobs* using learned behaviour.
+
+        *policy* is ``"class"`` (the paper's class-diversity scheduler) or
+        ``"composition"`` (the contention-predicting extension).
+
+        Raises
+        ------
+        ValueError
+            For an unknown policy.
+        """
+        if policy == "class":
+            return ClassAwareScheduler(self.db).schedule_jobs(jobs, machines)
+        if policy == "composition":
+            return CompositionAwareScheduler(self.db).schedule_jobs(jobs, machines)
+        raise ValueError(f"unknown policy {policy!r}; use 'class' or 'composition'")
+
+    def reserve(self, application: str, headroom_sigmas: float = 2.0) -> ResourceReservation:
+        """Reservation recommendation from the run history."""
+        return recommend_reservation(self.db.stats(application), headroom_sigmas)
+
+    def price(
+        self,
+        application: str,
+        model: UnitCostModel,
+        execution_time_s: float | None = None,
+    ) -> float:
+        """Price a (typical) run under a provider's cost model."""
+        stats = self.db.stats(application)
+        duration = execution_time_s if execution_time_s is not None else stats.mean_execution_time
+        return model.run_cost(stats.mean_composition, duration)
+
+    def predict_runtime(
+        self,
+        application: str,
+        composition: ClassComposition | None = None,
+        k: int = 3,
+    ) -> RuntimePrediction:
+        """Predict execution time from history.
+
+        With *composition* given, uses composition-space k-NN; otherwise
+        the per-application mean.
+        """
+        if composition is None:
+            return MeanPredictor(self.db).predict(application)
+        return KnnRuntimePredictor(self.db, k=k).predict(application, composition)
+
+    def report(self, application: str) -> str:
+        """Human-readable report card of everything learned about an app.
+
+        Raises
+        ------
+        KeyError
+            If the application has no learned runs.
+        """
+        stats = self.db.stats(application)
+        reservation = self.reserve(application)
+        comp = stats.mean_composition
+        lines = [
+            f"Application report: {application}",
+            f"  runs learned:       {stats.run_count}",
+            f"  consensus class:    {stats.consensus_class.name}",
+            "  mean composition:   "
+            + "  ".join(
+                f"{name.lower()} {100 * frac:.1f}%"
+                for name, frac in comp.as_dict().items()
+                if frac > 0.005
+            ),
+            f"  execution time:     {stats.mean_execution_time:.0f} s "
+            f"(σ = {stats.execution_time_std:.1f} s)",
+            "  reservation (2σ):   "
+            f"cpu {reservation.cpu_share:.2f}  io {reservation.io_share:.2f}  "
+            f"net {reservation.net_share:.2f}  mem {reservation.mem_share:.2f}",
+            f"  duration bound:     {reservation.duration_bound_s:.0f} s",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save_knowledge(self, path: str | Path) -> None:
+        """Persist the application DB as JSON."""
+        self.db.save(path)
+
+    @classmethod
+    def with_knowledge(cls, path: str | Path, seed: int = 0) -> "ResourceManager":
+        """Construct a manager preloaded from a saved DB."""
+        return cls(db=ApplicationDB.load(path), seed=seed)

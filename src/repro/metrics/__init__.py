@@ -1,0 +1,55 @@
+"""Performance metric catalog, snapshots, and snapshot series.
+
+This subpackage defines the data model that flows from the monitoring
+substrate into the classification center: the 33-metric catalog
+(29 Ganglia defaults + 4 vmstat extras), single-instant
+:class:`~repro.metrics.snapshot.Snapshot` vectors, and per-run
+:class:`~repro.metrics.series.SnapshotSeries` matrices (the paper's
+``A(n×m)`` data pool).
+"""
+
+from .catalog import (
+    ALL_METRIC_NAMES,
+    ALL_METRICS,
+    EXPERT_METRIC_NAMES,
+    EXPERT_METRIC_PAIRS,
+    GANGLIA_DEFAULT_METRICS,
+    NUM_EXPERT_METRICS,
+    NUM_METRICS,
+    VMSTAT_EXTENSION_METRICS,
+    MetricGroup,
+    MetricKind,
+    MetricSpec,
+    metric_index,
+    metric_indices,
+    metric_spec,
+    metrics_in_group,
+    validate_metric_names,
+)
+from .csv_io import series_from_csv, series_to_csv
+from .series import SnapshotSeries, merge_feature_matrices
+from .snapshot import Snapshot
+
+__all__ = [
+    "ALL_METRIC_NAMES",
+    "ALL_METRICS",
+    "EXPERT_METRIC_NAMES",
+    "EXPERT_METRIC_PAIRS",
+    "GANGLIA_DEFAULT_METRICS",
+    "NUM_EXPERT_METRICS",
+    "NUM_METRICS",
+    "VMSTAT_EXTENSION_METRICS",
+    "MetricGroup",
+    "MetricKind",
+    "MetricSpec",
+    "metric_index",
+    "metric_indices",
+    "metric_spec",
+    "metrics_in_group",
+    "validate_metric_names",
+    "Snapshot",
+    "series_from_csv",
+    "series_to_csv",
+    "SnapshotSeries",
+    "merge_feature_matrices",
+]

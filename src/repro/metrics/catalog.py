@@ -1,0 +1,215 @@
+"""Performance metric catalog.
+
+The paper's monitoring substrate collects ``n = 33`` metrics per snapshot:
+the 29 default numeric metrics published by a Ganglia ``gmond`` daemon plus
+4 metrics the authors added from ``vmstat`` (I/O blocks in/out, swap
+kilobytes in/out).  The expert-knowledge preprocessing step (paper Table 1)
+then selects ``p = 8`` of them — four pairs, each pair correlated with one
+application class:
+
+=====================  =======================================
+pair                   correlated class
+=====================  =======================================
+cpu_system / cpu_user  CPU-intensive
+bytes_in / bytes_out   Network-intensive
+io_bi / io_bo          IO-intensive
+swap_in / swap_out     Memory (paging)-intensive
+=====================  =======================================
+
+This module is the single source of truth for metric names, ordering and
+units.  Snapshot vectors everywhere in the library are indexed by the order
+of :data:`ALL_METRICS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+
+class MetricKind(Enum):
+    """How a metric value is produced from the underlying node state."""
+
+    #: Instantaneous value read directly (e.g. free memory, load average).
+    GAUGE = "gauge"
+    #: Per-second rate derived from a cumulative kernel counter over the
+    #: sampling window (e.g. bytes_in, io_bi, swap_out).
+    RATE = "rate"
+    #: Constant for the lifetime of the node (e.g. cpu_num, mem_total).
+    CONSTANT = "constant"
+
+
+class MetricGroup(Enum):
+    """Ganglia-style metric grouping used for display and filtering."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    DISK = "disk"
+    NETWORK = "network"
+    LOAD = "load"
+    PROCESS = "process"
+    SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Description of a single performance metric.
+
+    Parameters
+    ----------
+    name:
+        Canonical metric name (Ganglia naming convention).
+    unit:
+        Human-readable unit, e.g. ``"%"``, ``"bytes/sec"``, ``"kB/s"``.
+    kind:
+        How the value is derived (:class:`MetricKind`).
+    group:
+        Display/filtering group (:class:`MetricGroup`).
+    description:
+        One-line documentation string.
+    """
+
+    name: str
+    unit: str
+    kind: MetricKind
+    group: MetricGroup
+    description: str
+
+
+def _m(name: str, unit: str, kind: MetricKind, group: MetricGroup, desc: str) -> MetricSpec:
+    return MetricSpec(name=name, unit=unit, kind=kind, group=group, description=desc)
+
+
+#: The 29 default numeric metrics monitored by Ganglia's gmond.
+GANGLIA_DEFAULT_METRICS: tuple[MetricSpec, ...] = (
+    _m("cpu_user", "%", MetricKind.RATE, MetricGroup.CPU, "Percent CPU time in user mode"),
+    _m("cpu_system", "%", MetricKind.RATE, MetricGroup.CPU, "Percent CPU time in system mode"),
+    _m("cpu_idle", "%", MetricKind.RATE, MetricGroup.CPU, "Percent CPU time idle"),
+    _m("cpu_nice", "%", MetricKind.RATE, MetricGroup.CPU, "Percent CPU time at nice priority"),
+    _m("cpu_wio", "%", MetricKind.RATE, MetricGroup.CPU, "Percent CPU time waiting on I/O"),
+    _m("cpu_aidle", "%", MetricKind.GAUGE, MetricGroup.CPU, "Percent CPU idle since boot"),
+    _m("cpu_num", "CPUs", MetricKind.CONSTANT, MetricGroup.CPU, "Number of CPUs"),
+    _m("cpu_speed", "MHz", MetricKind.CONSTANT, MetricGroup.CPU, "CPU clock speed"),
+    _m("load_one", "", MetricKind.GAUGE, MetricGroup.LOAD, "One-minute load average"),
+    _m("load_five", "", MetricKind.GAUGE, MetricGroup.LOAD, "Five-minute load average"),
+    _m("load_fifteen", "", MetricKind.GAUGE, MetricGroup.LOAD, "Fifteen-minute load average"),
+    _m("proc_run", "procs", MetricKind.GAUGE, MetricGroup.PROCESS, "Number of running processes"),
+    _m("proc_total", "procs", MetricKind.GAUGE, MetricGroup.PROCESS, "Total number of processes"),
+    _m("mem_free", "kB", MetricKind.GAUGE, MetricGroup.MEMORY, "Free memory"),
+    _m("mem_shared", "kB", MetricKind.GAUGE, MetricGroup.MEMORY, "Shared memory"),
+    _m("mem_buffers", "kB", MetricKind.GAUGE, MetricGroup.MEMORY, "Memory used for buffers"),
+    _m("mem_cached", "kB", MetricKind.GAUGE, MetricGroup.MEMORY, "Memory used for page cache"),
+    _m("mem_total", "kB", MetricKind.CONSTANT, MetricGroup.MEMORY, "Total memory"),
+    _m("swap_free", "kB", MetricKind.GAUGE, MetricGroup.MEMORY, "Free swap space"),
+    _m("swap_total", "kB", MetricKind.CONSTANT, MetricGroup.MEMORY, "Total swap space"),
+    _m("bytes_in", "bytes/sec", MetricKind.RATE, MetricGroup.NETWORK, "Bytes per second into the network interface"),
+    _m("bytes_out", "bytes/sec", MetricKind.RATE, MetricGroup.NETWORK, "Bytes per second out of the network interface"),
+    _m("pkts_in", "packets/sec", MetricKind.RATE, MetricGroup.NETWORK, "Packets received per second"),
+    _m("pkts_out", "packets/sec", MetricKind.RATE, MetricGroup.NETWORK, "Packets sent per second"),
+    _m("disk_total", "GB", MetricKind.CONSTANT, MetricGroup.DISK, "Total disk capacity"),
+    _m("disk_free", "GB", MetricKind.GAUGE, MetricGroup.DISK, "Free disk capacity"),
+    _m("part_max_used", "%", MetricKind.GAUGE, MetricGroup.DISK, "Max percent used across partitions"),
+    _m("boottime", "s", MetricKind.CONSTANT, MetricGroup.SYSTEM, "Epoch time of last boot"),
+    _m("sys_clock", "s", MetricKind.GAUGE, MetricGroup.SYSTEM, "Current system clock"),
+)
+
+#: The 4 metrics the paper's authors added from vmstat output.
+VMSTAT_EXTENSION_METRICS: tuple[MetricSpec, ...] = (
+    _m("io_bi", "blocks/sec", MetricKind.RATE, MetricGroup.DISK, "Blocks per second received from a block device"),
+    _m("io_bo", "blocks/sec", MetricKind.RATE, MetricGroup.DISK, "Blocks per second sent to a block device"),
+    _m("swap_in", "kB/s", MetricKind.RATE, MetricGroup.MEMORY, "Kilobytes per second of memory swapped in from disk"),
+    _m("swap_out", "kB/s", MetricKind.RATE, MetricGroup.MEMORY, "Kilobytes per second of memory swapped out to disk"),
+)
+
+#: All ``n = 33`` metrics, in canonical snapshot-vector order.
+ALL_METRICS: tuple[MetricSpec, ...] = GANGLIA_DEFAULT_METRICS + VMSTAT_EXTENSION_METRICS
+
+#: Canonical metric names, in snapshot-vector order.
+ALL_METRIC_NAMES: tuple[str, ...] = tuple(spec.name for spec in ALL_METRICS)
+
+#: The ``p = 8`` expert-selected metrics of paper Table 1, in the order the
+#: preprocessing step extracts them.
+EXPERT_METRIC_NAMES: tuple[str, ...] = (
+    "cpu_system",
+    "cpu_user",
+    "bytes_in",
+    "bytes_out",
+    "io_bi",
+    "io_bo",
+    "swap_in",
+    "swap_out",
+)
+
+#: Expert metric pairs and the application class each pair correlates with
+#: (paper Table 1 / §4.2.1).
+EXPERT_METRIC_PAIRS: tuple[tuple[tuple[str, str], str], ...] = (
+    (("cpu_system", "cpu_user"), "CPU"),
+    (("bytes_in", "bytes_out"), "NET"),
+    (("io_bi", "io_bo"), "IO"),
+    (("swap_in", "swap_out"), "MEM"),
+)
+
+_NAME_TO_INDEX: dict[str, int] = {name: i for i, name in enumerate(ALL_METRIC_NAMES)}
+_NAME_TO_SPEC: dict[str, MetricSpec] = {spec.name: spec for spec in ALL_METRICS}
+
+
+def metric_index(name: str) -> int:
+    """Return the canonical snapshot-vector index of metric *name*.
+
+    Raises
+    ------
+    KeyError
+        If *name* is not one of the 33 catalog metrics.
+    """
+    try:
+        return _NAME_TO_INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown metric {name!r}; known metrics: {ALL_METRIC_NAMES}") from None
+
+
+def metric_indices(names: Iterable[str]) -> list[int]:
+    """Return canonical indices for a sequence of metric names (in order)."""
+    return [metric_index(n) for n in names]
+
+
+def metric_spec(name: str) -> MetricSpec:
+    """Return the :class:`MetricSpec` for *name*.
+
+    Raises
+    ------
+    KeyError
+        If *name* is not a catalog metric.
+    """
+    try:
+        return _NAME_TO_SPEC[name]
+    except KeyError:
+        raise KeyError(f"unknown metric {name!r}") from None
+
+
+def metrics_in_group(group: MetricGroup) -> tuple[MetricSpec, ...]:
+    """Return all catalog metrics belonging to *group*."""
+    return tuple(spec for spec in ALL_METRICS if spec.group is group)
+
+
+def validate_metric_names(names: Sequence[str]) -> None:
+    """Validate that *names* are distinct catalog metrics.
+
+    Raises
+    ------
+    KeyError
+        If any name is unknown.
+    ValueError
+        If names repeat.
+    """
+    for n in names:
+        metric_index(n)
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate metric names in {list(names)!r}")
+
+
+NUM_METRICS: int = len(ALL_METRICS)
+NUM_EXPERT_METRICS: int = len(EXPERT_METRIC_NAMES)
+
+assert NUM_METRICS == 33, "paper requires n = 33 metrics"
+assert NUM_EXPERT_METRICS == 8, "paper requires p = 8 expert metrics"

@@ -1,0 +1,92 @@
+"""CSV import/export of snapshot series.
+
+The export side (:func:`repro.analysis.export.export_series_metrics`)
+writes selected metrics; this module reads such files — or CSVs collected
+on *real* machines with a few lines of shell around vmstat and
+/proc/net/dev — back into :class:`~repro.metrics.series.SnapshotSeries`,
+so the classifier and the trace-replay reconstruction can run on data
+that never touched the simulator.
+
+Expected format: a header row ``timestamp,<metric>,...`` with catalog
+metric names, then one row per sampling instant.  Metrics absent from
+the file default to zero.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .catalog import NUM_METRICS, metric_index
+from .series import SnapshotSeries
+
+
+def series_from_csv(path: str | Path, node: str = "imported") -> SnapshotSeries:
+    """Read a metric-trace CSV into a snapshot series.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a ``timestamp`` column plus catalog metric columns.
+    node:
+        Node name to attribute the series to.
+
+    Raises
+    ------
+    ValueError
+        On a missing/malformed header, unknown metric columns, empty
+        body, or non-increasing timestamps.
+    FileNotFoundError
+        If the file does not exist.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        if not header or header[0].strip() != "timestamp":
+            raise ValueError(
+                f"{path}: first column must be 'timestamp', got {header[:1]!r}"
+            )
+        metric_names = [h.strip() for h in header[1:]]
+        if not metric_names:
+            raise ValueError(f"{path}: no metric columns")
+        indices = [metric_index(name) for name in metric_names]  # KeyError → unknown
+
+        timestamps: list[float] = []
+        columns: list[np.ndarray] = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_no}: expected {len(header)} cells, got {len(row)}"
+                )
+            try:
+                timestamps.append(float(row[0]))
+                values = np.zeros(NUM_METRICS)
+                for idx, cell in zip(indices, row[1:]):
+                    values[idx] = float(cell)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: {exc}") from None
+            columns.append(values)
+
+    if not columns:
+        raise ValueError(f"{path}: no data rows")
+    return SnapshotSeries(
+        node=node,
+        timestamps=np.asarray(timestamps),
+        matrix=np.stack(columns, axis=1),
+    )
+
+
+def series_to_csv(series: SnapshotSeries, path: str | Path, metric_names: list[str] | None = None) -> Path:
+    """Write a series (all 33 metrics by default) as a trace CSV."""
+    from ..analysis.export import export_series_metrics
+    from .catalog import ALL_METRIC_NAMES
+
+    return export_series_metrics(series, metric_names or list(ALL_METRIC_NAMES), path)

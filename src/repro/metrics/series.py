@@ -1,0 +1,202 @@
+"""Snapshot series — the paper's performance data pool ``A(n×m)``.
+
+The profiler produces, for one application run, a matrix with one column
+per snapshot and one row per metric (``n = 33`` rows, ``m = (t1−t0)/d``
+columns).  :class:`SnapshotSeries` wraps that matrix together with the node
+identity and snapshot timestamps, and provides the selection operations the
+preprocessing stage needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .catalog import ALL_METRIC_NAMES, NUM_METRICS, metric_indices, validate_metric_names
+from .snapshot import Snapshot
+
+
+@dataclass
+class SnapshotSeries:
+    """A time-ordered series of snapshots for one node.
+
+    Parameters
+    ----------
+    node:
+        Node identifier (the paper's ``VMIP``).
+    timestamps:
+        Length-``m`` array of snapshot times (seconds, strictly increasing).
+    matrix:
+        ``(n, m)`` array, rows in catalog metric order — the paper's
+        ``A(n×m)``.
+    """
+
+    node: str
+    timestamps: np.ndarray
+    matrix: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
+        self.matrix = np.asarray(self.matrix, dtype=np.float64)
+        if self.timestamps.ndim != 1:
+            raise ValueError("timestamps must be one-dimensional")
+        if self.matrix.ndim != 2:
+            raise ValueError("matrix must be two-dimensional (n_metrics, n_snapshots)")
+        if self.matrix.shape[0] != NUM_METRICS:
+            raise ValueError(
+                f"matrix must have {NUM_METRICS} rows (one per catalog metric), "
+                f"got {self.matrix.shape[0]}"
+            )
+        if self.matrix.shape[1] != self.timestamps.shape[0]:
+            raise ValueError(
+                f"matrix has {self.matrix.shape[1]} columns but "
+                f"{self.timestamps.shape[0]} timestamps were given"
+            )
+        if self.timestamps.size > 1 and not np.all(np.diff(self.timestamps) > 0):
+            raise ValueError("timestamps must be strictly increasing")
+        if not np.all(np.isfinite(self.matrix)):
+            raise ValueError("metric matrix must be finite")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshots(cls, snapshots: Sequence[Snapshot]) -> "SnapshotSeries":
+        """Assemble a series from individual snapshots of a single node.
+
+        Raises
+        ------
+        ValueError
+            If the sequence is empty or mixes nodes.
+        """
+        if not snapshots:
+            raise ValueError("cannot build a series from zero snapshots")
+        nodes = {s.node for s in snapshots}
+        if len(nodes) != 1:
+            raise ValueError(f"snapshots mix multiple nodes: {sorted(nodes)}")
+        ordered = sorted(snapshots, key=lambda s: s.timestamp)
+        matrix = np.stack([s.values for s in ordered], axis=1)
+        timestamps = np.array([s.timestamp for s in ordered], dtype=np.float64)
+        return cls(node=ordered[0].node, timestamps=timestamps, matrix=matrix)
+
+    @classmethod
+    def empty(cls, node: str) -> "SnapshotSeries":
+        """Return an empty series for *node* (``m = 0``)."""
+        return cls(
+            node=node,
+            timestamps=np.empty(0, dtype=np.float64),
+            matrix=np.empty((NUM_METRICS, 0), dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of snapshots ``m``."""
+        return int(self.matrix.shape[1])
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        for j in range(len(self)):
+            yield self.snapshot(j)
+
+    def snapshot(self, j: int) -> Snapshot:
+        """Return snapshot *j* (supports negative indices)."""
+        m = len(self)
+        if j < 0:
+            j += m
+        if not 0 <= j < m:
+            raise IndexError(f"snapshot index {j} out of range for series of length {m}")
+        return Snapshot(
+            node=self.node, timestamp=float(self.timestamps[j]), values=self.matrix[:, j]
+        )
+
+    # ------------------------------------------------------------------
+    # views used by the classification pipeline
+    # ------------------------------------------------------------------
+    def select_metrics(self, names: Sequence[str]) -> np.ndarray:
+        """Return the ``(p, m)`` sub-matrix of the named metrics, in order.
+
+        This is the expert-knowledge extraction step ``A(n×m) → A'(p×m)``
+        of paper Figure 2 (before normalization).
+        """
+        validate_metric_names(names)
+        return self.matrix[metric_indices(names), :].copy()
+
+    def metric(self, name: str) -> np.ndarray:
+        """Return the length-``m`` time series of one metric."""
+        return self.select_metrics([name])[0]
+
+    def feature_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Return snapshots as rows: an ``(m, p)`` feature matrix.
+
+        Classifiers in :mod:`repro.core` use the samples-as-rows layout;
+        this transposes the paper's metrics-as-rows convention.
+        """
+        if names is None:
+            return self.matrix.T.copy()
+        return self.select_metrics(names).T
+
+    # ------------------------------------------------------------------
+    # slicing / combination
+    # ------------------------------------------------------------------
+    def window(self, t0: float, t1: float) -> "SnapshotSeries":
+        """Return the sub-series with ``t0 <= timestamp <= t1``."""
+        if t1 < t0:
+            raise ValueError(f"window end {t1} precedes start {t0}")
+        mask = (self.timestamps >= t0) & (self.timestamps <= t1)
+        return SnapshotSeries(
+            node=self.node, timestamps=self.timestamps[mask], matrix=self.matrix[:, mask]
+        )
+
+    def concat(self, other: "SnapshotSeries") -> "SnapshotSeries":
+        """Concatenate with a later series of the same node."""
+        if other.node != self.node:
+            raise ValueError(f"cannot concat series of {self.node!r} and {other.node!r}")
+        if len(self) and len(other) and other.timestamps[0] <= self.timestamps[-1]:
+            raise ValueError("second series must start after the first ends")
+        return SnapshotSeries(
+            node=self.node,
+            timestamps=np.concatenate([self.timestamps, other.timestamps]),
+            matrix=np.concatenate([self.matrix, other.matrix], axis=1),
+        )
+
+    def duration(self) -> float:
+        """Return ``t1 − t0`` covered by the series (0 for < 2 snapshots)."""
+        if len(self) < 2:
+            return 0.0
+        return float(self.timestamps[-1] - self.timestamps[0])
+
+    def sampling_interval(self) -> float:
+        """Return the median inter-snapshot interval ``d`` (0 if < 2)."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.median(np.diff(self.timestamps)))
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Return per-metric ``{mean, std, min, max}`` statistics."""
+        out: dict[str, dict[str, float]] = {}
+        if len(self) == 0:
+            return {name: dict(mean=0.0, std=0.0, min=0.0, max=0.0) for name in ALL_METRIC_NAMES}
+        for i, name in enumerate(ALL_METRIC_NAMES):
+            row = self.matrix[i]
+            out[name] = dict(
+                mean=float(row.mean()),
+                std=float(row.std()),
+                min=float(row.min()),
+                max=float(row.max()),
+            )
+        return out
+
+
+def merge_feature_matrices(series_list: Iterable[SnapshotSeries], names: Sequence[str]) -> np.ndarray:
+    """Stack the named-metric feature matrices of several series row-wise.
+
+    Convenience used to pool training runs: returns an ``(Σ m_i, p)``
+    matrix.
+    """
+    mats = [s.feature_matrix(names) for s in series_list]
+    if not mats:
+        raise ValueError("no series given")
+    return np.vstack(mats)

@@ -1,0 +1,77 @@
+"""Snapshot of a node's performance metrics at one sampling instant.
+
+A :class:`Snapshot` is one column ``a_i`` of the paper's data pool matrix
+``A(n×m)``: the values of all 33 catalog metrics for one node at one time.
+Snapshots are produced by the monitoring substrate
+(:mod:`repro.monitoring.gmond`) and consumed, in bulk, as a
+:class:`repro.metrics.series.SnapshotSeries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .catalog import ALL_METRIC_NAMES, NUM_METRICS, metric_index
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One performance snapshot of one node.
+
+    Parameters
+    ----------
+    node:
+        Identifier of the (virtual) machine the snapshot describes —
+        the paper's ``VMIP``.
+    timestamp:
+        Simulation time in seconds at which the snapshot was taken.
+    values:
+        Length-33 float vector in :data:`repro.metrics.catalog.ALL_METRICS`
+        order.  Stored read-only.
+    """
+
+    node: str
+    timestamp: float
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.shape != (NUM_METRICS,):
+            raise ValueError(
+                f"snapshot values must have shape ({NUM_METRICS},), got {values.shape}"
+            )
+        if not np.all(np.isfinite(values)):
+            raise ValueError("snapshot values must be finite")
+        values = values.copy()
+        values.setflags(write=False)
+        object.__setattr__(self, "values", values)
+
+    def __getitem__(self, metric_name: str) -> float:
+        """Return the value of *metric_name* in this snapshot."""
+        return float(self.values[metric_index(metric_name)])
+
+    def as_dict(self) -> dict[str, float]:
+        """Return ``{metric_name: value}`` for all 33 metrics."""
+        return dict(zip(ALL_METRIC_NAMES, map(float, self.values)))
+
+    @classmethod
+    def from_mapping(
+        cls, node: str, timestamp: float, values: Mapping[str, float], default: float = 0.0
+    ) -> "Snapshot":
+        """Build a snapshot from a (possibly partial) name→value mapping.
+
+        Metrics absent from *values* are filled with *default*.  Unknown
+        metric names raise :class:`KeyError`.
+        """
+        vec = np.full(NUM_METRICS, float(default), dtype=np.float64)
+        for name, value in values.items():
+            vec[metric_index(name)] = float(value)
+        return cls(node=node, timestamp=float(timestamp), values=vec)
+
+    def select(self, names: list[str] | tuple[str, ...]) -> np.ndarray:
+        """Return the values of *names* as a new vector, in the given order."""
+        idx = [metric_index(n) for n in names]
+        return self.values[idx].copy()

@@ -1,0 +1,46 @@
+"""Ganglia-like monitoring substrate.
+
+Simulated multicast listen/announce monitoring: per-VM gmond daemons
+derive the 33-metric vector from /proc-style counter views every 5
+seconds and announce it cluster-wide; a profiler records the subnet-wide
+data pool between application start and end, and a filter extracts the
+target node's series (paper §4.1, Figure 1).
+"""
+
+from .aggregator import GmetadAggregator, NodeState
+from .faults import LossyChannel, subscribe_all
+from .filter import PerformanceFilter
+from .gmond import DEFAULT_HEARTBEAT, Gmond
+from .multicast import MetricAnnouncement, MulticastChannel
+from .procfs import SimulatedProcFS
+from .profiler import PerformanceProfiler, ProfilingSession
+from .stack import MonitoringStack
+from .vmstat import VmstatCollector, VmstatSample
+from .xmlfmt import (
+    parse_cluster_xml,
+    parse_host,
+    render_announcement_xml,
+    render_cluster_xml,
+)
+
+__all__ = [
+    "GmetadAggregator",
+    "NodeState",
+    "LossyChannel",
+    "subscribe_all",
+    "PerformanceFilter",
+    "DEFAULT_HEARTBEAT",
+    "Gmond",
+    "MetricAnnouncement",
+    "MulticastChannel",
+    "SimulatedProcFS",
+    "PerformanceProfiler",
+    "ProfilingSession",
+    "MonitoringStack",
+    "VmstatCollector",
+    "VmstatSample",
+    "parse_cluster_xml",
+    "parse_host",
+    "render_announcement_xml",
+    "render_cluster_xml",
+]

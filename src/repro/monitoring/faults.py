@@ -1,0 +1,74 @@
+"""Monitoring fault injection.
+
+Real monitoring is lossy: Ganglia rides UDP multicast, so announcements
+drop under load; daemons restart and miss heartbeats.  The classifier
+must degrade gracefully — a run's class composition is a *statistic* over
+snapshots, so losing some of them should barely move it.
+
+:class:`LossyChannel` wraps a multicast channel with seeded, per-
+announcement drop and outage behaviour so tests and benches can measure
+exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .multicast import Listener, MetricAnnouncement, MulticastChannel
+
+
+class LossyChannel(MulticastChannel):
+    """A multicast channel that drops announcements.
+
+    Parameters
+    ----------
+    drop_probability:
+        Independent per-announcement drop chance (UDP-style loss).
+    outages:
+        Optional ``(start, end)`` time windows during which *every*
+        announcement is dropped (daemon restart / network partition).
+    seed:
+        RNG seed for the per-announcement drops.
+    """
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        outages: list[tuple[float, float]] | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        for start, end in outages or []:
+            if end < start:
+                raise ValueError(f"outage ({start}, {end}) ends before it starts")
+        self.drop_probability = drop_probability
+        self.outages = list(outages or [])
+        self.rng = np.random.default_rng(seed)
+        self.dropped = 0
+
+    def _in_outage(self, timestamp: float) -> bool:
+        return any(start <= timestamp <= end for start, end in self.outages)
+
+    def announce(self, announcement: MetricAnnouncement) -> None:
+        """Deliver, or drop, one announcement."""
+        if self._in_outage(announcement.timestamp) or (
+            self.drop_probability > 0.0 and self.rng.random() < self.drop_probability
+        ):
+            self.dropped += 1
+            return
+        super().announce(announcement)
+
+    def loss_rate(self) -> float:
+        """Fraction of announcements dropped so far."""
+        attempted = self.announcements_sent + self.dropped
+        if attempted == 0:
+            return 0.0
+        return self.dropped / attempted
+
+
+def subscribe_all(channel: MulticastChannel, listeners: list[Listener]) -> None:
+    """Convenience: subscribe several listeners at once."""
+    for listener in listeners:
+        channel.subscribe(listener)

@@ -1,0 +1,46 @@
+"""The performance filter (paper §4.1 / Figure 1).
+
+The multicast data pool recorded by the profiler mixes snapshots of every
+node in the subnet; the filter extracts the target application node's
+series for further processing.  The paper's classification-cost
+experiment (§5.3) times exactly this extraction over 8 000 snapshots, so
+the filter also counts its own work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.series import SnapshotSeries
+from ..metrics.snapshot import Snapshot
+
+
+@dataclass
+class PerformanceFilter:
+    """Extracts a single node's snapshots from a mixed data pool."""
+
+    snapshots_scanned: int = field(default=0, init=False)
+    snapshots_extracted: int = field(default=0, init=False)
+
+    def extract(self, pool: list[Snapshot], target_node: str) -> SnapshotSeries:
+        """Return the target node's snapshot series from *pool*.
+
+        Raises
+        ------
+        ValueError
+            If the pool contains no snapshot of the target node (a
+            misconfigured profiling session).
+        """
+        matches = [s for s in pool if s.node == target_node]
+        self.snapshots_scanned += len(pool)
+        self.snapshots_extracted += len(matches)
+        if not matches:
+            nodes = sorted({s.node for s in pool})
+            raise ValueError(
+                f"no snapshots of target node {target_node!r} in pool; pool nodes: {nodes}"
+            )
+        return SnapshotSeries.from_snapshots(matches)
+
+    def nodes_in_pool(self, pool: list[Snapshot]) -> list[str]:
+        """Distinct node names present in *pool*, sorted."""
+        return sorted({s.node for s in pool})

@@ -1,0 +1,83 @@
+"""Simulated multicast listen/announce channel.
+
+Ganglia's gmond daemons announce their metrics on a multicast group; any
+listener on the subnet receives every node's announcements.  The paper's
+performance profiler exploits exactly this: it records the whole subnet
+and filters for the target VM afterwards.  :class:`MulticastChannel`
+reproduces that data flow in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..metrics.catalog import NUM_METRICS
+
+
+@dataclass(frozen=True)
+class MetricAnnouncement:
+    """One gmond heartbeat: a node's full 33-metric vector at one time."""
+
+    node: str
+    timestamp: float
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.shape != (NUM_METRICS,):
+            raise ValueError(f"announcement must carry {NUM_METRICS} metrics, got {values.shape}")
+        object.__setattr__(self, "values", values)
+
+
+Listener = Callable[[MetricAnnouncement], None]
+
+
+class MulticastChannel:
+    """In-process stand-in for a multicast group.
+
+    Every announcement is delivered synchronously to every subscribed
+    listener, in subscription order.
+    """
+
+    def __init__(self) -> None:
+        self._listeners: list[Listener] = []
+        self.announcements_sent = 0
+
+    def subscribe(self, listener: Listener) -> None:
+        """Add a listener; duplicate subscriptions are rejected.
+
+        Raises
+        ------
+        ValueError
+            If the same listener object is already subscribed.
+        """
+        if any(l is listener for l in self._listeners):
+            raise ValueError("listener already subscribed")
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Listener) -> None:
+        """Remove a listener.
+
+        Raises
+        ------
+        ValueError
+            If the listener is not subscribed.
+        """
+        for i, l in enumerate(self._listeners):
+            if l is listener:
+                del self._listeners[i]
+                return
+        raise ValueError("listener is not subscribed")
+
+    def announce(self, announcement: MetricAnnouncement) -> None:
+        """Deliver *announcement* to all listeners."""
+        self.announcements_sent += 1
+        for listener in list(self._listeners):
+            listener(announcement)
+
+    @property
+    def listener_count(self) -> int:
+        return len(self._listeners)

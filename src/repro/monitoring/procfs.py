@@ -1,0 +1,120 @@
+"""Simulated /proc filesystem views over a VM's kernel counters.
+
+Ganglia's metric modules and ``vmstat`` both read the kernel's counter
+files; this module reproduces the relevant views — ``/proc/stat``,
+``/proc/meminfo``, ``/proc/loadavg``, ``/proc/net/dev`` — from a
+:class:`~repro.vm.counters.NodeCounters` object, both as structured
+dictionaries (what the collectors consume) and as rendered text (what a
+real /proc would serve).
+"""
+
+from __future__ import annotations
+
+from ..vm.machine import VirtualMachine
+
+#: Kernel USER_HZ: /proc/stat counts jiffies at 100 Hz.
+USER_HZ: float = 100.0
+
+
+class SimulatedProcFS:
+    """Read-only /proc-style interface for one VM."""
+
+    def __init__(self, vm: VirtualMachine) -> None:
+        self.vm = vm
+
+    # ------------------------------------------------------------------
+    # /proc/stat
+    # ------------------------------------------------------------------
+    def stat(self) -> dict[str, float]:
+        """Cumulative CPU jiffies by mode, plus context-free extras."""
+        c = self.vm.counters
+        return {
+            "user": c.cpu_user_s * USER_HZ,
+            "nice": c.cpu_nice_s * USER_HZ,
+            "system": c.cpu_system_s * USER_HZ,
+            "idle": c.cpu_idle_s * USER_HZ,
+            "iowait": c.cpu_wio_s * USER_HZ,
+            "btime": 0.0,
+            "processes": float(c.proc_total),
+            "procs_running": float(c.proc_run),
+        }
+
+    def render_stat(self) -> str:
+        """Render a /proc/stat-like text block."""
+        s = self.stat()
+        cpu_line = (
+            f"cpu  {int(s['user'])} {int(s['nice'])} {int(s['system'])} "
+            f"{int(s['idle'])} {int(s['iowait'])} 0 0"
+        )
+        return "\n".join(
+            [
+                cpu_line,
+                f"btime {int(s['btime'])}",
+                f"processes {int(s['processes'])}",
+                f"procs_running {int(s['procs_running'])}",
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # /proc/meminfo
+    # ------------------------------------------------------------------
+    def meminfo(self) -> dict[str, float]:
+        """Memory gauges in kB, /proc/meminfo naming."""
+        c = self.vm.counters
+        total = self.vm.mem_mb * 1024.0
+        used = min(c.mem_used_kb, total)
+        buffers = min(c.mem_buffers_kb, max(total - used, 0.0))
+        cached = min(c.mem_cached_kb, max(total - used - buffers, 0.0))
+        free = max(total - used - buffers - cached, 0.0)
+        return {
+            "MemTotal": total,
+            "MemFree": free,
+            "Buffers": buffers,
+            "Cached": cached,
+            "MemShared": c.mem_shared_kb,
+            "SwapTotal": self.vm.swap_total_kb,
+            "SwapFree": max(self.vm.swap_total_kb - c.swap_used_kb, 0.0),
+        }
+
+    def render_meminfo(self) -> str:
+        """Render a /proc/meminfo-like text block."""
+        return "\n".join(f"{k}: {int(v)} kB" for k, v in self.meminfo().items())
+
+    # ------------------------------------------------------------------
+    # /proc/loadavg
+    # ------------------------------------------------------------------
+    def loadavg(self) -> tuple[float, float, float]:
+        """The 1/5/15-minute load averages."""
+        load = self.vm.counters.load
+        return (load.one, load.five, load.fifteen)
+
+    def render_loadavg(self) -> str:
+        one, five, fifteen = self.loadavg()
+        c = self.vm.counters
+        return f"{one:.2f} {five:.2f} {fifteen:.2f} {c.proc_run}/{c.proc_total} 0"
+
+    # ------------------------------------------------------------------
+    # /proc/net/dev
+    # ------------------------------------------------------------------
+    def net_dev(self) -> dict[str, float]:
+        """Cumulative interface byte/packet counters (eth0)."""
+        c = self.vm.counters
+        return {
+            "rx_bytes": c.net_bytes_in,
+            "rx_packets": c.net_pkts_in,
+            "tx_bytes": c.net_bytes_out,
+            "tx_packets": c.net_pkts_out,
+        }
+
+    # ------------------------------------------------------------------
+    # /proc/vmstat (block and swap counters)
+    # ------------------------------------------------------------------
+    def vmstat_counters(self) -> dict[str, float]:
+        """Cumulative block I/O and swap counters (vmstat's sources)."""
+        c = self.vm.counters
+        return {
+            "pgpgin_blocks": c.io_blocks_in,
+            "pgpgout_blocks": c.io_blocks_out,
+            "pswpin_kb": c.swap_kb_in,
+            "pswpout_kb": c.swap_kb_out,
+        }

@@ -1,0 +1,105 @@
+"""The performance profiler (paper §4.1).
+
+The profiler interfaces with the resource manager to receive data
+collection instructions — target node, start, stop — and records the
+performance snapshots announced on the monitoring channel at the
+sampling frequency (the paper uses gmond's 5-second heartbeat).  Because
+the channel is multicast, the recorded *data pool* contains snapshots of
+**all** nodes in the subnet; the
+:class:`~repro.monitoring.filter.PerformanceFilter` extracts the target
+application's series afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.snapshot import Snapshot
+from .multicast import MetricAnnouncement, MulticastChannel
+
+
+@dataclass
+class ProfilingSession:
+    """Bookkeeping for one profiling window [t0, t1]."""
+
+    target_node: str
+    t0: float
+    t1: float | None = None
+
+    @property
+    def closed(self) -> bool:
+        return self.t1 is not None
+
+
+class PerformanceProfiler:
+    """Records the multicast data pool between start and stop instructions."""
+
+    def __init__(self, channel: MulticastChannel) -> None:
+        self.channel = channel
+        self._active: ProfilingSession | None = None
+        self._pool: list[Snapshot] = []
+        self._subscribed = False
+
+    # ------------------------------------------------------------------
+    # resource-manager interface
+    # ------------------------------------------------------------------
+    def start(self, target_node: str, now: float) -> None:
+        """Begin recording for *target_node* at time *now*.
+
+        Raises
+        ------
+        RuntimeError
+            If a session is already active.
+        """
+        if self._active is not None:
+            raise RuntimeError("a profiling session is already active")
+        self._active = ProfilingSession(target_node=target_node, t0=now)
+        self._pool = []
+        if not self._subscribed:
+            self.channel.subscribe(self._on_announcement)
+            self._subscribed = True
+
+    def stop(self, now: float) -> ProfilingSession:
+        """Stop the active session at *now*; returns its bookkeeping.
+
+        Raises
+        ------
+        RuntimeError
+            If no session is active.
+        """
+        if self._active is None:
+            raise RuntimeError("no active profiling session")
+        session = self._active
+        session.t1 = now
+        self._active = None
+        return session
+
+    @property
+    def is_active(self) -> bool:
+        return self._active is not None
+
+    # ------------------------------------------------------------------
+    # channel listener
+    # ------------------------------------------------------------------
+    def _on_announcement(self, announcement: MetricAnnouncement) -> None:
+        if self._active is None:
+            return
+        if announcement.timestamp + 1e-9 < self._active.t0:
+            return
+        self._pool.append(
+            Snapshot(
+                node=announcement.node,
+                timestamp=announcement.timestamp,
+                values=announcement.values,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def data_pool(self) -> list[Snapshot]:
+        """The raw recorded pool: snapshots of *all* subnet nodes."""
+        return list(self._pool)
+
+    def pool_size(self) -> int:
+        return len(self._pool)

@@ -1,0 +1,59 @@
+"""Convenience wiring of the whole monitoring substrate onto an engine.
+
+Creates one gmond per VM (with seed-derived noise streams), a shared
+multicast channel, an aggregator, and a profiler, and registers the
+gmonds as engine tick listeners.  This is the one-call setup every
+experiment uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .aggregator import GmetadAggregator
+from .filter import PerformanceFilter
+from .gmond import DEFAULT_HEARTBEAT, Gmond
+from .multicast import MulticastChannel
+from .profiler import PerformanceProfiler
+
+if TYPE_CHECKING:  # avoid a circular import with repro.sim
+    from ..sim.engine import SimulationEngine
+
+
+class MonitoringStack:
+    """All monitoring components for one simulation, wired together."""
+
+    def __init__(
+        self,
+        engine: "SimulationEngine",
+        seed: int = 1,
+        heartbeat: float = DEFAULT_HEARTBEAT,
+    ) -> None:
+        self.engine = engine
+        self.channel = MulticastChannel()
+        self.aggregator = GmetadAggregator(self.channel)
+        self.profiler = PerformanceProfiler(self.channel)
+        self.filter = PerformanceFilter()
+        root = np.random.default_rng(seed)
+        self.gmonds: dict[str, Gmond] = {}
+        for vm in engine.cluster.iter_vms():
+            gmond = Gmond(
+                vm=vm,
+                channel=self.channel,
+                rng=np.random.default_rng(root.integers(0, 2**63 - 1)),
+                heartbeat=heartbeat,
+            )
+            self.gmonds[vm.name] = gmond
+            engine.add_tick_listener(gmond.on_tick)
+
+    def gmond(self, vm_name: str) -> Gmond:
+        """The gmond daemon monitoring *vm_name*.
+
+        Raises
+        ------
+        KeyError
+            If no gmond exists for that VM.
+        """
+        return self.gmonds[vm_name]

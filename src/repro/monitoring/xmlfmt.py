@@ -1,0 +1,115 @@
+"""Ganglia XML rendering and parsing.
+
+Real Ganglia serves cluster state as XML over TCP (the gmetad/telnet
+interface); external tools — the paper's Perl performance profiler among
+them — consume that format.  This module renders announcements and
+aggregated cluster state in Ganglia's schema::
+
+    <GANGLIA_XML VERSION="3.0" SOURCE="gmond">
+      <CLUSTER NAME="..." LOCALTIME="...">
+        <HOST NAME="VM1" REPORTED="...">
+          <METRIC NAME="cpu_user" VAL="12.3" TYPE="float" UNITS="%"/>
+          ...
+        </HOST>
+      </CLUSTER>
+    </GANGLIA_XML>
+
+and parses it back into announcements, so the profiler path can be
+exercised over the on-the-wire representation as well as the in-process
+channel.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+
+from ..metrics.catalog import ALL_METRIC_NAMES, NUM_METRICS, metric_index, metric_spec
+from .aggregator import GmetadAggregator
+from .multicast import MetricAnnouncement
+
+GANGLIA_VERSION = "3.0"
+
+
+def render_host(announcement: MetricAnnouncement) -> ET.Element:
+    """Render one announcement as a ``<HOST>`` element."""
+    host = ET.Element(
+        "HOST",
+        NAME=announcement.node,
+        REPORTED=f"{announcement.timestamp:.0f}",
+    )
+    for name in ALL_METRIC_NAMES:
+        spec = metric_spec(name)
+        ET.SubElement(
+            host,
+            "METRIC",
+            NAME=name,
+            VAL=f"{announcement.values[metric_index(name)]:.6f}",
+            TYPE="float",
+            UNITS=spec.unit,
+        )
+    return host
+
+
+def render_cluster_xml(
+    aggregator: GmetadAggregator, cluster_name: str = "cluster", localtime: float = 0.0
+) -> str:
+    """Render the aggregator's latest per-node state as Ganglia XML."""
+    root = ET.Element("GANGLIA_XML", VERSION=GANGLIA_VERSION, SOURCE="gmond")
+    cluster = ET.SubElement(
+        root, "CLUSTER", NAME=cluster_name, LOCALTIME=f"{localtime:.0f}"
+    )
+    for node in aggregator.nodes():
+        cluster.append(render_host(aggregator.latest(node)))
+    return ET.tostring(root, encoding="unicode")
+
+
+def render_announcement_xml(announcement: MetricAnnouncement) -> str:
+    """Render a single announcement as a standalone ``<HOST>`` document."""
+    return ET.tostring(render_host(announcement), encoding="unicode")
+
+
+def parse_host(element: ET.Element) -> MetricAnnouncement:
+    """Parse a ``<HOST>`` element back into an announcement.
+
+    Metrics missing from the XML default to 0; unknown metric names are
+    rejected (they indicate a schema mismatch).
+
+    Raises
+    ------
+    ValueError
+        On a non-HOST element, missing attributes, or unknown metrics.
+    """
+    if element.tag != "HOST":
+        raise ValueError(f"expected a HOST element, got {element.tag!r}")
+    name = element.get("NAME")
+    reported = element.get("REPORTED")
+    if name is None or reported is None:
+        raise ValueError("HOST element lacks NAME/REPORTED attributes")
+    values = np.zeros(NUM_METRICS)
+    for metric in element.findall("METRIC"):
+        metric_name = metric.get("NAME")
+        val = metric.get("VAL")
+        if metric_name is None or val is None:
+            raise ValueError("METRIC element lacks NAME/VAL attributes")
+        values[metric_index(metric_name)] = float(val)
+    return MetricAnnouncement(node=name, timestamp=float(reported), values=values)
+
+
+def parse_cluster_xml(text: str) -> list[MetricAnnouncement]:
+    """Parse a Ganglia XML document into per-host announcements.
+
+    Raises
+    ------
+    ValueError
+        If the document is not GANGLIA_XML.
+    """
+    root = ET.fromstring(text)
+    if root.tag != "GANGLIA_XML":
+        raise ValueError(f"expected GANGLIA_XML, got {root.tag!r}")
+    out: list[MetricAnnouncement] = []
+    for cluster in root.findall("CLUSTER"):
+        for host in cluster.findall("HOST"):
+            out.append(parse_host(host))
+    return out

@@ -1,0 +1,69 @@
+"""Class-aware resource scheduling on top of the application classifier."""
+
+from .class_aware import ClassAwareScheduler, Placement, placement_to_schedule
+from .composition_aware import (
+    CompositionAwareScheduler,
+    excess_pressure,
+    machine_pressure,
+    placement_score,
+    rank_schedules_by_prediction,
+)
+from .conservative import ConservativeLoadPredictor, ConservativeScheduler, LoadForecast
+from .migration import MigrationController, MigrationDecision
+from .random_sched import RandomScheduler
+from .reservation import ResourceReservation, recommend_reservation
+from .schedules import (
+    JOB_CODES,
+    Group,
+    Schedule,
+    canonical_group,
+    enumerate_schedules,
+    schedule_by_number,
+    spn_schedule,
+)
+from .throughput import (
+    SCHEDULE_VMS,
+    PerAppSummary,
+    ScheduleThroughput,
+    average_system_throughput,
+    default_job_factories,
+    evaluate_all_schedules,
+    evaluate_schedule,
+    improvement_percent,
+    per_app_summaries,
+)
+
+__all__ = [
+    "ClassAwareScheduler",
+    "Placement",
+    "placement_to_schedule",
+    "CompositionAwareScheduler",
+    "excess_pressure",
+    "machine_pressure",
+    "placement_score",
+    "rank_schedules_by_prediction",
+    "ConservativeLoadPredictor",
+    "ConservativeScheduler",
+    "LoadForecast",
+    "MigrationController",
+    "MigrationDecision",
+    "RandomScheduler",
+    "ResourceReservation",
+    "recommend_reservation",
+    "JOB_CODES",
+    "Group",
+    "Schedule",
+    "canonical_group",
+    "enumerate_schedules",
+    "schedule_by_number",
+    "spn_schedule",
+    "SCHEDULE_VMS",
+    "PerAppSummary",
+    "ScheduleThroughput",
+    "average_system_throughput",
+    "default_job_factories",
+    "evaluate_all_schedules",
+    "evaluate_schedule",
+    "improvement_percent",
+    "per_app_summaries",
+]

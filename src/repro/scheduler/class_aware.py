@@ -1,0 +1,130 @@
+"""Class-aware scheduling (paper §5.2, the "with class knowledge" scenario).
+
+Given the learned application classes (from the
+:class:`~repro.db.store.ApplicationDB`), the scheduler allocates
+applications of *different* classes to the same machine, so they stress
+different resources and contend as little as possible.  For the paper's
+nine-job experiment this policy deterministically selects schedule 10,
+``{(SPN),(SPN),(SPN)}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.labels import SnapshotClass
+from ..db.store import ApplicationDB
+from .schedules import Schedule, canonical_group, enumerate_schedules
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A concrete job→machine assignment."""
+
+    machines: tuple[tuple[str, ...], ...]
+
+    def machine_of(self, job_index: int) -> int:
+        """Machine index of the *job_index*-th placed job.
+
+        Raises
+        ------
+        IndexError
+            If the job index is out of range.
+        """
+        count = 0
+        for m, jobs in enumerate(self.machines):
+            if job_index < count + len(jobs):
+                return m
+            count += len(jobs)
+        raise IndexError(job_index)
+
+
+class ClassAwareScheduler:
+    """Distributes jobs across machines maximizing per-machine class diversity."""
+
+    def __init__(self, db: ApplicationDB, default_class: SnapshotClass = SnapshotClass.CPU) -> None:
+        self.db = db
+        self.default_class = default_class
+
+    def class_of(self, application: str) -> SnapshotClass:
+        """Learned class of *application* (default when never profiled)."""
+        known = self.db.known_class(application, default=self.default_class)
+        assert known is not None
+        return known
+
+    def schedule_jobs(self, jobs: list[str], machines: int) -> Placement:
+        """Assign *jobs* to *machines* machines, spreading classes apart.
+
+        Jobs are grouped by learned class and dealt round-robin, so each
+        machine receives as close to one job per class as the mix allows.
+        Machine loads stay balanced within one job.
+
+        Raises
+        ------
+        ValueError
+            With no jobs or no machines.
+        """
+        if machines < 1:
+            raise ValueError("need at least one machine")
+        if not jobs:
+            raise ValueError("no jobs to schedule")
+        by_class: dict[SnapshotClass, list[str]] = {}
+        for job in jobs:
+            by_class.setdefault(self.class_of(job), []).append(job)
+        slots: list[list[str]] = [[] for _ in range(machines)]
+        slot_classes: list[set[SnapshotClass]] = [set() for _ in range(machines)]
+        # Deal class-by-class (largest class first for balance), placing
+        # each job on the least-loaded machine that lacks the class.
+        for cls in sorted(by_class, key=lambda c: (-len(by_class[c]), int(c))):
+            for job in by_class[cls]:
+                candidates = sorted(
+                    range(machines),
+                    key=lambda m: (cls in slot_classes[m], len(slots[m]), m),
+                )
+                target = candidates[0]
+                slots[target].append(job)
+                slot_classes[target].add(cls)
+        return Placement(machines=tuple(tuple(s) for s in slots))
+
+    def pick_schedule(self, class_by_code: dict[str, SnapshotClass] | None = None) -> Schedule:
+        """Pick the most class-diverse of the ten §5.2 schedules.
+
+        *class_by_code* maps job codes S/P/N to classes; defaults to the
+        paper's (S→CPU, P→IO, N→NET).  With three distinct classes this
+        always returns schedule 10.
+        """
+        class_by_code = class_by_code or {
+            "S": SnapshotClass.CPU,
+            "P": SnapshotClass.IO,
+            "N": SnapshotClass.NET,
+        }
+        best: Schedule | None = None
+        best_score = -1
+        for schedule in enumerate_schedules():
+            score = sum(
+                len({class_by_code[code] for code in group}) for group in schedule.groups
+            )
+            if score > best_score:
+                best, best_score = schedule, score
+        assert best is not None
+        return best
+
+
+def placement_to_schedule(placement: Placement, code_of: dict[str, str]) -> Schedule:
+    """Convert a 3-machine, 9-job placement into a canonical Schedule.
+
+    Raises
+    ------
+    ValueError
+        If the placement is not 3 machines × 3 jobs.
+    """
+    if len(placement.machines) != 3 or any(len(m) != 3 for m in placement.machines):
+        raise ValueError("expected 3 machines with 3 jobs each")
+    groups = sorted(
+        (canonical_group(tuple(code_of[j] for j in m)) for m in placement.machines),
+    )
+    ordered = tuple(sorted(groups, key=lambda g: tuple("SPN".index(c) for c in g)))
+    for schedule in enumerate_schedules():
+        if schedule.groups == ordered:
+            return schedule
+    raise ValueError(f"placement {ordered!r} is not one of the ten schedules")

@@ -1,0 +1,153 @@
+"""Stage-triggered migration control.
+
+Closes the loop the paper sketches in §1: multi-stage applications can be
+*migrated* between hosts when their resource consumption pattern changes,
+so each stage runs where its stressed resource is least contended.
+
+The :class:`MigrationController` watches one application through the
+online classifier.  When the application's stable snapshot class changes
+(a new execution stage), it asks which candidate VM's host currently has
+the least pressure on the newly stressed resource — judged from the
+*other* VMs' online classifications — and live-migrates the application
+there via the engine's checkpoint/restart support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.labels import SnapshotClass
+from ..core.online import OnlineClassifier
+from ..sim.engine import MigrationEvent, SimulationEngine
+
+
+@dataclass
+class MigrationDecision:
+    """Diagnostic record of one controller decision."""
+
+    time: float
+    stage_class: SnapshotClass
+    chosen_vm: str
+    migrated: bool
+    reason: str
+
+
+class MigrationController:
+    """Migrates one instance to the least-contended host per stage.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine (provides :meth:`migrate` and tick hooks).
+    online:
+        Online classifier observing the whole cluster's announcements.
+    instance_key:
+        Engine key of the managed application instance.
+    candidate_vms:
+        VMs the application may run on (its current VM included).
+    min_streak:
+        Snapshots a class must persist before it counts as a new stage.
+    cooldown_s:
+        Minimum time between migrations (amortizes checkpoint cost).
+    downtime_s:
+        Checkpoint/restart downtime charged per migration.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        online: OnlineClassifier,
+        instance_key: int,
+        candidate_vms: list[str],
+        min_streak: int = 3,
+        cooldown_s: float = 60.0,
+        downtime_s: float = 5.0,
+    ) -> None:
+        if not candidate_vms:
+            raise ValueError("need at least one candidate VM")
+        for vm in candidate_vms:
+            engine.cluster.vm(vm)  # KeyError if unknown
+        self.engine = engine
+        self.online = online
+        self.instance_key = instance_key
+        self.candidate_vms = list(candidate_vms)
+        self.min_streak = min_streak
+        self.cooldown_s = cooldown_s
+        self.downtime_s = downtime_s
+        self._last_stage_class: SnapshotClass | None = None
+        self._last_migration_time = float("-inf")
+        self.decisions: list[MigrationDecision] = []
+        engine.add_tick_listener(self.on_tick)
+
+    # ------------------------------------------------------------------
+    # pressure estimation
+    # ------------------------------------------------------------------
+    def host_pressure(self, vm_name: str, resource: SnapshotClass) -> int:
+        """How many *other* VMs on vm_name's host currently stress *resource*."""
+        host = self.engine.cluster.host_of(vm_name)
+        pressure = 0
+        for other in host.vms.values():
+            if other.name == vm_name:
+                continue
+            try:
+                state = self.online.state(other.name)
+            except KeyError:
+                continue
+            if state.current_class is resource and state.streak >= self.min_streak:
+                pressure += 1
+        return pressure
+
+    def best_vm_for(self, resource: SnapshotClass, current_vm: str) -> str:
+        """Candidate VM whose host has least pressure on *resource*.
+
+        The current VM wins ties, so no-op migrations are never issued.
+        """
+        return min(
+            self.candidate_vms,
+            key=lambda vm: (
+                self.host_pressure(vm, resource),
+                vm != current_vm,  # prefer staying put on ties
+                vm,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # engine hook
+    # ------------------------------------------------------------------
+    def on_tick(self, now: float) -> None:
+        """Detect stage changes and migrate when a better host exists."""
+        inst = self.engine.instance(self.instance_key)
+        if inst.done or not inst.has_started(now):
+            return
+        try:
+            stable = self.online.stable_class(inst.vm_name, min_streak=self.min_streak)
+        except KeyError:
+            return
+        if stable is None or stable is SnapshotClass.IDLE:
+            return
+        if stable is self._last_stage_class:
+            return
+        self._last_stage_class = stable
+        if now - self._last_migration_time < self.cooldown_s:
+            self.decisions.append(
+                MigrationDecision(now, stable, inst.vm_name, False, "cooldown")
+            )
+            return
+        target = self.best_vm_for(stable, inst.vm_name)
+        if target == inst.vm_name:
+            self.decisions.append(
+                MigrationDecision(now, stable, target, False, "already best placed")
+            )
+            return
+        self.engine.migrate(self.instance_key, target, downtime_s=self.downtime_s)
+        self._last_migration_time = now
+        self.decisions.append(
+            MigrationDecision(now, stable, target, True, "stage change")
+        )
+
+    @property
+    def migrations(self) -> list[MigrationEvent]:
+        """Migrations of the managed instance, in order."""
+        return [
+            m for m in self.engine.migrations if m.instance_key == self.instance_key
+        ]

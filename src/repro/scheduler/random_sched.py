@@ -1,0 +1,55 @@
+"""Random scheduling baseline (paper §5.2, the "without class knowledge" scenario).
+
+Without application class information the scheduler has no basis to
+prefer one placement over another, so it picks uniformly at random —
+either among the ten canonical schedules or among all ordered job→VM
+assignments (which weights schedules by their multiplicity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schedules import JOB_CODES, Schedule, canonical_group, enumerate_schedules
+
+
+class RandomScheduler:
+    """Seeded uniform-random schedule selection."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def choose_schedule(self) -> Schedule:
+        """Pick one of the ten canonical schedules uniformly."""
+        schedules = enumerate_schedules()
+        return schedules[int(self.rng.integers(len(schedules)))]
+
+    def choose_assignment(self) -> Schedule:
+        """Randomly assign the nine jobs to VM slots, then canonicalize.
+
+        Unlike :meth:`choose_schedule`, this samples schedules with
+        probability proportional to their multiplicity — the true
+        distribution of a scheduler throwing jobs at slots blindly.
+        """
+        jobs = [code for code in JOB_CODES for _ in range(3)]
+        perm = self.rng.permutation(len(jobs))
+        shuffled = [jobs[i] for i in perm]
+        groups = sorted(
+            (canonical_group(tuple(shuffled[3 * m : 3 * m + 3])) for m in range(3)),
+            key=lambda g: tuple("SPN".index(c) for c in g),
+        )
+        ordered = tuple(groups)
+        for schedule in enumerate_schedules():
+            if schedule.groups == ordered:
+                return schedule
+        raise AssertionError("random assignment produced an unknown schedule")
+
+    def expected_distribution(self, draws: int = 10000, by_assignment: bool = True) -> dict[int, float]:
+        """Empirical schedule-selection frequencies (for tests/ablations)."""
+        if draws < 1:
+            raise ValueError("draws must be positive")
+        counts: dict[int, int] = {}
+        for _ in range(draws):
+            s = self.choose_assignment() if by_assignment else self.choose_schedule()
+            counts[s.number] = counts.get(s.number, 0) + 1
+        return {num: c / draws for num, c in sorted(counts.items())}

@@ -1,0 +1,69 @@
+"""Resource reservation from learned behaviour (paper §2).
+
+The application-behaviour knowledge gained over historical runs "can be
+used to assist the resource reservation on the virtual machine's host
+(physical) servers".  This module turns an application's statistical
+abstract into a concrete reservation recommendation: per-resource shares
+sized at the mean class fraction plus a configurable number of standard
+deviations of headroom, and an expected duration bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.labels import SnapshotClass
+from ..db.stats import ApplicationStats
+
+
+@dataclass(frozen=True)
+class ResourceReservation:
+    """Recommended host-resource shares for one application (fractions of 1)."""
+
+    application: str
+    cpu_share: float
+    io_share: float
+    net_share: float
+    mem_share: float
+    expected_duration_s: float
+    duration_bound_s: float
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_share", "io_share", "net_share", "mem_share"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.duration_bound_s < self.expected_duration_s:
+            raise ValueError("duration bound cannot undercut the expectation")
+
+
+def recommend_reservation(stats: ApplicationStats, headroom_sigmas: float = 2.0) -> ResourceReservation:
+    """Size a reservation from run-history statistics.
+
+    Each resource share is the mean fraction of snapshots stressing that
+    resource, plus *headroom_sigmas* standard deviations, clipped to
+    [0, 1].  The duration bound gets the same treatment.
+
+    Raises
+    ------
+    ValueError
+        For negative headroom.
+    """
+    if headroom_sigmas < 0:
+        raise ValueError("headroom must be non-negative")
+
+    def share(c: SnapshotClass) -> float:
+        mean = stats.mean_composition.fraction(c)
+        std = stats.composition_std[int(c)]
+        return float(min(max(mean + headroom_sigmas * std, 0.0), 1.0))
+
+    return ResourceReservation(
+        application=stats.application,
+        cpu_share=share(SnapshotClass.CPU),
+        io_share=share(SnapshotClass.IO),
+        net_share=share(SnapshotClass.NET),
+        mem_share=share(SnapshotClass.MEM),
+        expected_duration_s=stats.mean_execution_time,
+        duration_bound_s=stats.mean_execution_time
+        + headroom_sigmas * stats.execution_time_std,
+    )

@@ -1,0 +1,126 @@
+"""Enumeration of the paper's §5.2 schedule space.
+
+Nine job instances — three each of SPECseis96 (S), PostMark (P), and
+NetPIPE (N) — are placed on three VMs, three jobs per VM.  Up to VM
+renaming there are exactly ten schedules; sorted lexicographically with
+``S < P < N`` they come out in the paper's Figure 4 numbering::
+
+    1:{(SSS),(PPP),(NNN)}  2:{(SSS),(PPN),(PNN)}  3:{(SSP),(SPP),(NNN)}
+    4:{(SSP),(SPN),(PNN)}  5:{(SSP),(SNN),(PPN)}  6:{(SSN),(SPP),(PNN)}
+    7:{(SSN),(SPN),(PPN)}  8:{(SSN),(SNN),(PPP)}  9:{(SPP),(SPN),(SNN)}
+    10:{(SPN),(SPN),(SPN)}
+
+Each schedule also carries its *multiplicity*: the number of distinct
+ordered VM assignments that collapse onto it, used for multiplicity-
+weighted averages of the random-scheduler baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+#: Job codes in the paper's priority order (defines schedule numbering).
+JOB_CODES: tuple[str, ...] = ("S", "P", "N")
+
+_CODE_RANK = {code: i for i, code in enumerate(JOB_CODES)}
+
+#: One VM's job multiset, canonically sorted (S before P before N).
+Group = tuple[str, str, str]
+
+
+def canonical_group(jobs: tuple[str, ...]) -> Group:
+    """Sort a VM's three job codes into canonical order.
+
+    Raises
+    ------
+    ValueError
+        If there are not exactly three jobs or codes are unknown.
+    """
+    if len(jobs) != 3:
+        raise ValueError(f"a VM group holds exactly 3 jobs, got {jobs!r}")
+    for j in jobs:
+        if j not in _CODE_RANK:
+            raise ValueError(f"unknown job code {j!r}; valid codes: {JOB_CODES}")
+    ordered = tuple(sorted(jobs, key=_CODE_RANK.__getitem__))
+    return ordered  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One canonical placement of the nine jobs onto three VMs."""
+
+    number: int
+    groups: tuple[Group, Group, Group]
+
+    def __post_init__(self) -> None:
+        counts = Counter(code for group in self.groups for code in group)
+        if any(counts.get(code, 0) != 3 for code in JOB_CODES):
+            raise ValueError(f"schedule must place 3 of each job type, got {dict(counts)}")
+        for group in self.groups:
+            if group != canonical_group(group):
+                raise ValueError(f"group {group!r} is not canonically sorted")
+
+    def label(self) -> str:
+        """The paper's Figure 4 label, e.g. ``{(SPN),(SPN),(SPN)}``."""
+        return "{" + ",".join("(" + "".join(g) + ")" for g in self.groups) + "}"
+
+    @property
+    def multiplicity(self) -> int:
+        """Distinct ordered VM assignments collapsing to this schedule."""
+        group_counts = Counter(self.groups)
+        denom = math.prod(math.factorial(c) for c in group_counts.values())
+        return math.factorial(len(self.groups)) // denom
+
+    def class_diversity(self) -> int:
+        """Total distinct job types per VM, summed (max 9, min 3)."""
+        return sum(len(set(group)) for group in self.groups)
+
+
+def enumerate_schedules() -> list[Schedule]:
+    """All ten schedules, numbered as in the paper's Figure 4."""
+    groups = [
+        canonical_group(combo)
+        for combo in itertools.combinations_with_replacement(JOB_CODES, 3)
+    ]
+    seen: set[tuple[Group, Group, Group]] = set()
+    found: list[tuple[Group, Group, Group]] = []
+    for trio in itertools.combinations_with_replacement(groups, 3):
+        counts = Counter(code for group in trio for code in group)
+        if any(counts.get(code, 0) != 3 for code in JOB_CODES):
+            continue
+        key = tuple(sorted(trio, key=_group_key))
+        if key in seen:
+            continue
+        seen.add(key)
+        found.append(key)  # type: ignore[arg-type]
+    found.sort(key=lambda trio: tuple(_group_key(g) for g in trio))
+    return [Schedule(number=i + 1, groups=trio) for i, trio in enumerate(found)]
+
+
+def _group_key(group: Group) -> tuple[int, int, int]:
+    return tuple(_CODE_RANK[c] for c in group)  # type: ignore[return-value]
+
+
+def spn_schedule() -> Schedule:
+    """Schedule 10, ``{(SPN),(SPN),(SPN)}`` — the class-aware choice."""
+    schedules = enumerate_schedules()
+    last = schedules[-1]
+    assert last.label() == "{(SPN),(SPN),(SPN)}"
+    return last
+
+
+def schedule_by_number(number: int) -> Schedule:
+    """Look up a schedule by its Figure 4 number (1–10).
+
+    Raises
+    ------
+    ValueError
+        For numbers outside 1–10.
+    """
+    schedules = enumerate_schedules()
+    if not 1 <= number <= len(schedules):
+        raise ValueError(f"schedule number must be 1–{len(schedules)}, got {number}")
+    return schedules[number - 1]

@@ -1,0 +1,159 @@
+"""Schedule throughput evaluation (paper §5.2, Figures 4 and 5).
+
+Runs each schedule on the paper's two-host testbed with every job slot
+continuously re-running its application, and measures system throughput
+(jobs/day summed over the nine slots) and per-application throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..sim.execution import ThroughputResult, run_throughput_schedule
+from ..vm.cluster import paper_testbed
+from ..workloads.base import Workload
+from ..workloads.cpu import specseis96
+from ..workloads.io import postmark
+from ..workloads.network import netpipe
+from .schedules import JOB_CODES, Schedule, enumerate_schedules
+
+#: VMs hosting the nine job slots (VM4 runs the NetPIPE server side).
+SCHEDULE_VMS: tuple[str, str, str] = ("VM1", "VM2", "VM3")
+
+WorkloadFactory = Callable[[], Workload]
+
+
+def default_job_factories() -> dict[str, WorkloadFactory]:
+    """The paper's three applications: S, P, and N."""
+    return {
+        "S": lambda: specseis96("small"),
+        "P": postmark,
+        "N": netpipe,
+    }
+
+
+@dataclass
+class ScheduleThroughput:
+    """Measured throughput of one schedule."""
+
+    schedule: Schedule
+    system_jobs_per_day: float
+    per_app_jobs_per_day: dict[str, float] = field(default_factory=dict)
+    raw: ThroughputResult | None = None
+
+    def app_throughput(self, code: str) -> float:
+        """Jobs/day of application *code* summed over its three slots."""
+        return self.per_app_jobs_per_day[code]
+
+
+def evaluate_schedule(
+    schedule: Schedule,
+    factories: dict[str, WorkloadFactory] | None = None,
+    horizon: float = 2400.0,
+    seed: int = 0,
+) -> ScheduleThroughput:
+    """Run one schedule for *horizon* seconds and measure throughput."""
+    factories = factories or default_job_factories()
+    missing = set(JOB_CODES) - set(factories)
+    if missing:
+        raise ValueError(f"factories missing job codes {sorted(missing)}")
+    cluster = paper_testbed()
+    assignment = {
+        vm: [factories[code]() for code in group]
+        for vm, group in zip(SCHEDULE_VMS, schedule.groups)
+    }
+    result = run_throughput_schedule(cluster, assignment, horizon=horizon, seed=seed)
+    per_app: dict[str, float] = {code: 0.0 for code in JOB_CODES}
+    name_to_code = {factories[code]().name: code for code in JOB_CODES}
+    for key, name in result.workload_by_instance.items():
+        per_app[name_to_code[name]] += result.jobs_per_day(key)
+    return ScheduleThroughput(
+        schedule=schedule,
+        system_jobs_per_day=result.total_jobs_per_day(),
+        per_app_jobs_per_day=per_app,
+        raw=result,
+    )
+
+
+def evaluate_all_schedules(
+    factories: dict[str, WorkloadFactory] | None = None,
+    horizon: float = 2400.0,
+    seed: int = 0,
+) -> list[ScheduleThroughput]:
+    """Throughput of all ten schedules, in Figure 4 order."""
+    return [
+        evaluate_schedule(s, factories=factories, horizon=horizon, seed=seed)
+        for s in enumerate_schedules()
+    ]
+
+
+def average_system_throughput(
+    results: list[ScheduleThroughput], weighting: str = "multiplicity"
+) -> float:
+    """Average system throughput over schedules.
+
+    *weighting* is ``"multiplicity"`` (each schedule weighted by the
+    number of ordered assignments collapsing onto it — the expectation
+    under a uniformly random assignment) or ``"uniform"``.
+    """
+    if not results:
+        raise ValueError("no schedule results")
+    values = np.array([r.system_jobs_per_day for r in results])
+    if weighting == "uniform":
+        return float(values.mean())
+    if weighting == "multiplicity":
+        weights = np.array([r.schedule.multiplicity for r in results], dtype=np.float64)
+        return float(np.average(values, weights=weights))
+    raise ValueError(f"unknown weighting {weighting!r}")
+
+
+def improvement_percent(chosen: ScheduleThroughput, results: list[ScheduleThroughput], weighting: str = "multiplicity") -> float:
+    """Percent by which *chosen* beats the average over all schedules."""
+    avg = average_system_throughput(results, weighting=weighting)
+    return 100.0 * (chosen.system_jobs_per_day - avg) / avg
+
+
+@dataclass(frozen=True)
+class PerAppSummary:
+    """Figure 5 data for one application: MIN/MAX/AVG vs the SPN schedule."""
+
+    code: str
+    minimum: float
+    maximum: float
+    average: float
+    spn: float
+    max_schedule_label: str
+
+    @property
+    def spn_gain_over_average_percent(self) -> float:
+        return 100.0 * (self.spn - self.average) / self.average
+
+
+def per_app_summaries(results: list[ScheduleThroughput]) -> list[PerAppSummary]:
+    """Figure 5: per-application MIN/MAX/AVG across schedules vs SPN.
+
+    The SPN entry is the last (10th) schedule.
+    """
+    if not results:
+        raise ValueError("no schedule results")
+    spn = results[-1]
+    if spn.schedule.label() != "{(SPN),(SPN),(SPN)}":
+        raise ValueError("results must be in Figure 4 order (SPN last)")
+    out = []
+    for code in JOB_CODES:
+        values = [r.app_throughput(code) for r in results]
+        max_i = int(np.argmax(values))
+        out.append(
+            PerAppSummary(
+                code=code,
+                minimum=float(np.min(values)),
+                maximum=float(np.max(values)),
+                average=float(np.mean(values)),
+                spn=spn.app_throughput(code),
+                max_schedule_label=results[max_i].schedule.label(),
+            )
+        )
+    return out

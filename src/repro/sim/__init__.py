@@ -1,0 +1,61 @@
+"""Discrete-time execution simulator.
+
+Tick-based engine driving workload instances over a cluster, with a
+proportional-share multi-resource contention model, virtualization
+interference, and high-level experiment orchestration helpers.
+"""
+
+from .contention import (
+    KAPPA_HOST,
+    KAPPA_VM,
+    AllocationReport,
+    InstanceDemand,
+    allocate,
+    interference_efficiency,
+    max_min_factors,
+)
+from .engine import (
+    DEFAULT_MAX_TICKS,
+    DEFAULT_MIGRATION_DOWNTIME_S,
+    CompletionEvent,
+    DaemonNoiseModel,
+    MigrationEvent,
+    SimulationEngine,
+)
+from .execution import (
+    ConcurrentResult,
+    RunResult,
+    ThroughputResult,
+    classification_testbed,
+    profiled_run,
+    run_concurrent,
+    run_solo,
+    run_throughput_schedule,
+)
+from .trace import InstanceTrace, TraceRecorder
+
+__all__ = [
+    "KAPPA_HOST",
+    "KAPPA_VM",
+    "AllocationReport",
+    "InstanceDemand",
+    "allocate",
+    "interference_efficiency",
+    "max_min_factors",
+    "DEFAULT_MAX_TICKS",
+    "DEFAULT_MIGRATION_DOWNTIME_S",
+    "CompletionEvent",
+    "MigrationEvent",
+    "DaemonNoiseModel",
+    "SimulationEngine",
+    "ConcurrentResult",
+    "RunResult",
+    "ThroughputResult",
+    "classification_testbed",
+    "profiled_run",
+    "run_concurrent",
+    "run_solo",
+    "run_throughput_schedule",
+    "InstanceTrace",
+    "TraceRecorder",
+]

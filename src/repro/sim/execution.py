@@ -1,0 +1,197 @@
+"""High-level experiment orchestration.
+
+Wraps cluster construction, engine setup, monitoring wiring, and
+profiling into the runs the paper's evaluation needs:
+
+* :func:`profiled_run` — one application in a dedicated VM, profiled from
+  t0 to t1 (the Table 3 / Figure 3 experiments);
+* :func:`run_solo` / :func:`run_concurrent` — elapsed-time comparisons
+  (the Table 4 experiment);
+* :func:`run_throughput_schedule` — looping jobs on multiple VMs for a
+  fixed horizon, yielding jobs/day (the Figure 4 / Figure 5 experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.series import SnapshotSeries
+from ..monitoring.stack import MonitoringStack
+from ..vm.cluster import Cluster
+from ..vm.resources import ResourceCapacity
+from ..workloads.base import Workload, WorkloadInstance
+from ..workloads.network import DEFAULT_SERVER_VM
+from .engine import SimulationEngine
+
+
+def classification_testbed(vm_mem_mb: float = 256.0, target_vm: str = "VM1") -> Cluster:
+    """The paper's §5.1 profiling setup.
+
+    The target application runs in a dedicated VM on one host; a second,
+    identically configured VM on another host runs the server side of the
+    network benchmarks.
+    """
+    cluster = Cluster(name="classification-testbed")
+    cluster.add_host("host1", ResourceCapacity(cpu_cores=2.0, cpu_mhz=1800.0, mem_mb=1024.0))
+    cluster.add_host("host2", ResourceCapacity(cpu_cores=2.0, cpu_mhz=1800.0, mem_mb=1024.0))
+    cluster.create_vm("host1", target_vm, mem_mb=vm_mem_mb)
+    cluster.create_vm("host2", DEFAULT_SERVER_VM, mem_mb=256.0)
+    return cluster
+
+
+@dataclass
+class RunResult:
+    """Outcome of one profiled application run."""
+
+    workload_name: str
+    node: str
+    t0: float
+    t1: float
+    series: SnapshotSeries
+    sample_interval: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock execution time ``t1 − t0``."""
+        return self.t1 - self.t0
+
+    @property
+    def num_samples(self) -> int:
+        """Number of snapshots ``m`` collected."""
+        return len(self.series)
+
+
+def profiled_run(
+    workload: Workload,
+    vm_mem_mb: float = 256.0,
+    seed: int = 0,
+    heartbeat: float = 5.0,
+    target_vm: str = "VM1",
+) -> RunResult:
+    """Execute *workload* solo in a dedicated VM and profile it.
+
+    Builds the classification testbed, starts a profiling session at t0=0,
+    runs the application to completion, stops profiling at t1, and filters
+    the multicast data pool down to the target node's series.
+    """
+    cluster = classification_testbed(vm_mem_mb=vm_mem_mb, target_vm=target_vm)
+    engine = SimulationEngine(cluster, seed=seed)
+    stack = MonitoringStack(engine, seed=seed + 1, heartbeat=heartbeat)
+    instance = WorkloadInstance(workload, vm_name=target_vm)
+    engine.add_instance(instance)
+    stack.profiler.start(target_node=target_vm, now=0.0)
+    engine.run()
+    session = stack.profiler.stop(now=engine.now)
+    series = stack.filter.extract(stack.profiler.data_pool(), session.target_node)
+    return RunResult(
+        workload_name=workload.name,
+        node=target_vm,
+        t0=session.t0,
+        t1=engine.now,
+        series=series,
+        sample_interval=heartbeat,
+    )
+
+
+def run_solo(workload: Workload, vm_mem_mb: float = 256.0, seed: int = 0) -> float:
+    """Elapsed wall-clock seconds of a solo run (no profiling overhead)."""
+    cluster = classification_testbed(vm_mem_mb=vm_mem_mb)
+    engine = SimulationEngine(cluster, seed=seed)
+    engine.add_instance(WorkloadInstance(workload, vm_name="VM1"))
+    engine.run()
+    assert engine.completions, "solo run finished without a completion event"
+    return engine.completions[0].elapsed
+
+
+@dataclass
+class ConcurrentResult:
+    """Outcome of running several workloads concurrently on one VM."""
+
+    elapsed: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Time until the last job finishes."""
+        return max(self.elapsed.values())
+
+
+def run_concurrent(workloads: list[Workload], vm_mem_mb: float = 256.0, seed: int = 0) -> ConcurrentResult:
+    """Run *workloads* concurrently on a single VM; return per-job elapsed.
+
+    This is the paper's Table 4 setup (CH3D + PostMark sharing one
+    machine).
+    """
+    if not workloads:
+        raise ValueError("need at least one workload")
+    cluster = classification_testbed(vm_mem_mb=vm_mem_mb)
+    engine = SimulationEngine(cluster, seed=seed)
+    keys = {engine.add_instance(WorkloadInstance(w, vm_name="VM1")): w for w in workloads}
+    engine.run()
+    result = ConcurrentResult()
+    for event in engine.completions:
+        w = keys[event.instance_key]
+        result.elapsed[w.name] = event.elapsed
+    missing = {w.name for w in workloads} - set(result.elapsed)
+    if missing:
+        raise RuntimeError(f"concurrent run ended without completing {sorted(missing)}")
+    return result
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of a fixed-horizon looping-jobs run."""
+
+    horizon: float
+    jobs_by_instance: dict[int, float] = field(default_factory=dict)
+    workload_by_instance: dict[int, str] = field(default_factory=dict)
+    vm_by_instance: dict[int, str] = field(default_factory=dict)
+
+    def jobs_per_day(self, instance_key: int) -> float:
+        """Steady-state throughput of one job slot."""
+        return self.jobs_by_instance[instance_key] / self.horizon * 86_400.0
+
+    def total_jobs_per_day(self) -> float:
+        """System throughput: sum over all job slots."""
+        return sum(self.jobs_per_day(k) for k in self.jobs_by_instance)
+
+    def jobs_per_day_by_workload(self) -> dict[str, float]:
+        """Per-application throughput, summed over that application's slots."""
+        out: dict[str, float] = {}
+        for key in self.jobs_by_instance:
+            name = self.workload_by_instance[key]
+            out[name] = out.get(name, 0.0) + self.jobs_per_day(key)
+        return out
+
+
+def run_throughput_schedule(
+    cluster: Cluster,
+    assignment: dict[str, list[Workload]],
+    horizon: float = 3600.0,
+    seed: int = 0,
+) -> ThroughputResult:
+    """Run looping job slots per the VM→workloads *assignment* for *horizon* seconds.
+
+    Each workload in a VM's list occupies one continuously re-running job
+    slot on that VM.  Throughput counts completed passes plus the
+    fractional progress of the pass in flight (reduces horizon
+    quantization noise).
+
+    Raises
+    ------
+    KeyError
+        If an assignment names a VM not in the cluster.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    engine = SimulationEngine(cluster, seed=seed)
+    result = ThroughputResult(horizon=horizon)
+    for vm_name, workloads in assignment.items():
+        cluster.vm(vm_name)  # KeyError if unknown
+        for w in workloads:
+            key = engine.add_instance(WorkloadInstance(w, vm_name=vm_name, loop=True))
+            result.workload_by_instance[key] = w.name
+            result.vm_by_instance[key] = vm_name
+    engine.run(until=horizon)
+    for key in result.workload_by_instance:
+        result.jobs_by_instance[key] = engine.instance(key).total_jobs()
+    return result

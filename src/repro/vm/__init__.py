@@ -1,0 +1,57 @@
+"""Virtual machine substrate: hosts, VMs, counters, and VMPlant cloning.
+
+Simulated replacement for the paper's VMware GSX testbed.  See DESIGN.md
+§2 for the substitution rationale.
+"""
+
+from .cluster import Cluster, paper_testbed, single_vm_cluster
+from .counters import LoadAverages, NodeCounters
+from .dag import (
+    ConfigAction,
+    ConfigDAG,
+    VMSpec,
+    install_package,
+    set_attribute,
+    set_memory,
+    set_vcpus,
+)
+from .machine import (
+    OS_BASE_MEM_MB,
+    MemoryPressure,
+    PhysicalHost,
+    VirtualMachine,
+    paging_burst_multiplier,
+)
+from .resources import (
+    BLOCKS_PER_SWAP_KB,
+    ResourceCapacity,
+    ResourceDemand,
+    ResourceGrant,
+)
+from .vmplant import CloneRequest, VMPlant
+
+__all__ = [
+    "Cluster",
+    "paper_testbed",
+    "single_vm_cluster",
+    "LoadAverages",
+    "NodeCounters",
+    "ConfigAction",
+    "ConfigDAG",
+    "VMSpec",
+    "install_package",
+    "set_attribute",
+    "set_memory",
+    "set_vcpus",
+    "OS_BASE_MEM_MB",
+    "MemoryPressure",
+    "PhysicalHost",
+    "VirtualMachine",
+    "paging_burst_multiplier",
+    "BLOCKS_PER_SWAP_KB",
+    "ResourceCapacity",
+    "ResourceDemand",
+    "ResourceGrant",
+    "CloneRequest",
+    "VMPlant",
+]

@@ -1,0 +1,126 @@
+"""Cluster: a set of physical hosts, their VMs, and the LAN between them.
+
+The cluster is the root object the simulator and the monitoring substrate
+operate on.  It also defines the multicast subnet: every VM's gmond
+announces its metrics on the cluster channel, so a profiler listening
+anywhere in the cluster sees *all* nodes and must filter for its target —
+exactly the data flow the paper describes for Ganglia.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .machine import PhysicalHost, VirtualMachine
+from .resources import ResourceCapacity
+
+
+@dataclass
+class Cluster:
+    """A collection of physical hosts connected by a non-blocking switch.
+
+    Host NICs are the only network bottleneck (Gigabit Ethernet in the
+    paper's testbed); the switch fabric itself is never saturated.
+    """
+
+    name: str = "cluster"
+    hosts: dict[str, PhysicalHost] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # topology construction
+    # ------------------------------------------------------------------
+    def add_host(self, name: str, capacity: ResourceCapacity | None = None) -> PhysicalHost:
+        """Create and register a physical host.
+
+        Raises
+        ------
+        ValueError
+            If the host name is already taken.
+        """
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        host = PhysicalHost(name=name, capacity=capacity or ResourceCapacity())
+        self.hosts[name] = host
+        return host
+
+    def create_vm(self, host_name: str, vm_name: str, mem_mb: float = 256.0, vcpus: int = 1) -> VirtualMachine:
+        """Create a VM on *host_name*.
+
+        Raises
+        ------
+        KeyError
+            If the host does not exist.
+        ValueError
+            If the VM name is already used anywhere in the cluster.
+        """
+        if vm_name in {vm.name for vm in self.iter_vms()}:
+            raise ValueError(f"duplicate VM name {vm_name!r}")
+        host = self.hosts[host_name]
+        vm = VirtualMachine(name=vm_name, mem_mb=mem_mb, vcpus=vcpus)
+        return host.attach(vm)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def iter_vms(self) -> Iterator[VirtualMachine]:
+        """Iterate over all VMs in the cluster (host order, then VM order)."""
+        for host in self.hosts.values():
+            yield from host.vms.values()
+
+    def vm(self, name: str) -> VirtualMachine:
+        """Return the VM named *name*.
+
+        Raises
+        ------
+        KeyError
+            If no VM with that name exists.
+        """
+        for vm in self.iter_vms():
+            if vm.name == name:
+                return vm
+        raise KeyError(f"no VM named {name!r} in cluster {self.name!r}")
+
+    def host_of(self, vm_name: str) -> PhysicalHost:
+        """Return the physical host of *vm_name*."""
+        vm = self.vm(vm_name)
+        assert vm.host is not None
+        return vm.host
+
+    def vm_names(self) -> list[str]:
+        """All VM names in iteration order."""
+        return [vm.name for vm in self.iter_vms()]
+
+
+def paper_testbed(vm1_mem_mb: float = 256.0) -> Cluster:
+    """Build the paper's §5.2 testbed.
+
+    Two physical hosts on Gigabit Ethernet:
+
+    * ``host1`` — dual-CPU 1.80 GHz Xeon, 1 GB RAM, hosting ``VM1``.
+    * ``host2`` — dual-CPU 2.40 GHz Xeon, 4 GB RAM, hosting ``VM2``–``VM4``.
+
+    All four VMs have 256 MB memory (``vm1_mem_mb`` overrides VM1, used by
+    the SPECseis96 B experiment where VM1 has 32 MB).
+    """
+    cluster = Cluster(name="paper-testbed")
+    cluster.add_host(
+        "host1",
+        ResourceCapacity(cpu_cores=2.0, cpu_mhz=1800.0, mem_mb=1024.0),
+    )
+    cluster.add_host(
+        "host2",
+        ResourceCapacity(cpu_cores=2.0, cpu_mhz=2400.0, mem_mb=4096.0),
+    )
+    cluster.create_vm("host1", "VM1", mem_mb=vm1_mem_mb, vcpus=2)
+    for name in ("VM2", "VM3", "VM4"):
+        cluster.create_vm("host2", name, mem_mb=256.0, vcpus=2)
+    return cluster
+
+
+def single_vm_cluster(mem_mb: float = 256.0, vm_name: str = "VM1") -> Cluster:
+    """A minimal one-host, one-VM cluster for solo profiling runs."""
+    cluster = Cluster(name="single-vm")
+    cluster.add_host("host1", ResourceCapacity(cpu_cores=2.0, cpu_mhz=1800.0, mem_mb=1024.0))
+    cluster.create_vm("host1", vm_name, mem_mb=mem_mb)
+    return cluster

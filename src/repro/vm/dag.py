@@ -1,0 +1,191 @@
+"""VMPlant-style DAG configuration of virtual machines.
+
+The VMPlant Grid service (Krsul et al., SC'04) defines customized,
+application-specific VMs with a *directed acyclic graph* of configuration
+actions; VMs defined this way can be cloned and dynamically instantiated.
+This module implements that configuration model on top of
+:mod:`networkx`: a :class:`ConfigDAG` holds named
+:class:`ConfigAction` nodes and precedence edges, validates acyclicity,
+and applies actions to a :class:`VMSpec` in a deterministic topological
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """Declarative specification of a VM before instantiation."""
+
+    mem_mb: float = 256.0
+    vcpus: int = 1
+    os_name: str = "linux-2.4"
+    packages: tuple[str, ...] = ()
+    attributes: tuple[tuple[str, str], ...] = ()
+
+    def with_package(self, package: str) -> "VMSpec":
+        """Return a spec with *package* appended (idempotent)."""
+        if package in self.packages:
+            return self
+        return replace(self, packages=self.packages + (package,))
+
+    def with_attribute(self, key: str, value: str) -> "VMSpec":
+        """Return a spec with attribute *key* set to *value* (last write wins)."""
+        kept = tuple((k, v) for k, v in self.attributes if k != key)
+        return replace(self, attributes=kept + ((key, value),))
+
+    def attribute(self, key: str, default: str | None = None) -> str | None:
+        """Look up an attribute value."""
+        for k, v in self.attributes:
+            if k == key:
+                return v
+        return default
+
+
+#: A configuration action transforms a spec into a new spec.
+ActionFn = Callable[[VMSpec], VMSpec]
+
+
+@dataclass(frozen=True)
+class ConfigAction:
+    """One node of the configuration DAG."""
+
+    name: str
+    apply: ActionFn
+    description: str = ""
+
+
+class ConfigDAG:
+    """A DAG of VM configuration actions.
+
+    Actions are applied in topological order; ties are broken by insertion
+    order so instantiation is deterministic.
+    """
+
+    def __init__(self, name: str = "vm-config") -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._order: list[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_action(self, action: ConfigAction, after: list[str] | None = None) -> None:
+        """Add *action*, optionally depending on previously added actions.
+
+        Raises
+        ------
+        ValueError
+            If the action name is duplicated, a dependency is unknown, or
+            the new edges would create a cycle.
+        """
+        if action.name in self._graph:
+            raise ValueError(f"duplicate action {action.name!r} in DAG {self.name!r}")
+        self._graph.add_node(action.name, action=action)
+        self._order.append(action.name)
+        for dep in after or []:
+            if dep not in self._graph:
+                raise ValueError(f"unknown dependency {dep!r} for action {action.name!r}")
+            self._graph.add_edge(dep, action.name)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_node(action.name)
+            self._order.remove(action.name)
+            raise ValueError(f"adding action {action.name!r} would create a cycle")
+
+    def add_edge(self, before: str, after: str) -> None:
+        """Add a precedence constraint between existing actions.
+
+        Raises
+        ------
+        ValueError
+            If either action is unknown or the edge creates a cycle.
+        """
+        for node in (before, after):
+            if node not in self._graph:
+                raise ValueError(f"unknown action {node!r}")
+        self._graph.add_edge(before, after)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(before, after)
+            raise ValueError(f"edge {before!r} → {after!r} would create a cycle")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def topological_order(self) -> list[str]:
+        """Deterministic topological order (insertion order breaks ties)."""
+        index = {name: i for i, name in enumerate(self._order)}
+        return list(nx.lexicographical_topological_sort(self._graph, key=lambda n: index[n]))
+
+    def action(self, name: str) -> ConfigAction:
+        """Return the action object named *name*."""
+        try:
+            return self._graph.nodes[name]["action"]
+        except KeyError:
+            raise KeyError(f"no action named {name!r} in DAG {self.name!r}") from None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def materialize(self, base: VMSpec | None = None) -> VMSpec:
+        """Apply all actions in topological order to *base* (or a default).
+
+        Returns the fully configured :class:`VMSpec`.
+        """
+        spec = base or VMSpec()
+        for name in self.topological_order():
+            spec = self.action(name).apply(spec)
+        return spec
+
+
+# ----------------------------------------------------------------------
+# stock actions
+# ----------------------------------------------------------------------
+def set_memory(mem_mb: float) -> ConfigAction:
+    """Action that sets the VM memory size."""
+    if mem_mb <= 0:
+        raise ValueError("memory must be positive")
+    return ConfigAction(
+        name=f"set-memory-{int(mem_mb)}",
+        apply=lambda spec: replace(spec, mem_mb=float(mem_mb)),
+        description=f"Set VM memory to {mem_mb} MB",
+    )
+
+
+def set_vcpus(vcpus: int) -> ConfigAction:
+    """Action that sets the vCPU count."""
+    if vcpus < 1:
+        raise ValueError("need at least one vCPU")
+    return ConfigAction(
+        name=f"set-vcpus-{vcpus}",
+        apply=lambda spec: replace(spec, vcpus=int(vcpus)),
+        description=f"Set VM vCPUs to {vcpus}",
+    )
+
+
+def install_package(package: str) -> ConfigAction:
+    """Action that installs an application package into the VM image."""
+    return ConfigAction(
+        name=f"install-{package}",
+        apply=lambda spec: spec.with_package(package),
+        description=f"Install package {package}",
+    )
+
+
+def set_attribute(key: str, value: str) -> ConfigAction:
+    """Action that records an arbitrary configuration attribute."""
+    return ConfigAction(
+        name=f"attr-{key}",
+        apply=lambda spec: spec.with_attribute(key, value),
+        description=f"Set attribute {key}={value}",
+    )

@@ -1,0 +1,244 @@
+"""Resource capacities, demands, and grants.
+
+The simulator models four *rate* resources that applications consume each
+second — CPU cores, disk bandwidth (blocks/s, matching vmstat's bi/bo
+units), and network receive/transmit bandwidth (bytes/s) — plus one
+*capacity* resource, memory.  Swap traffic is expressed in kB/s (matching
+vmstat's si/so) and also consumes disk bandwidth, because paging physically
+goes through the block device.
+
+These dataclasses are deliberately plain: the allocation math lives in
+:mod:`repro.sim.contention`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Disk blocks per swapped kilobyte (vmstat reports 1 kB blocks on Linux 2.x).
+BLOCKS_PER_SWAP_KB: float = 1.0
+
+
+@dataclass(frozen=True)
+class ResourceCapacity:
+    """Capacity of a physical host (or of a VM's virtual hardware).
+
+    Parameters
+    ----------
+    cpu_cores:
+        Number of CPU cores (may be fractional for capped VMs).
+    cpu_mhz:
+        Clock speed, reported as the ``cpu_speed`` metric.
+    mem_mb:
+        Physical memory in megabytes.
+    disk_blocks_per_s:
+        Aggregate block-device bandwidth in blocks/second.
+    net_bytes_per_s:
+        NIC bandwidth in bytes/second (full duplex: applies independently
+        to the receive and transmit directions).
+    disk_total_gb:
+        Disk capacity, reported as the ``disk_total`` metric.
+    """
+
+    cpu_cores: float = 2.0
+    cpu_mhz: float = 1800.0
+    mem_mb: float = 1024.0
+    # IDE-era disk: one PostMark instance (~1000 blocks/s) uses most of it,
+    # so co-located I/O jobs contend, as in the paper's testbed.
+    disk_blocks_per_s: float = 1400.0
+    net_bytes_per_s: float = 125_000_000.0  # Gigabit Ethernet
+    disk_total_gb: float = 40.0
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_cores", "cpu_mhz", "mem_mb", "disk_blocks_per_s", "net_bytes_per_s", "disk_total_gb"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+
+    #: Clock speed all CPU demands are expressed against: one demanded
+    #: "core" means one fully busy core of a 1.8 GHz reference host.
+    REFERENCE_MHZ = 1800.0
+
+    @property
+    def reference_cores(self) -> float:
+        """CPU capacity in reference-clock core units.
+
+        A 2.4 GHz dual-CPU host provides 2 × 2400/1800 ≈ 2.67 reference
+        cores — faster hosts absorb more demand, as in the paper's
+        heterogeneous testbed.
+        """
+        return self.cpu_cores * self.cpu_mhz / self.REFERENCE_MHZ
+
+    def scaled(self, factor: float) -> "ResourceCapacity":
+        """Return a capacity with all rate resources scaled by *factor*."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            cpu_cores=self.cpu_cores * factor,
+            disk_blocks_per_s=self.disk_blocks_per_s * factor,
+            net_bytes_per_s=self.net_bytes_per_s * factor,
+        )
+
+
+@dataclass(frozen=True)
+class ResourceDemand:
+    """Per-second resource demand of one running application instance.
+
+    All fields are rates at *full-speed* execution; the allocator scales
+    actual consumption down when the host is oversubscribed.
+
+    Parameters
+    ----------
+    cpu_user, cpu_system:
+        Cores of user-/system-mode CPU demanded.  A single-threaded
+        application demands at most 1.0 total.
+    io_bi, io_bo:
+        Blocks/second read from / written to the block device
+        (application file I/O, excluding paging).
+    net_in, net_out:
+        Bytes/second received / transmitted.
+    swap_in, swap_out:
+        Paging traffic in kB/s.  Added by the VM's memory model, not
+        usually by workloads directly.
+    io_cached:
+        *Logical* file I/O (blocks/s) that a healthy OS buffer cache
+        absorbs almost entirely; when memory pressure collapses the cache
+        (the paper observed it shrink from 200 MB to 1 MB), this traffic
+        hits the physical disk instead.  The VM's memory model performs
+        the conversion — the allocator never sees this field directly.
+    mem_mb:
+        Resident working-set size while this demand is active.
+    """
+
+    cpu_user: float = 0.0
+    cpu_system: float = 0.0
+    io_bi: float = 0.0
+    io_bo: float = 0.0
+    net_in: float = 0.0
+    net_out: float = 0.0
+    swap_in: float = 0.0
+    swap_out: float = 0.0
+    io_cached: float = 0.0
+    mem_mb: float = 0.0
+    #: Memory access locality: 1.0 = random touching of the whole working
+    #: set (thrashes when it overflows RAM — Pagebench); lower values =
+    #: streaming/sequential access that refaults more gently.  Scales the
+    #: pressure-induced swap *rate* only, not the execution slowdown.
+    paging_intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
+        if self.paging_intensity > 1.0:
+            raise ValueError(f"paging_intensity must be in [0, 1], got {self.paging_intensity}")
+
+    # -- aggregate views used by the allocator ------------------------
+    @property
+    def cpu(self) -> float:
+        """Total CPU cores demanded."""
+        return self.cpu_user + self.cpu_system
+
+    @property
+    def disk(self) -> float:
+        """Total block-device bandwidth demanded (blocks/s), incl. paging."""
+        return self.io_bi + self.io_bo + (self.swap_in + self.swap_out) * BLOCKS_PER_SWAP_KB
+
+    @property
+    def net(self) -> float:
+        """Total network bandwidth demanded (bytes/s, both directions)."""
+        return self.net_in + self.net_out
+
+    def is_idle(self) -> bool:
+        """True when no rate resource is demanded."""
+        return self.cpu == 0 and self.disk == 0 and self.net == 0
+
+    def scaled(self, factor: float) -> "ResourceDemand":
+        """Return this demand with every rate scaled by *factor* ≥ 0.
+
+        Memory (a capacity, not a rate) is left unchanged.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return ResourceDemand(
+            cpu_user=self.cpu_user * factor,
+            cpu_system=self.cpu_system * factor,
+            io_bi=self.io_bi * factor,
+            io_bo=self.io_bo * factor,
+            net_in=self.net_in * factor,
+            net_out=self.net_out * factor,
+            swap_in=self.swap_in * factor,
+            swap_out=self.swap_out * factor,
+            io_cached=self.io_cached * factor,
+            mem_mb=self.mem_mb,
+            paging_intensity=self.paging_intensity,
+        )
+
+    def plus(self, other: "ResourceDemand") -> "ResourceDemand":
+        """Return the field-wise sum of two demands (memory adds too)."""
+        return ResourceDemand(
+            cpu_user=self.cpu_user + other.cpu_user,
+            cpu_system=self.cpu_system + other.cpu_system,
+            io_bi=self.io_bi + other.io_bi,
+            io_bo=self.io_bo + other.io_bo,
+            net_in=self.net_in + other.net_in,
+            net_out=self.net_out + other.net_out,
+            swap_in=self.swap_in + other.swap_in,
+            swap_out=self.swap_out + other.swap_out,
+            io_cached=self.io_cached + other.io_cached,
+            mem_mb=self.mem_mb + other.mem_mb,
+            paging_intensity=max(self.paging_intensity, other.paging_intensity),
+        )
+
+
+@dataclass(frozen=True)
+class ResourceGrant:
+    """Resources actually granted to one instance for one tick.
+
+    ``fraction`` is the instance's progress rate for the tick: the
+    fraction of full-speed execution it achieved (product of the
+    bottleneck resource share and the virtualization-interference
+    efficiency).  The rate fields record actual consumption, used to
+    advance the VM's kernel counters.
+    """
+
+    fraction: float
+    cpu_user: float = 0.0
+    cpu_system: float = 0.0
+    io_bi: float = 0.0
+    io_bo: float = 0.0
+    net_in: float = 0.0
+    net_out: float = 0.0
+    swap_in: float = 0.0
+    swap_out: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"grant fraction must be in [0, 1], got {self.fraction}")
+        for name in ("cpu_user", "cpu_system", "io_bi", "io_bo", "net_in", "net_out", "swap_in", "swap_out"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @classmethod
+    def from_demand(cls, demand: ResourceDemand, fraction: float) -> "ResourceGrant":
+        """Grant *demand* scaled by *fraction* (the common proportional case)."""
+        return cls(
+            fraction=fraction,
+            cpu_user=demand.cpu_user * fraction,
+            cpu_system=demand.cpu_system * fraction,
+            io_bi=demand.io_bi * fraction,
+            io_bo=demand.io_bo * fraction,
+            net_in=demand.net_in * fraction,
+            net_out=demand.net_out * fraction,
+            swap_in=demand.swap_in * fraction,
+            swap_out=demand.swap_out * fraction,
+        )
+
+    @classmethod
+    def idle(cls) -> "ResourceGrant":
+        """Full-speed grant for an instance that demanded nothing.
+
+        Idle/think phases progress in wall-clock time regardless of host
+        load, so their fraction is 1.
+        """
+        return cls(fraction=1.0)

@@ -1,0 +1,92 @@
+"""VMPlant service: template registration, cloning, and instantiation.
+
+Problem-solving environments submit requests to VMPlant, which clones an
+application-specific virtual machine from a DAG-configured template and
+instantiates it on a physical host.  The classifier was designed for VMs
+produced this way: each application runs in a dedicated clone, so the VM's
+metrics reflect exactly one application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cluster import Cluster
+from .dag import ConfigDAG, VMSpec, set_memory
+from .machine import VirtualMachine
+
+
+@dataclass
+class CloneRequest:
+    """A request to clone a template onto a host.
+
+    Parameters
+    ----------
+    template:
+        Registered template name.
+    host:
+        Target physical host name.
+    vm_name:
+        Name for the new VM; auto-generated when ``None``.
+    mem_mb:
+        Optional memory override (applied after the template DAG, mirroring
+        VMPlant's ability to specialize clones per request).
+    """
+
+    template: str
+    host: str
+    vm_name: str | None = None
+    mem_mb: float | None = None
+
+
+@dataclass
+class VMPlant:
+    """Automated creation and configuration of application-centric VMs."""
+
+    cluster: Cluster
+    templates: dict[str, ConfigDAG] = field(default_factory=dict)
+    _clone_counter: int = 0
+
+    def register_template(self, name: str, dag: ConfigDAG) -> None:
+        """Register a VM template.
+
+        Raises
+        ------
+        ValueError
+            If the name is already registered.
+        """
+        if name in self.templates:
+            raise ValueError(f"template {name!r} already registered")
+        self.templates[name] = dag
+
+    def materialize_spec(self, request: CloneRequest) -> VMSpec:
+        """Resolve a clone request to a concrete :class:`VMSpec`.
+
+        Raises
+        ------
+        KeyError
+            If the template is unknown.
+        """
+        try:
+            dag = self.templates[request.template]
+        except KeyError:
+            raise KeyError(
+                f"unknown template {request.template!r}; "
+                f"registered: {sorted(self.templates)}"
+            ) from None
+        spec = dag.materialize()
+        if request.mem_mb is not None:
+            spec = set_memory(request.mem_mb).apply(spec)
+        return spec
+
+    def clone(self, request: CloneRequest) -> VirtualMachine:
+        """Clone a template and instantiate the VM on the requested host.
+
+        Returns the newly attached :class:`VirtualMachine`.
+        """
+        spec = self.materialize_spec(request)
+        self._clone_counter += 1
+        vm_name = request.vm_name or f"{request.template}-clone{self._clone_counter}"
+        return self.cluster.create_vm(
+            request.host, vm_name, mem_mb=spec.mem_mb, vcpus=spec.vcpus
+        )

@@ -1,0 +1,83 @@
+"""Synthetic workload models for the paper's benchmark applications.
+
+Phase-structured substitutes for SPECseis96, SimpleScalar, CH3D, PostMark
+(local and NFS), Pagebench, Bonnie, Stream, Ettcp, NetPIPE, Autobench,
+sftp, VMD, XSpim and the idle state (paper Table 2).  See DESIGN.md §2
+for the substitution rationale.
+"""
+
+from .base import (
+    Phase,
+    Workload,
+    WorkloadInstance,
+    constant_workload,
+    cycle_phases,
+    scaled_workload,
+)
+from .catalog import (
+    TEST_RUNS,
+    TRAINING_SET,
+    CatalogEntry,
+    all_keys,
+    entry,
+    test_entries,
+    training_entries,
+)
+from .cpu import SPECSEIS_DURATIONS, ch3d, simplescalar, specseis96
+from .idle import idle
+from .interactive import vmd, xspim
+from .io import bonnie, pagebench, postmark, stream
+from .traces import ReplayOptions, workload_from_series
+from .synth import (
+    GENERATABLE_CLASSES,
+    SynthesisConfig,
+    generate_suite,
+    generate_workload,
+)
+from .network import (
+    DEFAULT_SERVER_VM,
+    autobench,
+    ettcp,
+    netpipe,
+    postmark_nfs,
+    sftp,
+)
+
+__all__ = [
+    "Phase",
+    "Workload",
+    "WorkloadInstance",
+    "constant_workload",
+    "cycle_phases",
+    "scaled_workload",
+    "TEST_RUNS",
+    "TRAINING_SET",
+    "CatalogEntry",
+    "all_keys",
+    "entry",
+    "test_entries",
+    "training_entries",
+    "SPECSEIS_DURATIONS",
+    "ch3d",
+    "simplescalar",
+    "specseis96",
+    "idle",
+    "vmd",
+    "xspim",
+    "bonnie",
+    "pagebench",
+    "postmark",
+    "stream",
+    "ReplayOptions",
+    "workload_from_series",
+    "GENERATABLE_CLASSES",
+    "SynthesisConfig",
+    "generate_suite",
+    "generate_workload",
+    "DEFAULT_SERVER_VM",
+    "autobench",
+    "ettcp",
+    "netpipe",
+    "postmark_nfs",
+    "sftp",
+]

@@ -1,0 +1,264 @@
+"""Phase-structured workload model.
+
+Each benchmark application from the paper's Table 2 is modelled as a
+:class:`Workload`: an ordered sequence of :class:`Phase` objects, each
+demanding resources at fixed full-speed rates for a given amount of
+*solo-execution* time (the paper's "work").  At run time a
+:class:`WorkloadInstance` steps through its phases; when the host is
+oversubscribed (or the VM is paging), the execution engine grants only a
+fraction of full speed and the phase takes proportionally longer — which
+is how co-location contention stretches runtimes and how memory pressure
+reshapes an application's resource-consumption pattern.
+
+The model is deliberately *application-agnostic*: the classifier never
+sees phases, only the metric time series the monitoring substrate derives
+from granted resources.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..vm.resources import ResourceDemand
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase of a workload.
+
+    Parameters
+    ----------
+    name:
+        Phase label (for traces and tests; invisible to the classifier).
+    demand:
+        Full-speed resource demand while the phase runs.
+    work:
+        Seconds of *solo* execution the phase requires.  Under a grant
+        fraction ``f`` the phase advances ``f`` seconds of work per
+        wall-clock second.
+    remote_vm:
+        For network phases: name of the VM running the server side.  The
+        engine mirrors the network demand onto that VM's host NIC and
+        couples the grant to the slower end.
+    """
+
+    name: str
+    demand: ResourceDemand
+    work: float
+    remote_vm: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError(f"phase {self.name!r} must have positive work, got {self.work}")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete application model: named, ordered phases.
+
+    Parameters
+    ----------
+    name:
+        Application name (e.g. ``"postmark"``).
+    phases:
+        The execution phases, in order.
+    description:
+        One-line description (mirrors paper Table 2).
+    expected_class:
+        The application class the paper reports for this program, as a
+        string label (used by tests and reports, never by the classifier).
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+    description: str = ""
+    expected_class: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError(f"workload {self.name!r} needs at least one phase")
+
+    @property
+    def solo_duration(self) -> float:
+        """Total solo-execution time (sum of phase work)."""
+        return sum(p.work for p in self.phases)
+
+    def max_working_set_mb(self) -> float:
+        """Largest working set across phases (drives the memory model)."""
+        return max(p.demand.mem_mb for p in self.phases)
+
+    def iter_phases(self) -> Iterator[Phase]:
+        return iter(self.phases)
+
+
+class WorkloadInstance:
+    """Run-time state of one job executing a workload.
+
+    The engine drives instances with :meth:`current_phase` /
+    :meth:`advance`.  With ``loop=True`` the instance restarts from its
+    first phase on completion and counts completions — used by the
+    throughput experiments where each VM slot continuously re-runs its
+    job.
+    """
+
+    def __init__(self, workload: Workload, vm_name: str, start_time: float = 0.0, loop: bool = False) -> None:
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        self.workload = workload
+        self.vm_name = vm_name
+        self.start_time = float(start_time)
+        self.loop = bool(loop)
+        self._phase_index = 0
+        self._phase_progress = 0.0
+        self.completions = 0
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        #: Checkpoint/restart downtime: the instance is inactive until
+        #: this time (set by the engine's migration support).
+        self.paused_until: float = 0.0
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once a non-looping instance has finished all phases."""
+        return not self.loop and self._phase_index >= len(self.workload.phases)
+
+    def has_started(self, t: float) -> bool:
+        """True when the instance is active at simulation time *t*.
+
+        Inactive while a migration checkpoint/restart is in flight.
+        """
+        return t >= self.start_time and t >= self.paused_until and not self.done
+
+    def current_phase(self) -> Phase:
+        """Return the phase currently executing.
+
+        Raises
+        ------
+        RuntimeError
+            If the instance has already completed.
+        """
+        if self.done:
+            raise RuntimeError(f"instance of {self.workload.name!r} has completed")
+        return self.workload.phases[self._phase_index]
+
+    def current_demand(self) -> ResourceDemand:
+        """Full-speed demand of the current phase."""
+        return self.current_phase().demand
+
+    def progress_fraction(self) -> float:
+        """Fraction of one full workload pass completed (in [0, 1))."""
+        if self.done:
+            return 0.0
+        total = self.workload.solo_duration
+        before = sum(p.work for p in self.workload.phases[: self._phase_index])
+        return (before + self._phase_progress) / total
+
+    def total_jobs(self) -> float:
+        """Completed passes plus the fractional progress of the current one."""
+        return self.completions + self.progress_fraction()
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+    def advance(self, granted_fraction: float, dt: float, now: float) -> None:
+        """Advance execution by *dt* wall-clock seconds at *granted_fraction* speed.
+
+        Handles phase boundaries (including several in one tick) and
+        completion/looping bookkeeping.
+        """
+        if self.done:
+            raise RuntimeError("cannot advance a completed instance")
+        if not 0.0 <= granted_fraction <= 1.0:
+            raise ValueError(f"granted fraction must be in [0, 1], got {granted_fraction}")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.started_at is None:
+            self.started_at = now
+        remaining_work = granted_fraction * dt
+        while remaining_work > 0 and not self.done:
+            phase = self.workload.phases[self._phase_index]
+            needed = phase.work - self._phase_progress
+            step = min(needed, remaining_work)
+            self._phase_progress += step
+            remaining_work -= step
+            if self._phase_progress >= phase.work - 1e-12:
+                self._phase_index += 1
+                self._phase_progress = 0.0
+                if self._phase_index >= len(self.workload.phases):
+                    self.completions += 1
+                    self.finished_at = now + dt
+                    if self.loop:
+                        self._phase_index = 0
+                    else:
+                        break
+
+    def elapsed(self) -> float | None:
+        """Wall-clock runtime of the (first) completed pass, if finished."""
+        if self.finished_at is None or self.started_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+def constant_workload(
+    name: str,
+    demand: ResourceDemand,
+    duration: float,
+    description: str = "",
+    expected_class: str = "",
+    remote_vm: str | None = None,
+) -> Workload:
+    """Build a single-phase workload with constant demand (test helper)."""
+    return Workload(
+        name=name,
+        phases=(Phase(name="main", demand=demand, work=duration, remote_vm=remote_vm),),
+        description=description,
+        expected_class=expected_class,
+    )
+
+
+def cycle_phases(prefix: str, cycle: Sequence[Phase], repeats: int) -> tuple[Phase, ...]:
+    """Repeat a phase cycle *repeats* times with numbered names.
+
+    Used by multi-stage applications (e.g. SPECseis96's alternating
+    compute/stress stages).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    out: list[Phase] = []
+    for r in range(repeats):
+        for p in cycle:
+            out.append(
+                Phase(
+                    name=f"{prefix}{r}-{p.name}",
+                    demand=p.demand,
+                    work=p.work,
+                    remote_vm=p.remote_vm,
+                )
+            )
+    return tuple(out)
+
+
+def scaled_workload(workload: Workload, duration: float) -> Workload:
+    """Return *workload* with phase works rescaled to a new total duration.
+
+    Demand rates are untouched — the job simply runs longer or shorter
+    (e.g. different benchmark input sizes).
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    factor = duration / workload.solo_duration
+    phases = tuple(
+        Phase(name=p.name, demand=p.demand, work=p.work * factor, remote_vm=p.remote_vm)
+        for p in workload.phases
+    )
+    return Workload(
+        name=workload.name,
+        phases=phases,
+        description=workload.description,
+        expected_class=workload.expected_class,
+    )

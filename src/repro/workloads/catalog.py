@@ -1,0 +1,228 @@
+"""Application catalog — the paper's Table 2 and Table 3 experiment list.
+
+Two registries are exposed:
+
+* :data:`TRAINING_SET` — the four training applications plus the idle
+  state, each defining one snapshot class (paper §4.2.3).
+* :data:`TEST_RUNS` — the fourteen test runs of Table 3, including the
+  SPECseis96 A/B/C input-size/VM-memory variants and the PostMark local
+  vs NFS environment variants.
+
+Entries are *factories*: calling :meth:`CatalogEntry.build` constructs a
+fresh :class:`~repro.workloads.base.Workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .base import Workload
+from .cpu import ch3d, simplescalar, specseis96
+from .idle import idle
+from .interactive import vmd, xspim
+from .io import bonnie, pagebench, postmark, stream
+from .network import autobench, ettcp, netpipe, postmark_nfs, sftp
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One row of the application catalog.
+
+    Parameters
+    ----------
+    key:
+        Unique catalog key (e.g. ``"specseis96-B"``).
+    factory:
+        Zero-argument callable building the workload.
+    expected_behavior:
+        Table 2's "Expected Behavior" column (application-level class
+        grouping, e.g. ``"IO & Paging Intensive"``).
+    training_class:
+        For training entries: the snapshot class label this application
+        defines.  ``None`` for test-only entries.
+    vm_mem_mb:
+        VM memory for the profiling run (Table 3 footnotes: 256 MB except
+        SPECseis96 B's 32 MB VM).
+    uses_network_server:
+        True when the workload needs a server VM in the cluster.
+    notes:
+        Free-form provenance (paper footnotes).
+    """
+
+    key: str
+    factory: Callable[[], Workload]
+    expected_behavior: str
+    training_class: str | None = None
+    vm_mem_mb: float = 256.0
+    uses_network_server: bool = False
+    notes: str = ""
+
+    def build(self) -> Workload:
+        """Construct a fresh workload instance."""
+        return self.factory()
+
+
+#: Training applications (paper §4.2.3): each defines one snapshot class.
+TRAINING_SET: tuple[CatalogEntry, ...] = (
+    CatalogEntry(
+        key="train-specseis96",
+        factory=lambda: specseis96("small"),
+        expected_behavior="CPU Intensive",
+        training_class="CPU",
+        notes="SPECseis96 represents the CPU-intensive class",
+    ),
+    CatalogEntry(
+        key="train-postmark",
+        factory=postmark,
+        expected_behavior="IO & Paging Intensive",
+        training_class="IO",
+        notes="PostMark represents the IO-intensive class",
+    ),
+    CatalogEntry(
+        key="train-pagebench",
+        # 120 s of solo work stretches to ~300 s of wall-clock under
+        # paging, keeping the training pool balanced across classes.
+        factory=lambda: pagebench(duration=120.0),
+        expected_behavior="IO & Paging Intensive",
+        training_class="MEM",
+        notes="Pagebench represents the paging-intensive class",
+    ),
+    CatalogEntry(
+        key="train-ettcp",
+        factory=ettcp,
+        expected_behavior="Network Intensive",
+        training_class="NET",
+        uses_network_server=True,
+        notes="Ettcp represents the network-intensive class",
+    ),
+    CatalogEntry(
+        key="train-idle",
+        factory=idle,
+        expected_behavior="Idle",
+        training_class="IDLE",
+        notes="Background daemons only",
+    ),
+)
+
+#: Test runs of paper Table 3, in the paper's row order.
+TEST_RUNS: tuple[CatalogEntry, ...] = (
+    CatalogEntry(
+        key="specseis96-A",
+        factory=lambda: specseis96("medium"),
+        expected_behavior="CPU Intensive",
+        vm_mem_mb=256.0,
+        notes="SPECseis96 medium data in a 256 MB VM",
+    ),
+    CatalogEntry(
+        key="specseis96-C",
+        factory=lambda: specseis96("small"),
+        expected_behavior="CPU Intensive",
+        vm_mem_mb=256.0,
+        notes="SPECseis96 small data in a 256 MB VM",
+    ),
+    CatalogEntry(
+        key="ch3d",
+        factory=lambda: ch3d(duration=225.0),
+        expected_behavior="CPU Intensive",
+        notes="45 samples in the paper's Table 3",
+    ),
+    CatalogEntry(
+        key="simplescalar",
+        factory=simplescalar,
+        expected_behavior="CPU Intensive",
+    ),
+    CatalogEntry(
+        key="postmark",
+        factory=postmark,
+        expected_behavior="IO & Paging Intensive",
+    ),
+    CatalogEntry(
+        key="bonnie",
+        factory=bonnie,
+        expected_behavior="IO & Paging Intensive",
+    ),
+    CatalogEntry(
+        key="specseis96-B",
+        factory=lambda: specseis96("medium"),
+        expected_behavior="IO & Paging Intensive",
+        vm_mem_mb=32.0,
+        notes="SPECseis96 medium data in a 32 MB VM (paging variant)",
+    ),
+    CatalogEntry(
+        key="stream",
+        factory=stream,
+        expected_behavior="IO & Paging Intensive",
+    ),
+    CatalogEntry(
+        key="postmark-nfs",
+        factory=postmark_nfs,
+        expected_behavior="Network Intensive",
+        uses_network_server=True,
+        notes="PostMark with an NFS-mounted working directory",
+    ),
+    CatalogEntry(
+        key="netpipe",
+        factory=netpipe,
+        expected_behavior="Network Intensive",
+        uses_network_server=True,
+    ),
+    CatalogEntry(
+        key="autobench",
+        factory=autobench,
+        expected_behavior="Network Intensive",
+        uses_network_server=True,
+    ),
+    CatalogEntry(
+        key="sftp",
+        factory=sftp,
+        expected_behavior="Network Intensive",
+        uses_network_server=True,
+    ),
+    CatalogEntry(
+        key="vmd",
+        factory=vmd,
+        expected_behavior="Idle + Others",
+        uses_network_server=True,
+        notes="Interactive: idle / IO / NET mix",
+    ),
+    CatalogEntry(
+        key="xspim",
+        factory=xspim,
+        expected_behavior="Idle + Others",
+        notes="Interactive: idle / IO mix",
+    ),
+)
+
+_ALL: dict[str, CatalogEntry] = {e.key: e for e in TRAINING_SET + TEST_RUNS}
+if len(_ALL) != len(TRAINING_SET) + len(TEST_RUNS):
+    raise RuntimeError("duplicate catalog keys")
+
+
+def entry(key: str) -> CatalogEntry:
+    """Look up a catalog entry by key.
+
+    Raises
+    ------
+    KeyError
+        If the key is unknown.
+    """
+    try:
+        return _ALL[key]
+    except KeyError:
+        raise KeyError(f"unknown catalog key {key!r}; known: {sorted(_ALL)}") from None
+
+
+def training_entries() -> tuple[CatalogEntry, ...]:
+    """The training set in class-definition order."""
+    return TRAINING_SET
+
+
+def test_entries() -> tuple[CatalogEntry, ...]:
+    """The Table 3 test runs in paper row order."""
+    return TEST_RUNS
+
+
+def all_keys() -> list[str]:
+    """All catalog keys (training first, then test runs)."""
+    return list(_ALL)

@@ -1,0 +1,142 @@
+"""CPU-intensive application models (paper Table 2, CPU class).
+
+* **SPECseis96** — a seismic processing application.  Modelled as a short
+  I/O-bound initialization stage followed by alternating *compute* (small
+  working set) and *stress* (large working set) stages.  On a 256 MB VM
+  both stage kinds are CPU-bound; on a 32 MB VM the stress stages page
+  heavily, reproducing the paper's SPECseis96 B class shift
+  (CPU → CPU/IO/paging mix) and runtime stretch.
+* **SimpleScalar** — a computer architecture simulator: pure user-mode CPU.
+* **CH3D** — a curvilinear-grid hydrodynamics model: CPU-bound with
+  periodic small result writes.
+"""
+
+from __future__ import annotations
+
+from ..vm.resources import ResourceDemand
+from .base import Phase, Workload, cycle_phases
+
+#: Working set of SPECseis96 compute stages: one in-core trace slab,
+#: small enough to fit even the 32 MB VM of the paper's B experiment
+#: (whose ~50% clean-CPU snapshots imply the kernels do not page).
+_SEIS_COMPUTE_WS_MB = 7.0
+#: Working set of the stress stages scales with the input data size:
+#: the medium dataset overflows a 32 MB VM massively (the B experiment);
+#: the small dataset still fits a 256 MB VM next to two small co-runner
+#: jobs (the paper's SPN schedule shows no paging).
+_SEIS_STRESS_WS_MB = {"small": 110.0, "medium": 210.0}
+
+#: Solo durations per input size (seconds).  "medium" matches the paper's
+#: 291 min 42 s run on VM1; "small" matches the ~480 s runs used in the
+#: scheduling experiments.
+SPECSEIS_DURATIONS = {"small": 480.0, "medium": 17502.0}
+
+
+def specseis96(size: str = "small") -> Workload:
+    """SPECseis96 seismic processing, with *size* ∈ {"small", "medium"}.
+
+    Raises
+    ------
+    ValueError
+        For an unknown input size.
+    """
+    if size not in SPECSEIS_DURATIONS:
+        raise ValueError(f"unknown SPECseis96 size {size!r}; choose from {sorted(SPECSEIS_DURATIONS)}")
+    total = SPECSEIS_DURATIONS[size]
+    init_work = min(12.0, total * 0.02)
+    body = total - init_work
+    # 73% of solo work is small-working-set compute, 27% stresses the
+    # full seismic dataset.  Calibrated so the 32 MB VM run shows the
+    # paper's ~50% CPU / ~43% I/O / ~7% paging mix and ~1.46x stretch.
+    repeats = 10 if size == "small" else 40
+    compute_work = body * 0.73 / repeats
+    stress_work = body * 0.27 / repeats
+    init = Phase(
+        name="init-io",
+        demand=ResourceDemand(cpu_user=0.15, cpu_system=0.10, io_bi=380.0, io_bo=550.0, mem_mb=40.0),
+        work=init_work,
+    )
+    cycle = (
+        Phase(
+            name="compute",
+            demand=ResourceDemand(
+                cpu_user=0.95,
+                cpu_system=0.03,
+                io_bi=2.0,
+                io_bo=3.0,
+                io_cached=25.0,
+                mem_mb=_SEIS_COMPUTE_WS_MB,
+            ),
+            work=compute_work,
+        ),
+        # The stress stages sweep the full seismic trace dataset: lots of
+        # logical file I/O that the buffer cache absorbs on a 256 MB VM
+        # but that hammers the disk when the cache collapses (paper's
+        # SPECseis96 B observation).
+        Phase(
+            name="stress",
+            demand=ResourceDemand(
+                cpu_user=0.92,
+                cpu_system=0.05,
+                io_bi=4.0,
+                io_bo=6.0,
+                io_cached=380.0,
+                mem_mb=_SEIS_STRESS_WS_MB[size],
+                # Sequential sweep over the dataset: refaults gently
+                # instead of thrashing.
+                paging_intensity=0.3,
+            ),
+            work=stress_work,
+        ),
+    )
+    return Workload(
+        name=f"specseis96-{size}",
+        phases=(init,) + cycle_phases("stage", cycle, repeats),
+        description="SPECseis96 seismic processing application",
+        expected_class="CPU",
+    )
+
+
+def simplescalar(duration: float = 310.0) -> Workload:
+    """SimpleScalar out-of-order processor simulation: pure user CPU."""
+    return Workload(
+        name="simplescalar",
+        phases=(
+            Phase(
+                name="simulate",
+                demand=ResourceDemand(cpu_user=0.97, cpu_system=0.02, io_bi=1.0, io_bo=1.0, mem_mb=48.0),
+                work=duration,
+            ),
+        ),
+        description="SimpleScalar computer architecture simulation tool",
+        expected_class="CPU",
+    )
+
+
+def ch3d(duration: float = 488.0) -> Workload:
+    """CH3D curvilinear-grid hydrodynamics 3D model.
+
+    CPU-bound time-stepping with small periodic writes of model output.
+    Default duration matches the paper's Table 4 sequential run (488 s).
+    """
+    repeats = 8
+    step_work = duration * 0.97 / repeats
+    write_work = duration * 0.03 / repeats
+    cycle = (
+        Phase(
+            name="timestep",
+            demand=ResourceDemand(cpu_user=0.96, cpu_system=0.02, mem_mb=90.0),
+            work=step_work,
+        ),
+        Phase(
+            name="write-output",
+            demand=ResourceDemand(cpu_user=0.70, cpu_system=0.08, io_bo=45.0, mem_mb=90.0),
+            work=write_work,
+        ),
+    )
+    return Workload(
+        name="ch3d",
+        phases=cycle_phases("step", cycle, repeats),
+        description="CH3D curvilinear-grid hydrodynamics 3D model",
+        expected_class="CPU",
+    )

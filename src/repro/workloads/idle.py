@@ -1,0 +1,25 @@
+"""The idle "application" (paper Table 2, Idle class).
+
+A machine with no load except background system daemons defines the IDLE
+class.  The workload demands nothing; the monitoring substrate's daemon
+noise model supplies the small residual activity real idle machines show.
+"""
+
+from __future__ import annotations
+
+from ..vm.resources import ResourceDemand
+from .base import Phase, Workload
+
+
+def idle(duration: float = 300.0) -> Workload:
+    """An idle machine observed for *duration* seconds."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return Workload(
+        name="idle",
+        phases=(
+            Phase(name="idle", demand=ResourceDemand(mem_mb=0.0), work=duration),
+        ),
+        description="No application running except background daemons",
+        expected_class="IDLE",
+    )

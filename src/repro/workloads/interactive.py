@@ -1,0 +1,87 @@
+"""Interactive application models (paper Table 2, "Idle + Others").
+
+Interactive programs mix substantial idle (think-time) windows with
+bursts of other activity; the paper uses them to show the classifier
+resolving *mixed* class compositions:
+
+* **VMD** — molecular visualization over a VNC remote display: idle while
+  the user reads, I/O while uploading an input file, network while
+  interacting with the GUI (paper: 37% idle / 41% IO / 22% NET).
+* **XSpim** — MIPS assembly simulator with an X GUI: mostly I/O bursts
+  from loading programs plus idle think time (paper: 22% idle / 78% IO).
+"""
+
+from __future__ import annotations
+
+from ..vm.resources import ResourceDemand
+from .base import Phase, Workload
+from .network import DEFAULT_SERVER_VM
+
+#: Idle (think-time) phases demand nothing; only daemon noise shows up.
+_THINK = ResourceDemand(mem_mb=30.0)
+
+
+def vmd(duration: float = 430.0, display_vm: str = DEFAULT_SERVER_VM) -> Workload:
+    """VMD molecular visualization session over VNC."""
+    f = duration / 430.0
+    phases = (
+        Phase(name="think-1", demand=_THINK, work=60.0 * f),
+        Phase(
+            name="upload-input",
+            demand=ResourceDemand(cpu_user=0.06, cpu_system=0.12, io_bi=150.0, io_bo=680.0, mem_mb=80.0),
+            work=95.0 * f,
+        ),
+        Phase(
+            name="render-interact-1",
+            demand=ResourceDemand(
+                cpu_user=0.10, cpu_system=0.22, net_out=8_500_000.0, net_in=400_000.0, mem_mb=80.0
+            ),
+            work=50.0 * f,
+            remote_vm=display_vm,
+        ),
+        Phase(name="think-2", demand=_THINK, work=55.0 * f),
+        Phase(
+            name="load-trajectory",
+            demand=ResourceDemand(cpu_user=0.08, cpu_system=0.10, io_bi=720.0, io_bo=90.0, mem_mb=110.0),
+            work=80.0 * f,
+        ),
+        Phase(
+            name="render-interact-2",
+            demand=ResourceDemand(
+                cpu_user=0.09, cpu_system=0.20, net_out=7_000_000.0, net_in=350_000.0, mem_mb=110.0
+            ),
+            work=45.0 * f,
+            remote_vm=display_vm,
+        ),
+        Phase(name="think-3", demand=_THINK, work=45.0 * f),
+    )
+    return Workload(
+        name="vmd",
+        phases=phases,
+        description="VMD molecular visualization program over a VNC remote display",
+        expected_class="MIXED",
+    )
+
+
+def xspim(duration: float = 45.0) -> Workload:
+    """XSpim MIPS simulator GUI session."""
+    f = duration / 45.0
+    phases = (
+        Phase(name="think", demand=_THINK, work=10.0 * f),
+        Phase(
+            name="load-program",
+            demand=ResourceDemand(cpu_user=0.08, cpu_system=0.12, io_bi=520.0, io_bo=260.0, mem_mb=30.0),
+            work=20.0 * f,
+        ),
+        Phase(
+            name="step-and-display",
+            demand=ResourceDemand(cpu_user=0.10, cpu_system=0.10, io_bi=300.0, io_bo=380.0, mem_mb=30.0),
+            work=15.0 * f,
+        ),
+    )
+    return Workload(
+        name="xspim",
+        phases=phases,
+        description="XSpim MIPS assembly language simulator with X-Windows GUI",
+        expected_class="MIXED",
+    )

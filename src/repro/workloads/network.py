@@ -1,0 +1,204 @@
+"""Network-intensive application models (paper Table 2, NET class).
+
+All network workloads name a *remote VM* that runs the server side (the
+paper used a second, identically configured VM for this).  The execution
+engine mirrors the traffic onto the server host's NIC and couples the
+grant to the slower end, so co-located network jobs — or several clients
+sharing one server — contend realistically.
+"""
+
+from __future__ import annotations
+
+from ..vm.resources import ResourceDemand
+from .base import Phase, Workload
+
+#: Default name of the VM hosting server-side benchmark processes.
+DEFAULT_SERVER_VM = "VM4"
+
+
+def ettcp(duration: float = 240.0, server_vm: str = DEFAULT_SERVER_VM) -> Workload:
+    """Ettcp TCP/UDP throughput benchmark (training app for the NET class).
+
+    Sweeps socket-buffer/message sizes, so the achieved rate ranges from a
+    few MB/s (small buffers, per-message overhead dominates) up to NIC
+    saturation — the NET training cluster must span this whole range for
+    moderate-rate network applications (sftp, VNC sessions) to classify
+    correctly.
+    """
+    sweep = (
+        ("tcp-4k", 4_000_000.0, 0.30),
+        ("tcp-16k", 12_000_000.0, 0.28),
+        ("tcp-64k", 25_000_000.0, 0.26),
+        ("tcp-256k", 40_000_000.0, 0.24),
+        ("udp-stream", 54_000_000.0, 0.22),
+    )
+    phases = tuple(
+        Phase(
+            name=name,
+            demand=ResourceDemand(
+                cpu_user=0.05,
+                cpu_system=cpu_sys,
+                net_out=rate,
+                net_in=rate * 0.03,
+                mem_mb=24.0,
+            ),
+            work=duration / len(sweep),
+            remote_vm=server_vm,
+        )
+        for name, rate, cpu_sys in sweep
+    )
+    return Workload(
+        name="ettcp",
+        phases=phases,
+        description="Ettcp network throughput benchmark over TCP/UDP",
+        expected_class="NET",
+    )
+
+
+def netpipe(duration: float = 300.0, server_vm: str = DEFAULT_SERVER_VM) -> Workload:
+    """NetPIPE protocol-independent network performance sweep.
+
+    Sweeps message sizes: small messages are latency-bound (low
+    bandwidth, some CPU), large messages saturate the NIC.  Includes the
+    brief startup I/O and idle handshake windows behind the paper's ~4%
+    idle and ~4% IO snapshots.
+    """
+    setup = Phase(
+        name="setup",
+        demand=ResourceDemand(cpu_user=0.08, cpu_system=0.10, io_bi=220.0, io_bo=120.0, mem_mb=20.0),
+        work=duration * 0.04,
+    )
+    handshake = Phase(
+        name="handshake",
+        demand=ResourceDemand(mem_mb=20.0),
+        work=duration * 0.04,
+    )
+    small = Phase(
+        name="small-messages",
+        demand=ResourceDemand(
+            cpu_user=0.10, cpu_system=0.30, net_out=9_000_000.0, net_in=9_000_000.0, mem_mb=20.0
+        ),
+        work=duration * 0.22,
+        remote_vm=server_vm,
+    )
+    medium = Phase(
+        name="medium-messages",
+        demand=ResourceDemand(
+            cpu_user=0.06, cpu_system=0.26, net_out=30_000_000.0, net_in=4_000_000.0, mem_mb=20.0
+        ),
+        work=duration * 0.30,
+        remote_vm=server_vm,
+    )
+    large = Phase(
+        name="large-messages",
+        demand=ResourceDemand(
+            cpu_user=0.05, cpu_system=0.24, net_out=56_000_000.0, net_in=2_000_000.0, mem_mb=20.0
+        ),
+        work=duration * 0.40,
+        remote_vm=server_vm,
+    )
+    return Workload(
+        name="netpipe",
+        phases=(setup, handshake, small, medium, large),
+        description="NetPIPE protocol independent network performance evaluator",
+        expected_class="NET",
+    )
+
+
+def autobench(duration: float = 860.0, server_vm: str = DEFAULT_SERVER_VM) -> Workload:
+    """Autobench/httperf automated web server benchmark."""
+    return Workload(
+        name="autobench",
+        phases=(
+            Phase(
+                name="http-load",
+                demand=ResourceDemand(
+                    cpu_user=0.12,
+                    cpu_system=0.20,
+                    net_out=3_000_000.0,
+                    net_in=24_000_000.0,
+                    mem_mb=32.0,
+                ),
+                work=duration,
+                remote_vm=server_vm,
+            ),
+        ),
+        description="Autobench: httperf wrapper for automated web server benchmarking",
+        expected_class="NET",
+    )
+
+
+def sftp(duration: float = 230.0, server_vm: str = DEFAULT_SERVER_VM) -> Workload:
+    """Synthetic sftp transfer of a 2 GB file.
+
+    Encryption costs CPU and the file is read from disk, but the NIC
+    stream dominates the snapshot signature (paper: 97.8% NET, 2.2% IO).
+    """
+    read_stage = Phase(
+        name="stat-and-open",
+        demand=ResourceDemand(cpu_user=0.05, cpu_system=0.08, io_bi=420.0, mem_mb=24.0),
+        work=duration * 0.04,
+    )
+    transfer = Phase(
+        name="encrypt-transfer",
+        demand=ResourceDemand(
+            cpu_user=0.30,
+            cpu_system=0.15,
+            io_bi=160.0,
+            net_out=9_500_000.0,
+            net_in=400_000.0,
+            mem_mb=24.0,
+        ),
+        work=duration * 0.96,
+        remote_vm=server_vm,
+    )
+    return Workload(
+        name="sftp",
+        phases=(read_stage, transfer),
+        description="Synthetic sftp transfer of a 2 GB file",
+        expected_class="NET",
+    )
+
+
+def postmark_nfs(duration: float = 280.0, server_vm: str = DEFAULT_SERVER_VM) -> Workload:
+    """PostMark with an NFS-mounted working directory.
+
+    The same small-file transaction mix as :func:`repro.workloads.io.postmark`,
+    but every file operation becomes NFS RPC traffic instead of local
+    block I/O — the environment change that flips the application's class
+    from IO to NET in the paper's Table 3.
+    """
+    setup = Phase(
+        name="create-pool-nfs",
+        demand=ResourceDemand(
+            cpu_user=0.08, cpu_system=0.22, net_out=5_000_000.0, net_in=1_200_000.0, mem_mb=50.0
+        ),
+        work=duration * 0.05,
+        remote_vm=server_vm,
+    )
+    transactions = Phase(
+        name="transactions-nfs",
+        demand=ResourceDemand(
+            cpu_user=0.06,
+            cpu_system=0.18,
+            net_out=5_500_000.0,
+            net_in=6_500_000.0,
+            mem_mb=50.0,
+        ),
+        work=duration * 0.88,
+        remote_vm=server_vm,
+    )
+    cleanup = Phase(
+        name="delete-pool-nfs",
+        demand=ResourceDemand(
+            cpu_user=0.05, cpu_system=0.20, net_out=4_200_000.0, net_in=900_000.0, mem_mb=50.0
+        ),
+        work=duration * 0.07,
+        remote_vm=server_vm,
+    )
+    return Workload(
+        name="postmark-nfs",
+        phases=(setup, transactions, cleanup),
+        description="PostMark benchmark with an NFS-mounted working directory",
+        expected_class="NET",
+    )

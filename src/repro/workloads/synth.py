@@ -1,0 +1,171 @@
+"""Seeded random workload generation for generalization testing.
+
+The paper evaluates on fifteen hand-modelled applications; a downstream
+user will run programs nobody modelled.  This generator produces random
+phase-structured workloads with a *known intended dominant class* —
+demand rates drawn from class-typical ranges plus cross-class pollution
+phases — so the classifier's generalization beyond the Table 2 suite can
+be measured (see ``benchmarks/bench_ext_generalization.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..vm.resources import ResourceDemand
+from .base import Phase, Workload
+
+#: Generatable dominant classes (IDLE excluded — that's the no-op case).
+GENERATABLE_CLASSES: tuple[str, ...] = ("CPU", "IO", "NET", "MEM")
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Knobs for random workload generation."""
+
+    min_duration_s: float = 120.0
+    max_duration_s: float = 420.0
+    min_phases: int = 2
+    max_phases: int = 6
+    #: Fraction of solo time spent in the dominant class's phases.
+    dominance: float = 0.8
+    #: Server VM used by generated network phases.
+    server_vm: str = "VM4"
+
+    def __post_init__(self) -> None:
+        if not 0.5 < self.dominance <= 1.0:
+            raise ValueError("dominance must be in (0.5, 1]")
+        if self.min_phases < 1 or self.max_phases < self.min_phases:
+            raise ValueError("invalid phase-count bounds")
+        if self.min_duration_s <= 0 or self.max_duration_s < self.min_duration_s:
+            raise ValueError("invalid duration bounds")
+
+
+def _class_demand(kind: str, rng: np.random.Generator, config: SynthesisConfig) -> tuple[ResourceDemand, str | None]:
+    """Draw a demand typical of *kind*; returns (demand, remote_vm)."""
+    if kind == "CPU":
+        return (
+            ResourceDemand(
+                cpu_user=rng.uniform(0.75, 0.98),
+                cpu_system=rng.uniform(0.01, 0.08),
+                io_bi=rng.uniform(0, 8),
+                io_bo=rng.uniform(0, 8),
+                mem_mb=rng.uniform(20, 120),
+            ),
+            None,
+        )
+    if kind == "IO":
+        return (
+            ResourceDemand(
+                cpu_user=rng.uniform(0.03, 0.12),
+                cpu_system=rng.uniform(0.08, 0.2),
+                io_bi=rng.uniform(300, 900),
+                io_bo=rng.uniform(300, 900),
+                mem_mb=rng.uniform(20, 80),
+            ),
+            None,
+        )
+    if kind == "NET":
+        return (
+            ResourceDemand(
+                cpu_user=rng.uniform(0.03, 0.12),
+                cpu_system=rng.uniform(0.15, 0.32),
+                net_out=rng.uniform(4e6, 5.5e7),
+                net_in=rng.uniform(2e5, 4e6),
+                mem_mb=rng.uniform(16, 48),
+            ),
+            config.server_vm,
+        )
+    if kind == "MEM":
+        return (
+            ResourceDemand(
+                cpu_user=rng.uniform(0.15, 0.35),
+                cpu_system=rng.uniform(0.05, 0.12),
+                mem_mb=rng.uniform(340, 520),  # overflows a 256 MB VM
+            ),
+            None,
+        )
+    raise ValueError(f"cannot generate class {kind!r}")
+
+
+def generate_workload(
+    dominant: str,
+    seed: int,
+    config: SynthesisConfig | None = None,
+) -> Workload:
+    """Generate one random workload whose intended class is *dominant*.
+
+    Raises
+    ------
+    ValueError
+        For an unknown dominant class.
+    """
+    if dominant not in GENERATABLE_CLASSES:
+        raise ValueError(
+            f"dominant must be one of {GENERATABLE_CLASSES}, got {dominant!r}"
+        )
+    config = config or SynthesisConfig()
+    rng = np.random.default_rng(seed)
+    total = rng.uniform(config.min_duration_s, config.max_duration_s)
+    n_phases = int(rng.integers(config.min_phases, config.max_phases + 1))
+
+    # Split time: dominance share to the dominant class, remainder to
+    # random other classes (pollution).
+    weights = rng.dirichlet(np.ones(n_phases))
+    phases: list[Phase] = []
+    for i in range(n_phases):
+        is_dominant = i == 0 or rng.random() < 0.5
+        kind = dominant if is_dominant else str(
+            rng.choice([c for c in GENERATABLE_CLASSES if c != dominant])
+        )
+        demand, remote = _class_demand(kind, rng, config)
+        phases.append(
+            Phase(
+                name=f"{kind.lower()}-{i}",
+                demand=demand,
+                work=max(weights[i] * total, 1.0),
+                remote_vm=remote,
+            )
+        )
+    # Enforce the dominance share by rescaling phase works.
+    dominant_work = sum(p.work for p in phases if p.name.startswith(dominant.lower()))
+    other_work = sum(p.work for p in phases) - dominant_work
+    if dominant_work <= 0:
+        raise AssertionError("generator produced no dominant phase")
+    target_dom = config.dominance * total
+    target_other = (1.0 - config.dominance) * total
+    rescaled = []
+    for p in phases:
+        if p.name.startswith(dominant.lower()):
+            factor = target_dom / dominant_work
+        else:
+            factor = target_other / other_work if other_work > 0 else 0.0
+        if p.work * factor < 1.0:
+            continue
+        rescaled.append(
+            Phase(name=p.name, demand=p.demand, work=p.work * factor, remote_vm=p.remote_vm)
+        )
+    return Workload(
+        name=f"synth-{dominant.lower()}-{seed}",
+        phases=tuple(rescaled),
+        description=f"Randomly generated {dominant}-dominant workload (seed {seed})",
+        expected_class=dominant,
+    )
+
+
+def generate_suite(
+    per_class: int,
+    seed: int = 0,
+    config: SynthesisConfig | None = None,
+) -> list[Workload]:
+    """Generate *per_class* random workloads for every generatable class."""
+    if per_class < 1:
+        raise ValueError("per_class must be positive")
+    out: list[Workload] = []
+    base = np.random.default_rng(seed).integers(0, 2**31 - 1)
+    for c_index, cls in enumerate(GENERATABLE_CLASSES):
+        for j in range(per_class):
+            out.append(generate_workload(cls, seed=int(base) + 1000 * c_index + j, config=config))
+    return out

@@ -1,0 +1,179 @@
+"""Trace replay: rebuild a workload from a recorded metric series.
+
+The paper's pipeline consumes /proc-style metrics, which are trivially
+collectable on real machines (that is precisely why the approach needs
+no source access).  This module closes the loop in the other direction:
+given a recorded :class:`~repro.metrics.series.SnapshotSeries` — from
+this simulator, or imported from a real host via
+:func:`repro.analysis.export.export_series_metrics`-style CSV — it
+reconstructs a phase-structured :class:`~repro.workloads.base.Workload`
+that *replays* the observed resource consumption.
+
+Uses: regression-test a scheduler against production traces, densify a
+training set from real runs, or anonymize workloads (the replay carries
+no application code, only its resource shape).
+
+The inverse mapping is necessarily approximate: CPU percentages map to
+core demand, byte/block rates map one-to-one, and observed swap traffic
+is replayed as *explicit* swap demand (rather than recreated via memory
+pressure).  Consecutive windows with similar demand merge into single
+phases within a relative tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.series import SnapshotSeries
+from ..vm.resources import ResourceDemand
+from .base import Phase, Workload
+
+#: Metrics the reconstruction reads, and the demand field each feeds.
+_TRACE_METRICS = (
+    "cpu_user",
+    "cpu_system",
+    "io_bi",
+    "io_bo",
+    "bytes_in",
+    "bytes_out",
+    "swap_in",
+    "swap_out",
+)
+
+
+@dataclass(frozen=True)
+class ReplayOptions:
+    """Knobs for trace-to-workload reconstruction."""
+
+    #: Relative tolerance for merging consecutive windows into one phase.
+    merge_tolerance: float = 0.25
+    #: Demands below these floors are treated as zero (daemon noise).
+    cpu_floor: float = 0.02
+    io_floor_blocks: float = 20.0
+    net_floor_bytes: float = 10_000.0
+    swap_floor_kb: float = 10.0
+    #: Working set attributed to replayed phases (MB).
+    mem_mb: float = 32.0
+    #: Server VM for phases with substantial network traffic.
+    server_vm: str = "VM4"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.merge_tolerance < 1.0:
+            raise ValueError("merge_tolerance must be in [0, 1)")
+
+
+def _window_demand(row: np.ndarray, vcpus: float, options: ReplayOptions) -> ResourceDemand:
+    cpu_user, cpu_system, io_bi, io_bo, net_in, net_out, swap_in, swap_out = row
+    cpu_u = cpu_user / 100.0 * vcpus
+    cpu_s = cpu_system / 100.0 * vcpus
+    # Subtract the swap share of block traffic: the VM will regenerate it
+    # from the explicit swap demand (1 block per swapped kB).
+    bi = max(io_bi - swap_in, 0.0)
+    bo = max(io_bo - swap_out, 0.0)
+    return ResourceDemand(
+        cpu_user=cpu_u if cpu_u >= options.cpu_floor else 0.0,
+        cpu_system=cpu_s if cpu_s >= options.cpu_floor else 0.0,
+        io_bi=bi if bi >= options.io_floor_blocks else 0.0,
+        io_bo=bo if bo >= options.io_floor_blocks else 0.0,
+        net_in=net_in if net_in >= options.net_floor_bytes else 0.0,
+        net_out=net_out if net_out >= options.net_floor_bytes else 0.0,
+        swap_in=swap_in if swap_in >= options.swap_floor_kb else 0.0,
+        swap_out=swap_out if swap_out >= options.swap_floor_kb else 0.0,
+        mem_mb=options.mem_mb,
+    )
+
+
+def _similar(a: ResourceDemand, b: ResourceDemand, tolerance: float) -> bool:
+    for field in ("cpu_user", "cpu_system", "io_bi", "io_bo", "net_in", "net_out", "swap_in", "swap_out"):
+        va, vb = getattr(a, field), getattr(b, field)
+        scale = max(va, vb)
+        if scale == 0.0:
+            continue
+        if abs(va - vb) / scale > tolerance:
+            return False
+    return True
+
+
+def workload_from_series(
+    series: SnapshotSeries,
+    name: str | None = None,
+    vcpus: float = 1.0,
+    options: ReplayOptions | None = None,
+) -> Workload:
+    """Reconstruct a replayable workload from a metric series.
+
+    Parameters
+    ----------
+    series:
+        The recorded run (at least 2 snapshots, for a sampling interval).
+    name:
+        Workload name; defaults to ``replay-<node>``.
+    vcpus:
+        vCPU count of the recorded VM (CPU percentages are relative to it).
+    options:
+        Reconstruction knobs.
+
+    Raises
+    ------
+    ValueError
+        For series too short to infer a sampling interval.
+    """
+    if len(series) < 2:
+        raise ValueError("need at least 2 snapshots to reconstruct a workload")
+    options = options or ReplayOptions()
+    interval = series.sampling_interval()
+    rows = series.feature_matrix(_TRACE_METRICS)
+
+    phases: list[Phase] = []
+    current: ResourceDemand | None = None
+    current_work = 0.0
+    count = 0
+
+    def flush() -> None:
+        nonlocal current, current_work, count
+        if current is None:
+            return
+        remote = options.server_vm if current.net > options.net_floor_bytes else None
+        phases.append(
+            Phase(
+                name=f"window-{len(phases)}",
+                demand=current,
+                work=current_work,
+                remote_vm=remote,
+            )
+        )
+        current, current_work, count = None, 0.0, 0
+
+    for row in rows:
+        demand = _window_demand(row, vcpus, options)
+        if current is not None and _similar(current, demand, options.merge_tolerance):
+            # Merge: running average keeps the phase representative.
+            weight = count / (count + 1)
+            current = ResourceDemand(
+                cpu_user=current.cpu_user * weight + demand.cpu_user / (count + 1),
+                cpu_system=current.cpu_system * weight + demand.cpu_system / (count + 1),
+                io_bi=current.io_bi * weight + demand.io_bi / (count + 1),
+                io_bo=current.io_bo * weight + demand.io_bo / (count + 1),
+                net_in=current.net_in * weight + demand.net_in / (count + 1),
+                net_out=current.net_out * weight + demand.net_out / (count + 1),
+                swap_in=current.swap_in * weight + demand.swap_in / (count + 1),
+                swap_out=current.swap_out * weight + demand.swap_out / (count + 1),
+                mem_mb=options.mem_mb,
+            )
+            current_work += interval
+            count += 1
+        else:
+            flush()
+            current = demand
+            current_work = interval
+            count = 1
+    flush()
+
+    return Workload(
+        name=name or f"replay-{series.node}",
+        phases=tuple(phases),
+        description=f"Replay of {len(series)} recorded snapshots from {series.node}",
+        expected_class="",
+    )

@@ -1,0 +1,76 @@
+"""Tests for cluster diagrams (paper Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import CLASS_GLYPHS, ClusterDiagram
+from repro.core.labels import SnapshotClass
+
+
+def make_diagram():
+    points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.5], [-1.0, -2.0]])
+    labels = np.array([0, 2, 2, 3])
+    return ClusterDiagram(title="t", points=points, labels=labels)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ClusterDiagram("t", np.zeros((3, 1)), np.zeros(3, dtype=int))
+    with pytest.raises(ValueError):
+        ClusterDiagram("t", np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+
+def test_classes_present_ordered():
+    d = make_diagram()
+    assert d.classes_present() == [SnapshotClass.IDLE, SnapshotClass.CPU, SnapshotClass.NET]
+
+
+def test_points_of():
+    d = make_diagram()
+    cpu = d.points_of(SnapshotClass.CPU)
+    assert cpu.shape == (2, 2)
+    assert d.points_of(SnapshotClass.MEM).shape == (0, 2)
+
+
+def test_bounds():
+    xmin, xmax, ymin, ymax = make_diagram().bounds()
+    assert (xmin, xmax) == (-1.0, 2.0)
+    assert (ymin, ymax) == (-2.0, 1.0)
+
+
+def test_centroids():
+    cents = make_diagram().class_centroids()
+    assert np.allclose(cents[SnapshotClass.CPU], [1.5, 0.75])
+
+
+def test_render_ascii_contains_glyphs_and_legend():
+    text = make_diagram().render_ascii(width=40, height=12)
+    assert "C=CPU" in text
+    assert CLASS_GLYPHS[SnapshotClass.NET] in text
+    assert text.splitlines()[0] == "t"
+
+
+def test_render_ascii_canvas_validation():
+    with pytest.raises(ValueError):
+        make_diagram().render_ascii(width=2, height=2)
+
+
+def test_from_training(classifier):
+    d = ClusterDiagram.from_training(classifier)
+    assert d.points.shape[1] == 2
+    # All five training classes appear (paper Figure 3a).
+    assert len(d.classes_present()) == 5
+
+
+def test_from_training_untrained_raises():
+    from repro.core.pipeline import ApplicationClassifier
+
+    with pytest.raises(RuntimeError):
+        ClusterDiagram.from_training(ApplicationClassifier())
+
+
+def test_from_result(classifier, short_cpu_run):
+    result = classifier.classify_series(short_cpu_run.series)
+    d = ClusterDiagram.from_result(result)
+    assert d.points.shape == result.scores.shape
+    assert "VM1" in d.title

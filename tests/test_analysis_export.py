@@ -1,0 +1,80 @@
+"""Tests for CSV export of evaluation artefacts."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import ClusterDiagram
+from repro.analysis.export import (
+    export_cluster_diagram,
+    export_compositions,
+    export_schedule_throughput,
+    export_series_metrics,
+)
+from repro.core.labels import ClassComposition
+from repro.core.pipeline import ClassificationResult, StageTimings
+from repro.metrics.catalog import NUM_METRICS
+from repro.metrics.series import SnapshotSeries
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+def test_export_cluster_diagram(tmp_path):
+    diagram = ClusterDiagram(
+        title="t",
+        points=np.array([[1.0, 2.0], [3.0, 4.0]]),
+        labels=np.array([2, 3]),
+    )
+    path = export_cluster_diagram(diagram, tmp_path / "diag.csv")
+    rows = read_csv(path)
+    assert rows[0] == ["class", "pc1", "pc2"]
+    assert rows[1][0] == "CPU"
+    assert float(rows[2][2]) == pytest.approx(4.0)
+
+
+def test_export_compositions(tmp_path):
+    comp = ClassComposition(fractions=(0.0, 0.8, 0.2, 0.0, 0.0))
+    result = ClassificationResult(
+        node="VM1",
+        num_samples=10,
+        class_vector=np.array([1] * 8 + [2] * 2),
+        composition=comp,
+        application_class=comp.dominant(),
+        category="IO & Paging Intensive",
+        scores=np.zeros((10, 2)),
+        timings=StageTimings(),
+    )
+    path = export_compositions([("postmark", result)], tmp_path / "t3.csv")
+    rows = read_csv(path)
+    assert rows[0][:3] == ["application", "num_samples", "idle"]
+    assert rows[1][0] == "postmark"
+    assert float(rows[1][3]) == pytest.approx(0.8)  # io column
+
+
+def test_export_schedule_throughput(tmp_path):
+    path = export_schedule_throughput(["s1", "s2"], [100.0, 200.0], tmp_path / "f4.csv")
+    rows = read_csv(path)
+    assert rows[1] == ["s1", "100.000"]
+    assert rows[2] == ["s2", "200.000"]
+
+
+def test_export_schedule_throughput_validation(tmp_path):
+    with pytest.raises(ValueError):
+        export_schedule_throughput(["a"], [1.0, 2.0], tmp_path / "x.csv")
+
+
+def test_export_series_metrics(tmp_path):
+    series = SnapshotSeries(
+        node="VM1",
+        timestamps=np.array([5.0, 10.0]),
+        matrix=np.arange(NUM_METRICS * 2, dtype=float).reshape(NUM_METRICS, 2),
+    )
+    path = export_series_metrics(series, ["cpu_user", "io_bi"], tmp_path / "s.csv")
+    rows = read_csv(path)
+    assert rows[0] == ["timestamp", "cpu_user", "io_bi"]
+    assert len(rows) == 3
+    assert float(rows[1][0]) == 5.0

@@ -1,0 +1,101 @@
+"""Tests for report/table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import (
+    format_table,
+    percent_cell,
+    render_bar_chart,
+    render_table3,
+    render_table4,
+    table3_row,
+)
+from repro.core.labels import ClassComposition, SnapshotClass
+from repro.core.pipeline import ClassificationResult, StageTimings
+
+
+def make_result(fractions=(0.0, 0.9615, 0.0, 0.0, 0.0385), m=52):
+    vec = np.concatenate([np.full(int(round(f * m)), i) for i, f in enumerate(fractions)])
+    comp = ClassComposition(fractions=fractions)
+    return ClassificationResult(
+        node="VM1",
+        num_samples=m,
+        class_vector=vec,
+        composition=comp,
+        application_class=comp.dominant(),
+        category="IO & Paging Intensive",
+        scores=np.zeros((m, 2)),
+        timings=StageTimings(),
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+
+class TestPercentCell:
+    def test_dash_for_zero(self):
+        """The paper prints '–' for absent classes."""
+        assert percent_cell(0.0) == "–"
+        assert percent_cell(0.0001) == "–"
+
+    def test_two_decimals(self):
+        assert percent_cell(0.9615) == "96.15%"
+        assert percent_cell(1.0) == "100.00%"
+
+
+class TestTable3:
+    def test_row_layout(self):
+        row = table3_row("PostMark", make_result())
+        assert row[0] == "PostMark"
+        assert row[1] == "52"
+        # Idle, I/O, CPU, Network, Paging order.
+        assert row[2] == "–"
+        assert row[3] == "96.15%"
+        assert row[6] == "3.85%"
+
+    def test_render_table3(self):
+        text = render_table3([("PostMark", make_result())])
+        assert "Test Application" in text
+        assert "96.15%" in text
+
+
+class TestTable4:
+    def test_render(self):
+        text = render_table4(
+            concurrent={"CH3D": 613.0, "PostMark": 310.0},
+            sequential={"CH3D": 488.0, "PostMark": 264.0},
+        )
+        assert "613" in text
+        assert "752" in text  # sequential total
+
+    def test_mismatched_apps_rejected(self):
+        with pytest.raises(ValueError):
+            render_table4({"A": 1.0}, {"B": 1.0})
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = render_bar_chart(["a", "b"], [50.0, 100.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0], width=0)
+
+    def test_empty(self):
+        assert render_bar_chart([], []) == "(no data)"

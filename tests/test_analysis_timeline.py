@@ -1,0 +1,78 @@
+"""Tests for class timeline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import render_stage_summary, render_timeline
+from repro.core.labels import ClassComposition
+from repro.core.pipeline import ClassificationResult, StageTimings
+from repro.core.stages import segment_stages
+from repro.metrics.catalog import NUM_METRICS
+from repro.metrics.series import SnapshotSeries
+
+
+def make_result(vec):
+    vec = np.asarray(vec, dtype=np.int64)
+    comp = ClassComposition.from_class_vector(vec)
+    return ClassificationResult(
+        node="n",
+        num_samples=vec.size,
+        class_vector=vec,
+        composition=comp,
+        application_class=comp.dominant(),
+        category="x",
+        scores=np.zeros((vec.size, 2)),
+        timings=StageTimings(),
+    )
+
+
+def test_short_run_one_glyph_per_snapshot():
+    result = make_result([2, 2, 1, 1, 3])
+    text = render_timeline(result, width=72)
+    assert "CCIIN" in text
+    assert "C=CPU" in text and "I=IO" in text and "N=NET" in text
+
+
+def test_long_run_downsampled_by_majority():
+    vec = [2] * 500 + [1] * 500
+    text = render_timeline(make_result(vec), width=10)
+    strip = text.splitlines()[1]
+    assert strip == "CCCCCIIIII"
+
+
+def test_header_with_timestamps():
+    result = make_result([2, 2, 2])
+    text = render_timeline(result, timestamps=np.array([5.0, 10.0, 15.0]))
+    assert text.startswith("t=5s … t=15s")
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        render_timeline(make_result([2]), width=0)
+
+
+def test_stage_summary():
+    vec = [2] * 6 + [1] * 6
+    series = SnapshotSeries(
+        node="n",
+        timestamps=np.arange(1, 13) * 5.0,
+        matrix=np.zeros((NUM_METRICS, 12)),
+    )
+    analysis = segment_stages(make_result(vec), series)
+    text = render_stage_summary(analysis)
+    assert text.startswith("2 stages, dominant IDLE") or text.startswith("2 stages, dominant")
+    assert "CPU" in text and "IO" in text
+
+
+def test_stage_summary_truncation():
+    vec = [2, 1] * 15  # 30 alternating stages
+    series = SnapshotSeries(
+        node="n",
+        timestamps=np.arange(1, 31) * 5.0,
+        matrix=np.zeros((NUM_METRICS, 30)),
+    )
+    analysis = segment_stages(make_result(vec), series, smoothing_window=1)
+    text = render_stage_summary(analysis, max_stages=5)
+    assert "more stages" in text
+    with pytest.raises(ValueError):
+        render_stage_summary(analysis, max_stages=0)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_apps(capsys):
+    assert main(["list-apps"]) == 0
+    out = capsys.readouterr().out
+    assert "train-postmark" in out
+    assert "specseis96-B" in out
+    assert "training→MEM" in out
+
+
+def test_classify_known_app(capsys):
+    assert main(["classify", "xspim", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "class:" in out
+    assert "xspim" in out
+
+
+def test_classify_with_diagram(capsys):
+    assert main(["classify", "xspim", "--diagram"]) == 0
+    out = capsys.readouterr().out
+    assert "+" in out  # diagram border
+
+
+def test_classify_unknown_app(capsys):
+    assert main(["classify", "fortnite"]) == 2
+    assert "unknown application" in capsys.readouterr().out
+
+
+def test_classify_memory_override(capsys):
+    assert main(["classify", "ch3d", "--mem", "128"]) == 0
+
+
+def test_table3_fast(capsys):
+    assert main(["table3", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "postmark-nfs" in out
+    assert "specseis96-A" not in out
+
+
+def test_table4(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Concurrent" in out
+    assert "sooner" in out
+
+
+def test_fig4_short_horizon(capsys):
+    assert main(["fig4", "--horizon", "600"]) == 0
+    out = capsys.readouterr().out
+    assert "{(SPN),(SPN),(SPN)}" in out
+    assert "SPN improvement" in out
+
+
+def test_cost_small(capsys):
+    assert main(["cost", "--samples", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "unit cost" in out
+
+
+def test_validate_small(capsys):
+    assert main(["validate", "--per-class", "1", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "run-level accuracy" in out
+    assert "IDLE" in out  # confusion matrix header
+
+
+def test_stages_command(capsys):
+    assert main(["stages", "xspim"]) == 0
+    out = capsys.readouterr().out
+    assert "stages, dominant" in out
+    assert "migration opportunities" in out
+
+
+def test_stages_unknown_app(capsys):
+    assert main(["stages", "crysis"]) == 2
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_module_entry_point():
+    import repro.__main__  # noqa: F401  (import side effects only under __main__)

@@ -1,0 +1,56 @@
+"""Tests for the cost-based scheduling model (paper §4.4)."""
+
+import pytest
+
+from repro.core.cost_model import UnitCostModel
+from repro.core.labels import ClassComposition
+
+
+def comp(idle=0.0, io=0.0, cpu=0.0, net=0.0, mem=0.0):
+    return ClassComposition(fractions=(idle, io, cpu, net, mem))
+
+
+def test_weighted_average_formula():
+    model = UnitCostModel(alpha=10.0, beta=8.0, gamma=6.0, delta=4.0, epsilon=1.0)
+    c = comp(idle=0.1, io=0.2, cpu=0.3, net=0.25, mem=0.15)
+    expected = 10.0 * 0.3 + 8.0 * 0.15 + 6.0 * 0.2 + 4.0 * 0.25 + 1.0 * 0.1
+    assert model.unit_application_cost(c) == pytest.approx(expected)
+
+
+def test_pure_cpu_costs_alpha():
+    model = UnitCostModel(alpha=7.0)
+    assert model.unit_application_cost(comp(cpu=1.0)) == pytest.approx(7.0)
+
+
+def test_idle_cheapest_with_default_weights():
+    model = UnitCostModel()
+    assert model.unit_application_cost(comp(idle=1.0)) < model.unit_application_cost(
+        comp(cpu=1.0)
+    )
+
+
+def test_run_cost_scales_with_time():
+    model = UnitCostModel()
+    c = comp(cpu=1.0)
+    assert model.run_cost(c, 100.0) == pytest.approx(100.0 * model.unit_application_cost(c))
+    assert model.run_cost(c, 0.0) == 0.0
+
+
+def test_run_cost_rejects_negative_time():
+    with pytest.raises(ValueError):
+        UnitCostModel().run_cost(comp(cpu=1.0), -1.0)
+
+
+def test_negative_unit_costs_rejected():
+    with pytest.raises(ValueError):
+        UnitCostModel(alpha=-1.0)
+
+
+def test_provider_individualized_pricing():
+    """Different providers can rank the same application differently."""
+    io_heavy = comp(io=0.9, cpu=0.1)
+    cpu_heavy = comp(cpu=0.9, io=0.1)
+    io_expensive = UnitCostModel(alpha=1.0, gamma=20.0)
+    cpu_expensive = UnitCostModel(alpha=20.0, gamma=1.0)
+    assert io_expensive.unit_application_cost(io_heavy) > io_expensive.unit_application_cost(cpu_heavy)
+    assert cpu_expensive.unit_application_cost(io_heavy) < cpu_expensive.unit_application_cost(cpu_heavy)

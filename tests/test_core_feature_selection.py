@@ -1,0 +1,133 @@
+"""Tests for automated relevance/redundancy feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_selection import (
+    correlation_ratio,
+    pearson_redundancy_matrix,
+    select_features,
+)
+
+
+def labelled_data(m=300, seed=0):
+    """Features with known relevance structure.
+
+    f0: perfectly class-determined; f1: noisy copy of f0 (redundant);
+    f2: pure noise; f3: weakly class-related.
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 3, size=m)
+    f0 = labels * 10.0
+    f1 = f0 + 0.01 * rng.normal(size=m)
+    f2 = rng.normal(size=m)
+    f3 = labels + 3.0 * rng.normal(size=m)
+    return np.column_stack([f0, f1, f2, f3]), labels
+
+
+class TestCorrelationRatio:
+    def test_perfectly_determined_is_one(self):
+        x, labels = labelled_data()
+        assert correlation_ratio(x[:, 0], labels) == pytest.approx(1.0)
+
+    def test_noise_is_near_zero(self):
+        x, labels = labelled_data()
+        assert correlation_ratio(x[:, 2], labels) < 0.05
+
+    def test_constant_feature_is_zero(self):
+        labels = np.array([0, 0, 1, 1])
+        assert correlation_ratio(np.full(4, 3.0), labels) == 0.0
+
+    def test_bounded_zero_one(self):
+        x, labels = labelled_data()
+        for j in range(x.shape[1]):
+            eta = correlation_ratio(x[:, j], labels)
+            assert 0.0 <= eta <= 1.0 + 1e-12
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            correlation_ratio(np.zeros((2, 2)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            correlation_ratio(np.zeros(3), np.zeros(4, dtype=int))
+
+
+class TestRedundancyMatrix:
+    def test_diagonal_ones(self):
+        x, _ = labelled_data()
+        corr = pearson_redundancy_matrix(x)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_redundant_pair_detected(self):
+        x, _ = labelled_data()
+        corr = pearson_redundancy_matrix(x)
+        assert corr[0, 1] > 0.99
+
+    def test_independent_pair_low(self):
+        x, _ = labelled_data()
+        corr = pearson_redundancy_matrix(x)
+        assert corr[0, 2] < 0.2
+
+    def test_symmetric(self):
+        x, _ = labelled_data()
+        corr = pearson_redundancy_matrix(x)
+        assert np.allclose(corr, corr.T)
+
+    def test_constant_column_zeroed(self):
+        x = np.column_stack([np.full(10, 5.0), np.arange(10.0)])
+        corr = pearson_redundancy_matrix(x)
+        assert corr[0, 1] == 0.0
+
+
+class TestSelectFeatures:
+    def test_selects_relevant_drops_redundant(self):
+        x, labels = labelled_data()
+        result = select_features(x, labels, ["a", "b", "noise", "weak"], max_features=3)
+        assert result.selected[0] == "a"  # most relevant
+        assert "b" in result.rejected_redundant  # near-copy of a
+        assert "noise" not in result.selected
+
+    def test_max_features_respected(self):
+        x, labels = labelled_data()
+        result = select_features(
+            x, labels, ["a", "b", "c", "d"], max_features=1, redundancy_threshold=1.0
+        )
+        assert len(result.selected) == 1
+
+    def test_relevance_scores_reported(self):
+        x, labels = labelled_data()
+        result = select_features(x, labels, ["a", "b", "c", "d"])
+        assert set(result.relevance) == {"a", "b", "c", "d"}
+        assert result.relevance["a"] > result.relevance["c"]
+
+    def test_validation(self):
+        x, labels = labelled_data()
+        with pytest.raises(ValueError):
+            select_features(x, labels[:-1], ["a", "b", "c", "d"])
+        with pytest.raises(ValueError):
+            select_features(x, labels, ["a", "b"])
+        with pytest.raises(ValueError):
+            select_features(x, labels, ["a", "b", "c", "d"], max_features=0)
+        with pytest.raises(ValueError):
+            select_features(x, labels, ["a", "b", "c", "d"], redundancy_threshold=0.0)
+
+    def test_nothing_relevant_raises(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 2))
+        labels = rng.integers(0, 2, size=100)
+        with pytest.raises(ValueError, match="relevance"):
+            select_features(x, labels, ["a", "b"], min_relevance=0.9)
+
+    def test_recovers_expert_style_metrics_from_runs(self):
+        """On real training data the automated selector should rank the
+        class-defining metrics (swap/io/net/cpu) above constants."""
+        # Construct gmond-like features: 3 classes stressing 3 metrics.
+        rng = np.random.default_rng(1)
+        m = 300
+        labels = np.repeat([0, 1, 2], m // 3)
+        cpu = np.where(labels == 0, 95.0, 3.0) + rng.normal(0, 2, m)
+        io = np.where(labels == 1, 900.0, 10.0) + rng.normal(0, 30, m)
+        net = np.where(labels == 2, 5e7, 1e3) + rng.normal(0, 1e5, m)
+        const = np.full(m, 33.0)
+        x = np.column_stack([cpu, io, net, const])
+        result = select_features(x, labels, ["cpu", "io", "net", "mem_total"], max_features=3)
+        assert set(result.selected) == {"cpu", "io", "net"}

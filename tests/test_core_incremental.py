@@ -1,0 +1,109 @@
+"""Tests for incremental PCA (online-training extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalPCA
+from repro.core.pca import PCA
+
+
+def data(m=300, p=5, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(m, 2))
+    mix = rng.normal(size=(2, p))
+    return base @ mix + 0.05 * rng.normal(size=(m, p)) + rng.uniform(-3, 3, size=p)
+
+
+class TestConstruction:
+    def test_selection_mode_exclusive(self):
+        with pytest.raises(ValueError):
+            IncrementalPCA()
+        with pytest.raises(ValueError):
+            IncrementalPCA(n_components=2, min_variance_fraction=0.9)
+        with pytest.raises(ValueError):
+            IncrementalPCA(n_components=0)
+        with pytest.raises(ValueError):
+            IncrementalPCA(min_variance_fraction=2.0)
+
+
+class TestStreamingEquivalence:
+    def test_matches_batch_pca_mean(self):
+        x = data()
+        inc = IncrementalPCA(n_components=2)
+        for chunk in np.array_split(x, 7):
+            inc.partial_fit(chunk)
+        assert inc.count_ == x.shape[0]
+        assert np.allclose(inc.mean_, x.mean(axis=0), atol=1e-10)
+
+    def test_matches_batch_pca_components(self):
+        x = data()
+        inc = IncrementalPCA(n_components=2)
+        for chunk in np.array_split(x, 5):
+            inc.partial_fit(chunk)
+        batch = PCA(n_components=2).fit(x)
+        assert np.allclose(inc.components_, batch.components_, atol=1e-8)
+        assert np.allclose(inc.explained_variance_, batch.explained_variance_, rtol=1e-10)
+
+    def test_chunking_invariance(self):
+        x = data(seed=3)
+        a = IncrementalPCA(n_components=2)
+        a.partial_fit(x)
+        b = IncrementalPCA(n_components=2)
+        for chunk in np.array_split(x, 11):
+            b.partial_fit(chunk)
+        assert np.allclose(a.components_, b.components_, atol=1e-8)
+
+    def test_transform_matches_batch(self):
+        x = data(seed=4)
+        inc = IncrementalPCA(n_components=2)
+        for chunk in np.array_split(x, 3):
+            inc.partial_fit(chunk)
+        batch = PCA(n_components=2).fit(x)
+        assert np.allclose(inc.transform(x), batch.transform(x), atol=1e-8)
+
+
+class TestIncrementalBehaviour:
+    def test_components_update_as_data_arrives(self):
+        rng = np.random.default_rng(5)
+        inc = IncrementalPCA(n_components=1)
+        # First batch: variance along axis 0.
+        inc.partial_fit(np.column_stack([rng.normal(0, 10, 50), rng.normal(0, 0.1, 50)]))
+        first = inc.components_.copy()
+        assert abs(first[0, 0]) > 0.99
+        # Flood of variance along axis 1 rotates the component.
+        inc.partial_fit(np.column_stack([rng.normal(0, 0.1, 5000), rng.normal(0, 50, 5000)]))
+        second = inc.components_
+        assert abs(second[0, 1]) > 0.99
+
+    def test_variance_fraction_selection(self):
+        x = data()
+        inc = IncrementalPCA(min_variance_fraction=0.99)
+        inc.partial_fit(x)
+        # Essentially rank-2 data → 2 components reach 99%.
+        assert inc.components_.shape[0] == 2
+
+    def test_dimension_mismatch_rejected(self):
+        inc = IncrementalPCA(n_components=1)
+        inc.partial_fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            inc.partial_fit(np.zeros((5, 4)))
+
+    def test_extraction_before_data_rejected(self):
+        inc = IncrementalPCA(n_components=1)
+        with pytest.raises(RuntimeError):
+            _ = inc.components_
+        with pytest.raises(RuntimeError):
+            inc.transform(np.zeros((2, 3)))
+
+    def test_n_components_exceeding_features_rejected(self):
+        inc = IncrementalPCA(n_components=9)
+        inc.partial_fit(data(p=5))
+        with pytest.raises(ValueError):
+            _ = inc.components_
+
+    def test_explained_variance_ratio(self):
+        inc = IncrementalPCA(n_components=2)
+        inc.partial_fit(data())
+        ratio = inc.explained_variance_ratio_
+        assert ratio.shape == (2,)
+        assert 0.99 <= ratio.sum() <= 1.0 + 1e-9

@@ -1,0 +1,168 @@
+"""Tests for the from-scratch k-NN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.knn import KNeighborsClassifier, pairwise_sq_distances
+
+
+def three_clusters(per=30, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    x = np.vstack([c + 0.5 * rng.normal(size=(per, 2)) for c in centers])
+    y = np.repeat(np.arange(3), per)
+    return x, y
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(7, 3)), rng.normal(size=(5, 3))
+        d2 = pairwise_sq_distances(a, b)
+        naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(d2, naive, atol=1e-10)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(50, 4)) * 1e6  # large values stress the expansion
+        assert (pairwise_sq_distances(a, a) >= 0).all()
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_sq_distances(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestConstruction:
+    def test_k_must_be_odd_positive(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=2)
+        KNeighborsClassifier(k=3)
+
+    def test_chunk_size_positive(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(chunk_size=0)
+
+
+class TestFit:
+    def test_label_alignment_checked(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier().fit(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_needs_at_least_k_samples(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=5).fit(np.zeros((3, 2)), np.zeros(3, dtype=int))
+
+    def test_training_pool_copied(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier().fit(x, y)
+        x[:] = 0.0
+        assert knn.score(*three_clusters()) > 0.95
+
+    def test_n_training_samples(self):
+        x, y = three_clusters(per=10)
+        assert KNeighborsClassifier().fit(x, y).n_training_samples == 30
+        with pytest.raises(RuntimeError):
+            KNeighborsClassifier().n_training_samples
+
+
+class TestPredict:
+    def test_separable_clusters_classified(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        test_x, test_y = three_clusters(seed=99)
+        assert knn.score(test_x, test_y) == 1.0
+
+    def test_training_points_self_classified(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        assert knn.score(x, y) == 1.0
+
+    def test_kneighbors_sorted_by_distance(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier(k=5).fit(x, y)
+        _idx, dist = knn.kneighbors(x[:10])
+        assert np.all(np.diff(dist, axis=1) >= -1e-12)
+
+    def test_kneighbors_nearest_is_self_for_training_point(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        idx, dist = knn.kneighbors(x[:5])
+        assert np.allclose(dist[:, 0], 0.0)
+        assert (idx[:, 0] == np.arange(5)).all()
+
+    def test_chunking_equivalent(self):
+        x, y = three_clusters(per=50)
+        big = KNeighborsClassifier(k=3, chunk_size=10_000).fit(x, y)
+        small = KNeighborsClassifier(k=3, chunk_size=7).fit(x, y)
+        probe = three_clusters(seed=5)[0]
+        assert np.array_equal(big.predict(probe), small.predict(probe))
+
+    def test_majority_vote_k3(self):
+        """Two near neighbors of class 1 outvote one nearer class-0 point."""
+        x = np.array([[0.0], [1.0], [1.1]])
+        y = np.array([0, 1, 1])
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        assert knn.predict_one(np.array([0.4])) == 1
+
+    def test_k1_nearest_wins(self):
+        x = np.array([[0.0], [1.0], [1.1]])
+        y = np.array([0, 1, 1])
+        knn = KNeighborsClassifier(k=1).fit(x, y)
+        assert knn.predict_one(np.array([0.4])) == 0
+
+    def test_deterministic_tie_break_by_distance(self):
+        """k=3 with three distinct labels: the closest neighbor's class wins."""
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 2])
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        assert knn.predict_one(np.array([0.1])) == 0
+        assert knn.predict_one(np.array([1.9])) == 2
+
+    def test_predict_one_validates(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier().fit(x, y)
+        with pytest.raises(ValueError):
+            knn.predict_one(np.zeros((2, 2)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KNeighborsClassifier().predict(np.zeros((1, 2)))
+
+    def test_score_shape_mismatch(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier().fit(x, y)
+        with pytest.raises(ValueError):
+            knn.score(x, y[:-1])
+
+    def test_weighted_vote_prefers_close_neighbor(self):
+        """One very close neighbor outweighs two distant same-class ones."""
+        x = np.array([[0.0], [5.0], [5.2]])
+        y = np.array([0, 1, 1])
+        plain = KNeighborsClassifier(k=3, weighted=False).fit(x, y)
+        weighted = KNeighborsClassifier(k=3, weighted=True).fit(x, y)
+        probe = np.array([0.2])
+        assert plain.predict_one(probe) == 1  # majority of 3 neighbors
+        assert weighted.predict_one(probe) == 0  # distance-weighted
+
+    def test_weighted_equals_plain_on_clean_clusters(self):
+        x, y = three_clusters()
+        probes, truth = three_clusters(seed=123)
+        plain = KNeighborsClassifier(k=3).fit(x, y)
+        weighted = KNeighborsClassifier(k=3, weighted=True).fit(x, y)
+        assert np.array_equal(plain.predict(probes), weighted.predict(probes))
+
+    def test_weighted_exact_match_dominates(self):
+        x = np.array([[0.0], [0.0], [1.0]])
+        y = np.array([0, 0, 1])
+        weighted = KNeighborsClassifier(k=3, weighted=True).fit(x, y)
+        assert weighted.predict_one(np.array([0.0])) == 0
+
+    def test_non_contiguous_labels_handled(self):
+        """Labels need not start at 0 or be dense."""
+        x = np.array([[0.0], [0.1], [10.0], [10.1], [10.2]])
+        y = np.array([1, 1, 4, 4, 4])
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        assert knn.predict_one(np.array([0.05])) == 1
+        assert knn.predict_one(np.array([10.05])) == 4

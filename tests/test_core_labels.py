@@ -1,0 +1,102 @@
+"""Tests for class labels, compositions, and majority vote."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import (
+    ALL_CLASSES,
+    ClassComposition,
+    SnapshotClass,
+    application_category,
+    majority_vote,
+)
+
+
+class TestSnapshotClass:
+    def test_five_classes(self):
+        assert len(ALL_CLASSES) == 5
+        assert [c.name for c in ALL_CLASSES] == ["IDLE", "IO", "CPU", "NET", "MEM"]
+
+    def test_from_label_case_insensitive(self):
+        assert SnapshotClass.from_label("cpu") is SnapshotClass.CPU
+        assert SnapshotClass.from_label("MEM") is SnapshotClass.MEM
+
+    def test_from_label_unknown(self):
+        with pytest.raises(KeyError):
+            SnapshotClass.from_label("GPU")
+
+
+class TestClassComposition:
+    def test_from_class_vector(self):
+        vec = np.array([0, 1, 1, 2, 2, 2, 3, 4, 4, 4])
+        comp = ClassComposition.from_class_vector(vec)
+        assert comp.idle == pytest.approx(0.1)
+        assert comp.io == pytest.approx(0.2)
+        assert comp.cpu == pytest.approx(0.3)
+        assert comp.net == pytest.approx(0.1)
+        assert comp.mem == pytest.approx(0.3)
+
+    def test_fractions_sum_to_one(self):
+        comp = ClassComposition.from_class_vector(np.array([2, 2, 1]))
+        assert sum(comp.fractions) == pytest.approx(1.0)
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ValueError):
+            ClassComposition.from_class_vector(np.array([], dtype=int))
+
+    def test_unknown_codes_rejected(self):
+        with pytest.raises(ValueError):
+            ClassComposition.from_class_vector(np.array([0, 7]))
+        with pytest.raises(ValueError):
+            ClassComposition.from_class_vector(np.array([-1]))
+
+    def test_direct_construction_validation(self):
+        with pytest.raises(ValueError):
+            ClassComposition(fractions=(0.5, 0.5))  # wrong length
+        with pytest.raises(ValueError):
+            ClassComposition(fractions=(0.5, 0.5, 0.5, 0.0, 0.0))  # sums to 1.5
+        with pytest.raises(ValueError):
+            ClassComposition(fractions=(1.2, -0.2, 0.0, 0.0, 0.0))  # negative
+
+    def test_dominant_tie_breaks_low_code(self):
+        comp = ClassComposition.from_class_vector(np.array([0, 0, 2, 2]))
+        assert comp.dominant() is SnapshotClass.IDLE
+
+    def test_as_dict_and_percentages(self):
+        comp = ClassComposition.from_class_vector(np.array([2, 2, 2, 1]))
+        d = comp.as_dict()
+        assert d["CPU"] == pytest.approx(0.75)
+        assert comp.as_percentages()["IO"] == pytest.approx(25.0)
+
+
+class TestMajorityVote:
+    def test_vote(self):
+        assert majority_vote(np.array([2, 2, 1])) is SnapshotClass.CPU
+
+    def test_vote_is_papers_application_class(self):
+        """Table 3's SPECseis96 B: IO plurality wins despite CPU presence."""
+        vec = np.array([1] * 43 + [2] * 40 + [4] * 7 + [0])
+        assert majority_vote(vec) is SnapshotClass.IO
+
+
+class TestApplicationCategory:
+    def comp(self, idle=0.0, io=0.0, cpu=0.0, net=0.0, mem=0.0):
+        return ClassComposition(fractions=(idle, io, cpu, net, mem))
+
+    def test_cpu_intensive(self):
+        assert application_category(self.comp(cpu=0.95, idle=0.05)) == "CPU Intensive"
+
+    def test_io_and_paging_merge(self):
+        """IO and MEM share the paper's application-level category."""
+        assert application_category(self.comp(io=0.9, mem=0.1)) == "IO & Paging Intensive"
+        assert application_category(self.comp(mem=0.8, io=0.2)) == "IO & Paging Intensive"
+
+    def test_network_intensive(self):
+        assert application_category(self.comp(net=0.97, idle=0.03)) == "Network Intensive"
+
+    def test_interactive_mixed(self):
+        """VMD-style mixes are 'Idle + Others'."""
+        assert application_category(self.comp(idle=0.37, io=0.41, net=0.22)) == "Idle + Others"
+
+    def test_pure_idle(self):
+        assert application_category(self.comp(idle=1.0)) == "Idle"

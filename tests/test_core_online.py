@@ -1,0 +1,151 @@
+"""Tests for the online (streaming) classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import SnapshotClass
+from repro.core.online import NodeClassificationState, OnlineClassifier
+from repro.core.pipeline import ApplicationClassifier
+from repro.monitoring.multicast import MetricAnnouncement, MulticastChannel
+from repro.metrics.catalog import NUM_METRICS, metric_index
+
+from tests.test_core_pipeline import synthetic_series, synthetic_training
+
+
+@pytest.fixture(scope="module")
+def trained():
+    return ApplicationClassifier().train(synthetic_training())
+
+
+def announce_kind(channel, node, t, kind, seed=0):
+    """Publish one announcement with a class-typical metric signature."""
+    series = synthetic_series(kind, m=1, seed=seed, node=node)
+    channel.announce(
+        MetricAnnouncement(node=node, timestamp=t, values=series.matrix[:, 0])
+    )
+
+
+class TestNodeState:
+    def test_streak_tracking(self):
+        state = NodeClassificationState(node="n")
+        state.record(SnapshotClass.CPU, 5.0)
+        state.record(SnapshotClass.CPU, 10.0)
+        state.record(SnapshotClass.IO, 15.0)
+        assert state.current_class is SnapshotClass.IO
+        assert state.streak == 1
+        assert state.snapshots_seen == 3
+        assert state.last_timestamp == 15.0
+
+    def test_composition_and_majority(self):
+        state = NodeClassificationState(node="n")
+        for _ in range(3):
+            state.record(SnapshotClass.NET, 0.0)
+        state.record(SnapshotClass.IO, 0.0)
+        assert state.majority_class() is SnapshotClass.NET
+        assert state.composition().net == pytest.approx(0.75)
+
+    def test_empty_state_raises(self):
+        state = NodeClassificationState(node="n")
+        with pytest.raises(ValueError):
+            state.composition()
+        with pytest.raises(ValueError):
+            state.majority_class()
+
+
+class TestOnlineClassifier:
+    def test_requires_trained_classifier(self):
+        with pytest.raises(RuntimeError):
+            OnlineClassifier(ApplicationClassifier(), MulticastChannel())
+
+    def test_streams_and_accumulates(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        for t in range(5):
+            announce_kind(channel, "VM1", float(t * 5), "cpu", seed=t)
+        state = online.state("VM1")
+        assert state.snapshots_seen == 5
+        assert state.majority_class() is SnapshotClass.CPU
+
+    def test_tracks_multiple_nodes(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        announce_kind(channel, "VM1", 5.0, "cpu")
+        announce_kind(channel, "VM2", 5.0, "net")
+        assert online.nodes() == ["VM1", "VM2"]
+        assert online.state("VM2").majority_class() is SnapshotClass.NET
+
+    def test_node_allow_list(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel, nodes=["VM1"])
+        announce_kind(channel, "VM1", 5.0, "cpu")
+        announce_kind(channel, "VM2", 5.0, "net")
+        assert online.nodes() == ["VM1"]
+        with pytest.raises(KeyError):
+            online.state("VM2")
+
+    def test_stable_class_requires_streak(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        announce_kind(channel, "VM1", 5.0, "cpu", seed=1)
+        assert online.stable_class("VM1", min_streak=3) is None
+        announce_kind(channel, "VM1", 10.0, "cpu", seed=2)
+        announce_kind(channel, "VM1", 15.0, "cpu", seed=3)
+        assert online.stable_class("VM1", min_streak=3) is SnapshotClass.CPU
+
+    def test_stable_class_resets_on_change(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        for t, kind in enumerate(["cpu", "cpu", "cpu", "io"]):
+            announce_kind(channel, "VM1", float(t * 5), kind, seed=t)
+        assert online.stable_class("VM1", min_streak=2) is None
+
+    def test_stable_class_validation(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        announce_kind(channel, "VM1", 5.0, "cpu")
+        with pytest.raises(ValueError):
+            online.stable_class("VM1", min_streak=0)
+
+    def test_detach_stops_consumption(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        announce_kind(channel, "VM1", 5.0, "cpu")
+        online.detach()
+        announce_kind(channel, "VM1", 10.0, "cpu")
+        assert online.state("VM1").snapshots_seen == 1
+
+    def test_matches_batch_classification(self, trained):
+        """Streaming the snapshots one-by-one equals the batch class vector."""
+        series = synthetic_series("io", m=20, seed=9)
+        batch = trained.classify_series(series).class_vector
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        for j in range(len(series)):
+            channel.announce(
+                MetricAnnouncement(
+                    node="VM1",
+                    timestamp=float(series.timestamps[j]),
+                    values=series.matrix[:, j],
+                )
+            )
+        state = online.state("VM1")
+        assert state.snapshots_seen == 20
+        assert np.argmax(state.class_counts) == np.bincount(batch, minlength=5).argmax()
+
+    def test_live_engine_stream(self, classifier):
+        """Online classification riding a real simulation's channel."""
+        from repro.monitoring.stack import MonitoringStack
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.execution import classification_testbed
+        from repro.workloads.base import WorkloadInstance
+        from repro.workloads.io import postmark
+
+        cluster = classification_testbed()
+        engine = SimulationEngine(cluster, seed=8)
+        stack = MonitoringStack(engine, seed=9)
+        online = OnlineClassifier(classifier, stack.channel, nodes=["VM1"])
+        engine.add_instance(WorkloadInstance(postmark(120.0), vm_name="VM1"))
+        engine.run()
+        state = online.state("VM1")
+        assert state.snapshots_seen >= 20
+        assert state.majority_class() is SnapshotClass.IO

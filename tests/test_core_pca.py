@@ -1,0 +1,145 @@
+"""Tests for the from-scratch PCA."""
+
+import numpy as np
+import pytest
+
+from repro.core.pca import PCA
+
+
+def correlated_data(m=400, seed=0):
+    """Data with one dominant direction plus noise."""
+    rng = np.random.default_rng(seed)
+    t = rng.normal(size=m)
+    x = np.column_stack(
+        [3.0 * t, -2.0 * t + 0.1 * rng.normal(size=m), 0.2 * rng.normal(size=m)]
+    )
+    return x + np.array([10.0, -5.0, 2.0])
+
+
+class TestConstruction:
+    def test_exactly_one_selection_mode(self):
+        with pytest.raises(ValueError):
+            PCA()
+        with pytest.raises(ValueError):
+            PCA(n_components=2, min_variance_fraction=0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA(min_variance_fraction=0.0)
+        with pytest.raises(ValueError):
+            PCA(min_variance_fraction=1.5)
+
+
+class TestFit:
+    def test_components_orthonormal(self):
+        pca = PCA(n_components=3).fit(correlated_data())
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_variance_sorted_descending(self):
+        pca = PCA(n_components=3).fit(correlated_data())
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-12)
+
+    def test_first_component_captures_dominant_direction(self):
+        pca = PCA(n_components=1).fit(correlated_data())
+        direction = pca.components_[0]
+        expected = np.array([3.0, -2.0, 0.0])
+        expected /= np.linalg.norm(expected)
+        assert abs(abs(direction @ expected) - 1.0) < 0.01
+
+    def test_explained_variance_ratio_sums_to_one_full_rank(self):
+        pca = PCA(n_components=3).fit(correlated_data())
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_min_variance_fraction_selects_q(self):
+        pca = PCA(min_variance_fraction=0.95).fit(correlated_data())
+        assert pca.n_components_ == 1  # one direction has ~99% of variance
+        pca_all = PCA(min_variance_fraction=1.0).fit(correlated_data())
+        assert pca_all.n_components_ == 3
+
+    def test_paper_configuration_two_components(self):
+        """The paper's threshold was set to extract exactly q = 2."""
+        pca = PCA(n_components=2).fit(correlated_data())
+        assert pca.components_.shape == (2, 3)
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=4).fit(correlated_data())
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=1).fit(np.zeros((1, 3)))
+
+    def test_deterministic_sign_convention(self):
+        a = PCA(n_components=2).fit(correlated_data(seed=1))
+        b = PCA(n_components=2).fit(correlated_data(seed=1))
+        assert np.array_equal(a.components_, b.components_)
+        # Largest-magnitude loading positive.
+        for row in a.components_:
+            assert row[np.argmax(np.abs(row))] > 0
+
+
+class TestTransform:
+    def test_projection_shape(self):
+        x = correlated_data()
+        scores = PCA(n_components=2).fit_transform(x)
+        assert scores.shape == (x.shape[0], 2)
+
+    def test_scores_are_centered(self):
+        scores = PCA(n_components=2).fit_transform(correlated_data())
+        assert np.allclose(scores.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_scores_uncorrelated(self):
+        scores = PCA(n_components=2).fit_transform(correlated_data())
+        cov = np.cov(scores.T)
+        assert abs(cov[0, 1]) < 1e-8
+
+    def test_score_variance_matches_eigenvalues(self):
+        pca = PCA(n_components=2)
+        scores = pca.fit_transform(correlated_data())
+        var = scores.var(axis=0, ddof=1)
+        assert np.allclose(var, pca.explained_variance_, rtol=1e-8)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(n_components=1).transform(np.zeros((2, 3)))
+
+    def test_dimension_mismatch(self):
+        pca = PCA(n_components=1).fit(correlated_data())
+        with pytest.raises(ValueError):
+            pca.transform(np.zeros((2, 5)))
+
+
+class TestReconstruction:
+    def test_full_rank_reconstruction_exact(self):
+        x = correlated_data()
+        pca = PCA(n_components=3).fit(x)
+        recon = pca.inverse_transform(pca.transform(x))
+        assert np.allclose(recon, x, atol=1e-8)
+        assert pca.reconstruction_error(x) < 1e-16
+
+    def test_reduced_reconstruction_error_small_for_low_rank_data(self):
+        x = correlated_data()
+        pca = PCA(n_components=2).fit(x)
+        # Data is essentially rank 2, so 2 components reconstruct well.
+        assert pca.reconstruction_error(x) < 0.01 * x.var()
+
+    def test_error_decreases_with_components(self):
+        x = correlated_data()
+        errors = [PCA(n_components=q).fit(x).reconstruction_error(x) for q in (1, 2, 3)]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_inverse_validates_shape(self):
+        pca = PCA(n_components=2).fit(correlated_data())
+        with pytest.raises(ValueError):
+            pca.inverse_transform(np.zeros((4, 3)))
+
+    def test_total_variance(self):
+        x = correlated_data()
+        pca = PCA(n_components=1).fit(x)
+        assert pca.total_variance() == pytest.approx(
+            np.trace(np.cov(x.T)), rel=1e-10
+        )

@@ -1,0 +1,108 @@
+"""Tests for expert metric selection and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessing import MetricSelector, Normalizer, Preprocessor
+from repro.metrics.catalog import EXPERT_METRIC_NAMES, NUM_METRICS
+from repro.metrics.series import SnapshotSeries
+
+
+def make_series(m=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return SnapshotSeries(
+        node="VM1",
+        timestamps=np.arange(1, m + 1, dtype=float),
+        matrix=rng.uniform(0, 100, size=(NUM_METRICS, m)),
+    )
+
+
+class TestMetricSelector:
+    def test_default_is_expert_set(self):
+        selector = MetricSelector()
+        assert selector.names == EXPERT_METRIC_NAMES
+        assert selector.dimension == 8
+
+    def test_transform_series_shape(self):
+        fm = MetricSelector().transform_series(make_series(m=7))
+        assert fm.shape == (7, 8)
+
+    def test_custom_subset(self):
+        selector = MetricSelector(names=("cpu_user", "load_one"))
+        assert selector.dimension == 2
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            MetricSelector(names=("bogus",))
+        with pytest.raises(ValueError):
+            MetricSelector(names=())
+        with pytest.raises(ValueError):
+            MetricSelector(names=("cpu_user", "cpu_user"))
+
+
+class TestNormalizer:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(50.0, 10.0, size=(500, 4))
+        z = Normalizer().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_safe(self):
+        x = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        z = Normalizer().fit_transform(x)
+        assert np.allclose(z[:, 0], 0.0)
+        assert np.all(np.isfinite(z))
+
+    def test_transform_uses_training_statistics(self):
+        norm = Normalizer().fit(np.array([[0.0], [10.0]]))
+        z = norm.transform(np.array([[5.0]]))
+        assert z[0, 0] == pytest.approx(0.0)
+        z = norm.transform(np.array([[10.0]]))
+        assert z[0, 0] == pytest.approx(1.0)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-5, 5, size=(20, 3))
+        norm = Normalizer().fit(x)
+        assert np.allclose(norm.inverse_transform(norm.transform(x)), x)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Normalizer().transform(np.zeros((1, 1)))
+        with pytest.raises(RuntimeError):
+            Normalizer().inverse_transform(np.zeros((1, 1)))
+
+    def test_dimension_mismatch(self):
+        norm = Normalizer().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            norm.transform(np.zeros((5, 4)))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            Normalizer().fit(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            Normalizer().fit(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            Normalizer().fit(np.array([[np.inf]]))
+
+
+class TestPreprocessor:
+    def test_fit_pools_training_series(self):
+        a, b = make_series(m=5, seed=1), make_series(m=7, seed=2)
+        prep = Preprocessor().fit([a, b])
+        za = prep.transform_series(a)
+        zb = prep.transform_series(b)
+        pooled = np.vstack([za, zb])
+        assert np.allclose(pooled.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(pooled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_fit_requires_series(self):
+        with pytest.raises(ValueError):
+            Preprocessor().fit([])
+
+    def test_transform_features_matches_series_path(self):
+        series = make_series(m=6, seed=3)
+        prep = Preprocessor().fit([series])
+        raw = series.feature_matrix(EXPERT_METRIC_NAMES)
+        assert np.allclose(prep.transform_features(raw), prep.transform_series(series))

@@ -1,0 +1,179 @@
+"""Tests for multi-stage analysis (mode filter, segmentation, migration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import SnapshotClass
+from repro.core.stages import (
+    Stage,
+    StageAnalysis,
+    find_migration_opportunities,
+    mode_filter,
+    segment_stages,
+)
+from repro.metrics.catalog import NUM_METRICS
+from repro.metrics.series import SnapshotSeries
+from repro.core.pipeline import ClassificationResult, StageTimings
+from repro.core.labels import ClassComposition
+
+
+def make_result_and_series(class_vector, d=5.0):
+    class_vector = np.asarray(class_vector, dtype=np.int64)
+    m = class_vector.size
+    series = SnapshotSeries(
+        node="VM1",
+        timestamps=np.arange(1, m + 1) * d,
+        matrix=np.zeros((NUM_METRICS, m)),
+    )
+    comp = ClassComposition.from_class_vector(class_vector)
+    result = ClassificationResult(
+        node="VM1",
+        num_samples=m,
+        class_vector=class_vector,
+        composition=comp,
+        application_class=comp.dominant(),
+        category="x",
+        scores=np.zeros((m, 2)),
+        timings=StageTimings(),
+    )
+    return result, series
+
+
+class TestModeFilter:
+    def test_window_one_identity(self):
+        v = np.array([1, 2, 1, 2])
+        assert np.array_equal(mode_filter(v, 1), v)
+
+    def test_suppresses_single_flicker(self):
+        v = np.array([2, 2, 2, 1, 2, 2, 2])
+        out = mode_filter(v, 3)
+        assert out.tolist() == [2] * 7
+
+    def test_preserves_genuine_transition(self):
+        v = np.array([2, 2, 2, 2, 1, 1, 1, 1])
+        out = mode_filter(v, 3)
+        assert out.tolist() == v.tolist()
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            mode_filter(np.array([1, 2]), 2)
+
+    def test_does_not_mutate_input(self):
+        v = np.array([2, 2, 1, 2, 2])
+        mode_filter(v, 3)
+        assert v.tolist() == [2, 2, 1, 2, 2]
+
+
+class TestSegmentation:
+    def test_single_stage(self):
+        result, series = make_result_and_series([2] * 10)
+        analysis = segment_stages(result, series)
+        assert analysis.num_stages == 1
+        assert not analysis.is_multi_stage()
+        stage = analysis.stages[0]
+        assert stage.snapshot_class is SnapshotClass.CPU
+        assert stage.num_snapshots == 10
+
+    def test_alternating_stages(self):
+        vec = [2] * 6 + [1] * 6 + [2] * 6
+        result, series = make_result_and_series(vec)
+        analysis = segment_stages(result, series)
+        assert analysis.num_stages == 3
+        assert analysis.is_multi_stage()
+        assert [s.snapshot_class for s in analysis.stages] == [
+            SnapshotClass.CPU,
+            SnapshotClass.IO,
+            SnapshotClass.CPU,
+        ]
+
+    def test_smoothing_merges_flicker_stages(self):
+        vec = [2] * 6 + [1] + [2] * 6
+        result, series = make_result_and_series(vec)
+        rough = segment_stages(result, series, smoothing_window=1)
+        smooth = segment_stages(result, series, smoothing_window=3)
+        assert rough.num_stages == 3
+        assert smooth.num_stages == 1
+
+    def test_stage_timing(self):
+        vec = [2] * 4 + [1] * 4
+        result, series = make_result_and_series(vec, d=5.0)
+        analysis = segment_stages(result, series)
+        first, second = analysis.stages
+        assert first.start_time == 5.0
+        assert first.end_time == 20.0
+        assert second.start_time == 25.0
+        assert first.duration == 15.0
+
+    def test_dominant_stage_class(self):
+        vec = [2] * 10 + [1] * 4
+        result, series = make_result_and_series(vec)
+        assert segment_stages(result, series).dominant_stage_class() is SnapshotClass.CPU
+
+    def test_stage_composition_after_smoothing(self):
+        vec = [2] * 6 + [1] + [2] * 5
+        result, series = make_result_and_series(vec)
+        analysis = segment_stages(result, series, smoothing_window=3)
+        assert analysis.stage_composition().cpu == 1.0
+
+    def test_stages_of(self):
+        vec = [2] * 4 + [1] * 4 + [2] * 4
+        result, series = make_result_and_series(vec)
+        analysis = segment_stages(result, series)
+        assert len(analysis.stages_of(SnapshotClass.CPU)) == 2
+        assert len(analysis.stages_of(SnapshotClass.NET)) == 0
+
+    def test_length_mismatch_rejected(self):
+        result, _ = make_result_and_series([2] * 5)
+        _, other = make_result_and_series([2] * 6)
+        with pytest.raises(ValueError):
+            segment_stages(result, other)
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            Stage(0, SnapshotClass.CPU, 5, 4, 25.0, 20.0)
+        with pytest.raises(ValueError):
+            StageAnalysis(stages=[], smoothed_classes=np.array([]), sampling_interval=5.0)
+
+
+class TestMigrationOpportunities:
+    def test_long_class_change_detected(self):
+        vec = [2] * 20 + [1] * 20
+        result, series = make_result_and_series(vec, d=5.0)
+        analysis = segment_stages(result, series)
+        opportunities = find_migration_opportunities(analysis, min_stage_duration_s=60.0)
+        assert len(opportunities) == 1
+        assert opportunities[0].class_change == (SnapshotClass.CPU, SnapshotClass.IO)
+
+    def test_short_stages_skipped(self):
+        vec = [2] * 4 + [1] * 4
+        result, series = make_result_and_series(vec, d=5.0)
+        analysis = segment_stages(result, series)
+        assert find_migration_opportunities(analysis, min_stage_duration_s=60.0) == []
+
+    def test_idle_transitions_skipped_by_default(self):
+        vec = [2] * 20 + [0] * 20
+        result, series = make_result_and_series(vec, d=5.0)
+        analysis = segment_stages(result, series)
+        assert find_migration_opportunities(analysis) == []
+        with_idle = find_migration_opportunities(analysis, ignore_idle=False)
+        assert len(with_idle) == 1
+
+    def test_negative_threshold_rejected(self):
+        vec = [2] * 4 + [1] * 4
+        result, series = make_result_and_series(vec)
+        analysis = segment_stages(result, series)
+        with pytest.raises(ValueError):
+            find_migration_opportunities(analysis, min_stage_duration_s=-1.0)
+
+
+class TestOnRealRun:
+    def test_specseis_b_exposes_stages(self, classifier):
+        """SPECseis96 on a tight VM alternates compute and paging stages."""
+        from repro.sim.execution import profiled_run
+        from repro.workloads.cpu import specseis96
+
+        run = profiled_run(specseis96("small"), vm_mem_mb=32.0, seed=55)
+        result = classifier.classify_series(run.series)
+        analysis = segment_stages(result, run.series, smoothing_window=3)
+        assert analysis.is_multi_stage()
+        assert analysis.num_stages >= 3

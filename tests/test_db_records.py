@@ -1,0 +1,64 @@
+"""Tests for application DB run records."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import ClassComposition, SnapshotClass
+from repro.db.records import RunRecord
+
+
+def make_record(app="postmark", t0=0.0, t1=264.0, n=52, cls=SnapshotClass.IO, io=1.0):
+    comp = ClassComposition(fractions=(0.0, io, 1.0 - io, 0.0, 0.0))
+    return RunRecord(
+        application=app,
+        node="VM1",
+        t0=t0,
+        t1=t1,
+        num_samples=n,
+        application_class=cls,
+        composition=comp,
+        environment={"vm_mem_mb": 256},
+    )
+
+
+def test_execution_time():
+    assert make_record(t0=10.0, t1=40.0).execution_time == 30.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_record(t0=100.0, t1=50.0)
+    with pytest.raises(ValueError):
+        make_record(n=0)
+
+
+def test_round_trip_serialization():
+    record = make_record()
+    clone = RunRecord.from_dict(record.to_dict())
+    assert clone == record
+
+
+def test_to_dict_json_safe():
+    import json
+
+    payload = json.dumps(make_record().to_dict())
+    assert "postmark" in payload
+
+
+def test_from_dict_validates_composition_length():
+    data = make_record().to_dict()
+    data["composition"] = [1.0, 0.0]
+    with pytest.raises(ValueError):
+        RunRecord.from_dict(data)
+
+
+def test_from_dict_parses_class_label():
+    data = make_record(cls=SnapshotClass.NET, io=0.0).to_dict()
+    data["composition"] = [0.0, 0.0, 0.0, 1.0, 0.0]
+    record = RunRecord.from_dict(data)
+    assert record.application_class is SnapshotClass.NET
+
+
+def test_environment_preserved():
+    clone = RunRecord.from_dict(make_record().to_dict())
+    assert clone.environment == {"vm_mem_mb": 256}

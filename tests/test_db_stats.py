@@ -1,0 +1,61 @@
+"""Tests for run-history statistical abstracts."""
+
+import pytest
+
+from repro.core.labels import ClassComposition, SnapshotClass
+from repro.db.records import RunRecord
+from repro.db.stats import aggregate_runs
+
+
+def record(app="x", cpu=1.0, io=0.0, duration=100.0, n=20):
+    comp = ClassComposition(fractions=(0.0, io, cpu, 0.0, max(1.0 - cpu - io, 0.0)))
+    return RunRecord(
+        application=app,
+        node="VM1",
+        t0=0.0,
+        t1=duration,
+        num_samples=n,
+        application_class=comp.dominant(),
+        composition=comp,
+    )
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        aggregate_runs([])
+
+
+def test_mixed_applications_rejected():
+    with pytest.raises(ValueError):
+        aggregate_runs([record("a"), record("b")])
+
+
+def test_mean_composition_and_duration():
+    stats = aggregate_runs([record(cpu=1.0, duration=100.0), record(cpu=0.5, io=0.5, duration=200.0)])
+    assert stats.run_count == 2
+    assert stats.mean_composition.cpu == pytest.approx(0.75)
+    assert stats.mean_composition.io == pytest.approx(0.25)
+    assert stats.mean_execution_time == pytest.approx(150.0)
+    assert stats.execution_time_std == pytest.approx(50.0)
+
+
+def test_composition_std():
+    stats = aggregate_runs([record(cpu=1.0), record(cpu=0.5, io=0.5)])
+    assert stats.composition_std[int(SnapshotClass.CPU)] == pytest.approx(0.25)
+    assert stats.composition_std[int(SnapshotClass.NET)] == 0.0
+
+
+def test_consensus_class_weighted_by_samples():
+    """A long IO run outweighs a short CPU run."""
+    runs = [
+        record(cpu=1.0, io=0.0, n=5),
+        record(cpu=0.0, io=1.0, n=100),
+    ]
+    assert aggregate_runs(runs).consensus_class is SnapshotClass.IO
+
+
+def test_single_run_stats():
+    stats = aggregate_runs([record(cpu=0.8, io=0.2)])
+    assert stats.run_count == 1
+    assert stats.execution_time_std == 0.0
+    assert stats.consensus_class is SnapshotClass.CPU

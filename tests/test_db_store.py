@@ -1,0 +1,93 @@
+"""Tests for the application database store."""
+
+import pytest
+
+from repro.core.labels import ClassComposition, SnapshotClass
+from repro.db.records import RunRecord
+from repro.db.store import ApplicationDB
+
+
+def record(app, cpu=1.0, io=0.0, duration=100.0):
+    comp = ClassComposition(fractions=(0.0, io, cpu, 0.0, max(1.0 - cpu - io, 0.0)))
+    return RunRecord(
+        application=app,
+        node="VM1",
+        t0=0.0,
+        t1=duration,
+        num_samples=20,
+        application_class=comp.dominant(),
+        composition=comp,
+    )
+
+
+def test_add_and_query():
+    db = ApplicationDB()
+    db.add_run(record("postmark", cpu=0.0, io=1.0))
+    db.add_run(record("postmark", cpu=0.1, io=0.9))
+    db.add_run(record("specseis", cpu=1.0))
+    assert db.applications() == ["postmark", "specseis"]
+    assert db.run_count("postmark") == 2
+    assert db.run_count("unknown") == 0
+    assert db.total_runs() == 3
+
+
+def test_runs_returns_copy():
+    db = ApplicationDB()
+    db.add_run(record("a"))
+    runs = db.runs("a")
+    runs.clear()
+    assert db.run_count("a") == 1
+
+
+def test_runs_unknown_raises():
+    with pytest.raises(KeyError):
+        ApplicationDB().runs("ghost")
+
+
+def test_stats_aggregates():
+    db = ApplicationDB()
+    db.add_runs([record("a", cpu=1.0), record("a", cpu=0.5, io=0.5)])
+    stats = db.stats("a")
+    assert stats.run_count == 2
+    assert stats.mean_composition.cpu == pytest.approx(0.75)
+
+
+def test_known_class_with_default():
+    db = ApplicationDB()
+    db.add_run(record("io-app", cpu=0.0, io=1.0))
+    assert db.known_class("io-app") is SnapshotClass.IO
+    assert db.known_class("never-seen") is None
+    assert db.known_class("never-seen", default=SnapshotClass.CPU) is SnapshotClass.CPU
+
+
+def test_clear():
+    db = ApplicationDB()
+    db.add_run(record("a"))
+    db.clear()
+    assert db.total_runs() == 0
+
+
+def test_save_load_round_trip(tmp_path):
+    db = ApplicationDB()
+    db.add_runs([record("a", cpu=1.0), record("b", io=1.0, cpu=0.0)])
+    path = tmp_path / "appdb.json"
+    db.save(path)
+    loaded = ApplicationDB.load(path)
+    assert loaded.applications() == ["a", "b"]
+    assert loaded.runs("a") == db.runs("a")
+
+
+def test_load_detects_misfiled_record(tmp_path):
+    db = ApplicationDB()
+    db.add_run(record("a"))
+    path = tmp_path / "appdb.json"
+    db.save(path)
+    text = path.read_text().replace('"application": "a"', '"application": "zzz"')
+    path.write_text(text)
+    with pytest.raises(ValueError, match="filed under"):
+        ApplicationDB.load(path)
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        ApplicationDB.load(tmp_path / "nope.json")

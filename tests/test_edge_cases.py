@@ -1,0 +1,138 @@
+"""Cross-cutting edge cases not owned by any single module's test file."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import SnapshotClass
+from repro.metrics.catalog import NUM_METRICS
+from repro.metrics.series import SnapshotSeries
+from repro.monitoring.gmond import Gmond
+from repro.monitoring.multicast import MulticastChannel
+from repro.sim.engine import SimulationEngine
+from repro.vm.cluster import Cluster, single_vm_cluster
+from repro.vm.resources import ResourceCapacity, ResourceDemand
+from repro.workloads.base import WorkloadInstance, constant_workload
+
+
+class TestSubSecondTicks:
+    def test_engine_with_half_second_dt(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0, dt=0.5)
+        w = constant_workload("j", ResourceDemand(cpu_user=0.9, mem_mb=10.0), 20.0)
+        key = engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+        engine.run()
+        assert engine.instance(key).done
+        assert engine.completions[0].elapsed == pytest.approx(20.0, abs=1.0)
+
+    def test_gmond_heartbeat_with_dt_half(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0, dt=0.5)
+        channel = MulticastChannel()
+        gmond = Gmond(cluster.vm("VM1"), channel, rng=np.random.default_rng(0), heartbeat=5.0)
+        engine.add_tick_listener(gmond.on_tick)
+        engine.run(until=25.0)
+        assert gmond.announcement_count == 5
+
+
+class TestTinySeries:
+    def test_single_snapshot_classifies(self, classifier):
+        matrix = np.zeros((NUM_METRICS, 1))
+        series = SnapshotSeries(node="n", timestamps=np.array([5.0]), matrix=matrix)
+        result = classifier.classify_series(series)
+        assert result.num_samples == 1
+        assert result.application_class in SnapshotClass
+
+    def test_two_snapshot_composition(self, classifier):
+        from repro.metrics.catalog import metric_index
+
+        matrix = np.zeros((NUM_METRICS, 2))
+        matrix[metric_index("cpu_user")] = [95.0, 94.0]
+        series = SnapshotSeries(node="n", timestamps=np.array([5.0, 10.0]), matrix=matrix)
+        result = classifier.classify_series(series)
+        assert result.composition.cpu == 1.0
+
+
+class TestExtremeCapacities:
+    def test_tiny_host_still_progresses(self):
+        c = Cluster()
+        c.add_host("h", ResourceCapacity(cpu_cores=0.5, cpu_mhz=900.0, disk_blocks_per_s=10.0))
+        c.create_vm("h", "VM1", vcpus=1)
+        engine = SimulationEngine(c, seed=0)
+        w = constant_workload("j", ResourceDemand(cpu_user=1.0, mem_mb=10.0), 10.0)
+        key = engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+        engine.run(until=200.0)
+        assert engine.instance(key).done
+
+    def test_zero_mem_workload(self):
+        engine = SimulationEngine(single_vm_cluster(), seed=0)
+        w = constant_workload("j", ResourceDemand(cpu_user=0.5, mem_mb=0.0), 5.0)
+        key = engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+        engine.run()
+        assert engine.instance(key).done
+
+
+class TestManyInstances:
+    def test_twenty_jobs_on_one_vm(self):
+        engine = SimulationEngine(single_vm_cluster(), seed=0)
+        w = constant_workload("j", ResourceDemand(cpu_user=0.3, mem_mb=4.0), 10.0)
+        keys = [engine.add_instance(WorkloadInstance(w, vm_name="VM1")) for _ in range(20)]
+        engine.run(until=2000.0)
+        assert all(engine.instance(k).done for k in keys)
+        # Heavy interference: each job far slower than solo.
+        assert engine.completions[0].elapsed > 30.0
+
+
+class TestIdleOnlyRun:
+    def test_pure_idle_classifies_idle(self, classifier):
+        from repro.sim.execution import profiled_run
+        from repro.workloads.idle import idle
+
+        run = profiled_run(idle(120.0), seed=66)
+        result = classifier.classify_series(run.series)
+        assert result.application_class is SnapshotClass.IDLE
+        assert result.composition.idle > 0.9
+        assert result.category == "Idle"
+
+
+class TestMonitoringEdge:
+    def test_gmond_survives_counter_free_vm(self):
+        """A VM that never runs anything still announces valid vectors."""
+        cluster = single_vm_cluster()
+        channel = MulticastChannel()
+        gmond = Gmond(cluster.vm("VM1"), channel, rng=np.random.default_rng(0))
+        for t in (5.0, 10.0, 15.0):
+            values = gmond.collect(t)
+            assert np.all(np.isfinite(values))
+
+    def test_profiler_empty_window(self):
+        from repro.monitoring.profiler import PerformanceProfiler
+
+        profiler = PerformanceProfiler(MulticastChannel())
+        profiler.start("VM1", now=0.0)
+        profiler.stop(now=1.0)
+        assert profiler.data_pool() == []
+
+    def test_filter_on_empty_pool(self):
+        from repro.monitoring.filter import PerformanceFilter
+
+        with pytest.raises(ValueError):
+            PerformanceFilter().extract([], "VM1")
+
+
+class TestSchedulerEdge:
+    def test_single_machine_placement(self):
+        from repro.db.store import ApplicationDB
+        from repro.scheduler.class_aware import ClassAwareScheduler
+
+        sched = ClassAwareScheduler(ApplicationDB())
+        placement = sched.schedule_jobs(["a", "b", "c"], machines=1)
+        assert placement.machines == (("a", "b", "c"),)
+
+    def test_more_machines_than_jobs(self):
+        from repro.db.store import ApplicationDB
+        from repro.scheduler.class_aware import ClassAwareScheduler
+
+        sched = ClassAwareScheduler(ApplicationDB())
+        placement = sched.schedule_jobs(["a"], machines=3)
+        sizes = sorted(len(m) for m in placement.machines)
+        assert sizes == [0, 0, 1]

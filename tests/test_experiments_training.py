@@ -1,0 +1,52 @@
+"""Tests for the training experiment driver (uses the session classifier)."""
+
+import pytest
+
+from repro.core.labels import SnapshotClass
+from repro.experiments.training import profile_training_entry
+from repro.workloads.catalog import entry
+
+
+def test_training_runs_cover_five_classes(training_outcome):
+    assert set(training_outcome.labels.values()) == {
+        SnapshotClass.IDLE,
+        SnapshotClass.IO,
+        SnapshotClass.CPU,
+        SnapshotClass.NET,
+        SnapshotClass.MEM,
+    }
+
+
+def test_training_pool_reasonably_balanced(training_outcome):
+    """No training class should dominate the pool (keeps PCA honest)."""
+    sizes = {key: len(run.series) for key, run in training_outcome.runs.items()}
+    assert min(sizes.values()) >= 40
+    assert max(sizes.values()) / min(sizes.values()) < 3.0
+
+
+def test_classifier_extracts_two_components(training_outcome):
+    pca = training_outcome.classifier.pca
+    assert pca.n_components_ == 2
+    # Two components carry most of the expert-metric variance.
+    assert pca.explained_variance_ratio_.sum() > 0.6
+
+
+def test_training_self_consistency(training_outcome):
+    """Re-classifying a training run recovers its own class dominantly."""
+    clf = training_outcome.classifier
+    for key, run in training_outcome.runs.items():
+        expected = training_outcome.labels[key]
+        result = clf.classify_series(run.series)
+        assert result.composition.fraction(expected) > 0.5, key
+
+
+def test_profile_training_entry_runs():
+    run = profile_training_entry(entry("train-idle"), seed=1)
+    assert run.num_samples == pytest.approx(60, abs=2)
+    assert run.workload_name == "idle"
+
+
+def test_total_training_samples(training_outcome):
+    total = training_outcome.total_training_samples()
+    assert total == sum(len(r.series) for r in training_outcome.runs.values())
+    assert total == training_outcome.classifier.training_scores_.shape[0]

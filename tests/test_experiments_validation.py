@@ -1,0 +1,79 @@
+"""Tests for the classification-ability validation module."""
+
+import pytest
+
+from repro.core.labels import SnapshotClass
+from repro.experiments.validation import ConfusionMatrix, validate_workloads
+from repro.vm.resources import ResourceDemand
+from repro.workloads.base import constant_workload
+
+
+class TestConfusionMatrix:
+    def test_accuracy(self):
+        m = ConfusionMatrix()
+        m.record(SnapshotClass.CPU, SnapshotClass.CPU)
+        m.record(SnapshotClass.IO, SnapshotClass.IO)
+        m.record(SnapshotClass.IO, SnapshotClass.MEM)
+        assert m.total == 3
+        assert m.accuracy() == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix().accuracy()
+
+    def test_precision_recall(self):
+        m = ConfusionMatrix()
+        m.record(SnapshotClass.IO, SnapshotClass.IO)
+        m.record(SnapshotClass.MEM, SnapshotClass.IO)
+        m.record(SnapshotClass.MEM, SnapshotClass.MEM)
+        assert m.precision(SnapshotClass.IO) == pytest.approx(0.5)
+        assert m.recall(SnapshotClass.IO) == 1.0
+        assert m.recall(SnapshotClass.MEM) == pytest.approx(0.5)
+        # Untouched classes default to 1.0 by convention.
+        assert m.precision(SnapshotClass.NET) == 1.0
+        assert m.recall(SnapshotClass.NET) == 1.0
+
+    def test_render_contains_counts(self):
+        m = ConfusionMatrix()
+        m.record(SnapshotClass.CPU, SnapshotClass.CPU)
+        text = m.render()
+        assert "CPU" in text
+        assert "1" in text
+        assert len(text.splitlines()) == 6
+
+
+class TestValidateWorkloads:
+    def test_simple_suite(self, classifier):
+        workloads = [
+            constant_workload(
+                "v-cpu", ResourceDemand(cpu_user=0.9, cpu_system=0.04, mem_mb=20.0), 60.0,
+                expected_class="CPU",
+            ),
+            constant_workload(
+                "v-io",
+                ResourceDemand(cpu_user=0.08, cpu_system=0.12, io_bi=500.0, io_bo=500.0, mem_mb=20.0),
+                60.0,
+                expected_class="IO",
+            ),
+        ]
+        report = validate_workloads(classifier, workloads, seed=901)
+        assert report.matrix.accuracy() == 1.0
+        assert report.misclassified() == []
+        assert [r.workload_name for r in report.runs] == ["v-cpu", "v-io"]
+
+    def test_rejects_mixed_intent(self, classifier):
+        w = constant_workload("x", ResourceDemand(cpu_user=0.5), 10.0, expected_class="MIXED")
+        with pytest.raises(ValueError, match="non-class intent"):
+            validate_workloads(classifier, [w])
+
+    def test_rejects_empty(self, classifier):
+        with pytest.raises(ValueError):
+            validate_workloads(classifier, [])
+
+    def test_generated_suite_generalization(self, classifier):
+        """Random workloads nobody hand-modelled still classify well."""
+        from repro.workloads.synth import generate_suite
+
+        suite = generate_suite(per_class=2, seed=5)
+        report = validate_workloads(classifier, suite, seed=950)
+        assert report.matrix.accuracy() >= 0.75

@@ -1,0 +1,151 @@
+"""Fault-injection tests: lossy monitoring and killed instances."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS
+from repro.monitoring.faults import LossyChannel
+from repro.monitoring.multicast import MetricAnnouncement
+from repro.monitoring.profiler import PerformanceProfiler
+from repro.monitoring.filter import PerformanceFilter
+from repro.sim.engine import SimulationEngine
+from repro.vm.cluster import single_vm_cluster
+from repro.workloads.base import WorkloadInstance
+
+from tests.conftest import short_cpu_workload, short_io_workload
+
+
+def announce(channel, node, t):
+    channel.announce(
+        MetricAnnouncement(node=node, timestamp=t, values=np.zeros(NUM_METRICS))
+    )
+
+
+class TestLossyChannel:
+    def test_no_loss_by_default(self):
+        channel = LossyChannel()
+        received = []
+        channel.subscribe(received.append)
+        for t in range(20):
+            announce(channel, "VM1", float(t))
+        assert len(received) == 20
+        assert channel.loss_rate() == 0.0
+
+    def test_probabilistic_drops(self):
+        channel = LossyChannel(drop_probability=0.3, seed=1)
+        received = []
+        channel.subscribe(received.append)
+        for t in range(1000):
+            announce(channel, "VM1", float(t))
+        assert 0.2 < channel.loss_rate() < 0.4
+        assert len(received) == 1000 - channel.dropped
+
+    def test_outage_window_drops_everything(self):
+        channel = LossyChannel(outages=[(10.0, 20.0)])
+        received = []
+        channel.subscribe(received.append)
+        for t in (5.0, 10.0, 15.0, 20.0, 25.0):
+            announce(channel, "VM1", t)
+        assert [a.timestamp for a in received] == [5.0, 25.0]
+        assert channel.dropped == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossyChannel(drop_probability=1.0)
+        with pytest.raises(ValueError):
+            LossyChannel(outages=[(10.0, 5.0)])
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            channel = LossyChannel(drop_probability=0.5, seed=seed)
+            got = []
+            channel.subscribe(got.append)
+            for t in range(50):
+                announce(channel, "VM1", float(t))
+            return [a.timestamp for a in got]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestClassificationUnderLoss:
+    def _run_with_channel(self, channel, classifier):
+        """Wire a lossy channel into a monitored PostMark-like run."""
+        from repro.monitoring.gmond import Gmond
+        from repro.sim.execution import classification_testbed
+
+        cluster = classification_testbed()
+        engine = SimulationEngine(cluster, seed=2)
+        rng = np.random.default_rng(9)
+        for vm in cluster.iter_vms():
+            gmond = Gmond(vm, channel, rng=np.random.default_rng(rng.integers(1 << 62)))
+            engine.add_tick_listener(gmond.on_tick)
+        profiler = PerformanceProfiler(channel)
+        engine.add_instance(WorkloadInstance(short_io_workload(150.0), vm_name="VM1"))
+        profiler.start("VM1", now=0.0)
+        engine.run()
+        profiler.stop(now=engine.now)
+        series = PerformanceFilter().extract(profiler.data_pool(), "VM1")
+        return classifier.classify_series(series)
+
+    def test_composition_robust_to_20pct_loss(self, classifier):
+        from repro.monitoring.multicast import MulticastChannel
+
+        clean = self._run_with_channel(MulticastChannel(), classifier)
+        lossy = self._run_with_channel(LossyChannel(drop_probability=0.2, seed=5), classifier)
+        assert lossy.num_samples < clean.num_samples
+        assert lossy.application_class is clean.application_class
+        assert lossy.composition.io == pytest.approx(clean.composition.io, abs=0.1)
+
+    def test_outage_mid_run_still_classifies(self, classifier):
+        channel = LossyChannel(outages=[(40.0, 90.0)])
+        result = self._run_with_channel(channel, classifier)
+        assert result.application_class.name == "IO"
+
+
+class TestKillInstance:
+    def test_killed_instance_stops_consuming(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        key = engine.add_instance(WorkloadInstance(short_cpu_workload(500.0), vm_name="VM1"))
+        engine.run(until=20.0)
+        cpu_at_kill = cluster.vm("VM1").counters.cpu_user_s
+        engine.kill_instance(key)
+        engine.run(until=60.0)
+        assert engine.was_killed(key)
+        assert cluster.vm("VM1").counters.cpu_user_s < cpu_at_kill + 2.0
+        assert engine.completions == []
+
+    def test_kill_unblocks_run_completion(self):
+        """run() finishes once the only pending work is killed."""
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        k1 = engine.add_instance(WorkloadInstance(short_cpu_workload(30.0), vm_name="VM1"))
+        k2 = engine.add_instance(WorkloadInstance(short_cpu_workload(10_000.0), vm_name="VM1"))
+        engine.run(until=5.0)
+        engine.kill_instance(k2)
+        engine.run()  # only k1 remains
+        assert engine.instance(k1).done
+
+    def test_kill_validation(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        key = engine.add_instance(WorkloadInstance(short_cpu_workload(5.0), vm_name="VM1"))
+        with pytest.raises(KeyError):
+            engine.kill_instance(99)
+        engine.run()
+        with pytest.raises(RuntimeError):
+            engine.kill_instance(key)
+
+    def test_surviving_instances_speed_up_after_kill(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        k1 = engine.add_instance(WorkloadInstance(short_cpu_workload(60.0), vm_name="VM1"))
+        k2 = engine.add_instance(WorkloadInstance(short_cpu_workload(10_000.0), vm_name="VM1"))
+        engine.run(until=10.0)
+        progress_rate_contended = engine.instance(k1).progress_fraction() / 10.0
+        engine.kill_instance(k2)
+        engine.run(until=20.0)
+        progress_after = engine.instance(k1).progress_fraction()
+        rate_after = (progress_after - progress_rate_contended * 10.0) / 10.0
+        assert rate_after > progress_rate_contended * 1.1

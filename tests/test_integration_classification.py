@@ -1,0 +1,92 @@
+"""End-to-end classification integration tests (paper Table 3 shape).
+
+Fast variants of the headline results: each test profiles one real
+workload model in the simulator, pushes it through monitoring +
+classification, and asserts the paper's qualitative outcome.
+"""
+
+import pytest
+
+from repro.core.labels import SnapshotClass
+from repro.sim.execution import profiled_run
+from repro.workloads.cpu import simplescalar, specseis96
+from repro.workloads.interactive import vmd, xspim
+from repro.workloads.io import postmark
+from repro.workloads.network import postmark_nfs, sftp
+
+
+@pytest.fixture(scope="module")
+def classify(classifier):
+    def _run(workload, mem=256.0, seed=77):
+        run = profiled_run(workload, vm_mem_mb=mem, seed=seed)
+        return classifier.classify_series(run.series), run
+
+    return _run
+
+
+def test_simplescalar_is_cpu(classify):
+    result, _ = classify(simplescalar())
+    assert result.application_class is SnapshotClass.CPU
+    assert result.composition.cpu > 0.9
+
+
+def test_postmark_local_is_io(classify):
+    result, _ = classify(postmark())
+    assert result.application_class is SnapshotClass.IO
+    assert result.composition.io > 0.85
+
+
+def test_postmark_nfs_flips_to_network(classify):
+    """Table 3's environment-dependence result: same benchmark, NFS
+    directory → network class."""
+    result, _ = classify(postmark_nfs())
+    assert result.application_class is SnapshotClass.NET
+    assert result.composition.net > 0.9
+
+
+def test_sftp_is_network_despite_disk_reads(classify):
+    result, _ = classify(sftp())
+    assert result.application_class is SnapshotClass.NET
+
+
+def test_vmd_is_interactive_mix(classify):
+    """Paper: 37% idle / 41% IO / 22% NET."""
+    result, _ = classify(vmd())
+    assert result.category == "Idle + Others"
+    assert result.composition.idle == pytest.approx(0.37, abs=0.08)
+    assert result.composition.io == pytest.approx(0.41, abs=0.08)
+    assert result.composition.net == pytest.approx(0.22, abs=0.08)
+
+
+def test_xspim_idle_io_mix(classify):
+    result, _ = classify(xspim())
+    assert result.composition.idle > 0.1
+    assert result.composition.io > 0.6
+
+
+def test_specseis_small_vm_class_shift(classify):
+    """The B experiment in miniature: small input, 256 MB vs 32 MB VM.
+
+    On 32 MB the same application gains substantial IO+paging share and
+    runs longer.
+    """
+    roomy, run_roomy = classify(specseis96("small"), mem=256.0)
+    tight, run_tight = classify(specseis96("small"), mem=32.0)
+    assert roomy.composition.cpu > 0.9
+    io_paging_tight = tight.composition.io + tight.composition.mem
+    assert io_paging_tight > 0.10
+    assert tight.composition.cpu < roomy.composition.cpu
+    assert run_tight.duration > run_roomy.duration * 1.2
+
+
+def test_sample_count_matches_duration(classify):
+    _, run = classify(postmark())
+    assert run.num_samples == pytest.approx(run.duration / 5.0, abs=2)
+
+
+def test_deterministic_classification(classifier):
+    a = profiled_run(postmark(), seed=5)
+    b = profiled_run(postmark(), seed=5)
+    ra = classifier.classify_series(a.series)
+    rb = classifier.classify_series(b.series)
+    assert (ra.class_vector == rb.class_vector).all()

@@ -1,0 +1,88 @@
+"""End-to-end scheduling integration tests (paper §5.2 shape, fast variants)."""
+
+import pytest
+
+from repro.core.labels import SnapshotClass
+from repro.db.records import RunRecord
+from repro.db.store import ApplicationDB
+from repro.experiments.table4 import run_table4
+from repro.scheduler.class_aware import ClassAwareScheduler
+from repro.scheduler.reservation import recommend_reservation
+from repro.sim.execution import profiled_run
+from repro.workloads.cpu import ch3d
+from repro.workloads.io import postmark
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return run_table4(seed=11)
+
+
+class TestTable4:
+    def test_concurrent_stretches_each_job(self, table4):
+        assert table4.concurrent_ch3d > table4.solo_ch3d
+        assert table4.concurrent_postmark > table4.solo_postmark
+
+    def test_concurrent_beats_sequential(self, table4):
+        """The paper's Table 4 conclusion."""
+        assert table4.concurrent_total < table4.sequential_total
+        assert table4.speedup_percent > 5.0
+
+    def test_solo_durations_near_paper(self, table4):
+        """CH3D 488 s, PostMark 264 s (paper's sequential column)."""
+        assert table4.solo_ch3d == pytest.approx(488.0, rel=0.05)
+        assert table4.solo_postmark == pytest.approx(264.0, rel=0.1)
+
+    def test_stretch_magnitude_plausible(self, table4):
+        """Paper: CH3D 488→613 (~1.26x), PostMark 264→310 (~1.17x)."""
+        assert 1.05 < table4.concurrent_ch3d / table4.solo_ch3d < 1.5
+        assert 1.05 < table4.concurrent_postmark / table4.solo_postmark < 1.7
+
+
+class TestLearnedSchedulingLoop:
+    """Profile → classify → store → schedule, the full paper workflow."""
+
+    def test_db_driven_class_aware_scheduling(self, classifier):
+        db = ApplicationDB()
+        for workload, app in ((ch3d(100.0), "ch3d"), (postmark(100.0), "postmark")):
+            run = profiled_run(workload, seed=21)
+            result = classifier.classify_series(run.series)
+            db.add_run(
+                RunRecord(
+                    application=app,
+                    node=run.node,
+                    t0=run.t0,
+                    t1=run.t1,
+                    num_samples=result.num_samples,
+                    application_class=result.application_class,
+                    composition=result.composition,
+                )
+            )
+        scheduler = ClassAwareScheduler(db)
+        assert scheduler.class_of("ch3d") is SnapshotClass.CPU
+        assert scheduler.class_of("postmark") is SnapshotClass.IO
+        placement = scheduler.schedule_jobs(["ch3d", "postmark", "ch3d", "postmark"], machines=2)
+        for machine in placement.machines:
+            classes = {scheduler.class_of(j) for j in machine}
+            assert len(classes) == 2  # one CPU + one IO job per machine
+
+    def test_reservation_from_learned_runs(self, classifier):
+        db = ApplicationDB()
+        for seed in (31, 32):
+            run = profiled_run(postmark(100.0), seed=seed)
+            result = classifier.classify_series(run.series)
+            db.add_run(
+                RunRecord(
+                    application="postmark",
+                    node=run.node,
+                    t0=run.t0,
+                    t1=run.t1,
+                    num_samples=result.num_samples,
+                    application_class=result.application_class,
+                    composition=result.composition,
+                )
+            )
+        reservation = recommend_reservation(db.stats("postmark"))
+        assert reservation.io_share > 0.5
+        assert reservation.cpu_share < 0.5
+        assert reservation.expected_duration_s > 90.0

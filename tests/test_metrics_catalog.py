@@ -1,0 +1,113 @@
+"""Tests for the metric catalog (paper's 33-metric list and Table 1)."""
+
+import pytest
+
+from repro.metrics.catalog import (
+    ALL_METRIC_NAMES,
+    ALL_METRICS,
+    EXPERT_METRIC_NAMES,
+    EXPERT_METRIC_PAIRS,
+    GANGLIA_DEFAULT_METRICS,
+    NUM_EXPERT_METRICS,
+    NUM_METRICS,
+    VMSTAT_EXTENSION_METRICS,
+    MetricGroup,
+    MetricKind,
+    metric_index,
+    metric_indices,
+    metric_spec,
+    metrics_in_group,
+    validate_metric_names,
+)
+
+
+def test_paper_dimensions():
+    """The paper requires n=33 (29 Ganglia + 4 vmstat) and p=8."""
+    assert NUM_METRICS == 33
+    assert len(GANGLIA_DEFAULT_METRICS) == 29
+    assert len(VMSTAT_EXTENSION_METRICS) == 4
+    assert NUM_EXPERT_METRICS == 8
+
+
+def test_metric_names_unique():
+    assert len(set(ALL_METRIC_NAMES)) == NUM_METRICS
+
+
+def test_expert_metrics_are_catalog_metrics():
+    for name in EXPERT_METRIC_NAMES:
+        assert name in ALL_METRIC_NAMES
+
+
+def test_expert_metrics_are_the_vmstat_and_core_pairs():
+    """Table 1: CPU system/user, bytes in/out, IO bi/bo, swap in/out."""
+    assert set(EXPERT_METRIC_NAMES) == {
+        "cpu_system",
+        "cpu_user",
+        "bytes_in",
+        "bytes_out",
+        "io_bi",
+        "io_bo",
+        "swap_in",
+        "swap_out",
+    }
+
+
+def test_expert_pairs_cover_four_classes():
+    classes = [cls for _pair, cls in EXPERT_METRIC_PAIRS]
+    assert classes == ["CPU", "NET", "IO", "MEM"]
+    paired = [name for pair, _ in EXPERT_METRIC_PAIRS for name in pair]
+    assert sorted(paired) == sorted(EXPERT_METRIC_NAMES)
+
+
+def test_metric_index_round_trip():
+    for i, name in enumerate(ALL_METRIC_NAMES):
+        assert metric_index(name) == i
+
+
+def test_metric_index_unknown_raises():
+    with pytest.raises(KeyError, match="unknown metric"):
+        metric_index("cpu_bogus")
+
+
+def test_metric_indices_order_preserved():
+    assert metric_indices(["io_bo", "cpu_user"]) == [
+        metric_index("io_bo"),
+        metric_index("cpu_user"),
+    ]
+
+
+def test_metric_spec_lookup():
+    spec = metric_spec("swap_in")
+    assert spec.unit == "kB/s"
+    assert spec.kind is MetricKind.RATE
+    assert spec.group is MetricGroup.MEMORY
+
+
+def test_metric_spec_unknown_raises():
+    with pytest.raises(KeyError):
+        metric_spec("nonexistent")
+
+
+def test_metrics_in_group_network():
+    names = {s.name for s in metrics_in_group(MetricGroup.NETWORK)}
+    assert {"bytes_in", "bytes_out", "pkts_in", "pkts_out"} == names
+
+
+def test_vmstat_extensions_are_rates():
+    for spec in VMSTAT_EXTENSION_METRICS:
+        assert spec.kind is MetricKind.RATE
+
+
+def test_validate_metric_names_rejects_duplicates():
+    with pytest.raises(ValueError, match="duplicate"):
+        validate_metric_names(["cpu_user", "cpu_user"])
+
+
+def test_validate_metric_names_rejects_unknown():
+    with pytest.raises(KeyError):
+        validate_metric_names(["cpu_user", "nope"])
+
+
+def test_all_metrics_have_descriptions():
+    for spec in ALL_METRICS:
+        assert spec.description, f"{spec.name} lacks a description"

@@ -1,0 +1,99 @@
+"""Tests for CSV import/export of snapshot series."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS, metric_index
+from repro.metrics.csv_io import series_from_csv, series_to_csv
+from repro.metrics.series import SnapshotSeries
+
+
+def make_series(m=5):
+    rng = np.random.default_rng(3)
+    return SnapshotSeries(
+        node="VM1",
+        timestamps=np.arange(1, m + 1) * 5.0,
+        matrix=np.round(rng.uniform(0, 100, size=(NUM_METRICS, m)), 4),
+    )
+
+
+def test_round_trip_all_metrics(tmp_path):
+    series = make_series()
+    path = series_to_csv(series, tmp_path / "trace.csv")
+    back = series_from_csv(path, node="VM1")
+    assert back.node == "VM1"
+    assert np.allclose(back.timestamps, series.timestamps)
+    assert np.allclose(back.matrix, series.matrix, atol=1e-5)
+
+
+def test_partial_metrics_default_zero(tmp_path):
+    path = tmp_path / "partial.csv"
+    path.write_text("timestamp,cpu_user,io_bi\n5.0,80.5,120\n10.0,81.0,130\n")
+    series = series_from_csv(path)
+    assert len(series) == 2
+    assert series.metric("cpu_user").tolist() == [80.5, 81.0]
+    assert series.metric("io_bo").tolist() == [0.0, 0.0]
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "blank.csv"
+    path.write_text("timestamp,cpu_user\n5.0,1\n\n10.0,2\n")
+    assert len(series_from_csv(path)) == 2
+
+
+def test_header_validation(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time,cpu_user\n5.0,1\n")
+    with pytest.raises(ValueError, match="timestamp"):
+        series_from_csv(path)
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        series_from_csv(path)
+    path.write_text("timestamp\n5.0\n")
+    with pytest.raises(ValueError, match="no metric columns"):
+        series_from_csv(path)
+
+
+def test_unknown_metric_rejected(tmp_path):
+    path = tmp_path / "unk.csv"
+    path.write_text("timestamp,gpu_load\n5.0,1\n")
+    with pytest.raises(KeyError):
+        series_from_csv(path)
+
+
+def test_cell_count_mismatch(tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("timestamp,cpu_user\n5.0,1,9\n")
+    with pytest.raises(ValueError, match="cells"):
+        series_from_csv(path)
+
+
+def test_non_numeric_cell(tmp_path):
+    path = tmp_path / "nan.csv"
+    path.write_text("timestamp,cpu_user\n5.0,lots\n")
+    with pytest.raises(ValueError, match="nan.csv:2"):
+        series_from_csv(path)
+
+
+def test_no_rows(tmp_path):
+    path = tmp_path / "norows.csv"
+    path.write_text("timestamp,cpu_user\n")
+    with pytest.raises(ValueError, match="no data rows"):
+        series_from_csv(path)
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        series_from_csv(tmp_path / "nope.csv")
+
+
+def test_imported_trace_classifies(classifier, tmp_path):
+    """Full real-trace path: record → CSV → import → classify."""
+    from repro.sim.execution import profiled_run
+    from tests.conftest import short_io_workload
+
+    run = profiled_run(short_io_workload(80.0), seed=41)
+    path = series_to_csv(run.series, tmp_path / "real_trace.csv")
+    imported = series_from_csv(path, node="VM1")
+    result = classifier.classify_series(imported)
+    assert result.application_class.name == "IO"

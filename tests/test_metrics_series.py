@@ -1,0 +1,166 @@
+"""Tests for SnapshotSeries (the A(n×m) data pool of one run)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import EXPERT_METRIC_NAMES, NUM_METRICS, metric_index
+from repro.metrics.series import SnapshotSeries, merge_feature_matrices
+from repro.metrics.snapshot import Snapshot
+
+
+def make_series(m=6, node="VM1", d=5.0):
+    matrix = np.arange(NUM_METRICS * m, dtype=float).reshape(NUM_METRICS, m)
+    ts = np.arange(1, m + 1) * d
+    return SnapshotSeries(node=node, timestamps=ts, matrix=matrix)
+
+
+def test_len_matches_columns():
+    assert len(make_series(m=7)) == 7
+
+
+def test_rejects_row_mismatch():
+    with pytest.raises(ValueError, match="rows"):
+        SnapshotSeries(node="x", timestamps=np.array([1.0]), matrix=np.zeros((5, 1)))
+
+
+def test_rejects_timestamp_mismatch():
+    with pytest.raises(ValueError, match="timestamps"):
+        SnapshotSeries(node="x", timestamps=np.array([1.0, 2.0]), matrix=np.zeros((NUM_METRICS, 3)))
+
+
+def test_rejects_non_increasing_timestamps():
+    with pytest.raises(ValueError, match="increasing"):
+        SnapshotSeries(
+            node="x", timestamps=np.array([2.0, 1.0]), matrix=np.zeros((NUM_METRICS, 2))
+        )
+
+
+def test_from_snapshots_orders_by_time():
+    snaps = [
+        Snapshot.from_mapping("VM1", 10.0, {"cpu_user": 2.0}),
+        Snapshot.from_mapping("VM1", 5.0, {"cpu_user": 1.0}),
+    ]
+    series = SnapshotSeries.from_snapshots(snaps)
+    assert series.timestamps.tolist() == [5.0, 10.0]
+    assert series.metric("cpu_user").tolist() == [1.0, 2.0]
+
+
+def test_from_snapshots_rejects_mixed_nodes():
+    snaps = [
+        Snapshot.from_mapping("VM1", 5.0, {}),
+        Snapshot.from_mapping("VM2", 10.0, {}),
+    ]
+    with pytest.raises(ValueError, match="mix"):
+        SnapshotSeries.from_snapshots(snaps)
+
+
+def test_from_snapshots_rejects_empty():
+    with pytest.raises(ValueError):
+        SnapshotSeries.from_snapshots([])
+
+
+def test_snapshot_round_trip():
+    series = make_series()
+    snap = series.snapshot(2)
+    assert snap.node == series.node
+    assert snap.timestamp == series.timestamps[2]
+    assert np.array_equal(snap.values, series.matrix[:, 2])
+
+
+def test_snapshot_negative_index():
+    series = make_series(m=4)
+    assert series.snapshot(-1).timestamp == series.timestamps[-1]
+
+
+def test_snapshot_out_of_range():
+    with pytest.raises(IndexError):
+        make_series(m=3).snapshot(3)
+
+
+def test_iteration_yields_all_snapshots():
+    series = make_series(m=5)
+    assert [s.timestamp for s in series] == series.timestamps.tolist()
+
+
+def test_select_metrics_shape_and_order():
+    series = make_series(m=4)
+    sub = series.select_metrics(["io_bo", "cpu_user"])
+    assert sub.shape == (2, 4)
+    assert np.array_equal(sub[0], series.matrix[metric_index("io_bo")])
+    assert np.array_equal(sub[1], series.matrix[metric_index("cpu_user")])
+
+
+def test_feature_matrix_is_transposed():
+    series = make_series(m=4)
+    fm = series.feature_matrix(EXPERT_METRIC_NAMES)
+    assert fm.shape == (4, 8)
+    assert np.array_equal(fm.T, series.select_metrics(EXPERT_METRIC_NAMES))
+
+
+def test_feature_matrix_default_all_metrics():
+    assert make_series(m=3).feature_matrix().shape == (3, NUM_METRICS)
+
+
+def test_window_inclusive():
+    series = make_series(m=6, d=5.0)  # times 5..30
+    w = series.window(10.0, 20.0)
+    assert w.timestamps.tolist() == [10.0, 15.0, 20.0]
+
+
+def test_window_bad_bounds():
+    with pytest.raises(ValueError):
+        make_series().window(10.0, 5.0)
+
+
+def test_concat_appends():
+    a = make_series(m=3, d=5.0)
+    b = SnapshotSeries(
+        node="VM1",
+        timestamps=np.array([100.0, 105.0]),
+        matrix=np.ones((NUM_METRICS, 2)),
+    )
+    c = a.concat(b)
+    assert len(c) == 5
+    assert c.timestamps[-1] == 105.0
+
+
+def test_concat_rejects_other_node():
+    b = SnapshotSeries.empty("VM9")
+    with pytest.raises(ValueError):
+        make_series().concat(b)
+
+
+def test_concat_rejects_overlap():
+    a = make_series(m=3, d=5.0)
+    b = make_series(m=3, d=5.0)
+    with pytest.raises(ValueError, match="start after"):
+        a.concat(b)
+
+
+def test_duration_and_sampling_interval():
+    series = make_series(m=5, d=5.0)
+    assert series.duration() == 20.0
+    assert series.sampling_interval() == 5.0
+
+
+def test_duration_single_snapshot_zero():
+    assert make_series(m=1).duration() == 0.0
+
+
+def test_summary_statistics():
+    series = make_series(m=4)
+    summary = series.summary()
+    row = series.matrix[0]
+    assert summary["cpu_user"]["mean"] == pytest.approx(row.mean())
+    assert summary["cpu_user"]["max"] == pytest.approx(row.max())
+
+
+def test_merge_feature_matrices():
+    a, b = make_series(m=2), make_series(m=3)
+    merged = merge_feature_matrices([a, b], ["cpu_user", "io_bi"])
+    assert merged.shape == (5, 2)
+
+
+def test_merge_feature_matrices_empty_raises():
+    with pytest.raises(ValueError):
+        merge_feature_matrices([], ["cpu_user"])

@@ -1,0 +1,82 @@
+"""Tests for Snapshot (one column of the A(n×m) data pool)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import ALL_METRIC_NAMES, NUM_METRICS, metric_index
+from repro.metrics.snapshot import Snapshot
+
+
+def make_snapshot(node="VM1", t=5.0, fill=1.0):
+    return Snapshot(node=node, timestamp=t, values=np.full(NUM_METRICS, fill))
+
+
+def test_snapshot_basic_fields():
+    s = make_snapshot()
+    assert s.node == "VM1"
+    assert s.timestamp == 5.0
+    assert s.values.shape == (NUM_METRICS,)
+
+
+def test_snapshot_values_read_only():
+    s = make_snapshot()
+    with pytest.raises(ValueError):
+        s.values[0] = 99.0
+
+
+def test_snapshot_rejects_wrong_shape():
+    with pytest.raises(ValueError, match="shape"):
+        Snapshot(node="VM1", timestamp=0.0, values=np.zeros(5))
+
+
+def test_snapshot_rejects_non_finite():
+    bad = np.zeros(NUM_METRICS)
+    bad[3] = np.nan
+    with pytest.raises(ValueError, match="finite"):
+        Snapshot(node="VM1", timestamp=0.0, values=bad)
+
+
+def test_getitem_by_metric_name():
+    values = np.zeros(NUM_METRICS)
+    values[metric_index("io_bi")] = 123.0
+    s = Snapshot(node="VM1", timestamp=0.0, values=values)
+    assert s["io_bi"] == 123.0
+    assert s["cpu_user"] == 0.0
+
+
+def test_getitem_unknown_metric_raises():
+    with pytest.raises(KeyError):
+        make_snapshot()["made_up"]
+
+
+def test_as_dict_covers_all_metrics():
+    d = make_snapshot(fill=2.5).as_dict()
+    assert set(d) == set(ALL_METRIC_NAMES)
+    assert all(v == 2.5 for v in d.values())
+
+
+def test_from_mapping_partial_fill():
+    s = Snapshot.from_mapping("VM2", 10.0, {"cpu_user": 80.0, "swap_out": 5.0}, default=-1.0)
+    assert s["cpu_user"] == 80.0
+    assert s["swap_out"] == 5.0
+    assert s["io_bi"] == -1.0
+
+
+def test_from_mapping_unknown_metric_raises():
+    with pytest.raises(KeyError):
+        Snapshot.from_mapping("VM1", 0.0, {"bogus": 1.0})
+
+
+def test_select_returns_ordered_copy():
+    s = Snapshot.from_mapping("VM1", 0.0, {"io_bi": 7.0, "cpu_user": 3.0})
+    sel = s.select(["io_bi", "cpu_user"])
+    assert sel.tolist() == [7.0, 3.0]
+    sel[0] = 100.0  # must not affect the snapshot
+    assert s["io_bi"] == 7.0
+
+
+def test_snapshot_copies_input_array():
+    values = np.zeros(NUM_METRICS)
+    s = Snapshot(node="VM1", timestamp=0.0, values=values)
+    values[0] = 42.0
+    assert s.values[0] == 0.0

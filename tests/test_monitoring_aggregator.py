@@ -1,0 +1,64 @@
+"""Tests for the gmetad-style aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS, metric_index
+from repro.monitoring.aggregator import GmetadAggregator
+from repro.monitoring.multicast import MetricAnnouncement, MulticastChannel
+
+
+def announce(channel, node, t, cpu_user=0.0):
+    values = np.zeros(NUM_METRICS)
+    values[metric_index("cpu_user")] = cpu_user
+    channel.announce(MetricAnnouncement(node=node, timestamp=t, values=values))
+
+
+def test_latest_per_node():
+    channel = MulticastChannel()
+    agg = GmetadAggregator(channel)
+    announce(channel, "VM1", 5.0, cpu_user=10.0)
+    announce(channel, "VM2", 5.0, cpu_user=20.0)
+    announce(channel, "VM1", 10.0, cpu_user=30.0)
+    assert agg.nodes() == ["VM1", "VM2"]
+    assert agg.latest("VM1").timestamp == 10.0
+    assert agg.latest_metric("VM1", "cpu_user") == 30.0
+    assert agg.latest_metric("VM2", "cpu_user") == 20.0
+
+
+def test_unknown_node_raises():
+    agg = GmetadAggregator(MulticastChannel())
+    with pytest.raises(KeyError):
+        agg.latest("ghost")
+
+
+def test_recent_mean():
+    channel = MulticastChannel()
+    agg = GmetadAggregator(channel)
+    for i in range(6):
+        announce(channel, "VM1", float(i * 5), cpu_user=float(i))
+    assert agg.recent_mean("VM1", "cpu_user", samples=3) == pytest.approx(4.0)
+    assert agg.recent_mean("VM1", "cpu_user", samples=100) == pytest.approx(2.5)
+
+
+def test_recent_mean_validation():
+    channel = MulticastChannel()
+    agg = GmetadAggregator(channel)
+    with pytest.raises(ValueError):
+        agg.recent_mean("VM1", "cpu_user", samples=0)
+    with pytest.raises(KeyError):
+        agg.recent_mean("ghost", "cpu_user")
+
+
+def test_history_bounded():
+    channel = MulticastChannel()
+    agg = GmetadAggregator(channel, history_len=4)
+    for i in range(10):
+        announce(channel, "VM1", float(i), cpu_user=float(i))
+    # Only the last 4 remain.
+    assert agg.recent_mean("VM1", "cpu_user", samples=100) == pytest.approx((6 + 7 + 8 + 9) / 4)
+
+
+def test_history_len_validation():
+    with pytest.raises(ValueError):
+        GmetadAggregator(MulticastChannel(), history_len=0)

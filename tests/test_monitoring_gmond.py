@@ -1,0 +1,114 @@
+"""Tests for the simulated gmond daemon."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS, metric_index
+from repro.monitoring.gmond import Gmond
+from repro.monitoring.multicast import MulticastChannel
+from repro.vm.cluster import single_vm_cluster
+
+
+def make_gmond(heartbeat=5.0, seed=0, mem_mb=256.0):
+    cluster = single_vm_cluster(mem_mb=mem_mb)
+    vm = cluster.vm("VM1")
+    channel = MulticastChannel()
+    gmond = Gmond(vm, channel, rng=np.random.default_rng(seed), heartbeat=heartbeat)
+    return vm, channel, gmond
+
+
+def drive_cpu(vm, seconds, user_frac=0.8):
+    for _ in range(int(seconds)):
+        vm.counters.account_cpu(
+            user_s=user_frac, system_s=0.05, wio_s=0.0, nice_s=0.0,
+            idle_s=vm.vcpus - user_frac - 0.05,
+        )
+        vm.counters.advance_time(1.0, runnable=1.0)
+
+
+def test_collect_vector_shape():
+    vm, _, gmond = make_gmond()
+    values = gmond.collect(now=5.0)
+    assert values.shape == (NUM_METRICS,)
+    assert np.all(np.isfinite(values))
+
+
+def test_first_collect_reports_idle_cpu():
+    _, _, gmond = make_gmond()
+    values = gmond.collect(now=5.0)
+    assert values[metric_index("cpu_idle")] == pytest.approx(100.0, abs=2.0)
+
+
+def test_cpu_percent_from_window_delta():
+    vm, _, gmond = make_gmond(seed=1)
+    gmond.collect(now=5.0)
+    drive_cpu(vm, 5, user_frac=0.8)
+    values = gmond.collect(now=10.0)
+    # 0.8 core-seconds/s on a 1-vcpu VM → 80%.
+    assert values[metric_index("cpu_user")] == pytest.approx(80.0, abs=3.0)
+
+
+def test_rate_metrics_from_deltas():
+    vm, _, gmond = make_gmond(seed=1)
+    gmond.collect(now=5.0)
+    vm.counters.account_net(bytes_in=5_000_000.0, bytes_out=2_500_000.0)
+    values = gmond.collect(now=10.0)
+    assert values[metric_index("bytes_in")] == pytest.approx(1_000_000.0, rel=0.1)
+    assert values[metric_index("bytes_out")] == pytest.approx(500_000.0, rel=0.1)
+
+
+def test_vmstat_extensions_present():
+    vm, _, gmond = make_gmond(seed=1)
+    gmond.collect(now=5.0)
+    vm.counters.account_io(blocks_in=1000.0, blocks_out=500.0)
+    vm.counters.account_swap(kb_in=250.0, kb_out=125.0)
+    values = gmond.collect(now=10.0)
+    assert values[metric_index("io_bi")] == pytest.approx(200.0, rel=0.15)
+    assert values[metric_index("swap_in")] == pytest.approx(50.0, rel=0.15)
+
+
+def test_constants_reported():
+    vm, _, gmond = make_gmond()
+    values = gmond.collect(now=5.0)
+    assert values[metric_index("cpu_num")] == vm.vcpus
+    assert values[metric_index("cpu_speed")] == vm.host.capacity.cpu_mhz
+    assert values[metric_index("mem_total")] == vm.mem_mb * 1024.0
+    assert values[metric_index("sys_clock")] == 5.0
+
+
+def test_heartbeat_announcement_schedule():
+    _, channel, gmond = make_gmond(heartbeat=5.0)
+    for t in range(1, 21):
+        gmond.on_tick(float(t))
+    assert gmond.announcement_count == 4
+    assert channel.announcements_sent == 4
+
+
+def test_heartbeat_validation():
+    vm, channel, _ = make_gmond()
+    with pytest.raises(ValueError):
+        Gmond(vm, channel, rng=np.random.default_rng(0), heartbeat=0.0)
+
+
+def test_announce_publishes_snapshot():
+    _, channel, gmond = make_gmond()
+    received = []
+    channel.subscribe(received.append)
+    gmond.announce(now=5.0)
+    assert len(received) == 1
+    assert received[0].node == "VM1"
+    assert received[0].timestamp == 5.0
+
+
+def test_noise_keeps_rates_non_negative():
+    _, _, gmond = make_gmond(seed=7)
+    for t in range(5, 100, 5):
+        values = gmond.collect(now=float(t))
+        assert values[metric_index("io_bi")] >= 0.0
+        assert 0.0 <= values[metric_index("cpu_user")] <= 100.0
+
+
+def test_noise_is_deterministic_per_seed():
+    _, _, g1 = make_gmond(seed=3)
+    _, _, g2 = make_gmond(seed=3)
+    assert np.array_equal(g1.collect(5.0), g2.collect(5.0))

@@ -1,0 +1,61 @@
+"""Tests for the multicast listen/announce channel."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS
+from repro.monitoring.multicast import MetricAnnouncement, MulticastChannel
+
+
+def make_announcement(node="VM1", t=5.0):
+    return MetricAnnouncement(node=node, timestamp=t, values=np.zeros(NUM_METRICS))
+
+
+def test_announcement_validates_shape():
+    with pytest.raises(ValueError):
+        MetricAnnouncement(node="VM1", timestamp=0.0, values=np.zeros(4))
+
+
+def test_subscribe_and_receive():
+    channel = MulticastChannel()
+    received = []
+    channel.subscribe(received.append)
+    a = make_announcement()
+    channel.announce(a)
+    assert received == [a]
+    assert channel.announcements_sent == 1
+
+
+def test_all_listeners_receive_every_announcement():
+    channel = MulticastChannel()
+    boxes = [[], [], []]
+    for box in boxes:
+        channel.subscribe(box.append)
+    channel.announce(make_announcement("VM1"))
+    channel.announce(make_announcement("VM2"))
+    for box in boxes:
+        assert [a.node for a in box] == ["VM1", "VM2"]
+
+
+def test_duplicate_subscription_rejected():
+    channel = MulticastChannel()
+    listener = lambda a: None
+    channel.subscribe(listener)
+    with pytest.raises(ValueError):
+        channel.subscribe(listener)
+
+
+def test_unsubscribe():
+    channel = MulticastChannel()
+    received = []
+    listener = received.append
+    channel.subscribe(listener)
+    channel.unsubscribe(listener)
+    channel.announce(make_announcement())
+    assert received == []
+    assert channel.listener_count == 0
+
+
+def test_unsubscribe_unknown_rejected():
+    with pytest.raises(ValueError):
+        MulticastChannel().unsubscribe(lambda a: None)

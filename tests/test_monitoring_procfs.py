@@ -1,0 +1,74 @@
+"""Tests for the simulated /proc views."""
+
+import pytest
+
+from repro.monitoring.procfs import USER_HZ, SimulatedProcFS
+from repro.vm.machine import OS_BASE_MEM_MB, VirtualMachine
+
+
+def make_vm():
+    vm = VirtualMachine("VM1", mem_mb=256.0)
+    vm.counters.account_cpu(user_s=10.0, system_s=2.0, wio_s=1.0, nice_s=0.0, idle_s=7.0)
+    vm.counters.account_io(blocks_in=500.0, blocks_out=250.0)
+    vm.counters.account_swap(kb_in=64.0, kb_out=32.0)
+    vm.counters.account_net(bytes_in=15000.0, bytes_out=4500.0)
+    return vm
+
+
+def test_stat_reports_jiffies():
+    procfs = SimulatedProcFS(make_vm())
+    stat = procfs.stat()
+    assert stat["user"] == pytest.approx(10.0 * USER_HZ)
+    assert stat["system"] == pytest.approx(2.0 * USER_HZ)
+    assert stat["iowait"] == pytest.approx(1.0 * USER_HZ)
+
+
+def test_render_stat_format():
+    text = SimulatedProcFS(make_vm()).render_stat()
+    assert text.startswith("cpu  1000 0 200 700 100")
+    assert "procs_running" in text
+
+
+def test_meminfo_accounting_consistent():
+    vm = make_vm()
+    vm.update_memory_gauges(100.0)
+    mem = SimulatedProcFS(vm).meminfo()
+    total = mem["MemTotal"]
+    assert total == 256.0 * 1024.0
+    used = total - mem["MemFree"] - mem["Buffers"] - mem["Cached"]
+    assert used == pytest.approx((OS_BASE_MEM_MB + 100.0) * 1024.0, rel=1e-6)
+    assert mem["MemFree"] >= 0.0
+
+
+def test_meminfo_swap():
+    vm = make_vm()
+    vm.update_memory_gauges(400.0)  # overflows
+    mem = SimulatedProcFS(vm).meminfo()
+    assert mem["SwapFree"] < mem["SwapTotal"]
+
+
+def test_render_meminfo():
+    text = SimulatedProcFS(make_vm()).render_meminfo()
+    assert "MemTotal: 262144 kB" in text
+
+
+def test_loadavg():
+    vm = make_vm()
+    vm.counters.advance_time(60.0, runnable=1.0)
+    one, five, fifteen = SimulatedProcFS(vm).loadavg()
+    assert one > five > fifteen > 0.0
+    rendered = SimulatedProcFS(vm).render_loadavg()
+    assert rendered.count(".") >= 3
+
+
+def test_net_dev_counters():
+    net = SimulatedProcFS(make_vm()).net_dev()
+    assert net["rx_bytes"] == 15000.0
+    assert net["tx_bytes"] == 4500.0
+    assert net["rx_packets"] == pytest.approx(10.0)
+
+
+def test_vmstat_counters():
+    counters = SimulatedProcFS(make_vm()).vmstat_counters()
+    assert counters["pgpgin_blocks"] == 500.0
+    assert counters["pswpin_kb"] == 64.0

@@ -1,0 +1,141 @@
+"""Tests for the performance profiler and filter (paper Figure 1 data flow)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS
+from repro.monitoring.filter import PerformanceFilter
+from repro.monitoring.multicast import MetricAnnouncement, MulticastChannel
+from repro.monitoring.profiler import PerformanceProfiler
+from repro.monitoring.stack import MonitoringStack
+from repro.sim.engine import SimulationEngine
+from repro.sim.execution import classification_testbed
+from repro.workloads.base import WorkloadInstance
+
+from tests.conftest import short_cpu_workload
+
+
+def announce(channel, node, t):
+    channel.announce(
+        MetricAnnouncement(node=node, timestamp=t, values=np.zeros(NUM_METRICS))
+    )
+
+
+class TestProfiler:
+    def test_records_all_nodes_while_active(self):
+        """The multicast pool mixes every subnet node (paper §4.1)."""
+        channel = MulticastChannel()
+        profiler = PerformanceProfiler(channel)
+        profiler.start("VM1", now=0.0)
+        announce(channel, "VM1", 5.0)
+        announce(channel, "VM2", 5.0)
+        profiler.stop(now=10.0)
+        nodes = {s.node for s in profiler.data_pool()}
+        assert nodes == {"VM1", "VM2"}
+
+    def test_ignores_before_start_and_after_stop(self):
+        channel = MulticastChannel()
+        profiler = PerformanceProfiler(channel)
+        announce(channel, "VM1", 1.0)  # before any session
+        profiler.start("VM1", now=5.0)
+        announce(channel, "VM1", 4.0)  # predates t0
+        announce(channel, "VM1", 6.0)
+        profiler.stop(now=10.0)
+        announce(channel, "VM1", 11.0)  # after stop
+        assert [s.timestamp for s in profiler.data_pool()] == [6.0]
+
+    def test_double_start_rejected(self):
+        profiler = PerformanceProfiler(MulticastChannel())
+        profiler.start("VM1", now=0.0)
+        with pytest.raises(RuntimeError):
+            profiler.start("VM1", now=1.0)
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            PerformanceProfiler(MulticastChannel()).stop(now=1.0)
+
+    def test_session_bookkeeping(self):
+        profiler = PerformanceProfiler(MulticastChannel())
+        profiler.start("VM1", now=2.0)
+        assert profiler.is_active
+        session = profiler.stop(now=9.0)
+        assert not profiler.is_active
+        assert session.t0 == 2.0
+        assert session.t1 == 9.0
+        assert session.closed
+
+    def test_restartable(self):
+        channel = MulticastChannel()
+        profiler = PerformanceProfiler(channel)
+        profiler.start("VM1", now=0.0)
+        announce(channel, "VM1", 1.0)
+        profiler.stop(now=2.0)
+        profiler.start("VM1", now=10.0)
+        announce(channel, "VM1", 11.0)
+        profiler.stop(now=12.0)
+        assert [s.timestamp for s in profiler.data_pool()] == [11.0]
+
+
+class TestFilter:
+    def test_extracts_target_node(self):
+        channel = MulticastChannel()
+        profiler = PerformanceProfiler(channel)
+        profiler.start("VM1", now=0.0)
+        for t in (5.0, 10.0):
+            announce(channel, "VM1", t)
+            announce(channel, "VM2", t)
+        profiler.stop(now=15.0)
+        filt = PerformanceFilter()
+        series = filt.extract(profiler.data_pool(), "VM1")
+        assert series.node == "VM1"
+        assert len(series) == 2
+        assert filt.snapshots_scanned == 4
+        assert filt.snapshots_extracted == 2
+
+    def test_missing_target_raises_with_context(self):
+        channel = MulticastChannel()
+        profiler = PerformanceProfiler(channel)
+        profiler.start("VMx", now=0.0)
+        announce(channel, "VM1", 5.0)
+        profiler.stop(now=10.0)
+        with pytest.raises(ValueError, match="VM1"):
+            PerformanceFilter().extract(profiler.data_pool(), "VMx")
+
+    def test_nodes_in_pool(self):
+        channel = MulticastChannel()
+        profiler = PerformanceProfiler(channel)
+        profiler.start("VM1", now=0.0)
+        announce(channel, "VM2", 5.0)
+        announce(channel, "VM1", 5.0)
+        profiler.stop(now=10.0)
+        assert PerformanceFilter().nodes_in_pool(profiler.data_pool()) == ["VM1", "VM2"]
+
+
+class TestMonitoringStack:
+    def test_stack_wires_gmond_per_vm(self):
+        cluster = classification_testbed()
+        engine = SimulationEngine(cluster, seed=0)
+        stack = MonitoringStack(engine, seed=1)
+        assert set(stack.gmonds) == {"VM1", "VM4"}
+        assert stack.gmond("VM1").vm.name == "VM1"
+
+    def test_stack_collects_during_run(self):
+        cluster = classification_testbed()
+        engine = SimulationEngine(cluster, seed=0)
+        stack = MonitoringStack(engine, seed=1)
+        engine.add_instance(WorkloadInstance(short_cpu_workload(30.0), vm_name="VM1"))
+        stack.profiler.start("VM1", now=0.0)
+        engine.run()
+        stack.profiler.stop(now=engine.now)
+        pool = stack.profiler.data_pool()
+        # Both subnet nodes appear; 6 heartbeats each over 30 s.
+        assert {s.node for s in pool} == {"VM1", "VM4"}
+        series = stack.filter.extract(pool, "VM1")
+        assert len(series) == 6
+
+    def test_aggregator_sees_cluster(self):
+        cluster = classification_testbed()
+        engine = SimulationEngine(cluster, seed=0)
+        stack = MonitoringStack(engine, seed=1)
+        engine.run(until=20.0)
+        assert stack.aggregator.nodes() == ["VM1", "VM4"]

@@ -1,0 +1,54 @@
+"""Tests for the vmstat rate collector."""
+
+import pytest
+
+from repro.monitoring.vmstat import VmstatCollector
+from repro.vm.machine import VirtualMachine
+
+
+def test_first_sample_is_zero_baseline():
+    vm = VirtualMachine("VM1")
+    collector = VmstatCollector(vm)
+    sample = collector.sample(now=5.0)
+    assert (sample.io_bi, sample.io_bo, sample.swap_in, sample.swap_out) == (0, 0, 0, 0)
+
+
+def test_rates_from_deltas():
+    vm = VirtualMachine("VM1")
+    collector = VmstatCollector(vm)
+    collector.sample(now=0.0)
+    vm.counters.account_io(blocks_in=500.0, blocks_out=250.0)
+    vm.counters.account_swap(kb_in=100.0, kb_out=50.0)
+    sample = collector.sample(now=5.0)
+    assert sample.io_bi == pytest.approx(100.0)
+    assert sample.io_bo == pytest.approx(50.0)
+    assert sample.swap_in == pytest.approx(20.0)
+    assert sample.swap_out == pytest.approx(10.0)
+
+
+def test_rates_reset_each_window():
+    vm = VirtualMachine("VM1")
+    collector = VmstatCollector(vm)
+    collector.sample(now=0.0)
+    vm.counters.account_io(100.0, 0.0)
+    collector.sample(now=5.0)
+    sample = collector.sample(now=10.0)  # no new activity
+    assert sample.io_bi == 0.0
+
+
+def test_non_advancing_time_rejected():
+    vm = VirtualMachine("VM1")
+    collector = VmstatCollector(vm)
+    collector.sample(now=5.0)
+    with pytest.raises(ValueError, match="advance"):
+        collector.sample(now=5.0)
+
+
+def test_backwards_counter_detected():
+    vm = VirtualMachine("VM1")
+    collector = VmstatCollector(vm)
+    vm.counters.account_io(100.0, 0.0)
+    collector.sample(now=0.0)
+    vm.counters.io_blocks_in = 10.0  # corrupt the counter
+    with pytest.raises(ValueError, match="backwards"):
+        collector.sample(now=5.0)

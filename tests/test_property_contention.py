@@ -1,0 +1,82 @@
+"""Property-based tests for the max-min allocator and related invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import ClassComposition
+from repro.sim.contention import interference_efficiency, max_min_factors
+
+demands_strategy = st.lists(
+    st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False), min_size=0, max_size=12
+)
+capacity_strategy = st.floats(1e-3, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(demands=demands_strategy, capacity=capacity_strategy)
+@settings(max_examples=200, deadline=None)
+def test_capacity_never_exceeded(demands, capacity):
+    factors = max_min_factors(demands, capacity)
+    granted = sum(d * f for d, f in zip(demands, factors))
+    assert granted <= capacity * (1 + 1e-9) + 1e-9
+
+
+@given(demands=demands_strategy, capacity=capacity_strategy)
+@settings(max_examples=200, deadline=None)
+def test_factors_in_unit_interval(demands, capacity):
+    for f in max_min_factors(demands, capacity):
+        assert 0.0 <= f <= 1.0 + 1e-12
+
+
+@given(demands=demands_strategy, capacity=capacity_strategy)
+@settings(max_examples=200, deadline=None)
+def test_no_throttling_when_capacity_suffices(demands, capacity):
+    total = sum(demands)
+    if total <= capacity:
+        assert all(f == 1.0 for f in max_min_factors(demands, capacity))
+
+
+@given(demands=demands_strategy, capacity=capacity_strategy)
+@settings(max_examples=200, deadline=None)
+def test_work_conserving_when_oversubscribed(demands, capacity):
+    """If demand exceeds capacity, (almost) all capacity is handed out."""
+    total = sum(demands)
+    if total > capacity:
+        factors = max_min_factors(demands, capacity)
+        granted = sum(d * f for d, f in zip(demands, factors))
+        assert granted >= capacity * (1 - 1e-9) - 1e-9
+
+
+@given(demands=demands_strategy, capacity=capacity_strategy)
+@settings(max_examples=200, deadline=None)
+def test_max_min_fairness_monotone_in_demand(demands, capacity):
+    """A smaller demand never receives a smaller grant than a bigger one."""
+    factors = max_min_factors(demands, capacity)
+    grants = [d * f for d, f in zip(demands, factors)]
+    order = np.argsort(demands)
+    sorted_grants = [grants[i] for i in order]
+    assert all(
+        g2 >= g1 - 1e-9 for g1, g2 in zip(sorted_grants, sorted_grants[1:])
+    )
+
+
+@given(n_vm=st.integers(1, 6), extra=st.integers(0, 6))
+@settings(max_examples=100, deadline=None)
+def test_interference_monotone_in_co_runners(n_vm, extra):
+    e1 = interference_efficiency(n_vm, n_vm + extra)
+    e2 = interference_efficiency(n_vm + 1, n_vm + 1 + extra)
+    assert 0 < e1 <= 1.0
+    assert e2 < e1 or (e1 == e2 == 1.0)
+
+
+@given(
+    counts=st.lists(st.integers(0, 50), min_size=5, max_size=5).filter(
+        lambda c: sum(c) > 0
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_composition_from_any_class_vector(counts):
+    vec = np.concatenate([np.full(c, i, dtype=np.int64) for i, c in enumerate(counts)])
+    comp = ClassComposition.from_class_vector(vec)
+    assert sum(comp.fractions) == 1.0 or abs(sum(comp.fractions) - 1.0) < 1e-9
+    assert comp.dominant() == np.argmax(counts) or counts[int(comp.dominant())] == max(counts)

@@ -1,0 +1,100 @@
+"""Property-based tests for the k-NN classifier (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.knn import KNeighborsClassifier, pairwise_sq_distances
+
+
+def pools(min_n=5, max_n=40, dims=2, n_classes=3):
+    def build(draw):
+        n = draw(st.integers(min_n, max_n))
+        x = draw(
+            arrays(
+                np.float64,
+                (n, dims),
+                elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            )
+        )
+        y = draw(
+            arrays(np.int64, (n,), elements=st.integers(0, n_classes - 1))
+        )
+        return x, y
+
+    return st.composite(build)()
+
+
+@given(pool=pools())
+@settings(max_examples=60, deadline=None)
+def test_training_point_with_unique_position_self_classifies_k1(pool):
+    x, y = pool
+    # Quantize and deduplicate so distinct points are well separated
+    # (distances below GEMM-expansion float noise are not meaningful).
+    x = np.round(x, 1)
+    _, idx = np.unique(x, axis=0, return_index=True)
+    x, y = x[np.sort(idx)], y[np.sort(idx)]
+    if len(x) < 1:
+        return
+    knn = KNeighborsClassifier(k=1).fit(x, y)
+    assert (knn.predict(x) == y).all()
+
+
+@given(pool=pools())
+@settings(max_examples=60, deadline=None)
+def test_prediction_is_always_a_neighbor_label(pool):
+    x, y = pool
+    if len(x) < 3:
+        return
+    knn = KNeighborsClassifier(k=3).fit(x, y)
+    probe = x.mean(axis=0, keepdims=True)
+    idx, _ = knn.kneighbors(probe)
+    pred = knn.predict(probe)[0]
+    assert pred in set(y[idx[0]])
+
+
+@given(pool=pools())
+@settings(max_examples=40, deadline=None)
+def test_neighbor_distances_sorted(pool):
+    x, y = pool
+    if len(x) < 3:
+        return
+    knn = KNeighborsClassifier(k=3).fit(x, y)
+    _, dist = knn.kneighbors(x)
+    assert np.all(np.diff(dist, axis=1) >= -1e-9)
+
+
+@given(pool=pools(), shift=st.floats(-50, 50, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_translation_invariance(pool, shift):
+    """k-NN on Euclidean distance is invariant to translating all data."""
+    x, y = pool
+    if len(x) < 3:
+        return
+    probe = np.array([[1.5, -2.5]])
+    a = KNeighborsClassifier(k=3).fit(x, y).predict(probe)
+    b = KNeighborsClassifier(k=3).fit(x + shift, y).predict(probe + shift)
+    assert a[0] == b[0]
+
+
+@given(
+    a=arrays(np.float64, (6, 3), elements=st.floats(-1e4, 1e4, allow_nan=False)),
+    b=arrays(np.float64, (4, 3), elements=st.floats(-1e4, 1e4, allow_nan=False)),
+)
+@settings(max_examples=60, deadline=None)
+def test_pairwise_distances_symmetric_and_non_negative(a, b):
+    d_ab = pairwise_sq_distances(a, b)
+    d_ba = pairwise_sq_distances(b, a)
+    assert np.all(d_ab >= 0)
+    assert np.allclose(d_ab, d_ba.T, rtol=1e-7, atol=1e-4)
+
+
+@given(pool=pools(min_n=9))
+@settings(max_examples=30, deadline=None)
+def test_chunked_prediction_equivalent(pool):
+    x, y = pool
+    knn_big = KNeighborsClassifier(k=3, chunk_size=1024).fit(x, y)
+    knn_small = KNeighborsClassifier(k=3, chunk_size=2).fit(x, y)
+    probes = x[::2]
+    assert np.array_equal(knn_big.predict(probes), knn_small.predict(probes))

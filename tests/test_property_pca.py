@@ -1,0 +1,93 @@
+"""Property-based tests for PCA invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.incremental import IncrementalPCA
+from repro.core.pca import PCA
+
+
+def data_matrices(min_rows=4, max_rows=40, min_cols=2, max_cols=6):
+    def build(draw):
+        rows = draw(st.integers(min_rows, max_rows))
+        cols = draw(st.integers(min_cols, max_cols))
+        return draw(
+            arrays(
+                np.float64,
+                (rows, cols),
+                elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+            )
+        )
+
+    return st.composite(build)()
+
+
+@given(x=data_matrices())
+@settings(max_examples=60, deadline=None)
+def test_components_orthonormal(x):
+    q = min(2, x.shape[1])
+    pca = PCA(n_components=q).fit(x)
+    gram = pca.components_ @ pca.components_.T
+    assert np.allclose(gram, np.eye(q), atol=1e-8)
+
+
+@given(x=data_matrices())
+@settings(max_examples=60, deadline=None)
+def test_explained_variance_sorted_and_non_negative(x):
+    pca = PCA(n_components=x.shape[1]).fit(x)
+    ev = pca.explained_variance_
+    assert np.all(ev >= -1e-12)
+    assert np.all(np.diff(ev) <= 1e-9 * (1 + ev[0]))
+
+
+@given(x=data_matrices())
+@settings(max_examples=60, deadline=None)
+def test_full_rank_reconstruction_identity(x):
+    pca = PCA(n_components=x.shape[1]).fit(x)
+    recon = pca.inverse_transform(pca.transform(x))
+    scale = 1.0 + np.abs(x).max()
+    assert np.allclose(recon, x, atol=1e-6 * scale)
+
+
+@given(x=data_matrices())
+@settings(max_examples=60, deadline=None)
+def test_variance_ratio_within_unit_interval(x):
+    pca = PCA(min_variance_fraction=0.9).fit(x)
+    ratio = pca.explained_variance_ratio_
+    assert np.all(ratio >= -1e-12)
+    assert ratio.sum() <= 1.0 + 1e-9
+    # The selection rule must actually reach the threshold (or use all
+    # components when variance is concentrated/degenerate).
+    if pca.total_variance() > 1e-12:
+        assert ratio.sum() >= 0.9 - 1e-9 or pca.n_components_ == x.shape[1]
+
+
+@given(x=data_matrices(min_rows=6))
+@settings(max_examples=40, deadline=None)
+def test_projection_preserves_pairwise_distance_bound(x):
+    """Projection onto orthonormal directions never increases distances."""
+    pca = PCA(n_components=min(2, x.shape[1])).fit(x)
+    z = pca.transform(x)
+    for i in (0, len(x) // 2):
+        for j in (len(x) - 1,):
+            orig = np.linalg.norm(x[i] - x[j])
+            proj = np.linalg.norm(z[i] - z[j])
+            assert proj <= orig + 1e-6 * (1 + orig)
+
+
+@given(x=data_matrices(min_rows=8), n_chunks=st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_incremental_matches_batch(x, n_chunks):
+    n_chunks = min(n_chunks, x.shape[0])
+    inc = IncrementalPCA(n_components=min(2, x.shape[1]))
+    for chunk in np.array_split(x, n_chunks):
+        if chunk.shape[0]:
+            inc.partial_fit(chunk)
+    batch = PCA(n_components=min(2, x.shape[1])).fit(x)
+    assert np.allclose(inc.mean_, batch.mean_, atol=1e-8 * (1 + np.abs(x).max()))
+    assert np.allclose(
+        inc.explained_variance_, batch.explained_variance_,
+        atol=1e-6 * (1 + batch.explained_variance_[0]),
+    )

@@ -1,0 +1,77 @@
+"""Property-based tests for normalization and series invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.preprocessing import Normalizer
+from repro.metrics.catalog import NUM_METRICS
+from repro.metrics.series import SnapshotSeries
+
+
+def matrices(min_rows=2, max_rows=30, min_cols=1, max_cols=6):
+    def build(draw):
+        rows = draw(st.integers(min_rows, max_rows))
+        cols = draw(st.integers(min_cols, max_cols))
+        return draw(
+            arrays(
+                np.float64,
+                (rows, cols),
+                elements=st.floats(-1e5, 1e5, allow_nan=False, allow_infinity=False),
+            )
+        )
+
+    return st.composite(build)()
+
+
+@given(x=matrices())
+@settings(max_examples=100, deadline=None)
+def test_normalizer_output_statistics(x):
+    z = Normalizer().fit_transform(x)
+    assert np.allclose(z.mean(axis=0), 0.0, atol=1e-7)
+    std = z.std(axis=0)
+    # Unit variance for varying columns; (near-)constant columns — by the
+    # normalizer's own relative threshold — stay near zero instead of
+    # being blown up to ±1 by float residue.
+    for j in range(x.shape[1]):
+        col = x[:, j]
+        if col.std() < 1e-9 * max(1.0, abs(col.mean())):
+            assert std[j] < 1e-6
+        else:
+            assert abs(std[j] - 1.0) < 1e-6
+
+
+@given(x=matrices())
+@settings(max_examples=100, deadline=None)
+def test_normalizer_round_trip(x):
+    norm = Normalizer().fit(x)
+    back = norm.inverse_transform(norm.transform(x))
+    assert np.allclose(back, x, atol=1e-6 * (1 + np.abs(x).max()))
+
+
+@given(x=matrices())
+@settings(max_examples=60, deadline=None)
+def test_normalization_idempotent_on_normalized_data(x):
+    z = Normalizer().fit_transform(x)
+    z2 = Normalizer().fit_transform(z)
+    assert np.allclose(z2, z, atol=1e-6)
+
+
+@given(
+    m=st.integers(1, 20),
+    d=st.floats(0.5, 30.0, allow_nan=False),
+    values=st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_series_window_concat_identity(m, d, values):
+    matrix = np.full((NUM_METRICS, m), values)
+    ts = np.arange(1, m + 1) * d
+    series = SnapshotSeries(node="n", timestamps=ts, matrix=matrix)
+    if m >= 2:
+        mid = float(ts[0])  # split after the first snapshot
+        left = series.window(ts[0], mid)
+        right = series.window(mid + d / 2, ts[-1])
+        rebuilt = left.concat(right)
+        assert len(rebuilt) == m
+        assert np.allclose(rebuilt.matrix, series.matrix)

@@ -1,0 +1,107 @@
+"""Property-based tests for stage segmentation and online state."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import ClassComposition, SnapshotClass
+from repro.core.online import NodeClassificationState
+from repro.core.stages import mode_filter, segment_stages
+from repro.core.pipeline import ClassificationResult, StageTimings
+from repro.metrics.catalog import NUM_METRICS
+from repro.metrics.series import SnapshotSeries
+
+class_vectors = st.lists(st.integers(0, 4), min_size=1, max_size=60)
+
+
+def build(class_vector):
+    vec = np.asarray(class_vector, dtype=np.int64)
+    m = vec.size
+    series = SnapshotSeries(
+        node="n",
+        timestamps=np.arange(1, m + 1) * 5.0,
+        matrix=np.zeros((NUM_METRICS, m)),
+    )
+    comp = ClassComposition.from_class_vector(vec)
+    result = ClassificationResult(
+        node="n",
+        num_samples=m,
+        class_vector=vec,
+        composition=comp,
+        application_class=comp.dominant(),
+        category="x",
+        scores=np.zeros((m, 2)),
+        timings=StageTimings(),
+    )
+    return result, series
+
+
+@given(vec=class_vectors)
+@settings(max_examples=100, deadline=None)
+def test_stages_partition_the_run(vec):
+    result, series = build(vec)
+    analysis = segment_stages(result, series, smoothing_window=1)
+    # Stages tile [0, m-1] exactly, in order, without gaps or overlap.
+    expected_start = 0
+    for stage in analysis.stages:
+        assert stage.start_snapshot == expected_start
+        expected_start = stage.end_snapshot + 1
+    assert expected_start == len(vec)
+
+
+@given(vec=class_vectors)
+@settings(max_examples=100, deadline=None)
+def test_adjacent_stages_differ_in_class(vec):
+    result, series = build(vec)
+    analysis = segment_stages(result, series, smoothing_window=1)
+    for a, b in zip(analysis.stages, analysis.stages[1:]):
+        assert a.snapshot_class is not b.snapshot_class
+
+
+@given(vec=class_vectors)
+@settings(max_examples=100, deadline=None)
+def test_unsmoothed_segmentation_reproduces_vector(vec):
+    result, series = build(vec)
+    analysis = segment_stages(result, series, smoothing_window=1)
+    rebuilt = np.concatenate(
+        [np.full(s.num_snapshots, int(s.snapshot_class)) for s in analysis.stages]
+    )
+    assert np.array_equal(rebuilt, np.asarray(vec))
+
+
+@given(vec=class_vectors, window=st.sampled_from([1, 3, 5]))
+@settings(max_examples=100, deadline=None)
+def test_mode_filter_never_invents_classes(vec, window):
+    arr = np.asarray(vec, dtype=np.int64)
+    out = mode_filter(arr, window)
+    assert set(out.tolist()) <= set(arr.tolist())
+    assert out.shape == arr.shape
+
+
+@given(vec=class_vectors, window=st.sampled_from([3, 5]))
+@settings(max_examples=100, deadline=None)
+def test_smoothing_never_increases_stage_count(vec, window):
+    result, series = build(vec)
+    rough = segment_stages(result, series, smoothing_window=1)
+    smooth = segment_stages(result, series, smoothing_window=window)
+    assert smooth.num_stages <= rough.num_stages
+
+
+@given(vec=class_vectors)
+@settings(max_examples=100, deadline=None)
+def test_online_state_matches_batch_counts(vec):
+    state = NodeClassificationState(node="n")
+    for i, code in enumerate(vec):
+        state.record(SnapshotClass(code), float(i))
+    counts = np.bincount(np.asarray(vec), minlength=5)
+    assert np.array_equal(state.class_counts, counts)
+    assert state.snapshots_seen == len(vec)
+    assert state.majority_class() is SnapshotClass(int(counts.argmax()))
+    # Streak equals the length of the trailing constant run.
+    trailing = 1
+    for a, b in zip(reversed(vec[:-1]), reversed(vec)):
+        if a == b:
+            trailing += 1
+        else:
+            break
+    assert state.streak == trailing

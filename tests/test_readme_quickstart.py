@@ -1,0 +1,26 @@
+"""The README quickstart snippet must work exactly as documented."""
+
+from repro.experiments import build_trained_classifier
+from repro.sim import profiled_run
+from repro.workloads import postmark
+
+
+def test_readme_quickstart_snippet():
+    outcome = build_trained_classifier(seed=0)
+    run = profiled_run(postmark(), seed=42)
+    result = outcome.classifier.classify_series(run.series)
+
+    assert result.application_class.name == "IO"
+    percentages = result.composition.as_percentages()
+    assert set(percentages) == {"IDLE", "IO", "CPU", "NET", "MEM"}
+    assert percentages["IO"] > 90.0
+
+
+def test_package_version_importable():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+    # Every advertised subpackage is importable from the root.
+    for name in repro.__all__:
+        if name != "__version__":
+            assert getattr(repro, name) is not None

@@ -1,0 +1,120 @@
+"""Tests for the class-aware scheduler."""
+
+import pytest
+
+from repro.core.labels import ClassComposition, SnapshotClass
+from repro.db.records import RunRecord
+from repro.db.store import ApplicationDB
+from repro.scheduler.class_aware import (
+    ClassAwareScheduler,
+    Placement,
+    placement_to_schedule,
+)
+
+
+def db_with_classes(**app_classes):
+    """Build a DB whose consensus class per app is as given."""
+    db = ApplicationDB()
+    for app, cls in app_classes.items():
+        fractions = [0.0] * 5
+        fractions[int(cls)] = 1.0
+        db.add_run(
+            RunRecord(
+                application=app,
+                node="VM1",
+                t0=0.0,
+                t1=100.0,
+                num_samples=20,
+                application_class=cls,
+                composition=ClassComposition(fractions=tuple(fractions)),
+            )
+        )
+    return db
+
+
+def paper_db():
+    return db_with_classes(
+        S=SnapshotClass.CPU, P=SnapshotClass.IO, N=SnapshotClass.NET
+    )
+
+
+class TestClassLookup:
+    def test_learned_class(self):
+        sched = ClassAwareScheduler(paper_db())
+        assert sched.class_of("S") is SnapshotClass.CPU
+        assert sched.class_of("P") is SnapshotClass.IO
+
+    def test_default_for_unknown(self):
+        sched = ClassAwareScheduler(ApplicationDB(), default_class=SnapshotClass.NET)
+        assert sched.class_of("mystery") is SnapshotClass.NET
+
+
+class TestScheduleJobs:
+    def test_paper_nine_jobs_spread_spn(self):
+        """Three of each class on three machines → one of each per machine."""
+        sched = ClassAwareScheduler(paper_db())
+        placement = sched.schedule_jobs(["S", "S", "S", "P", "P", "P", "N", "N", "N"], machines=3)
+        for machine in placement.machines:
+            classes = {sched.class_of(j) for j in machine}
+            assert len(classes) == 3
+
+    def test_balanced_load(self):
+        sched = ClassAwareScheduler(paper_db())
+        placement = sched.schedule_jobs(["S"] * 6, machines=3)
+        assert all(len(m) == 2 for m in placement.machines)
+
+    def test_more_classes_than_machines(self):
+        db = db_with_classes(
+            a=SnapshotClass.CPU, b=SnapshotClass.IO, c=SnapshotClass.NET, d=SnapshotClass.MEM
+        )
+        sched = ClassAwareScheduler(db)
+        placement = sched.schedule_jobs(["a", "b", "c", "d"], machines=2)
+        assert all(len(m) == 2 for m in placement.machines)
+
+    def test_validation(self):
+        sched = ClassAwareScheduler(paper_db())
+        with pytest.raises(ValueError):
+            sched.schedule_jobs([], machines=3)
+        with pytest.raises(ValueError):
+            sched.schedule_jobs(["S"], machines=0)
+
+
+class TestPickSchedule:
+    def test_picks_spn_with_paper_classes(self):
+        """The headline behaviour: class knowledge selects schedule 10."""
+        sched = ClassAwareScheduler(paper_db())
+        assert sched.pick_schedule().number == 10
+
+    def test_defaults_to_paper_mapping(self):
+        assert ClassAwareScheduler(ApplicationDB()).pick_schedule().number == 10
+
+    def test_degenerate_classes_fall_back(self):
+        """If all jobs share a class, every schedule ties; first wins."""
+        mapping = {c: SnapshotClass.CPU for c in "SPN"}
+        chosen = ClassAwareScheduler(ApplicationDB()).pick_schedule(mapping)
+        assert chosen.number == 1
+
+
+class TestPlacementConversion:
+    def test_placement_machine_of(self):
+        p = Placement(machines=(("a", "b"), ("c",)))
+        assert p.machine_of(0) == 0
+        assert p.machine_of(2) == 1
+        with pytest.raises(IndexError):
+            p.machine_of(3)
+
+    def test_placement_to_schedule(self):
+        p = Placement(machines=(("j1", "j2", "j3"),) * 3)
+        code_of = {"j1": "S", "j2": "P", "j3": "N"}
+        assert placement_to_schedule(p, code_of).number == 10
+
+    def test_placement_to_schedule_validation(self):
+        with pytest.raises(ValueError):
+            placement_to_schedule(Placement(machines=(("a",),)), {"a": "S"})
+
+    def test_end_to_end_scheduler_produces_spn(self):
+        sched = ClassAwareScheduler(paper_db())
+        jobs = ["S", "S", "S", "P", "P", "P", "N", "N", "N"]
+        placement = sched.schedule_jobs(jobs, machines=3)
+        schedule = placement_to_schedule(placement, {j: j for j in "SPN"})
+        assert schedule.number == 10

@@ -1,0 +1,131 @@
+"""Tests for the conservative-scheduling baseline and its blind spot."""
+
+import pytest
+
+from repro.monitoring.stack import MonitoringStack
+from repro.scheduler.conservative import (
+    ConservativeLoadPredictor,
+    ConservativeScheduler,
+)
+from repro.sim.engine import SimulationEngine
+from repro.vm.cluster import Cluster
+from repro.vm.resources import ResourceCapacity, ResourceDemand
+from repro.workloads.base import WorkloadInstance, constant_workload
+
+
+def running_cluster(seed=0, horizon=120.0):
+    """Two VMs: VM-CPU runs a CPU hog, VM-IO a disk hog with idle CPU."""
+    c = Cluster()
+    c.add_host("h1", ResourceCapacity())
+    c.add_host("h2", ResourceCapacity())
+    c.create_vm("h1", "VM-CPU")
+    c.create_vm("h2", "VM-IO")
+    engine = SimulationEngine(c, seed=seed)
+    stack = MonitoringStack(engine, seed=seed + 1)
+    engine.add_instance(
+        WorkloadInstance(
+            constant_workload("cpu-hog", ResourceDemand(cpu_user=0.95, cpu_system=0.03, mem_mb=20.0), 1e6),
+            vm_name="VM-CPU",
+            loop=True,
+        )
+    )
+    engine.add_instance(
+        WorkloadInstance(
+            constant_workload(
+                "io-hog",
+                ResourceDemand(cpu_user=0.05, cpu_system=0.1, io_bi=700.0, io_bo=700.0, mem_mb=20.0),
+                1e6,
+            ),
+            vm_name="VM-IO",
+            loop=True,
+        )
+    )
+    engine.run(until=horizon)
+    return engine, stack
+
+
+class TestPredictor:
+    def test_forecast_reflects_cpu_load(self):
+        _, stack = running_cluster()
+        predictor = ConservativeLoadPredictor(stack.aggregator, window=12)
+        busy = predictor.forecast("VM-CPU")
+        calm = predictor.forecast("VM-IO")
+        assert busy.mean > calm.mean
+        assert busy.conservative_load >= busy.mean
+        assert busy.samples == 12
+
+    def test_conservative_headroom_scales_with_confidence(self):
+        _, stack = running_cluster()
+        low = ConservativeLoadPredictor(stack.aggregator, confidence=0.0).forecast("VM-CPU")
+        high = ConservativeLoadPredictor(stack.aggregator, confidence=3.0).forecast("VM-CPU")
+        assert high.conservative_load >= low.conservative_load
+        assert low.conservative_load == pytest.approx(low.mean)
+
+    def test_unknown_node(self):
+        _, stack = running_cluster()
+        predictor = ConservativeLoadPredictor(stack.aggregator)
+        with pytest.raises(KeyError):
+            predictor.forecast("ghost")
+
+    def test_validation(self):
+        _, stack = running_cluster()
+        with pytest.raises(ValueError):
+            ConservativeLoadPredictor(stack.aggregator, window=0)
+        with pytest.raises(ValueError):
+            ConservativeLoadPredictor(stack.aggregator, confidence=-1.0)
+        with pytest.raises(KeyError):
+            ConservativeLoadPredictor(stack.aggregator, metric="bogus")
+
+
+class TestScheduler:
+    def test_picks_low_cpu_node(self):
+        _, stack = running_cluster()
+        scheduler = ConservativeScheduler(ConservativeLoadPredictor(stack.aggregator))
+        assert scheduler.pick_node(["VM-CPU", "VM-IO"]) == "VM-IO"
+
+    def test_rank_order(self):
+        _, stack = running_cluster()
+        scheduler = ConservativeScheduler(ConservativeLoadPredictor(stack.aggregator))
+        ranked = scheduler.rank_nodes(["VM-CPU", "VM-IO"])
+        assert [f.node for f in ranked] == ["VM-IO", "VM-CPU"]
+
+    def test_empty_candidates(self):
+        _, stack = running_cluster()
+        scheduler = ConservativeScheduler(ConservativeLoadPredictor(stack.aggregator))
+        with pytest.raises(ValueError):
+            scheduler.pick_node([])
+
+
+class TestBlindSpot:
+    def test_cpu_only_prediction_misplaces_io_job(self, classifier):
+        """The paper's argument for multi-dimensional awareness: the
+        conservative (CPU-only) scheduler sends an I/O job to the host
+        whose CPU is idle — but whose *disk* is saturated — while the
+        class-aware view avoids it; measured completion times agree."""
+        def io_job():
+            return constant_workload(
+                "new-io",
+                ResourceDemand(cpu_user=0.08, cpu_system=0.12, io_bi=500.0, io_bo=500.0, mem_mb=20.0),
+                90.0,
+            )
+
+        # Conservative choice: VM-IO's host (low CPU, saturated disk).
+        engine, stack = running_cluster(seed=7)
+        scheduler = ConservativeScheduler(ConservativeLoadPredictor(stack.aggregator))
+        choice = scheduler.pick_node(["VM-CPU", "VM-IO"])
+        assert choice == "VM-IO"
+        key = engine.add_instance(WorkloadInstance(io_job(), vm_name=choice, start_time=engine.now))
+        engine.run(until=engine.now + 600.0)
+        conservative_elapsed = engine.instance(key).elapsed()
+        assert conservative_elapsed is not None
+
+        # Class-aware choice: co-locate the IO job with the CPU hog.
+        engine2, _ = running_cluster(seed=7)
+        key2 = engine2.add_instance(
+            WorkloadInstance(io_job(), vm_name="VM-CPU", start_time=engine2.now)
+        )
+        engine2.run(until=engine2.now + 600.0)
+        class_aware_elapsed = engine2.instance(key2).elapsed()
+        assert class_aware_elapsed is not None
+
+        assert class_aware_elapsed < conservative_elapsed

@@ -1,0 +1,76 @@
+"""Tests for reservation recommendations from run history."""
+
+import pytest
+
+from repro.core.labels import ClassComposition, SnapshotClass
+from repro.db.records import RunRecord
+from repro.db.stats import aggregate_runs
+from repro.scheduler.reservation import ResourceReservation, recommend_reservation
+
+
+def stats_for(compositions, durations):
+    runs = []
+    for comp, dur in zip(compositions, durations):
+        runs.append(
+            RunRecord(
+                application="app",
+                node="VM1",
+                t0=0.0,
+                t1=dur,
+                num_samples=10,
+                application_class=ClassComposition(fractions=comp).dominant(),
+                composition=ClassComposition(fractions=comp),
+            )
+        )
+    return aggregate_runs(runs)
+
+
+def test_reservation_from_stable_history():
+    comp = (0.1, 0.2, 0.5, 0.1, 0.1)
+    stats = stats_for([comp, comp], [100.0, 100.0])
+    r = recommend_reservation(stats, headroom_sigmas=2.0)
+    assert r.cpu_share == pytest.approx(0.5)
+    assert r.io_share == pytest.approx(0.2)
+    assert r.net_share == pytest.approx(0.1)
+    assert r.mem_share == pytest.approx(0.1)
+    assert r.expected_duration_s == 100.0
+    assert r.duration_bound_s == 100.0
+
+
+def test_headroom_grows_with_variance():
+    stats = stats_for(
+        [(0.0, 0.0, 1.0, 0.0, 0.0), (0.0, 0.5, 0.5, 0.0, 0.0)],
+        [100.0, 300.0],
+    )
+    r = recommend_reservation(stats, headroom_sigmas=2.0)
+    assert r.cpu_share == pytest.approx(min(0.75 + 2 * 0.25, 1.0))
+    assert r.duration_bound_s == pytest.approx(200.0 + 2 * 100.0)
+
+
+def test_shares_clipped_to_unit():
+    stats = stats_for(
+        [(0.0, 0.0, 1.0, 0.0, 0.0), (0.0, 1.0, 0.0, 0.0, 0.0)],
+        [100.0, 100.0],
+    )
+    r = recommend_reservation(stats, headroom_sigmas=10.0)
+    assert r.cpu_share == 1.0
+    assert r.io_share == 1.0
+
+
+def test_negative_headroom_rejected():
+    stats = stats_for([(0.0, 0.0, 1.0, 0.0, 0.0)], [100.0])
+    with pytest.raises(ValueError):
+        recommend_reservation(stats, headroom_sigmas=-1.0)
+
+
+def test_reservation_validation():
+    with pytest.raises(ValueError):
+        ResourceReservation(
+            application="a", cpu_share=1.5, io_share=0.0, net_share=0.0,
+            mem_share=0.0, expected_duration_s=1.0, duration_bound_s=2.0,
+        )
+    with pytest.raises(ValueError):
+        ResourceReservation(
+            application="a", cpu_share=0.5, io_share=0.0, net_share=0.0,
+            mem_share=0.0, expected_duration_s=10.0, duration_bound_s=5.0,
+        )

@@ -1,0 +1,87 @@
+"""Tests for the ten-schedule enumeration (paper Figure 4)."""
+
+import pytest
+
+from repro.scheduler.schedules import (
+    Schedule,
+    canonical_group,
+    enumerate_schedules,
+    schedule_by_number,
+    spn_schedule,
+)
+
+#: The paper's Figure 4 caption, verbatim.
+PAPER_LABELS = [
+    "{(SSS),(PPP),(NNN)}",
+    "{(SSS),(PPN),(PNN)}",
+    "{(SSP),(SPP),(NNN)}",
+    "{(SSP),(SPN),(PNN)}",
+    "{(SSP),(SNN),(PPN)}",
+    "{(SSN),(SPP),(PNN)}",
+    "{(SSN),(SPN),(PPN)}",
+    "{(SSN),(SNN),(PPP)}",
+    "{(SPP),(SPN),(SNN)}",
+    "{(SPN),(SPN),(SPN)}",
+]
+
+
+def test_exactly_ten_schedules():
+    assert len(enumerate_schedules()) == 10
+
+
+def test_numbering_matches_paper_figure4():
+    labels = [s.label() for s in enumerate_schedules()]
+    assert labels == PAPER_LABELS
+
+
+def test_every_schedule_places_three_of_each():
+    for s in enumerate_schedules():
+        flat = [c for g in s.groups for c in g]
+        assert flat.count("S") == flat.count("P") == flat.count("N") == 3
+
+
+def test_canonical_group_sorting():
+    assert canonical_group(("N", "S", "P")) == ("S", "P", "N")
+    assert canonical_group(("P", "P", "S")) == ("S", "P", "P")
+
+
+def test_canonical_group_validation():
+    with pytest.raises(ValueError):
+        canonical_group(("S", "P"))
+    with pytest.raises(ValueError):
+        canonical_group(("S", "P", "X"))
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        Schedule(number=1, groups=(("S", "S", "S"),) * 3)  # 9 S jobs
+    with pytest.raises(ValueError):
+        Schedule(number=1, groups=(("P", "S", "S"), ("S", "P", "P"), ("N", "N", "N")))
+
+
+def test_multiplicities():
+    """Distinct group multisets permute 3! ways; SPN×3 only 1 way."""
+    schedules = enumerate_schedules()
+    assert schedules[0].multiplicity == 6  # three distinct groups
+    assert spn_schedule().multiplicity == 1  # identical groups
+    # Total ordered assignments of group-multisets.
+    assert sum(s.multiplicity for s in schedules) == 55
+
+
+def test_class_diversity():
+    schedules = enumerate_schedules()
+    assert spn_schedule().class_diversity() == 9  # max
+    assert schedules[0].class_diversity() == 3  # min (SSS/PPP/NNN)
+
+
+def test_spn_is_schedule_ten():
+    assert spn_schedule().number == 10
+
+
+def test_schedule_by_number():
+    assert schedule_by_number(1).label() == PAPER_LABELS[0]
+    assert schedule_by_number(10).label() == PAPER_LABELS[9]
+    with pytest.raises(ValueError):
+        schedule_by_number(0)
+    with pytest.raises(ValueError):
+        schedule_by_number(11)

@@ -1,0 +1,113 @@
+"""Tests for schedule throughput evaluation (fast, reduced horizons)."""
+
+import pytest
+
+from repro.scheduler.schedules import schedule_by_number, spn_schedule
+from repro.scheduler.throughput import (
+    PerAppSummary,
+    ScheduleThroughput,
+    average_system_throughput,
+    default_job_factories,
+    evaluate_schedule,
+    improvement_percent,
+    per_app_summaries,
+)
+from repro.vm.resources import ResourceDemand
+from repro.workloads.base import constant_workload
+
+
+def fast_factories():
+    """Miniature S/P/N jobs so schedule evaluation runs in milliseconds."""
+    return {
+        "S": lambda: constant_workload("S", ResourceDemand(cpu_user=0.9, mem_mb=20.0), 60.0),
+        "P": lambda: constant_workload(
+            "P", ResourceDemand(cpu_user=0.15, io_bi=500.0, io_bo=500.0, mem_mb=20.0), 60.0
+        ),
+        "N": lambda: constant_workload(
+            "N",
+            ResourceDemand(cpu_system=0.25, net_out=50_000_000.0, mem_mb=20.0),
+            60.0,
+            remote_vm="VM4",
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def evaluated():
+    spn = evaluate_schedule(spn_schedule(), factories=fast_factories(), horizon=240.0, seed=1)
+    worst = evaluate_schedule(
+        schedule_by_number(1), factories=fast_factories(), horizon=240.0, seed=1
+    )
+    return spn, worst
+
+
+def test_default_factories_paper_apps():
+    f = default_job_factories()
+    assert f["S"]().name == "specseis96-small"
+    assert f["P"]().name == "postmark"
+    assert f["N"]().name == "netpipe"
+
+
+def test_missing_factory_rejected():
+    with pytest.raises(ValueError, match="missing job codes"):
+        evaluate_schedule(spn_schedule(), factories={"S": fast_factories()["S"]})
+
+
+def test_evaluate_schedule_shape(evaluated):
+    spn, _ = evaluated
+    assert set(spn.per_app_jobs_per_day) == {"S", "P", "N"}
+    assert spn.system_jobs_per_day == pytest.approx(
+        sum(spn.per_app_jobs_per_day.values())
+    )
+    assert spn.system_jobs_per_day > 0
+
+
+def test_spn_beats_segregated_schedule(evaluated):
+    """The paper's central claim, on miniature jobs."""
+    spn, worst = evaluated
+    assert spn.system_jobs_per_day > worst.system_jobs_per_day
+
+
+def test_average_weighting_modes(evaluated):
+    spn, worst = evaluated
+    results = [worst, spn]
+    uniform = average_system_throughput(results, weighting="uniform")
+    assert uniform == pytest.approx(
+        (spn.system_jobs_per_day + worst.system_jobs_per_day) / 2
+    )
+    weighted = average_system_throughput(results, weighting="multiplicity")
+    # Schedule 1 has multiplicity 6, SPN 1 → weighted leans toward worst.
+    assert weighted < uniform
+
+
+def test_average_validation(evaluated):
+    with pytest.raises(ValueError):
+        average_system_throughput([])
+    with pytest.raises(ValueError):
+        average_system_throughput(list(evaluated), weighting="bogus")
+
+
+def test_improvement_percent(evaluated):
+    spn, worst = evaluated
+    imp = improvement_percent(spn, [worst, spn], weighting="uniform")
+    assert imp > 0
+
+
+def test_per_app_summaries_requires_spn_last(evaluated):
+    spn, worst = evaluated
+    with pytest.raises(ValueError):
+        per_app_summaries([spn, worst])
+
+
+def test_per_app_summaries_fields(evaluated):
+    spn, worst = evaluated
+    summaries = per_app_summaries([worst, spn])
+    assert [s.code for s in summaries] == ["S", "P", "N"]
+    for s in summaries:
+        assert s.minimum <= s.average <= s.maximum
+        assert s.spn in (s.minimum, s.maximum) or s.minimum < s.spn < s.maximum
+
+
+def test_per_app_summary_gain():
+    s = PerAppSummary(code="S", minimum=1.0, maximum=3.0, average=2.0, spn=3.0, max_schedule_label="x")
+    assert s.spn_gain_over_average_percent == pytest.approx(50.0)

@@ -1,0 +1,204 @@
+"""Tests for the max-min fair contention model."""
+
+import pytest
+
+from repro.sim.contention import (
+    KAPPA_HOST,
+    KAPPA_VM,
+    InstanceDemand,
+    allocate,
+    interference_efficiency,
+    max_min_factors,
+)
+from repro.vm.cluster import Cluster
+from repro.vm.resources import ResourceCapacity, ResourceDemand
+
+
+def make_cluster(vcpus=2, hosts=1, vms_per_host=1, **cap_kwargs):
+    c = Cluster()
+    vm_idx = 0
+    for h in range(hosts):
+        c.add_host(f"h{h}", ResourceCapacity(**cap_kwargs) if cap_kwargs else None)
+        for _ in range(vms_per_host):
+            c.create_vm(f"h{h}", f"vm{vm_idx}", vcpus=vcpus)
+            vm_idx += 1
+    return c
+
+
+class TestMaxMinFactors:
+    def test_all_fit(self):
+        assert max_min_factors([1.0, 2.0], 10.0) == [1.0, 1.0]
+
+    def test_zero_demands_unconstrained(self):
+        assert max_min_factors([0.0, 5.0], 3.0) == [1.0, 0.6]
+
+    def test_small_users_fully_satisfied(self):
+        """A tiny demand next to a hog keeps factor 1 — the core property
+        proportional sharing lacks."""
+        factors = max_min_factors([25.0, 1000.0, 1000.0], 1400.0)
+        assert factors[0] == 1.0
+        assert factors[1] == pytest.approx(687.5 / 1000.0)
+        assert factors[2] == factors[1]
+
+    def test_equal_heavy_demands_split_evenly(self):
+        factors = max_min_factors([3.0, 3.0, 3.0], 2.0)
+        assert factors == pytest.approx([2.0 / 9.0 * 3.0 / 3.0] * 3)
+        # each gets 2/3 of capacity demanded 3 → factor 2/9... verify grant sums
+        granted = sum(f * 3.0 for f in factors)
+        assert granted == pytest.approx(2.0)
+
+    def test_capacity_never_exceeded(self):
+        demands = [0.5, 1.2, 7.0, 0.1]
+        factors = max_min_factors(demands, 3.0)
+        assert sum(d * f for d, f in zip(demands, factors)) <= 3.0 + 1e-9
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            max_min_factors([1.0], 0.0)
+        with pytest.raises(ValueError):
+            max_min_factors([-1.0], 1.0)
+
+    def test_empty(self):
+        assert max_min_factors([], 1.0) == []
+
+
+class TestInterference:
+    def test_solo_is_unit(self):
+        assert interference_efficiency(1, 1) == 1.0
+
+    def test_vm_co_runners_penalize_more_than_host(self):
+        same_vm = interference_efficiency(2, 2)
+        other_vm = interference_efficiency(1, 2)
+        assert same_vm < other_vm < 1.0
+
+    def test_formula(self):
+        assert interference_efficiency(3, 5) == pytest.approx(
+            1.0 / (1.0 + 2 * KAPPA_VM + 2 * KAPPA_HOST)
+        )
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError):
+            interference_efficiency(0, 1)
+        with pytest.raises(ValueError):
+            interference_efficiency(3, 2)
+
+
+class TestAllocate:
+    def test_empty(self):
+        report = allocate([])
+        assert report.fractions == {}
+
+    def test_idle_instance_full_fraction(self):
+        c = make_cluster()
+        report = allocate([InstanceDemand(0, c.vm("vm0"), ResourceDemand(mem_mb=10.0))])
+        assert report.fractions[0] == 1.0
+
+    def test_uncontended_full_speed(self):
+        c = make_cluster()
+        d = ResourceDemand(cpu_user=0.9)
+        report = allocate([InstanceDemand(0, c.vm("vm0"), d)])
+        assert report.fractions[0] == 1.0
+
+    def test_cpu_contention_within_vm(self):
+        c = make_cluster(vcpus=2)
+        vm = c.vm("vm0")
+        demands = [InstanceDemand(i, vm, ResourceDemand(cpu_user=1.0)) for i in range(3)]
+        report = allocate(demands)
+        eff = interference_efficiency(3, 3)
+        for i in range(3):
+            assert report.fractions[i] == pytest.approx((2.0 / 3.0) * eff)
+
+    def test_vcpu_cap_binds_before_host(self):
+        c = make_cluster(vcpus=1)
+        vm = c.vm("vm0")
+        demands = [InstanceDemand(i, vm, ResourceDemand(cpu_user=1.0)) for i in range(2)]
+        report = allocate(demands)
+        eff = interference_efficiency(2, 2)
+        for i in range(2):
+            assert report.fractions[i] == pytest.approx(0.5 * eff)
+
+    def test_cpu_small_user_not_punished(self):
+        """A light CPU job next to heavy ones keeps its full share."""
+        c = make_cluster(vcpus=2)
+        vm = c.vm("vm0")
+        demands = [
+            InstanceDemand(0, vm, ResourceDemand(cpu_user=0.1)),
+            InstanceDemand(1, vm, ResourceDemand(cpu_user=1.0)),
+            InstanceDemand(2, vm, ResourceDemand(cpu_user=1.0)),
+        ]
+        report = allocate(demands)
+        assert report.cpu_factor[0] == 1.0
+        assert report.cpu_factor[1] < 1.0
+
+    def test_disk_contention_host_level(self):
+        c = make_cluster(vms_per_host=2)
+        d = ResourceDemand(cpu_user=0.1, io_bi=1000.0)
+        demands = [
+            InstanceDemand(0, c.vm("vm0"), d),
+            InstanceDemand(1, c.vm("vm1"), d),
+        ]
+        report = allocate(demands)
+        # 2000 blocks demanded vs 1400 capacity → each ~0.7.
+        assert report.disk_factor[0] == pytest.approx(0.7, abs=0.01)
+
+    def test_disk_small_user_not_punished(self):
+        """The CH3D-next-to-PostMark property (paper Table 4)."""
+        c = make_cluster(vms_per_host=2)
+        light = InstanceDemand(0, c.vm("vm0"), ResourceDemand(cpu_user=0.9, io_bo=40.0))
+        heavy = InstanceDemand(1, c.vm("vm1"), ResourceDemand(cpu_user=0.2, io_bi=700.0, io_bo=700.0))
+        report = allocate([light, heavy])
+        assert report.disk_factor[0] == 1.0
+        assert report.disk_factor[1] < 1.0
+
+    def test_network_contention_per_direction(self):
+        c = make_cluster(vms_per_host=2, net_bytes_per_s=100.0)
+        out_hog = InstanceDemand(0, c.vm("vm0"), ResourceDemand(net_out=80.0, cpu_user=0.01))
+        in_user = InstanceDemand(1, c.vm("vm1"), ResourceDemand(net_in=80.0, cpu_user=0.01))
+        report = allocate([out_hog, in_user])
+        # Different directions: both fit (full duplex).
+        assert report.net_factor[0] == 1.0
+        assert report.net_factor[1] == 1.0
+
+    def test_network_remote_mirror_constrains(self):
+        """Two clients on different hosts hitting one server host share its NIC."""
+        c = make_cluster(hosts=3, vms_per_host=1, net_bytes_per_s=100.0)
+        server_host = c.hosts["h2"]
+        d = ResourceDemand(net_out=80.0, cpu_user=0.01)
+        demands = [
+            InstanceDemand(0, c.vm("vm0"), d, remote_host=server_host),
+            InstanceDemand(1, c.vm("vm1"), d, remote_host=server_host),
+        ]
+        report = allocate(demands)
+        # 160 B/s into the server NIC of 100 → each factor 0.625.
+        assert report.net_factor[0] == pytest.approx(0.625)
+        assert report.net_factor[1] == pytest.approx(0.625)
+
+    def test_same_host_remote_not_double_counted(self):
+        c = make_cluster(vms_per_host=2, net_bytes_per_s=100.0)
+        host = c.hosts["h0"]
+        d = ResourceDemand(net_out=80.0, cpu_user=0.01)
+        report = allocate([InstanceDemand(0, c.vm("vm0"), d, remote_host=host)])
+        assert report.net_factor[0] == 1.0
+
+    def test_reference_cores_speed_scaling(self):
+        """A 2.4 GHz host absorbs 2.67 reference cores of demand."""
+        c = make_cluster(vcpus=2, cpu_mhz=2400.0)
+        vm = c.vm("vm0")
+        # One VM capped at 2 vcpus: per-VM cap still binds at 2.0.
+        demands = [InstanceDemand(i, vm, ResourceDemand(cpu_user=1.0)) for i in range(2)]
+        report = allocate(demands)
+        assert report.cpu_factor[0] == pytest.approx(1.0)
+
+    def test_grants_match_fractions(self):
+        c = make_cluster()
+        d = ResourceDemand(cpu_user=0.5, io_bi=100.0)
+        report = allocate([InstanceDemand(0, c.vm("vm0"), d)])
+        g = report.grants[0]
+        assert g.io_bi == pytest.approx(100.0 * report.fractions[0])
+
+    def test_detached_vm_rejected(self):
+        from repro.vm.machine import VirtualMachine
+
+        vm = VirtualMachine("orphan")
+        with pytest.raises(ValueError, match="not attached"):
+            allocate([InstanceDemand(0, vm, ResourceDemand(cpu_user=1.0))])

@@ -1,0 +1,199 @@
+"""Tests for the discrete-time execution engine."""
+
+import pytest
+
+from repro.sim.engine import DaemonNoiseModel, SimulationEngine
+from repro.vm.cluster import Cluster, single_vm_cluster
+from repro.vm.resources import ResourceCapacity, ResourceDemand
+from repro.workloads.base import WorkloadInstance, constant_workload
+
+from tests.conftest import short_cpu_workload, short_io_workload
+
+
+def engine_with(workload, vm="VM1", seed=0, loop=False, start=0.0):
+    cluster = single_vm_cluster(vm_name=vm)
+    engine = SimulationEngine(cluster, seed=seed)
+    key = engine.add_instance(WorkloadInstance(workload, vm_name=vm, loop=loop, start_time=start))
+    return engine, key
+
+
+class TestLifecycle:
+    def test_solo_run_completes_on_time(self):
+        engine, key = engine_with(short_cpu_workload(60.0))
+        engine.run()
+        assert engine.instance(key).done
+        assert len(engine.completions) == 1
+        assert engine.completions[0].elapsed == pytest.approx(60.0, abs=2.0)
+
+    def test_completion_event_fields(self):
+        engine, key = engine_with(short_cpu_workload(10.0))
+        engine.run()
+        ev = engine.completions[0]
+        assert ev.instance_key == key
+        assert ev.workload_name == "mini-cpu"
+        assert ev.vm_name == "VM1"
+
+    def test_run_until_time(self):
+        engine, key = engine_with(short_cpu_workload(100.0))
+        engine.run(until=10.0)
+        assert engine.now == pytest.approx(10.0)
+        assert not engine.instance(key).done
+
+    def test_looping_requires_until(self):
+        engine, _ = engine_with(short_cpu_workload(10.0), loop=True)
+        with pytest.raises(RuntimeError, match="loop forever"):
+            engine.run()
+
+    def test_looping_counts_jobs(self):
+        engine, key = engine_with(short_cpu_workload(10.0), loop=True)
+        engine.run(until=35.0)
+        assert engine.instance(key).total_jobs() == pytest.approx(3.5, abs=0.2)
+
+    def test_max_ticks_guard(self):
+        engine, _ = engine_with(short_cpu_workload(1000.0))
+        with pytest.raises(RuntimeError, match="exceeded"):
+            engine.run(max_ticks=5)
+
+    def test_delayed_start(self):
+        engine, key = engine_with(short_cpu_workload(10.0), start=20.0)
+        engine.run()
+        assert engine.completions[0].time == pytest.approx(31.0, abs=1.5)
+
+    def test_add_instance_unknown_vm(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster)
+        with pytest.raises(KeyError):
+            engine.add_instance(WorkloadInstance(short_cpu_workload(), vm_name="ghost"))
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(single_vm_cluster(), dt=0.0)
+
+
+class TestCounters:
+    def test_cpu_counters_advance_with_work(self):
+        engine, _ = engine_with(short_cpu_workload(30.0))
+        engine.run()
+        c = engine.cluster.vm("VM1").counters
+        # ~0.9 cores for 30 s, plus noise.
+        assert 20.0 < c.cpu_user_s < 35.0
+        assert c.cpu_idle_s > 0.0
+
+    def test_io_counters_advance_with_io(self):
+        engine, _ = engine_with(short_io_workload(30.0))
+        engine.run()
+        c = engine.cluster.vm("VM1").counters
+        assert c.io_blocks_in > 10_000.0
+        assert c.io_blocks_out > 10_000.0
+
+    def test_idle_vm_accumulates_only_noise(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=1)
+        engine.run(until=60.0)
+        c = cluster.vm("VM1").counters
+        assert c.cpu_user_s < 2.0  # daemon noise only
+        assert c.uptime_s == pytest.approx(60.0)
+
+    def test_cpu_accounting_conserves_capacity(self):
+        """user+system+wio+idle per tick equals vcpus*dt."""
+        engine, _ = engine_with(short_io_workload(20.0))
+        engine.run()
+        vm = engine.cluster.vm("VM1")
+        total = vm.counters.total_cpu_s()
+        assert total == pytest.approx(vm.vcpus * engine.now, rel=1e-6)
+
+    def test_determinism_same_seed(self):
+        e1, _ = engine_with(short_io_workload(30.0), seed=42)
+        e2, _ = engine_with(short_io_workload(30.0), seed=42)
+        e1.run()
+        e2.run()
+        c1, c2 = e1.cluster.vm("VM1").counters, e2.cluster.vm("VM1").counters
+        assert c1.io_blocks_in == c2.io_blocks_in
+        assert c1.cpu_user_s == c2.cpu_user_s
+
+    def test_different_seeds_differ(self):
+        e1, _ = engine_with(short_cpu_workload(30.0), seed=1)
+        e2, _ = engine_with(short_cpu_workload(30.0), seed=2)
+        e1.run()
+        e2.run()
+        assert (
+            e1.cluster.vm("VM1").counters.cpu_user_s
+            != e2.cluster.vm("VM1").counters.cpu_user_s
+        )
+
+
+class TestContentionIntegration:
+    def test_two_cpu_jobs_share_one_vcpu_vm(self):
+        cluster = Cluster()
+        cluster.add_host("h1", ResourceCapacity(cpu_cores=2.0))
+        cluster.create_vm("h1", "VM1", vcpus=1)
+        engine = SimulationEngine(cluster, seed=0)
+        w = constant_workload("cpu", ResourceDemand(cpu_user=1.0, mem_mb=10.0), 30.0)
+        k1 = engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+        engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+        engine.run()
+        # Each gets 0.5 vcpu and pays interference → > 2x stretch.
+        assert engine.instance(k1).elapsed() > 70.0
+
+    def test_cross_class_jobs_barely_contend(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        cpu = constant_workload("cpu", ResourceDemand(cpu_user=0.9, mem_mb=10.0), 30.0)
+        io = constant_workload("io", ResourceDemand(cpu_user=0.1, io_bi=800.0, mem_mb=10.0), 30.0)
+        k1 = engine.add_instance(WorkloadInstance(cpu, vm_name="VM1"))
+        k2 = engine.add_instance(WorkloadInstance(io, vm_name="VM1"))
+        engine.run()
+        # Only the interference penalty applies (~1.22x).
+        assert engine.instance(k1).elapsed() == pytest.approx(30.0 * 1.22, abs=3.0)
+        assert engine.instance(k2).elapsed() == pytest.approx(30.0 * 1.22, abs=3.0)
+
+    def test_network_job_needs_server_vm(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        w = constant_workload(
+            "net", ResourceDemand(net_out=1e6, cpu_system=0.1, mem_mb=10.0), 10.0,
+            remote_vm="VM4",
+        )
+        engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+        with pytest.raises(KeyError):
+            engine.run()
+
+    def test_server_vm_counters_mirror_traffic(self):
+        from repro.sim.execution import classification_testbed
+
+        cluster = classification_testbed()
+        engine = SimulationEngine(cluster, seed=0)
+        w = constant_workload(
+            "net", ResourceDemand(net_out=10e6, cpu_system=0.2, mem_mb=10.0), 20.0,
+            remote_vm="VM4",
+        )
+        engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+        engine.run()
+        server = cluster.vm("VM4").counters
+        client = cluster.vm("VM1").counters
+        assert client.net_bytes_out > 150e6
+        # Server received roughly what the client sent (modulo noise).
+        assert server.net_bytes_in == pytest.approx(client.net_bytes_out, rel=0.05)
+        assert server.cpu_system_s > 1.0
+
+
+class TestDaemonNoise:
+    def test_sample_ranges(self):
+        import numpy as np
+
+        model = DaemonNoiseModel()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            cpu_u, cpu_s, io, net = model.sample(rng)
+            assert model.cpu_user_range[0] <= cpu_u <= model.cpu_user_range[1]
+            assert model.cpu_system_range[0] <= cpu_s <= model.cpu_system_range[1]
+            assert io == 0.0 or model.io_burst_blocks[0] <= io <= model.io_burst_blocks[1]
+            assert model.net_bytes_range[0] <= net <= model.net_bytes_range[1]
+
+    def test_io_bursts_are_occasional(self):
+        import numpy as np
+
+        model = DaemonNoiseModel()
+        rng = np.random.default_rng(0)
+        bursts = sum(1 for _ in range(1000) if model.sample(rng)[2] > 0)
+        assert 10 < bursts < 100

@@ -1,0 +1,114 @@
+"""Tests for the high-level execution orchestration."""
+
+import pytest
+
+from repro.sim.execution import (
+    classification_testbed,
+    profiled_run,
+    run_concurrent,
+    run_solo,
+    run_throughput_schedule,
+)
+from repro.vm.cluster import paper_testbed
+from repro.vm.resources import ResourceDemand
+from repro.workloads.base import constant_workload
+
+from tests.conftest import short_cpu_workload, short_io_workload, short_net_workload
+
+
+class TestClassificationTestbed:
+    def test_topology(self):
+        c = classification_testbed()
+        assert c.vm("VM1").mem_mb == 256.0
+        assert c.vm("VM4").host.name == "host2"
+
+    def test_memory_override(self):
+        assert classification_testbed(vm_mem_mb=32.0).vm("VM1").mem_mb == 32.0
+
+
+class TestProfiledRun:
+    def test_samples_every_five_seconds(self):
+        r = profiled_run(short_cpu_workload(60.0), seed=1)
+        assert r.sample_interval == 5.0
+        assert r.num_samples == pytest.approx(r.duration / 5.0, abs=1.5)
+        assert r.node == "VM1"
+
+    def test_series_is_filtered_to_target(self):
+        r = profiled_run(short_cpu_workload(30.0), seed=1)
+        assert r.series.node == "VM1"
+
+    def test_cpu_run_signature(self):
+        r = profiled_run(short_cpu_workload(60.0), seed=1)
+        assert r.series.metric("cpu_user").mean() > 50.0
+        assert r.series.metric("io_bi").mean() < 50.0
+
+    def test_io_run_signature(self):
+        r = profiled_run(short_io_workload(60.0), seed=1)
+        assert r.series.metric("io_bi").mean() > 300.0
+
+    def test_network_run_uses_server(self):
+        r = profiled_run(short_net_workload(60.0), seed=1)
+        assert r.series.metric("bytes_out").mean() > 10e6
+
+    def test_custom_heartbeat(self):
+        r = profiled_run(short_cpu_workload(60.0), seed=1, heartbeat=10.0)
+        assert r.series.sampling_interval() == pytest.approx(10.0)
+
+    def test_deterministic(self):
+        a = profiled_run(short_cpu_workload(30.0), seed=9)
+        b = profiled_run(short_cpu_workload(30.0), seed=9)
+        assert a.duration == b.duration
+        assert (a.series.matrix == b.series.matrix).all()
+
+
+class TestSoloAndConcurrent:
+    def test_run_solo_duration(self):
+        assert run_solo(short_cpu_workload(50.0), seed=2) == pytest.approx(50.0, abs=2.0)
+
+    def test_concurrent_pair_stretches_both(self):
+        cpu, io = short_cpu_workload(50.0), short_io_workload(50.0)
+        result = run_concurrent([cpu, io], seed=2)
+        assert result.elapsed["mini-cpu"] > 50.0
+        assert result.elapsed["mini-io"] > 50.0
+        assert result.makespan == max(result.elapsed.values())
+
+    def test_concurrent_beats_sequential_for_different_classes(self):
+        """The Table 4 property."""
+        cpu, io = short_cpu_workload(60.0), short_io_workload(60.0)
+        conc = run_concurrent([cpu, io], seed=2)
+        seq = run_solo(cpu, seed=3) + run_solo(io, seed=4)
+        assert conc.makespan < seq
+
+    def test_concurrent_empty_rejected(self):
+        with pytest.raises(ValueError):
+            run_concurrent([])
+
+
+class TestThroughputSchedule:
+    def test_basic_throughput_accounting(self):
+        cluster = paper_testbed()
+        w = constant_workload("job", ResourceDemand(cpu_user=0.5, mem_mb=10.0), 60.0)
+        result = run_throughput_schedule(cluster, {"VM1": [w]}, horizon=300.0, seed=1)
+        key = next(iter(result.jobs_by_instance))
+        # Uncontended: ~5 jobs in 300 s → 1440 jobs/day.
+        assert result.jobs_per_day(key) == pytest.approx(1440.0, rel=0.05)
+        assert result.total_jobs_per_day() == result.jobs_per_day(key)
+
+    def test_per_workload_breakdown(self):
+        cluster = paper_testbed()
+        a = constant_workload("a", ResourceDemand(cpu_user=0.4, mem_mb=10.0), 60.0)
+        b = constant_workload("b", ResourceDemand(io_bi=300.0, cpu_user=0.1, mem_mb=10.0), 60.0)
+        result = run_throughput_schedule(cluster, {"VM1": [a], "VM2": [b]}, horizon=300.0, seed=1)
+        per = result.jobs_per_day_by_workload()
+        assert set(per) == {"a", "b"}
+        assert per["a"] > 0 and per["b"] > 0
+
+    def test_unknown_vm_rejected(self):
+        cluster = paper_testbed()
+        w = constant_workload("x", ResourceDemand(cpu_user=0.1), 10.0)
+        with pytest.raises(KeyError):
+            run_throughput_schedule(cluster, {"ghost": [w]}, horizon=10.0)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            run_throughput_schedule(paper_testbed(), {}, horizon=0.0)

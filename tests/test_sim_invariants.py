@@ -1,0 +1,140 @@
+"""Engine-level conservation and monotonicity invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.contention import InstanceDemand, allocate
+from repro.sim.engine import SimulationEngine
+from repro.vm.cluster import Cluster, single_vm_cluster
+from repro.vm.resources import ResourceCapacity, ResourceDemand
+from repro.workloads.base import WorkloadInstance, constant_workload
+
+
+def demand_strategy():
+    return st.builds(
+        ResourceDemand,
+        cpu_user=st.floats(0, 1, allow_nan=False),
+        cpu_system=st.floats(0, 0.3, allow_nan=False),
+        io_bi=st.floats(0, 2000, allow_nan=False),
+        io_bo=st.floats(0, 2000, allow_nan=False),
+        net_in=st.floats(0, 8e7, allow_nan=False),
+        net_out=st.floats(0, 8e7, allow_nan=False),
+        swap_in=st.floats(0, 1000, allow_nan=False),
+        swap_out=st.floats(0, 1000, allow_nan=False),
+        mem_mb=st.floats(0, 300, allow_nan=False),
+    )
+
+
+@given(demands=st.lists(demand_strategy(), min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_allocation_never_exceeds_host_capacities(demands):
+    """Granted CPU/disk/net stay within the host's hardware, always."""
+    cluster = Cluster()
+    cluster.add_host("h", ResourceCapacity())
+    for i in range(len(demands)):
+        cluster.create_vm("h", f"vm{i}", vcpus=2)
+    instance_demands = [
+        InstanceDemand(i, cluster.vm(f"vm{i}"), d) for i, d in enumerate(demands)
+    ]
+    report = allocate(instance_demands)
+    cap = cluster.hosts["h"].capacity
+    cpu = disk = net_in = net_out = 0.0
+    for i, d in enumerate(demands):
+        g = report.grants[i]
+        cpu += g.cpu_user + g.cpu_system
+        disk += g.io_bi + g.io_bo
+        net_in += g.net_in
+        net_out += g.net_out
+    tol = 1e-6
+    assert cpu <= cap.reference_cores * (1 + tol)
+    assert disk <= cap.disk_blocks_per_s * (1 + tol) + 1.0
+    assert net_in <= cap.net_bytes_per_s * (1 + tol)
+    assert net_out <= cap.net_bytes_per_s * (1 + tol)
+
+
+@given(demands=st.lists(demand_strategy(), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_fractions_bounded(demands):
+    cluster = Cluster()
+    cluster.add_host("h", ResourceCapacity())
+    cluster.create_vm("h", "vm0", vcpus=2)
+    vm = cluster.vm("vm0")
+    report = allocate([InstanceDemand(i, vm, d) for i, d in enumerate(demands)])
+    for f in report.fractions.values():
+        assert 0.0 <= f <= 1.0 + 1e-12
+
+
+class TestEngineInvariants:
+    def test_counters_monotonic_through_run(self):
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        w = constant_workload(
+            "mix",
+            ResourceDemand(cpu_user=0.5, io_bi=300.0, net_out=1e6, swap_in=50.0, mem_mb=20.0),
+            60.0,
+        )
+        engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+        c = cluster.vm("VM1").counters
+        last = (0.0, 0.0, 0.0, 0.0, 0.0)
+        for _ in range(65):
+            engine.step()
+            cur = (c.cpu_user_s, c.io_blocks_in, c.net_bytes_out, c.swap_kb_in, c.uptime_s)
+            assert all(b >= a for a, b in zip(last, cur))
+            last = cur
+
+    def test_time_advances_exactly_by_dt(self):
+        engine = SimulationEngine(single_vm_cluster(), seed=0)
+        for i in range(10):
+            engine.step()
+            assert engine.now == pytest.approx((i + 1) * engine.dt)
+            assert engine.tick_index == i + 1
+
+    def test_progress_bounded_by_wall_clock(self):
+        """No instance completes more solo-work than elapsed wall time."""
+        cluster = single_vm_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        w = constant_workload("cpu", ResourceDemand(cpu_user=0.9, mem_mb=10.0), 40.0)
+        keys = [engine.add_instance(WorkloadInstance(w, vm_name="VM1")) for _ in range(3)]
+        engine.run(until=30.0)
+        for key in keys:
+            inst = engine.instance(key)
+            done_work = inst.total_jobs() * w.solo_duration
+            assert done_work <= 30.0 + 1e-6
+
+    def test_memory_gauges_bounded_by_vm_size(self):
+        cluster = single_vm_cluster(mem_mb=256.0)
+        engine = SimulationEngine(cluster, seed=0)
+        w = constant_workload("big", ResourceDemand(cpu_user=0.3, mem_mb=500.0), 30.0)
+        engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+        vm = cluster.vm("VM1")
+        for _ in range(20):
+            engine.step()
+            total = vm.mem_mb * 1024.0
+            c = vm.counters
+            assert c.mem_used_kb <= total + 1e-6
+            assert c.mem_used_kb + c.mem_buffers_kb + c.mem_cached_kb <= total * 1.01
+
+    def test_interference_never_makes_solo_faster(self):
+        """Adding a co-runner can only slow a job down."""
+        def elapsed(n_co):
+            cluster = single_vm_cluster()
+            engine = SimulationEngine(cluster, seed=1)
+            w = constant_workload("cpu", ResourceDemand(cpu_user=0.8, mem_mb=10.0), 50.0)
+            key = engine.add_instance(WorkloadInstance(w, vm_name="VM1"))
+            for _ in range(n_co):
+                engine.add_instance(
+                    WorkloadInstance(
+                        constant_workload("co", ResourceDemand(io_bi=200.0, cpu_user=0.05, mem_mb=10.0), 1e6),
+                        vm_name="VM1",
+                        loop=True,
+                    )
+                )
+            engine.run(until=500.0)
+            inst = engine.instance(key)
+            assert inst.done
+            return inst.elapsed()
+
+        times = [elapsed(n) for n in (0, 1, 2)]
+        assert times[0] <= times[1] <= times[2]

@@ -1,0 +1,108 @@
+"""Tests for live migration in the engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.vm.cluster import Cluster
+from repro.vm.resources import ResourceCapacity, ResourceDemand
+from repro.workloads.base import WorkloadInstance, constant_workload
+
+
+def two_host_cluster():
+    c = Cluster()
+    c.add_host("h1", ResourceCapacity())
+    c.add_host("h2", ResourceCapacity())
+    c.create_vm("h1", "VM1")
+    c.create_vm("h2", "VM2")
+    return c
+
+
+def cpu_job(duration=60.0):
+    return constant_workload("job", ResourceDemand(cpu_user=0.9, mem_mb=20.0), duration)
+
+
+class TestMigrate:
+    def test_progress_preserved_across_migration(self):
+        cluster = two_host_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        key = engine.add_instance(WorkloadInstance(cpu_job(60.0), vm_name="VM1"))
+        engine.run(until=30.0)
+        before = engine.instance(key).progress_fraction()
+        engine.migrate(key, "VM2", downtime_s=5.0)
+        assert engine.instance(key).progress_fraction() == before
+        engine.run()
+        assert engine.instance(key).done
+        # 60 s work + 5 s downtime (± interference-free slack).
+        assert engine.completions[0].elapsed == pytest.approx(65.0, abs=3.0)
+
+    def test_downtime_pauses_execution(self):
+        cluster = two_host_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        key = engine.add_instance(WorkloadInstance(cpu_job(60.0), vm_name="VM1"))
+        engine.run(until=10.0)
+        engine.migrate(key, "VM2", downtime_s=20.0)
+        progress_at_migration = engine.instance(key).progress_fraction()
+        engine.run(until=25.0)
+        assert engine.instance(key).progress_fraction() == progress_at_migration
+        engine.run(until=40.0)
+        assert engine.instance(key).progress_fraction() > progress_at_migration
+
+    def test_counters_follow_the_instance(self):
+        cluster = two_host_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        key = engine.add_instance(WorkloadInstance(cpu_job(60.0), vm_name="VM1"))
+        engine.run(until=30.0)
+        vm1_cpu_before = cluster.vm("VM1").counters.cpu_user_s
+        engine.migrate(key, "VM2", downtime_s=0.0)
+        engine.run()
+        # VM1 accrues only noise after the migration; VM2 does the rest.
+        assert cluster.vm("VM1").counters.cpu_user_s < vm1_cpu_before + 2.0
+        assert cluster.vm("VM2").counters.cpu_user_s > 20.0
+
+    def test_migration_event_recorded(self):
+        cluster = two_host_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        key = engine.add_instance(WorkloadInstance(cpu_job(), vm_name="VM1"))
+        engine.run(until=5.0)
+        event = engine.migrate(key, "VM2")
+        assert event.from_vm == "VM1"
+        assert event.to_vm == "VM2"
+        assert event.time == 5.0
+        assert engine.migrations == [event]
+
+    def test_validation(self):
+        cluster = two_host_cluster()
+        engine = SimulationEngine(cluster, seed=0)
+        key = engine.add_instance(WorkloadInstance(cpu_job(10.0), vm_name="VM1"))
+        with pytest.raises(KeyError):
+            engine.migrate(99, "VM2")
+        with pytest.raises(KeyError):
+            engine.migrate(key, "ghost")
+        with pytest.raises(ValueError):
+            engine.migrate(key, "VM1")
+        with pytest.raises(ValueError):
+            engine.migrate(key, "VM2", downtime_s=-1.0)
+        engine.run()
+        with pytest.raises(RuntimeError):
+            engine.migrate(key, "VM2")
+
+    def test_migration_away_from_contention_speeds_completion(self):
+        """Migrating off a CPU-crowded host beats staying."""
+
+        def run(migrate: bool) -> float:
+            cluster = two_host_cluster()
+            engine = SimulationEngine(cluster, seed=0)
+            key = engine.add_instance(WorkloadInstance(cpu_job(120.0), vm_name="VM1"))
+            # Two CPU hogs sharing VM1 forever.
+            for _ in range(2):
+                engine.add_instance(
+                    WorkloadInstance(cpu_job(100000.0), vm_name="VM1", loop=True)
+                )
+            engine.run(until=10.0)
+            if migrate:
+                engine.migrate(key, "VM2", downtime_s=5.0)
+            engine.run(until=600.0)
+            inst = engine.instance(key)
+            return inst.elapsed() if inst.done else float("inf")
+
+        assert run(migrate=True) < run(migrate=False)

@@ -1,0 +1,51 @@
+"""Tests for the per-tick trace recorder."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import TraceRecorder
+from repro.vm.cluster import single_vm_cluster
+from repro.workloads.base import WorkloadInstance
+
+from tests.conftest import short_cpu_workload
+
+
+def test_trace_records_full_speed_solo():
+    cluster = single_vm_cluster()
+    engine = SimulationEngine(cluster, seed=0)
+    key = engine.add_instance(WorkloadInstance(short_cpu_workload(30.0), vm_name="VM1"))
+    recorder = TraceRecorder(engine)
+    engine.run()
+    trace = recorder.trace(key)
+    assert trace.workload_name == "mini-cpu"
+    assert trace.mean_fraction() == pytest.approx(1.0, abs=0.05)
+
+
+def test_trace_reflects_contention():
+    cluster = single_vm_cluster()
+    engine = SimulationEngine(cluster, seed=0)
+    k1 = engine.add_instance(WorkloadInstance(short_cpu_workload(30.0), vm_name="VM1"))
+    engine.add_instance(WorkloadInstance(short_cpu_workload(30.0), vm_name="VM1"))
+    recorder = TraceRecorder(engine)
+    engine.run()
+    # Two co-runners: interference alone caps progress well below 1.
+    assert recorder.trace(k1).mean_fraction() < 0.85
+
+
+def test_trace_arrays_aligned():
+    cluster = single_vm_cluster()
+    engine = SimulationEngine(cluster, seed=0)
+    key = engine.add_instance(WorkloadInstance(short_cpu_workload(10.0), vm_name="VM1"))
+    recorder = TraceRecorder(engine)
+    engine.run()
+    times, fractions = recorder.trace(key).as_arrays()
+    assert times.shape == fractions.shape
+    assert len(times) > 5
+
+
+def test_trace_missing_key():
+    cluster = single_vm_cluster()
+    engine = SimulationEngine(cluster, seed=0)
+    recorder = TraceRecorder(engine)
+    with pytest.raises(KeyError):
+        recorder.trace(99)

@@ -1,0 +1,80 @@
+"""Tests for cluster topology construction."""
+
+import pytest
+
+from repro.vm.cluster import Cluster, paper_testbed, single_vm_cluster
+from repro.vm.resources import ResourceCapacity
+
+
+def test_add_host_and_create_vm():
+    c = Cluster()
+    c.add_host("h1")
+    vm = c.create_vm("h1", "VM1", mem_mb=128.0, vcpus=2)
+    assert vm.mem_mb == 128.0
+    assert vm.vcpus == 2
+    assert c.vm("VM1") is vm
+    assert c.host_of("VM1").name == "h1"
+
+
+def test_duplicate_host_rejected():
+    c = Cluster()
+    c.add_host("h1")
+    with pytest.raises(ValueError):
+        c.add_host("h1")
+
+
+def test_duplicate_vm_name_rejected_cluster_wide():
+    c = Cluster()
+    c.add_host("h1")
+    c.add_host("h2")
+    c.create_vm("h1", "VM1")
+    with pytest.raises(ValueError):
+        c.create_vm("h2", "VM1")
+
+
+def test_create_vm_unknown_host():
+    with pytest.raises(KeyError):
+        Cluster().create_vm("ghost", "VM1")
+
+
+def test_vm_lookup_unknown():
+    with pytest.raises(KeyError):
+        Cluster().vm("VMx")
+
+
+def test_iter_vms_order():
+    c = Cluster()
+    c.add_host("h1")
+    c.add_host("h2")
+    c.create_vm("h1", "A")
+    c.create_vm("h2", "B")
+    c.create_vm("h1", "C")
+    assert c.vm_names() == ["A", "C", "B"]
+
+
+def test_custom_capacity():
+    c = Cluster()
+    c.add_host("h1", ResourceCapacity(cpu_cores=4.0))
+    assert c.hosts["h1"].capacity.cpu_cores == 4.0
+
+
+def test_paper_testbed_topology():
+    c = paper_testbed()
+    assert set(c.hosts) == {"host1", "host2"}
+    assert c.host_of("VM1").name == "host1"
+    for name in ("VM2", "VM3", "VM4"):
+        assert c.host_of(name).name == "host2"
+    assert c.hosts["host2"].capacity.cpu_mhz == 2400.0
+    assert all(vm.mem_mb == 256.0 for vm in c.iter_vms())
+
+
+def test_paper_testbed_vm1_memory_override():
+    c = paper_testbed(vm1_mem_mb=32.0)
+    assert c.vm("VM1").mem_mb == 32.0
+    assert c.vm("VM2").mem_mb == 256.0
+
+
+def test_single_vm_cluster():
+    c = single_vm_cluster(mem_mb=64.0, vm_name="target")
+    assert c.vm_names() == ["target"]
+    assert c.vm("target").mem_mb == 64.0

@@ -1,0 +1,113 @@
+"""Tests for VMPlant DAG configuration."""
+
+import pytest
+
+from repro.vm.dag import (
+    ConfigAction,
+    ConfigDAG,
+    VMSpec,
+    install_package,
+    set_attribute,
+    set_memory,
+    set_vcpus,
+)
+
+
+class TestVMSpec:
+    def test_with_package_idempotent(self):
+        spec = VMSpec().with_package("ganglia").with_package("ganglia")
+        assert spec.packages == ("ganglia",)
+
+    def test_with_attribute_last_write_wins(self):
+        spec = VMSpec().with_attribute("k", "a").with_attribute("k", "b")
+        assert spec.attribute("k") == "b"
+
+    def test_attribute_default(self):
+        assert VMSpec().attribute("missing", "dflt") == "dflt"
+        assert VMSpec().attribute("missing") is None
+
+
+class TestStockActions:
+    def test_set_memory(self):
+        assert set_memory(512).apply(VMSpec()).mem_mb == 512.0
+
+    def test_set_memory_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            set_memory(0)
+
+    def test_set_vcpus(self):
+        assert set_vcpus(2).apply(VMSpec()).vcpus == 2
+        with pytest.raises(ValueError):
+            set_vcpus(0)
+
+    def test_install_package(self):
+        assert install_package("specseis").apply(VMSpec()).packages == ("specseis",)
+
+    def test_set_attribute(self):
+        assert set_attribute("nfs", "on").apply(VMSpec()).attribute("nfs") == "on"
+
+
+class TestConfigDAG:
+    def test_materialize_applies_in_topological_order(self):
+        dag = ConfigDAG()
+        dag.add_action(set_memory(512))
+        dag.add_action(install_package("app"), after=["set-memory-512"])
+        spec = dag.materialize()
+        assert spec.mem_mb == 512.0
+        assert spec.packages == ("app",)
+
+    def test_duplicate_action_rejected(self):
+        dag = ConfigDAG()
+        dag.add_action(set_memory(512))
+        with pytest.raises(ValueError, match="duplicate"):
+            dag.add_action(set_memory(512))
+
+    def test_unknown_dependency_rejected(self):
+        dag = ConfigDAG()
+        with pytest.raises(ValueError, match="unknown dependency"):
+            dag.add_action(set_memory(512), after=["ghost"])
+
+    def test_cycle_rejected_on_add_edge(self):
+        dag = ConfigDAG()
+        dag.add_action(set_memory(512))
+        dag.add_action(set_vcpus(2), after=["set-memory-512"])
+        with pytest.raises(ValueError, match="cycle"):
+            dag.add_edge("set-vcpus-2", "set-memory-512")
+
+    def test_add_edge_unknown_action(self):
+        dag = ConfigDAG()
+        dag.add_action(set_memory(512))
+        with pytest.raises(ValueError, match="unknown action"):
+            dag.add_edge("set-memory-512", "ghost")
+
+    def test_topological_order_deterministic_insertion_ties(self):
+        dag = ConfigDAG()
+        dag.add_action(ConfigAction("b", lambda s: s))
+        dag.add_action(ConfigAction("a", lambda s: s))
+        assert dag.topological_order() == ["b", "a"]  # insertion order
+
+    def test_dependency_order_respected(self):
+        dag = ConfigDAG()
+        dag.add_action(ConfigAction("late", lambda s: s.with_attribute("order", "late")))
+        dag.add_action(ConfigAction("early", lambda s: s.with_attribute("order", "early")))
+        dag.add_edge("early", "late")
+        spec = dag.materialize()
+        assert spec.attribute("order") == "late"
+
+    def test_len_and_contains(self):
+        dag = ConfigDAG()
+        dag.add_action(set_memory(128))
+        assert len(dag) == 1
+        assert "set-memory-128" in dag
+        assert "ghost" not in dag
+
+    def test_action_lookup_missing(self):
+        with pytest.raises(KeyError):
+            ConfigDAG().action("ghost")
+
+    def test_materialize_with_base(self):
+        dag = ConfigDAG()
+        dag.add_action(install_package("x"))
+        spec = dag.materialize(base=VMSpec(mem_mb=64.0))
+        assert spec.mem_mb == 64.0
+        assert spec.packages == ("x",)

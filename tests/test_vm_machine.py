@@ -1,0 +1,189 @@
+"""Tests for PhysicalHost, VirtualMachine, and the memory model."""
+
+import pytest
+
+from repro.vm.machine import (
+    OS_BASE_MEM_MB,
+    PAGING_BURST_HIGH,
+    PAGING_BURST_LEN_TICKS,
+    PAGING_BURST_LOW,
+    PAGING_BURST_PERIOD_TICKS,
+    PAGING_RATE_CAP_KBPS,
+    PhysicalHost,
+    VirtualMachine,
+    paging_burst_multiplier,
+)
+from repro.vm.resources import ResourceDemand
+
+
+class TestMemoryModel:
+    def test_no_paging_when_fits(self):
+        vm = VirtualMachine("v", mem_mb=256.0)
+        p = vm.memory_pressure(100.0)
+        assert not p.is_paging
+        assert p.efficiency == 1.0
+        assert p.swap_in_kbps == 0.0
+
+    def test_paging_when_overflowing(self):
+        vm = VirtualMachine("v", mem_mb=256.0)
+        p = vm.memory_pressure(400.0)
+        assert p.is_paging
+        assert p.overflow_mb == pytest.approx(400.0 - (256.0 - OS_BASE_MEM_MB))
+        assert 0.0 < p.efficiency < 1.0
+        assert p.swap_in_kbps > 0.0
+        assert p.io_amplification == 2.0
+
+    def test_paging_rate_capped(self):
+        vm = VirtualMachine("v", mem_mb=32.0)
+        p = vm.memory_pressure(500.0)
+        assert p.swap_in_kbps == PAGING_RATE_CAP_KBPS
+
+    def test_efficiency_decreases_with_overflow(self):
+        vm = VirtualMachine("v", mem_mb=256.0)
+        e1 = vm.memory_pressure(300.0).efficiency
+        e2 = vm.memory_pressure(500.0).efficiency
+        assert e2 < e1 < 1.0
+
+    def test_negative_working_set_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualMachine("v").memory_pressure(-1.0)
+
+    def test_specseis_b_calibration(self):
+        """Medium SPECseis96 in a 32 MB VM: efficiency ≈ 0.37 gives the
+        paper's ~1.46x runtime stretch."""
+        vm = VirtualMachine("v", mem_mb=32.0)
+        p = vm.memory_pressure(210.0)
+        assert p.efficiency == pytest.approx(0.37, abs=0.05)
+
+
+class TestEffectiveDemand:
+    def test_pass_through_when_no_pressure(self):
+        vm = VirtualMachine("v", mem_mb=256.0)
+        d = ResourceDemand(cpu_user=0.9, mem_mb=50.0)
+        assert vm.effective_demand(d) is d
+
+    def test_paging_injects_swap(self):
+        vm = VirtualMachine("v", mem_mb=64.0)
+        d = ResourceDemand(cpu_user=0.5, mem_mb=300.0)
+        eff = vm.effective_demand(d)
+        assert eff.swap_in > 0.0
+        assert eff.swap_out > 0.0
+        assert eff.cpu_user == 0.5
+
+    def test_cached_io_mostly_absorbed_when_healthy(self):
+        vm = VirtualMachine("v", mem_mb=256.0)
+        d = ResourceDemand(cpu_user=0.9, io_cached=400.0, mem_mb=50.0)
+        eff = vm.effective_demand(d)
+        assert eff.io_cached == 0.0
+        assert eff.io_bi + eff.io_bo == pytest.approx(400.0 * 0.05)
+
+    def test_cached_io_hits_disk_under_pressure(self):
+        vm = VirtualMachine("v", mem_mb=32.0)
+        d = ResourceDemand(cpu_user=0.9, io_cached=400.0, mem_mb=210.0)
+        eff = vm.effective_demand(d)
+        assert eff.io_bi + eff.io_bo >= 400.0  # full miss
+
+    def test_paging_intensity_scales_swap_rate(self):
+        vm = VirtualMachine("v", mem_mb=32.0)
+        full = vm.effective_demand(ResourceDemand(mem_mb=210.0, cpu_user=0.5))
+        gentle = vm.effective_demand(
+            ResourceDemand(mem_mb=210.0, cpu_user=0.5, paging_intensity=0.3)
+        )
+        assert gentle.swap_in == pytest.approx(full.swap_in * 0.3)
+
+    def test_shared_vm_working_set_raises_pressure(self):
+        """Co-located jobs share RAM: a small job in a thrashing VM pages."""
+        vm = VirtualMachine("v", mem_mb=256.0)
+        d = ResourceDemand(cpu_user=0.5, mem_mb=50.0)
+        alone = vm.effective_demand(d)
+        crowded = vm.effective_demand(d, vm_working_set_mb=500.0)
+        assert alone.swap_in == 0.0
+        assert crowded.swap_in > 0.0
+
+    def test_swap_attributed_by_working_set_share(self):
+        vm = VirtualMachine("v", mem_mb=256.0)
+        small = vm.effective_demand(
+            ResourceDemand(cpu_user=0.5, mem_mb=100.0), vm_working_set_mb=500.0
+        )
+        big = vm.effective_demand(
+            ResourceDemand(cpu_user=0.5, mem_mb=400.0), vm_working_set_mb=500.0
+        )
+        assert big.swap_in == pytest.approx(small.swap_in * 4.0)
+
+    def test_vm_working_set_cannot_undercut_own(self):
+        vm = VirtualMachine("v", mem_mb=256.0)
+        with pytest.raises(ValueError):
+            vm.effective_demand(ResourceDemand(mem_mb=100.0), vm_working_set_mb=50.0)
+
+    def test_burst_pattern_applied_with_tick(self):
+        vm = VirtualMachine("v", mem_mb=32.0)
+        d = ResourceDemand(cpu_user=0.5, mem_mb=210.0)
+        burst = vm.effective_demand(d, tick=0)
+        quiet = vm.effective_demand(d, tick=PAGING_BURST_LEN_TICKS)
+        assert burst.swap_in > quiet.swap_in
+
+
+class TestBurstMultiplier:
+    def test_period_structure(self):
+        values = [paging_burst_multiplier(t) for t in range(PAGING_BURST_PERIOD_TICKS)]
+        assert values[:PAGING_BURST_LEN_TICKS] == [PAGING_BURST_HIGH] * PAGING_BURST_LEN_TICKS
+        assert all(v == PAGING_BURST_LOW for v in values[PAGING_BURST_LEN_TICKS:])
+
+    def test_periodicity(self):
+        assert paging_burst_multiplier(0) == paging_burst_multiplier(PAGING_BURST_PERIOD_TICKS)
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            paging_burst_multiplier(-1)
+
+
+class TestGauges:
+    def test_update_memory_gauges(self):
+        vm = VirtualMachine("v", mem_mb=256.0)
+        vm.update_memory_gauges(100.0)
+        assert vm.counters.mem_used_kb == pytest.approx((OS_BASE_MEM_MB + 100.0) * 1024.0)
+        assert vm.counters.swap_used_kb == 0.0
+        vm.update_memory_gauges(400.0)
+        assert vm.counters.swap_used_kb > 0.0
+
+    def test_cache_shrinks_under_use(self):
+        vm = VirtualMachine("v", mem_mb=256.0)
+        vm.update_memory_gauges(10.0)
+        roomy = vm.counters.mem_cached_kb
+        vm.update_memory_gauges(200.0)
+        assert vm.counters.mem_cached_kb < roomy
+
+
+class TestHostAttachment:
+    def test_attach_detach(self):
+        host = PhysicalHost("h")
+        vm = VirtualMachine("v")
+        host.attach(vm)
+        assert vm.host is host
+        assert host.committed_mem_mb() == vm.mem_mb
+        back = host.detach("v")
+        assert back is vm
+        assert vm.host is None
+
+    def test_attach_duplicate_name_rejected(self):
+        host = PhysicalHost("h")
+        host.attach(VirtualMachine("v"))
+        with pytest.raises(ValueError):
+            host.attach(VirtualMachine("v"))
+
+    def test_attach_already_placed_rejected(self):
+        h1, h2 = PhysicalHost("h1"), PhysicalHost("h2")
+        vm = VirtualMachine("v")
+        h1.attach(vm)
+        with pytest.raises(ValueError):
+            h2.attach(vm)
+
+    def test_detach_missing_raises(self):
+        with pytest.raises(KeyError):
+            PhysicalHost("h").detach("ghost")
+
+    def test_vm_validation(self):
+        with pytest.raises(ValueError):
+            VirtualMachine("v", mem_mb=0.0)
+        with pytest.raises(ValueError):
+            VirtualMachine("v", vcpus=0)

@@ -1,0 +1,113 @@
+"""Tests for resource capacities, demands, and grants."""
+
+import pytest
+
+from repro.vm.resources import (
+    BLOCKS_PER_SWAP_KB,
+    ResourceCapacity,
+    ResourceDemand,
+    ResourceGrant,
+)
+
+
+class TestResourceCapacity:
+    def test_defaults_valid(self):
+        cap = ResourceCapacity()
+        assert cap.cpu_cores == 2.0
+        assert cap.net_bytes_per_s == 125_000_000.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ResourceCapacity(cpu_cores=0.0)
+        with pytest.raises(ValueError):
+            ResourceCapacity(disk_blocks_per_s=-1.0)
+
+    def test_reference_cores_scales_with_clock(self):
+        cap = ResourceCapacity(cpu_cores=2.0, cpu_mhz=2400.0)
+        assert cap.reference_cores == pytest.approx(2.0 * 2400.0 / 1800.0)
+
+    def test_reference_cores_identity_at_reference_clock(self):
+        cap = ResourceCapacity(cpu_cores=2.0, cpu_mhz=1800.0)
+        assert cap.reference_cores == pytest.approx(2.0)
+
+    def test_scaled(self):
+        cap = ResourceCapacity().scaled(0.5)
+        assert cap.cpu_cores == 1.0
+        assert cap.disk_blocks_per_s == 700.0
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ResourceCapacity().scaled(0.0)
+
+
+class TestResourceDemand:
+    def test_aggregates(self):
+        d = ResourceDemand(
+            cpu_user=0.5, cpu_system=0.2, io_bi=100.0, io_bo=50.0, swap_in=10.0, swap_out=20.0,
+            net_in=5.0, net_out=7.0,
+        )
+        assert d.cpu == pytest.approx(0.7)
+        assert d.disk == pytest.approx(150.0 + 30.0 * BLOCKS_PER_SWAP_KB)
+        assert d.net == pytest.approx(12.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ResourceDemand(cpu_user=-0.1)
+
+    def test_paging_intensity_bounds(self):
+        with pytest.raises(ValueError):
+            ResourceDemand(paging_intensity=1.5)
+        ResourceDemand(paging_intensity=0.0)  # ok
+
+    def test_is_idle(self):
+        assert ResourceDemand().is_idle()
+        assert ResourceDemand(mem_mb=50.0).is_idle()
+        assert not ResourceDemand(cpu_user=0.1).is_idle()
+        assert not ResourceDemand(net_in=1.0).is_idle()
+
+    def test_scaled_rates_only(self):
+        d = ResourceDemand(cpu_user=1.0, io_bi=100.0, mem_mb=64.0, paging_intensity=0.3)
+        half = d.scaled(0.5)
+        assert half.cpu_user == 0.5
+        assert half.io_bi == 50.0
+        assert half.mem_mb == 64.0  # capacity, not a rate
+        assert half.paging_intensity == 0.3
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            ResourceDemand().scaled(-1.0)
+
+    def test_plus_sums_fields(self):
+        a = ResourceDemand(cpu_user=0.3, mem_mb=10.0, paging_intensity=0.2)
+        b = ResourceDemand(cpu_user=0.4, io_bo=5.0, mem_mb=20.0)
+        c = a.plus(b)
+        assert c.cpu_user == pytest.approx(0.7)
+        assert c.io_bo == 5.0
+        assert c.mem_mb == 30.0
+        assert c.paging_intensity == 1.0  # max wins
+
+
+class TestResourceGrant:
+    def test_from_demand_scales_everything(self):
+        d = ResourceDemand(cpu_user=1.0, io_bi=100.0, net_out=200.0, swap_in=10.0)
+        g = ResourceGrant.from_demand(d, 0.25)
+        assert g.fraction == 0.25
+        assert g.cpu_user == 0.25
+        assert g.io_bi == 25.0
+        assert g.net_out == 50.0
+        assert g.swap_in == 2.5
+
+    def test_idle_grant(self):
+        g = ResourceGrant.idle()
+        assert g.fraction == 1.0
+        assert g.cpu_user == 0.0
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ResourceGrant(fraction=1.5)
+        with pytest.raises(ValueError):
+            ResourceGrant(fraction=-0.1)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            ResourceGrant(fraction=0.5, io_bi=-1.0)

@@ -1,0 +1,66 @@
+"""Tests for the VMPlant cloning service."""
+
+import pytest
+
+from repro.vm.cluster import Cluster
+from repro.vm.dag import ConfigDAG, install_package, set_memory, set_vcpus
+from repro.vm.vmplant import CloneRequest, VMPlant
+
+
+def make_plant():
+    cluster = Cluster()
+    cluster.add_host("h1")
+    plant = VMPlant(cluster=cluster)
+    dag = ConfigDAG("seis-template")
+    dag.add_action(set_memory(256))
+    dag.add_action(set_vcpus(1))
+    dag.add_action(install_package("specseis96"))
+    plant.register_template("specseis", dag)
+    return plant
+
+
+def test_register_duplicate_template_rejected():
+    plant = make_plant()
+    with pytest.raises(ValueError):
+        plant.register_template("specseis", ConfigDAG())
+
+
+def test_materialize_spec_from_template():
+    plant = make_plant()
+    spec = plant.materialize_spec(CloneRequest(template="specseis", host="h1"))
+    assert spec.mem_mb == 256.0
+    assert "specseis96" in spec.packages
+
+
+def test_materialize_unknown_template():
+    plant = make_plant()
+    with pytest.raises(KeyError, match="unknown template"):
+        plant.materialize_spec(CloneRequest(template="ghost", host="h1"))
+
+
+def test_clone_attaches_vm():
+    plant = make_plant()
+    vm = plant.clone(CloneRequest(template="specseis", host="h1", vm_name="VM1"))
+    assert vm.name == "VM1"
+    assert vm.mem_mb == 256.0
+    assert plant.cluster.host_of("VM1").name == "h1"
+
+
+def test_clone_memory_override():
+    """Per-request specialization, as the SPECseis96 B experiment needs."""
+    plant = make_plant()
+    vm = plant.clone(CloneRequest(template="specseis", host="h1", mem_mb=32.0))
+    assert vm.mem_mb == 32.0
+
+
+def test_clone_autonames_uniquely():
+    plant = make_plant()
+    a = plant.clone(CloneRequest(template="specseis", host="h1"))
+    b = plant.clone(CloneRequest(template="specseis", host="h1"))
+    assert a.name != b.name
+
+
+def test_clone_unknown_host():
+    plant = make_plant()
+    with pytest.raises(KeyError):
+        plant.clone(CloneRequest(template="specseis", host="ghost"))

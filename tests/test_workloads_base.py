@@ -1,0 +1,154 @@
+"""Tests for the phase-structured workload model."""
+
+import pytest
+
+from repro.vm.resources import ResourceDemand
+from repro.workloads.base import (
+    Phase,
+    Workload,
+    WorkloadInstance,
+    constant_workload,
+    cycle_phases,
+    scaled_workload,
+)
+
+
+def two_phase_workload():
+    return Workload(
+        name="w",
+        phases=(
+            Phase("a", ResourceDemand(cpu_user=1.0), work=10.0),
+            Phase("b", ResourceDemand(io_bi=100.0), work=20.0),
+        ),
+    )
+
+
+class TestPhaseAndWorkload:
+    def test_phase_requires_positive_work(self):
+        with pytest.raises(ValueError):
+            Phase("p", ResourceDemand(), work=0.0)
+
+    def test_workload_requires_phases(self):
+        with pytest.raises(ValueError):
+            Workload(name="w", phases=())
+
+    def test_solo_duration(self):
+        assert two_phase_workload().solo_duration == 30.0
+
+    def test_max_working_set(self):
+        w = Workload(
+            name="w",
+            phases=(
+                Phase("a", ResourceDemand(mem_mb=10.0), 1.0),
+                Phase("b", ResourceDemand(mem_mb=99.0), 1.0),
+            ),
+        )
+        assert w.max_working_set_mb() == 99.0
+
+    def test_cycle_phases_repeats_with_names(self):
+        cycle = (Phase("x", ResourceDemand(), 1.0), Phase("y", ResourceDemand(), 2.0))
+        phases = cycle_phases("c", cycle, repeats=3)
+        assert len(phases) == 6
+        assert phases[0].name == "c0-x"
+        assert phases[5].name == "c2-y"
+        assert sum(p.work for p in phases) == 9.0
+
+    def test_cycle_phases_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            cycle_phases("c", (Phase("x", ResourceDemand(), 1.0),), repeats=0)
+
+    def test_scaled_workload_duration(self):
+        w = scaled_workload(two_phase_workload(), duration=60.0)
+        assert w.solo_duration == pytest.approx(60.0)
+        # proportions preserved
+        assert w.phases[0].work == pytest.approx(20.0)
+
+    def test_scaled_workload_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            scaled_workload(two_phase_workload(), 0.0)
+
+    def test_constant_workload(self):
+        w = constant_workload("k", ResourceDemand(cpu_user=0.5), 42.0, remote_vm="VM4")
+        assert w.solo_duration == 42.0
+        assert w.phases[0].remote_vm == "VM4"
+
+
+class TestWorkloadInstance:
+    def test_full_speed_completion(self):
+        inst = WorkloadInstance(two_phase_workload(), vm_name="VM1")
+        for t in range(30):
+            inst.advance(1.0, dt=1.0, now=float(t))
+        assert inst.done
+        assert inst.completions == 1
+        assert inst.elapsed() == pytest.approx(30.0)
+
+    def test_half_speed_takes_twice_as_long(self):
+        inst = WorkloadInstance(two_phase_workload(), vm_name="VM1")
+        steps = 0
+        while not inst.done:
+            inst.advance(0.5, dt=1.0, now=float(steps))
+            steps += 1
+        assert steps == 60
+
+    def test_phase_transition_mid_tick(self):
+        """Work crossing a phase boundary within one tick is not lost."""
+        w = Workload(
+            name="w",
+            phases=(
+                Phase("a", ResourceDemand(cpu_user=1.0), work=0.5),
+                Phase("b", ResourceDemand(cpu_user=1.0), work=0.5),
+            ),
+        )
+        inst = WorkloadInstance(w, vm_name="VM1")
+        inst.advance(1.0, dt=1.0, now=0.0)
+        assert inst.done
+
+    def test_current_phase_progression(self):
+        inst = WorkloadInstance(two_phase_workload(), vm_name="VM1")
+        assert inst.current_phase().name == "a"
+        for t in range(10):
+            inst.advance(1.0, 1.0, float(t))
+        assert inst.current_phase().name == "b"
+
+    def test_current_phase_after_done_raises(self):
+        w = constant_workload("k", ResourceDemand(cpu_user=1.0), 1.0)
+        inst = WorkloadInstance(w, vm_name="VM1")
+        inst.advance(1.0, 1.0, 0.0)
+        assert inst.done
+        with pytest.raises(RuntimeError):
+            inst.current_phase()
+        with pytest.raises(RuntimeError):
+            inst.advance(1.0, 1.0, 1.0)
+
+    def test_progress_fraction_monotonic(self):
+        inst = WorkloadInstance(two_phase_workload(), vm_name="VM1")
+        last = inst.progress_fraction()
+        for t in range(29):
+            inst.advance(1.0, 1.0, float(t))
+            if not inst.done:
+                cur = inst.progress_fraction()
+                assert cur >= last
+                last = cur
+
+    def test_looping_counts_completions(self):
+        w = constant_workload("k", ResourceDemand(cpu_user=1.0), 10.0)
+        inst = WorkloadInstance(w, vm_name="VM1", loop=True)
+        for t in range(35):
+            inst.advance(1.0, 1.0, float(t))
+        assert inst.completions == 3
+        assert not inst.done
+        assert inst.total_jobs() == pytest.approx(3.5)
+
+    def test_start_time_gates_activity(self):
+        inst = WorkloadInstance(two_phase_workload(), vm_name="VM1", start_time=100.0)
+        assert not inst.has_started(50.0)
+        assert inst.has_started(100.0)
+
+    def test_invalid_inputs(self):
+        inst = WorkloadInstance(two_phase_workload(), vm_name="VM1")
+        with pytest.raises(ValueError):
+            inst.advance(1.5, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            inst.advance(0.5, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            WorkloadInstance(two_phase_workload(), vm_name="VM1", start_time=-1.0)

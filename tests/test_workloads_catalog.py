@@ -1,0 +1,74 @@
+"""Tests for the application catalog (paper Table 2)."""
+
+import pytest
+
+from repro.workloads.base import Workload
+from repro.workloads.catalog import TEST_RUNS, TRAINING_SET, all_keys, entry
+from repro.workloads.catalog import test_entries as catalog_test_entries
+from repro.workloads.catalog import training_entries
+
+
+def test_training_set_covers_five_classes():
+    classes = [e.training_class for e in TRAINING_SET]
+    assert classes == ["CPU", "IO", "MEM", "NET", "IDLE"]
+
+
+def test_training_set_applications_match_paper():
+    """Paper §4.2.3: SPECseis96→CPU, PostMark→IO, Pagebench→paging,
+    Ettcp→NET, plus the idle state."""
+    by_class = {e.training_class: e.build().name for e in TRAINING_SET}
+    assert by_class["CPU"].startswith("specseis96")
+    assert by_class["IO"] == "postmark"
+    assert by_class["MEM"] == "pagebench"
+    assert by_class["NET"] == "ettcp"
+    assert by_class["IDLE"] == "idle"
+
+
+def test_fourteen_test_runs():
+    """Table 3 has 14 rows."""
+    assert len(TEST_RUNS) == 14
+
+
+def test_test_run_keys_in_paper_order():
+    keys = [e.key for e in TEST_RUNS]
+    assert keys[:4] == ["specseis96-A", "specseis96-C", "ch3d", "simplescalar"]
+    assert keys[-2:] == ["vmd", "xspim"]
+
+
+def test_specseis_b_uses_32mb_vm():
+    assert entry("specseis96-B").vm_mem_mb == 32.0
+    assert entry("specseis96-A").vm_mem_mb == 256.0
+
+
+def test_network_entries_flagged():
+    for key in ("postmark-nfs", "netpipe", "autobench", "sftp"):
+        assert entry(key).uses_network_server
+
+
+def test_local_entries_not_flagged():
+    for key in ("postmark", "bonnie", "simplescalar", "stream"):
+        assert not entry(key).uses_network_server
+
+
+def test_entry_lookup_unknown():
+    with pytest.raises(KeyError):
+        entry("nonexistent")
+
+
+def test_factories_build_fresh_workloads():
+    e = entry("postmark")
+    a, b = e.build(), e.build()
+    assert isinstance(a, Workload)
+    assert a is not b
+
+
+def test_all_keys_unique_and_complete():
+    keys = all_keys()
+    assert len(keys) == len(set(keys))
+    assert len(keys) == len(TRAINING_SET) + len(TEST_RUNS)
+
+
+def test_expected_behaviors_are_paper_categories():
+    valid = {"CPU Intensive", "IO & Paging Intensive", "Network Intensive", "Idle", "Idle + Others"}
+    for e in training_entries() + catalog_test_entries():
+        assert e.expected_behavior in valid

@@ -1,0 +1,153 @@
+"""Tests for the individual benchmark application models."""
+
+import pytest
+
+from repro.workloads.cpu import SPECSEIS_DURATIONS, ch3d, simplescalar, specseis96
+from repro.workloads.idle import idle
+from repro.workloads.interactive import vmd, xspim
+from repro.workloads.io import bonnie, pagebench, postmark, stream
+from repro.workloads.network import (
+    DEFAULT_SERVER_VM,
+    autobench,
+    ettcp,
+    netpipe,
+    postmark_nfs,
+    sftp,
+)
+
+
+class TestCPUModels:
+    def test_specseis_sizes(self):
+        assert specseis96("small").solo_duration == pytest.approx(SPECSEIS_DURATIONS["small"])
+        assert specseis96("medium").solo_duration == pytest.approx(SPECSEIS_DURATIONS["medium"])
+
+    def test_specseis_unknown_size(self):
+        with pytest.raises(ValueError):
+            specseis96("huge")
+
+    def test_specseis_is_multi_stage(self):
+        """Alternating compute/stress stages (the multi-stage application
+        motivation of paper §1)."""
+        w = specseis96("small")
+        names = {p.name.split("-")[-1] for p in w.phases}
+        assert {"compute", "stress"} <= names
+
+    def test_specseis_stress_working_set_by_size(self):
+        small = specseis96("small").max_working_set_mb()
+        medium = specseis96("medium").max_working_set_mb()
+        assert medium > small > 32.0  # medium overflows a 32 MB VM
+
+    def test_specseis_dominantly_cpu(self):
+        w = specseis96("small")
+        cpu_work = sum(p.work for p in w.phases if p.demand.cpu > 0.8)
+        assert cpu_work / w.solo_duration > 0.9
+
+    def test_simplescalar_pure_cpu(self):
+        w = simplescalar()
+        assert w.solo_duration == 310.0
+        for p in w.phases:
+            assert p.demand.cpu > 0.9
+            assert p.demand.net == 0.0
+
+    def test_ch3d_default_matches_table4(self):
+        assert ch3d().solo_duration == pytest.approx(488.0)
+
+
+class TestIOModels:
+    def test_postmark_default_matches_table4(self):
+        assert postmark().solo_duration == pytest.approx(264.0)
+
+    def test_postmark_io_dominant(self):
+        w = postmark()
+        io_work = sum(p.work for p in w.phases if p.demand.io_bi + p.demand.io_bo > 200)
+        assert io_work / w.solo_duration > 0.8
+
+    def test_postmark_has_cache_pressure_episode(self):
+        """Source of the paper's 3.85% paging snapshots."""
+        assert any(p.demand.mem_mb > 256.0 for p in postmark().phases)
+
+    def test_pagebench_overflows_vm_memory(self):
+        w = pagebench()
+        assert w.max_working_set_mb() > 256.0
+
+    def test_pagebench_rejects_bad_array(self):
+        with pytest.raises(ValueError):
+            pagebench(array_mb=0.0)
+
+    def test_bonnie_has_distinct_stages(self):
+        names = {p.name for p in bonnie().phases}
+        assert {"putc", "block-write", "rewrite", "block-read", "seeks"} <= names
+
+    def test_stream_four_kernels(self):
+        assert [p.name for p in stream().phases] == ["copy", "scale", "add", "triad"]
+
+    def test_stream_pages_on_256mb_vm(self):
+        assert stream().max_working_set_mb() > 232.0
+
+
+class TestNetworkModels:
+    @pytest.mark.parametrize("factory", [ettcp, netpipe, autobench, sftp, postmark_nfs])
+    def test_network_phases_have_server(self, factory):
+        w = factory()
+        net_phases = [p for p in w.phases if p.demand.net > 0]
+        assert net_phases, f"{w.name} has no network phases"
+        for p in net_phases:
+            assert p.remote_vm == DEFAULT_SERVER_VM
+
+    def test_custom_server_vm(self):
+        w = ettcp(server_vm="SRV")
+        assert all(p.remote_vm == "SRV" for p in w.phases if p.demand.net > 0)
+
+    def test_ettcp_sweeps_rates(self):
+        """The NET training cluster must span moderate to saturating rates."""
+        rates = [p.demand.net_out for p in ettcp().phases]
+        assert min(rates) < 10_000_000.0
+        assert max(rates) > 40_000_000.0
+
+    def test_postmark_nfs_has_no_local_io(self):
+        """The NFS variant turns file operations into network traffic."""
+        w = postmark_nfs()
+        for p in w.phases:
+            assert p.demand.io_bi == 0.0
+            assert p.demand.io_bo == 0.0
+            assert p.demand.net > 0.0
+
+    def test_sftp_mixes_io_and_net(self):
+        w = sftp()
+        assert any(p.demand.io_bi > 0 for p in w.phases)
+        assert any(p.demand.net_out > 1_000_000 for p in w.phases)
+
+
+class TestInteractiveAndIdle:
+    def test_vmd_mixes_idle_io_net(self):
+        w = vmd()
+        idle_work = sum(p.work for p in w.phases if p.demand.is_idle())
+        io_work = sum(p.work for p in w.phases if p.demand.io_bi + p.demand.io_bo > 100)
+        net_work = sum(p.work for p in w.phases if p.demand.net > 1_000_000)
+        total = w.solo_duration
+        # Paper Table 3: ~37% idle, ~41% IO, ~22% NET.
+        assert idle_work / total == pytest.approx(0.37, abs=0.03)
+        assert io_work / total == pytest.approx(0.41, abs=0.03)
+        assert net_work / total == pytest.approx(0.22, abs=0.03)
+
+    def test_xspim_mixes_idle_io(self):
+        w = xspim()
+        idle_work = sum(p.work for p in w.phases if p.demand.is_idle())
+        assert idle_work / w.solo_duration == pytest.approx(0.22, abs=0.02)
+
+    def test_idle_demands_nothing(self):
+        w = idle(duration=100.0)
+        assert w.solo_duration == 100.0
+        assert all(p.demand.is_idle() for p in w.phases)
+
+    def test_idle_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            idle(duration=0.0)
+
+
+def test_all_models_have_expected_class():
+    for factory in (specseis96, simplescalar, ch3d, postmark, pagebench, bonnie, stream,
+                    ettcp, netpipe, autobench, sftp, postmark_nfs, vmd, xspim, idle):
+        w = factory()
+        assert w.expected_class in {"CPU", "IO", "MEM", "NET", "IDLE", "MIXED"}
+        assert w.description

@@ -1,0 +1,86 @@
+"""Tests for the random workload generator."""
+
+import pytest
+
+from repro.workloads.synth import (
+    GENERATABLE_CLASSES,
+    SynthesisConfig,
+    generate_suite,
+    generate_workload,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(dominance=0.4)
+        with pytest.raises(ValueError):
+            SynthesisConfig(min_phases=0)
+        with pytest.raises(ValueError):
+            SynthesisConfig(min_phases=5, max_phases=2)
+        with pytest.raises(ValueError):
+            SynthesisConfig(min_duration_s=100.0, max_duration_s=50.0)
+
+
+class TestGenerateWorkload:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload("IDLE", seed=0)
+        with pytest.raises(ValueError):
+            generate_workload("GPU", seed=0)
+
+    def test_deterministic_per_seed(self):
+        a = generate_workload("IO", seed=7)
+        b = generate_workload("IO", seed=7)
+        assert a.phases == b.phases
+        c = generate_workload("IO", seed=8)
+        assert c.phases != a.phases
+
+    @pytest.mark.parametrize("cls", GENERATABLE_CLASSES)
+    def test_dominance_share_respected(self, cls):
+        config = SynthesisConfig(dominance=0.8)
+        for seed in range(5):
+            w = generate_workload(cls, seed=seed, config=config)
+            dom_work = sum(
+                p.work for p in w.phases if p.name.startswith(cls.lower())
+            )
+            assert dom_work / w.solo_duration >= 0.75
+
+    def test_duration_near_bounds(self):
+        """Duration is approximate (sub-second phases are dropped after
+        dominance rescaling) but stays near the configured range."""
+        config = SynthesisConfig(min_duration_s=100.0, max_duration_s=200.0)
+        for seed in range(5):
+            w = generate_workload("CPU", seed=seed, config=config)
+            assert 70.0 <= w.solo_duration <= 220.0
+
+    def test_net_phases_carry_server(self):
+        w = generate_workload("NET", seed=3)
+        net_phases = [p for p in w.phases if p.demand.net > 0]
+        assert net_phases
+        assert all(p.remote_vm == "VM4" for p in net_phases)
+
+    def test_mem_workloads_overflow_256mb_vm(self):
+        for seed in range(5):
+            w = generate_workload("MEM", seed=seed)
+            assert w.max_working_set_mb() > 256.0
+
+    def test_expected_class_recorded(self):
+        assert generate_workload("IO", seed=0).expected_class == "IO"
+
+
+class TestGenerateSuite:
+    def test_size_and_coverage(self):
+        suite = generate_suite(per_class=3, seed=0)
+        assert len(suite) == 3 * len(GENERATABLE_CLASSES)
+        classes = {w.expected_class for w in suite}
+        assert classes == set(GENERATABLE_CLASSES)
+
+    def test_unique_names(self):
+        suite = generate_suite(per_class=3, seed=0)
+        names = [w.name for w in suite]
+        assert len(set(names)) == len(names)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_suite(per_class=0)

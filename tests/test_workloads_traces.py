@@ -1,0 +1,109 @@
+"""Tests for trace replay (series → workload reconstruction)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.catalog import NUM_METRICS, metric_index
+from repro.metrics.series import SnapshotSeries
+from repro.sim.execution import profiled_run
+from repro.workloads.traces import ReplayOptions, workload_from_series
+
+from tests.conftest import short_cpu_workload, short_io_workload
+
+
+def synthetic_trace(segments, d=5.0):
+    """Build a series from (windows, {metric: value}) segments."""
+    cols = []
+    for windows, metrics in segments:
+        col = np.zeros(NUM_METRICS)
+        for name, value in metrics.items():
+            col[metric_index(name)] = value
+        cols.extend([col] * windows)
+    matrix = np.stack(cols, axis=1)
+    ts = np.arange(1, matrix.shape[1] + 1) * d
+    return SnapshotSeries(node="VM1", timestamps=ts, matrix=matrix)
+
+
+class TestReconstruction:
+    def test_too_short_rejected(self):
+        series = synthetic_trace([(1, {"cpu_user": 50.0})])
+        with pytest.raises(ValueError):
+            workload_from_series(series)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            ReplayOptions(merge_tolerance=1.0)
+
+    def test_similar_windows_merge_into_one_phase(self):
+        series = synthetic_trace([(10, {"cpu_user": 90.0})])
+        w = workload_from_series(series)
+        assert len(w.phases) == 1
+        assert w.phases[0].work == pytest.approx(50.0)  # 10 windows × 5 s
+        assert w.phases[0].demand.cpu_user == pytest.approx(0.9, abs=0.02)
+
+    def test_distinct_segments_become_phases(self):
+        series = synthetic_trace(
+            [
+                (6, {"cpu_user": 90.0}),
+                (6, {"io_bi": 500.0, "io_bo": 500.0, "cpu_system": 12.0}),
+            ]
+        )
+        w = workload_from_series(series)
+        assert len(w.phases) == 2
+        assert w.phases[0].demand.cpu_user > 0.8
+        assert w.phases[1].demand.io_bi == pytest.approx(500.0)
+
+    def test_noise_floors_zero_out_daemon_activity(self):
+        series = synthetic_trace([(4, {"cpu_user": 0.8, "io_bi": 5.0, "bytes_in": 1200.0})])
+        w = workload_from_series(series)
+        d = w.phases[0].demand
+        assert d.is_idle()
+
+    def test_swap_traffic_subtracted_from_block_io(self):
+        """Observed bi/bo includes paging blocks; the replay must not
+        double-count them (swap is replayed explicitly)."""
+        series = synthetic_trace(
+            [(4, {"io_bi": 900.0, "io_bo": 800.0, "swap_in": 600.0, "swap_out": 500.0, "cpu_user": 25.0})]
+        )
+        w = workload_from_series(series)
+        d = w.phases[0].demand
+        assert d.swap_in == pytest.approx(600.0)
+        assert d.io_bi == pytest.approx(300.0)
+        assert d.io_bo == pytest.approx(300.0)
+
+    def test_network_phase_gets_server(self):
+        series = synthetic_trace([(4, {"bytes_out": 2e7, "cpu_system": 20.0})])
+        w = workload_from_series(series)
+        assert w.phases[0].remote_vm == "VM4"
+
+    def test_duration_preserved(self):
+        series = synthetic_trace([(8, {"cpu_user": 90.0}), (4, {"io_bi": 400.0})])
+        w = workload_from_series(series)
+        assert w.solo_duration == pytest.approx(60.0)
+
+    def test_vcpus_scaling(self):
+        series = synthetic_trace([(4, {"cpu_user": 50.0})])
+        w1 = workload_from_series(series, vcpus=1.0)
+        w2 = workload_from_series(series, vcpus=2.0)
+        assert w2.phases[0].demand.cpu_user == pytest.approx(
+            2 * w1.phases[0].demand.cpu_user
+        )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory,expected",
+        [(short_cpu_workload, "CPU"), (short_io_workload, "IO")],
+    )
+    def test_replay_classifies_like_the_original(self, classifier, factory, expected):
+        """Record a run, rebuild a workload from the trace, run the
+        replay, and classify it: the class survives the round trip."""
+        original_run = profiled_run(factory(100.0), seed=31)
+        original = classifier.classify_series(original_run.series)
+        assert original.application_class.name == expected
+
+        replay = workload_from_series(original_run.series, name="replayed")
+        replay_run = profiled_run(replay, seed=32)
+        replayed = classifier.classify_series(replay_run.series)
+        assert replayed.application_class.name == expected
+        assert replay_run.duration == pytest.approx(original_run.duration, rel=0.2)
