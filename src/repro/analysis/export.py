@@ -70,14 +70,11 @@ def export_schedule_throughput(
 def export_series_metrics(
     series, metric_names: Sequence[str], path: str | Path
 ) -> Path:
-    """Write selected metric time series as ``timestamp,<metrics...>`` rows."""
-    path = Path(path)
-    sub = series.select_metrics(list(metric_names))
-    with path.open("w", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(["timestamp"] + list(metric_names))
-        for j in range(len(series)):
-            writer.writerow(
-                [f"{series.timestamps[j]:.1f}"] + [f"{sub[i, j]:.6f}" for i in range(len(metric_names))]
-            )
-    return path
+    """Write selected metric time series as ``timestamp,<metrics...>`` rows.
+
+    Thin wrapper over :func:`repro.metrics.csv_io.series_to_csv`, kept for
+    API continuity with the other exporters in this module.
+    """
+    from ..metrics.csv_io import series_to_csv
+
+    return series_to_csv(series, path, list(metric_names))

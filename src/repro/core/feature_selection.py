@@ -28,7 +28,8 @@ from .preprocessing import _check_matrix
 def correlation_ratio(feature: np.ndarray, labels: np.ndarray) -> float:
     """η²: fraction of a feature's variance explained by class membership.
 
-    Returns 0 for constant features.
+    *feature* and *labels* are aligned 1-D vectors of shape ``(m,)`` —
+    one value per snapshot.  Returns 0 for constant features.
     """
     feature = np.asarray(feature, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.int64)
@@ -48,7 +49,9 @@ def correlation_ratio(feature: np.ndarray, labels: np.ndarray) -> float:
 def pearson_redundancy_matrix(x: np.ndarray) -> np.ndarray:
     """Absolute Pearson correlation between all feature pairs.
 
-    Constant features get zero correlation with everything.
+    *x* is samples×features, shape ``(m, p)``; returns the symmetric
+    ``(p, p)`` correlation matrix.  Constant features get zero
+    correlation with everything.
     """
     x = _check_matrix(x)
     centered = x - x.mean(axis=0)

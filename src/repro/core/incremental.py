@@ -117,20 +117,20 @@ class IncrementalPCA:
 
     @property
     def explained_variance_(self) -> np.ndarray:
-        """Eigenvalues of the currently kept components."""
+        """Eigenvalues of the currently kept components, shape ``(q,)``."""
         eigenvalues, _ = self._eigendecompose()
         return eigenvalues[: self._select_count(eigenvalues)]
 
     @property
     def explained_variance_ratio_(self) -> np.ndarray:
-        """Kept eigenvalues over total variance."""
+        """Kept eigenvalues over total variance, shape ``(q,)``."""
         eigenvalues, _ = self._eigendecompose()
         total = eigenvalues.sum()
         q = self._select_count(eigenvalues)
         return eigenvalues[:q] / total if total > 0 else np.zeros(q)
 
     def transform(self, x: np.ndarray) -> np.ndarray:
-        """Project data onto the current components."""
+        """Project ``(m, p)`` samples×features data onto the ``(m, q)`` space."""
         if self.mean_ is None:
             raise RuntimeError("IncrementalPCA.transform called before any partial_fit")
         x = _check_matrix(x)

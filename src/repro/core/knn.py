@@ -26,8 +26,10 @@ DEFAULT_CHUNK_SIZE: int = 2048
 def pairwise_sq_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Squared Euclidean distances between rows of *a* and rows of *b*.
 
-    Returns an ``(len(a), len(b))`` matrix; clipped at zero to suppress
-    the tiny negatives the expansion trick can produce.
+    Both inputs are row-per-sample (the transpose of the paper's ``q×m``
+    column convention); returns a matrix of shape ``(len(a), len(b))``,
+    clipped at zero to suppress the tiny negatives the expansion trick
+    can produce.
     """
     a = _check_matrix(a)
     b = _check_matrix(b)
@@ -78,6 +80,10 @@ class KNeighborsClassifier:
     def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
         """Store the training pool.
 
+        *x* has shape ``(n, q)`` — one row per training snapshot in the
+        ``q``-dimensional PCA space — and *y* is the matching length-``n``
+        class-code vector.
+
         Raises
         ------
         ValueError
@@ -97,6 +103,7 @@ class KNeighborsClassifier:
 
     @property
     def fitted(self) -> bool:
+        """True once :meth:`fit` has stored a training pool."""
         return self._x is not None
 
     @property
@@ -118,7 +125,8 @@ class KNeighborsClassifier:
     def kneighbors(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Indices and distances of the k nearest training points.
 
-        Returns ``(indices, distances)``, both ``(m, k)``, neighbors
+        *x* is row-per-sample, shape ``(m, q)``.  Returns
+        ``(indices, distances)``, both of shape ``(m, k)``, neighbors
         sorted by increasing distance.
         """
         if self._x is None:
@@ -139,7 +147,11 @@ class KNeighborsClassifier:
         return indices, distances
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Class codes for each test row (majority vote, deterministic ties)."""
+        """Class codes for each test row (majority vote, deterministic ties).
+
+        *x* is row-per-sample, shape ``(m, q)``; returns the length-``m``
+        class vector ``C`` (the paper's ``C(1×m)`` stage output).
+        """
         if self._y is None:
             raise RuntimeError("classifier not fitted")
         indices, distances = self.kneighbors(x)
@@ -188,14 +200,18 @@ class KNeighborsClassifier:
         return scores.argmax(axis=1).astype(np.int64)
 
     def predict_one(self, point: np.ndarray) -> int:
-        """Convenience: classify a single feature vector."""
+        """Convenience: classify a single feature vector of shape ``(q,)``."""
         point = np.asarray(point, dtype=np.float64)
         if point.ndim != 1:
             raise ValueError("predict_one expects a 1-D feature vector")
         return int(self.predict(point[None, :])[0])
 
     def score(self, x: np.ndarray, y: np.ndarray) -> float:
-        """Classification accuracy on labelled data."""
+        """Classification accuracy on labelled data.
+
+        *x* is row-per-sample, shape ``(m, q)``; *y* the length-``m``
+        ground-truth class vector.
+        """
         y = np.asarray(y, dtype=np.int64)
         pred = self.predict(x)
         if pred.shape != y.shape:

@@ -77,7 +77,8 @@ class ClassComposition:
 
     @classmethod
     def from_class_vector(cls, classes: np.ndarray) -> "ClassComposition":
-        """Build from a length-m vector of :class:`SnapshotClass` values.
+        """Build from the class vector ``C``, shape ``(m,)`` — the paper's
+        ``C(1×m)`` stage output of :class:`SnapshotClass` codes.
 
         Raises
         ------
@@ -98,22 +99,27 @@ class ClassComposition:
 
     @property
     def idle(self) -> float:
+        """Fraction of snapshots classified IDLE."""
         return self.fraction(SnapshotClass.IDLE)
 
     @property
     def io(self) -> float:
+        """Fraction of snapshots classified IO."""
         return self.fraction(SnapshotClass.IO)
 
     @property
     def cpu(self) -> float:
+        """Fraction of snapshots classified CPU."""
         return self.fraction(SnapshotClass.CPU)
 
     @property
     def net(self) -> float:
+        """Fraction of snapshots classified NET."""
         return self.fraction(SnapshotClass.NET)
 
     @property
     def mem(self) -> float:
+        """Fraction of snapshots classified MEM."""
         return self.fraction(SnapshotClass.MEM)
 
     def dominant(self) -> SnapshotClass:
@@ -130,7 +136,7 @@ class ClassComposition:
 
 
 def majority_vote(classes: np.ndarray) -> SnapshotClass:
-    """The application class: majority vote over the snapshot class vector."""
+    """The application class: majority vote over the shape-``(m,)`` class vector."""
     return ClassComposition.from_class_vector(classes).dominant()
 
 

@@ -34,6 +34,7 @@ class NodeClassificationState:
     last_timestamp: float | None = None
 
     def record(self, cls: SnapshotClass, timestamp: float) -> None:
+        """Fold one classified snapshot into the rolling state."""
         self.class_counts[int(cls)] += 1
         self.snapshots_seen += 1
         self.last_timestamp = timestamp

@@ -131,6 +131,7 @@ class PCA:
     # ------------------------------------------------------------------
     @property
     def fitted(self) -> bool:
+        """True once :meth:`fit` has extracted components."""
         return self.components_ is not None
 
     @property
@@ -164,11 +165,11 @@ class PCA:
         return (x - self.mean_) @ self.components_.T
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
-        """Fit on *x* and return its projection."""
+        """Fit on ``(m, p)`` data *x* and return its ``(m, q)`` projection."""
         return self.fit(x).transform(x)
 
     def inverse_transform(self, z: np.ndarray) -> np.ndarray:
-        """Map component-space points back to feature space (lossy)."""
+        """Map ``(m, q)`` component-space points back to ``(m, p)`` feature space (lossy)."""
         if self.components_ is None or self.mean_ is None:
             raise RuntimeError("PCA.inverse_transform called before fit")
         z = np.asarray(z, dtype=np.float64)
@@ -179,7 +180,7 @@ class PCA:
         return z @ self.components_ + self.mean_
 
     def reconstruction_error(self, x: np.ndarray) -> float:
-        """Mean squared reconstruction error of *x* through the projection."""
+        """Mean squared reconstruction error of ``(m, p)`` data *x* through the projection."""
         recon = self.inverse_transform(self.transform(x))
         return float(np.mean((np.asarray(x, dtype=np.float64) - recon) ** 2))
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -33,6 +33,18 @@ from .pca import PCA
 from .preprocessing import MetricSelector, Preprocessor
 
 
+#: A clock is any zero-argument callable returning seconds as a float.
+#: ``time.perf_counter`` (held as a reference, never called directly by
+#: pipeline code) is the production default; tests inject fake clocks to
+#: keep classification output bit-reproducible.
+Clock = Callable[[], float]
+
+#: Production clock for :class:`StageTimings` accounting.  This is the
+#: single sanctioned wall-clock touchpoint in ``repro.core`` — everything
+#: else must receive time through an injected ``Clock``.
+DEFAULT_CLOCK: Clock = time.perf_counter
+
+
 @dataclass
 class StageTimings:
     """Wall-clock seconds spent in each classification stage."""
@@ -44,6 +56,7 @@ class StageTimings:
 
     @property
     def total_s(self) -> float:
+        """Total seconds across all four stages."""
         return self.preprocess_s + self.pca_s + self.classify_s + self.vote_s
 
     def per_sample_ms(self, num_samples: int) -> float:
@@ -85,6 +98,9 @@ class ApplicationClassifier:
         Variance-based component selection, if preferred.
     k:
         Neighbors in the vote (default 3, odd required).
+    clock:
+        Injected clock for the §5.3 stage-timing accounting (defaults to
+        :data:`DEFAULT_CLOCK`); pass a fake for deterministic timings.
     """
 
     def __init__(
@@ -93,7 +109,9 @@ class ApplicationClassifier:
         n_components: int | None = 2,
         min_variance_fraction: float | None = None,
         k: int = 3,
+        clock: Clock | None = None,
     ) -> None:
+        self.clock: Clock = clock if clock is not None else DEFAULT_CLOCK
         self.preprocessor = Preprocessor(selector=selector or MetricSelector())
         if min_variance_fraction is not None:
             n_components = None
@@ -141,6 +159,7 @@ class ApplicationClassifier:
 
     @property
     def trained(self) -> bool:
+        """True once :meth:`train` has fitted the k-NN pool."""
         return self.knn.fitted
 
     # ------------------------------------------------------------------
@@ -161,24 +180,25 @@ class ApplicationClassifier:
         if len(series) == 0:
             raise ValueError("cannot classify an empty series")
         timings = StageTimings()
+        clock = self.clock
 
-        t = time.perf_counter()
+        t = clock()
         features = self.preprocessor.transform_series(series)
-        timings.preprocess_s = time.perf_counter() - t
+        timings.preprocess_s = clock() - t
 
-        t = time.perf_counter()
+        t = clock()
         scores = self.pca.transform(features)
-        timings.pca_s = time.perf_counter() - t
+        timings.pca_s = clock() - t
 
-        t = time.perf_counter()
+        t = clock()
         class_vector = self.knn.predict(scores)
-        timings.classify_s = time.perf_counter() - t
+        timings.classify_s = clock() - t
 
-        t = time.perf_counter()
+        t = clock()
         composition = ClassComposition.from_class_vector(class_vector)
         app_class = majority_vote(class_vector)
         category = application_category(composition)
-        timings.vote_s = time.perf_counter() - t
+        timings.vote_s = clock() - t
 
         return ClassificationResult(
             node=series.node,
@@ -192,6 +212,12 @@ class ApplicationClassifier:
         )
 
     def classify_snapshot_features(self, features: np.ndarray) -> np.ndarray:
-        """Classify pre-selected raw feature rows (utility for streaming)."""
+        """Classify pre-selected raw feature rows (utility for streaming).
+
+        *features* is oriented samples×metrics — shape ``(k, p)`` for
+        ``k`` snapshots of the ``p`` selected metrics (the transpose of
+        the paper's ``p×m`` convention, one row per snapshot); returns
+        the length-``k`` class vector.
+        """
         normalized = self.preprocessor.transform_features(features)
         return self.knn.predict(self.pca.transform(normalized))

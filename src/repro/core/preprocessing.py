@@ -66,6 +66,7 @@ class Normalizer:
 
     @property
     def fitted(self) -> bool:
+        """True once :meth:`fit` has learned mean and scale."""
         return self.mean_ is not None
 
     def fit(self, x: np.ndarray) -> "Normalizer":
@@ -88,7 +89,7 @@ class Normalizer:
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:
-        """Apply the fitted normalization.
+        """Apply the fitted normalization to ``(m, p)`` samples×features data.
 
         Raises
         ------
@@ -107,11 +108,11 @@ class Normalizer:
         return (x - self.mean_) / self.scale_
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
-        """Fit on *x* and return its normalized form."""
+        """Fit on ``(m, p)`` data *x* and return its normalized form."""
         return self.fit(x).transform(x)
 
     def inverse_transform(self, z: np.ndarray) -> np.ndarray:
-        """Undo the normalization (used by reconstruction diagnostics)."""
+        """Undo the normalization of ``(m, p)`` data (reconstruction diagnostics)."""
         if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("Normalizer.inverse_transform called before fit")
         z = _check_matrix(z)
@@ -144,7 +145,7 @@ class Preprocessor:
         return self.normalizer.transform(self.selector.transform_series(series))
 
     def transform_features(self, x: np.ndarray) -> np.ndarray:
-        """Pre-selected raw features → normalized features."""
+        """Pre-selected raw ``(m, p)`` features → normalized ``(m, p)`` features."""
         return self.normalizer.transform(x)
 
 

@@ -30,10 +30,11 @@ from .pipeline import ClassificationResult
 
 
 def mode_filter(classes: np.ndarray, window: int = 3) -> np.ndarray:
-    """Sliding-window majority smoothing of a class vector.
+    """Sliding-window majority smoothing of a shape-``(m,)`` class vector.
 
     Each element is replaced by the most frequent class in the centred
-    window (ties keep the original value).  *window* must be odd.
+    window (ties keep the original value); returns a vector of the same
+    shape.  *window* must be odd.
 
     Raises
     ------
@@ -74,10 +75,12 @@ class Stage:
 
     @property
     def num_snapshots(self) -> int:
+        """Snapshots covered by this stage (endpoints inclusive)."""
         return self.end_snapshot - self.start_snapshot + 1
 
     @property
     def duration(self) -> float:
+        """Stage length in seconds (first to last snapshot timestamp)."""
         return self.end_time - self.start_time
 
 
@@ -95,6 +98,7 @@ class StageAnalysis:
 
     @property
     def num_stages(self) -> int:
+        """Number of maximal same-class runs found."""
         return len(self.stages)
 
     def is_multi_stage(self) -> bool:
@@ -113,9 +117,11 @@ class StageAnalysis:
         return ClassComposition.from_class_vector(self.smoothed_classes)
 
     def stages_of(self, c: SnapshotClass) -> list[Stage]:
+        """All stages classified as *c*, in run order."""
         return [s for s in self.stages if s.snapshot_class is c]
 
     def mean_stage_duration(self) -> float:
+        """Average stage length in seconds."""
         return float(np.mean([s.num_snapshots for s in self.stages])) * self.sampling_interval
 
 
@@ -172,6 +178,7 @@ class MigrationOpportunity:
 
     @property
     def class_change(self) -> tuple[SnapshotClass, SnapshotClass]:
+        """The ``(from, to)`` class pair across the transition."""
         return (self.from_stage.snapshot_class, self.to_stage.snapshot_class)
 
 

@@ -85,8 +85,24 @@ def series_from_csv(path: str | Path, node: str = "imported") -> SnapshotSeries:
 
 
 def series_to_csv(series: SnapshotSeries, path: str | Path, metric_names: list[str] | None = None) -> Path:
-    """Write a series (all 33 metrics by default) as a trace CSV."""
-    from ..analysis.export import export_series_metrics
+    """Write a series (all 33 metrics by default) as a trace CSV.
+
+    The inverse of :func:`series_from_csv`: a ``timestamp`` header column
+    followed by one column per metric, one row per sampling instant.
+    ``repro.analysis.export.export_series_metrics`` delegates here so the
+    writer and the reader stay in one module (and ``metrics`` keeps no
+    import edge up into ``analysis``).
+    """
     from .catalog import ALL_METRIC_NAMES
 
-    return export_series_metrics(series, metric_names or list(ALL_METRIC_NAMES), path)
+    names = metric_names if metric_names is not None else list(ALL_METRIC_NAMES)
+    path = Path(path)
+    sub = series.select_metrics(list(names))
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp"] + list(names))
+        for j in range(len(series)):
+            writer.writerow(
+                [f"{series.timestamps[j]:.1f}"] + [f"{sub[i, j]:.6f}" for i in range(len(names))]
+            )
+    return path

@@ -1,0 +1,33 @@
+"""Repro-specific static analysis (stdlib-``ast``, fully offline).
+
+The QA subsystem mechanically checks the invariants the paper's results
+depend on: determinism (no wall clocks / unseeded RNGs in the pipeline
+and simulator), the package-layering DAG, matrix-orientation
+documentation for the Figure-2 data flow, and general API hygiene.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog, the
+``# qa: ignore[rule-id]`` pragma, and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import Analyzer, Report, collect_files
+from .findings import Finding, Severity
+from .registry import ProjectRule, Rule, all_rules, get_rule, register
+from .source import SourceModule
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "ProjectRule",
+    "Report",
+    "Rule",
+    "Severity",
+    "SourceModule",
+    "all_rules",
+    "collect_files",
+    "get_rule",
+    "register",
+]

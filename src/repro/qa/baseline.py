@@ -1,0 +1,75 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a plain-text file of finding fingerprints, one per line::
+
+    # justification comment (keep one per entry!)
+    determinism:src/repro/sim/legacy.py:3f7a9c21bd04
+
+Lines starting with ``#`` and blank lines are ignored; anything after a
+``#`` on an entry line is a trailing justification.  The intended
+workflow is: new rules land together with fixes, and only violations
+that genuinely cannot be fixed yet get baselined — each with a comment
+saying why.  ``repro-qa check --write-baseline`` regenerates the file
+from the current findings (review the diff before committing it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    fingerprints: set[str] = field(default_factory=set)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file yields an empty baseline."""
+        path = Path(path)
+        fingerprints: set[str] = set()
+        if path.exists():
+            for raw in path.read_text(encoding="utf-8").splitlines():
+                entry = raw.split("#", 1)[0].strip()
+                if entry:
+                    fingerprints.add(entry)
+        return cls(fingerprints=fingerprints, path=path)
+
+    def contains(self, finding: Finding) -> bool:
+        """True if *finding* is grandfathered."""
+        return finding.fingerprint() in self.fingerprints
+
+    def split(self, findings: Iterable[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition findings into (new, grandfathered)."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in findings:
+            (old if self.contains(f) else new).append(f)
+        return new, old
+
+    @staticmethod
+    def write(path: str | Path, findings: Iterable[Finding]) -> int:
+        """Write a fresh baseline covering *findings*; returns entry count.
+
+        Each entry gets a ``TODO: justify`` trailing comment so unreviewed
+        regenerated baselines are conspicuous in review.
+        """
+        path = Path(path)
+        entries = sorted(
+            {(f.fingerprint(), f.path, f.line, f.rule_id) for f in findings}
+        )
+        lines = [
+            "# repro-qa baseline: grandfathered findings (one justification comment per entry).",
+            "# Regenerate with: python -m repro.qa check src/ --write-baseline",
+            "",
+        ]
+        for fp, fpath, line, rule_id in entries:
+            lines.append(f"{fp}  # {fpath}:{line} [{rule_id}] TODO: justify")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return len(entries)

@@ -1,0 +1,111 @@
+"""Command-line interface for the static-analysis subsystem.
+
+Usage::
+
+    python -m repro.qa check src/ [--format text|json] [--strict]
+                                  [--baseline FILE] [--write-baseline]
+    python -m repro.qa rules
+
+Exit codes: 0 clean, 1 findings (errors always; warnings too under
+``--strict``), 2 usage error.  The tier-1 suite and CI run
+``check src/ --strict``, so the tree must stay free of *all* findings
+outside the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .baseline import Baseline
+from .engine import Analyzer, Report
+from .registry import all_rules
+
+#: Baseline file looked for (relative to the cwd) when --baseline is absent.
+DEFAULT_BASELINE = "qa-baseline.txt"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qa",
+        description="Repro-specific static analysis: determinism, layering, "
+        "shape contracts, and API hygiene over the repro source tree.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="analyze files/directories and report findings")
+    p.add_argument("paths", nargs="+", help="files or directories to analyze")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings too, not just errors (CI mode)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE} if present)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report grandfathered findings too)",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file to cover all current findings, then exit 0",
+    )
+
+    sub.add_parser("rules", help="list every registered rule")
+    return parser
+
+
+def _cmd_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.id:20s} {rule.severity}   {rule.description}")
+    return 0
+
+
+def _render_text(report: Report, strict: bool) -> None:
+    for finding in report.findings:
+        print(finding.render())
+    grandfathered = f", {len(report.grandfathered)} baselined" if report.grandfathered else ""
+    print(
+        f"repro-qa: {report.num_files} files, {len(report.errors)} errors, "
+        f"{len(report.warnings)} warnings{grandfathered}"
+        + (" [strict]" if strict else "")
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    analyzer = Analyzer(baseline=baseline)
+    try:
+        report = analyzer.run(args.paths)
+    except FileNotFoundError as exc:
+        print(f"repro-qa: error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        count = Baseline.write(baseline_path, report.findings + report.grandfathered)
+        print(f"repro-qa: wrote {count} baseline entries to {baseline_path}")
+        return 0
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        _render_text(report, strict=args.strict)
+    return 1 if report.failed(strict=args.strict) else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.qa`` and the ``repro-qa`` script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "rules":
+        return _cmd_rules()
+    if args.command == "check":
+        return _cmd_check(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,166 @@
+"""The analysis driver: collect files, run rules, filter suppressions.
+
+:class:`Analyzer` walks the given paths, parses every ``*.py`` into a
+:class:`~repro.qa.source.SourceModule`, runs each registered per-file
+rule on each module and each project rule on the full set, then drops
+pragma-suppressed findings and partitions the rest against the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline
+from .findings import Finding, Severity
+from .registry import ProjectRule, Rule, all_rules
+from .source import SourceModule
+
+#: Directory names never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files.
+
+    Raises
+    ------
+    FileNotFoundError
+        If a given path does not exist.
+    """
+    out: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+        if p.is_dir():
+            for f in p.rglob("*.py"):
+                if not any(part in SKIP_DIRS for part in f.parts):
+                    out.add(f)
+        else:
+            out.add(p)
+    return sorted(out)
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    num_files: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def failed(self, strict: bool = False) -> bool:
+        """True if this run should exit non-zero."""
+        return bool(self.errors) or (strict and bool(self.findings))
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping (used by ``--format json``)."""
+        return {
+            "version": 1,
+            "files": self.num_files,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "grandfathered": len(self.grandfathered),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+class Analyzer:
+    """Run a set of rules over a set of modules."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None, baseline: Baseline | None = None) -> None:
+        self.rules: list[Rule] = list(rules) if rules is not None else list(all_rules())
+        self.baseline = baseline or Baseline()
+
+    # ------------------------------------------------------------------
+    # module loading
+    # ------------------------------------------------------------------
+    def load_modules(self, files: Sequence[Path]) -> tuple[list[SourceModule], list[Finding]]:
+        """Parse *files*; unparseable ones become ``parse-error`` findings."""
+        modules: list[SourceModule] = []
+        errors: list[Finding] = []
+        for path in files:
+            relpath = _display_path(path)
+            try:
+                modules.append(SourceModule.parse(path, relpath=relpath))
+            except SyntaxError as exc:
+                errors.append(
+                    Finding(
+                        rule_id="parse-error",
+                        severity=Severity.ERROR,
+                        path=relpath,
+                        line=exc.lineno or 1,
+                        col=exc.offset or 0,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+        return modules, errors
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, paths: Iterable[str | Path]) -> Report:
+        """Analyze every ``*.py`` under *paths* and return a report."""
+        files = collect_files(paths)
+        modules, parse_errors = self.load_modules(files)
+        raw = list(parse_errors)
+        for module in modules:
+            for rule in self.rules:
+                for finding in rule.check_module(module):
+                    raw.append(finding)
+        by_path = {m.relpath: m for m in modules}
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                for finding in rule.check_project(modules):
+                    raw.append(finding)
+        visible = [
+            f
+            for f in raw
+            if not _suppressed(by_path.get(f.path), f)
+        ]
+        new, old = self.baseline.split(visible)
+        new.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return Report(findings=new, grandfathered=old, num_files=len(files))
+
+    def run_source(self, source: str, name: str = "repro.core.snippet") -> list[Finding]:
+        """Analyze one in-memory source string (unit-test helper).
+
+        The synthetic *name* controls package-scoped rules: pass e.g.
+        ``repro.core.x`` to exercise core-only rules.  Project rules see
+        a single-module project.
+        """
+        module = SourceModule.from_source(source, relpath="<snippet>", name=name)
+        raw: list[Finding] = []
+        for rule in self.rules:
+            raw.extend(rule.check_module(module))
+            if isinstance(rule, ProjectRule):
+                raw.extend(rule.check_project([module]))
+        visible = [f for f in raw if not module.suppressed(f.rule_id, f.line)]
+        new, _old = self.baseline.split(visible)
+        return sorted(new, key=lambda f: (f.line, f.col, f.rule_id))
+
+
+def _display_path(path: Path) -> str:
+    """Path as shown in findings: relative to cwd when possible, posix."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _suppressed(module: SourceModule | None, finding: Finding) -> bool:
+    if module is None:
+        return False
+    return module.suppressed(finding.rule_id, finding.line)

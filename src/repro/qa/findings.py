@@ -1,0 +1,67 @@
+"""Finding and severity types shared by every QA rule.
+
+A :class:`Finding` is one rule violation anchored to a ``file:line``
+location.  Findings carry the offending source line so the baseline can
+fingerprint them stably: a finding keeps matching its baseline entry
+when unrelated edits shift it to a different line number.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail every run; ``WARNING`` findings fail only
+    ``--strict`` runs (the tier-1 gate runs strict, so in practice both
+    must stay at zero outside the baseline).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    col: int = 0
+    source_line: str = field(default="", compare=False)
+
+    def fingerprint(self) -> str:
+        """Stable identity used for baseline matching.
+
+        Hashes the rule id, the file path, and the *content* of the
+        offending line (not its number), so baselined findings survive
+        unrelated edits elsewhere in the file.
+        """
+        digest = hashlib.sha256(self.source_line.strip().encode("utf-8")).hexdigest()[:12]
+        return f"{self.rule_id}:{self.path}:{digest}"
+
+    def render(self) -> str:
+        """One-line ``path:line:col: severity [rule-id] message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.severity} [{self.rule_id}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping (used by ``--format json``)."""
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }

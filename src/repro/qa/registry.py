@@ -1,0 +1,93 @@
+"""Rule base classes and the global rule registry.
+
+A rule subclasses :class:`Rule` (per-file) or :class:`ProjectRule`
+(whole-tree, e.g. dead-code detection needs cross-module references) and
+registers itself with the :func:`register` decorator.  The engine runs
+every registered rule; ``python -m repro.qa rules`` lists them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Type
+
+from .findings import Finding, Severity
+from .source import SourceModule
+
+
+class Rule:
+    """Per-file rule: inspects one :class:`SourceModule` at a time."""
+
+    #: Stable kebab-case identifier used in output, pragmas, baselines.
+    id: str = ""
+    #: Default severity for this rule's findings.
+    severity: Severity = Severity.ERROR
+    #: One-line summary shown by ``repro-qa rules`` and the docs.
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, lineno: int, message: str, col: int = 0) -> Finding:
+        """Build a finding anchored at ``module:lineno`` for this rule."""
+        return Finding(
+            rule_id=self.id,
+            severity=self.severity,
+            path=module.relpath,
+            line=lineno,
+            col=col,
+            message=message,
+            source_line=module.line_at(lineno),
+        )
+
+
+class ProjectRule(Rule):
+    """Whole-tree rule: sees every module at once (cross-file analysis)."""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        """Yield findings computed over the full module set."""
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add a rule to the registry.
+
+    Raises
+    ------
+    ValueError
+        On a missing or duplicate rule id.
+    """
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Iterator[Rule]:
+    """Every registered rule, sorted by id (imports the rule package)."""
+    from . import rules  # noqa: F401  (import populates the registry)
+
+    for rule_id in sorted(_REGISTRY):
+        yield _REGISTRY[rule_id]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id.
+
+    Raises
+    ------
+    KeyError
+        If no rule has that id.
+    """
+    from . import rules  # noqa: F401
+
+    return _REGISTRY[rule_id]

@@ -1,0 +1,14 @@
+"""Rule modules: importing this package populates the registry."""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401
+    api_hygiene,
+    dead_code,
+    determinism,
+    docstrings,
+    future_annotations,
+    layering,
+    numeric_safety,
+    shape_docs,
+)

@@ -1,0 +1,152 @@
+"""API-hygiene rules: mutable defaults, bare excepts, stale ``__all__``.
+
+Three classic Python foot-guns, each its own rule id so they can be
+suppressed independently:
+
+* ``mutable-default`` — ``def f(x=[])`` shares one list across calls;
+* ``bare-except`` — ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and hides real bugs;
+* ``all-resolves`` — every string in ``__all__`` must name something the
+  module actually defines or imports, or ``from x import *`` and
+  API-doc generation break at a distance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+from ..source import SourceModule
+
+#: Call targets whose results are mutable containers.
+MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    severity = Severity.ERROR
+    description = "no mutable default arguments (list/dict/set literals or constructors)"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            fn = getattr(node, "name", "<lambda>")
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default.lineno,
+                        f"mutable default argument in {fn}(); default to None and "
+                        "construct inside the body",
+                        col=default.col_offset,
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            return name in MUTABLE_FACTORIES
+        return False
+
+
+@register
+class BareExceptRule(Rule):
+    id = "bare-except"
+    severity = Severity.ERROR
+    description = "no bare `except:` handlers (catch a concrete exception type)"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "bare `except:` also catches KeyboardInterrupt/SystemExit; "
+                    "name the exception type (or `except Exception:` at worst)",
+                    col=node.col_offset,
+                )
+
+
+@register
+class AllResolvesRule(Rule):
+    id = "all-resolves"
+    severity = Severity.ERROR
+    description = "every __all__ entry must resolve to a module-level definition or import"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        tree = module.tree
+        defined = _module_level_names(tree)
+        for node in tree.body:
+            target = _all_assignment(node)
+            if target is None:
+                continue
+            if not isinstance(target, (ast.List, ast.Tuple)):
+                continue
+            for elt in target.elts:
+                if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                    continue
+                if elt.value not in defined:
+                    yield self.finding(
+                        module,
+                        elt.lineno,
+                        f"__all__ names {elt.value!r} but the module defines no such attribute",
+                        col=elt.col_offset,
+                    )
+
+
+def _all_assignment(node: ast.stmt) -> ast.expr | None:
+    """The RHS of a top-level ``__all__ = [...]`` (or ``+=``), else None."""
+    if isinstance(node, ast.Assign):
+        for t in node.targets:
+            if isinstance(t, ast.Name) and t.id == "__all__":
+                return node.value
+    elif isinstance(node, ast.AugAssign):
+        if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+            return node.value
+    return None
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    """Names bound at module scope (defs, classes, assignments, imports)."""
+    names: set[str] = set()
+
+    def _bind_target(t: ast.expr) -> None:
+        if isinstance(t, ast.Name):
+            names.add(t.id)
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            for elt in t.elts:
+                _bind_target(elt)
+
+    def visit_block(body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for a in stmt.names:
+                    if a.name == "*":
+                        continue
+                    names.add(a.asname or a.name.split(".")[0])
+            elif isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    _bind_target(t)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # Conditional definitions still bind at module scope.
+                visit_block(stmt.body)
+                for handler in getattr(stmt, "handlers", []):
+                    visit_block(handler.body)
+                visit_block(stmt.orelse)
+                visit_block(getattr(stmt, "finalbody", []))
+
+    visit_block(tree.body)
+    return names

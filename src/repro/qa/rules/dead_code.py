@@ -1,0 +1,74 @@
+"""Rule ``dead-code``: module-private functions must be referenced.
+
+A top-level ``_helper()`` that nothing in the analyzed tree references
+is dead weight — either an orphan from a refactor or a sign the public
+API lost a call path.  This is a project-wide pass: a private function
+counts as live if *any* analyzed module references its name (call,
+reference, decorator, ``getattr`` string not included — keep helpers
+honest).
+
+Private here means exactly one leading underscore on a *module-level*
+function; dunders, methods, and public names are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from ..findings import Finding, Severity
+from ..registry import ProjectRule, register
+from ..source import SourceModule
+
+
+def _private_toplevel_functions(module: SourceModule) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    out: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_") and not node.name.startswith("__"):
+                out.append(node)
+    return out
+
+
+def _referenced_names(module: SourceModule, exclude: ast.AST | None = None) -> set[str]:
+    """Every Name load / attribute / import-alias mentioned in *module*."""
+    skip: set[int] = set()
+    if exclude is not None:
+        skip = {id(n) for n in ast.walk(exclude)}
+    names: set[str] = set()
+    for node in ast.walk(module.tree):
+        if id(node) in skip:
+            continue
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for a in node.names:
+                names.add(a.name.split(".")[-1])
+    return names
+
+
+@register
+class DeadCodeRule(ProjectRule):
+    id = "dead-code"
+    severity = Severity.WARNING
+    description = "module-private top-level functions must be referenced somewhere in the tree"
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        refs_by_module = {id(m): _referenced_names(m) for m in modules}
+        for module in modules:
+            for fn in _private_toplevel_functions(module):
+                # References in other modules count as-is; in the defining
+                # module the candidate's own body is excluded, so a dead
+                # recursive helper cannot keep itself alive.
+                live = any(
+                    fn.name in refs_by_module[id(m)] for m in modules if m is not module
+                ) or fn.name in _referenced_names(module, exclude=fn)
+                if not live:
+                    yield self.finding(
+                        module,
+                        fn.lineno,
+                        f"private function {fn.name}() is never referenced in the "
+                        "analyzed tree (delete it or call it)",
+                    )

@@ -1,0 +1,150 @@
+"""Rule ``determinism``: no wall clocks or unseeded RNGs in hot packages.
+
+The paper's Figure-2 pipeline and §5.3 scheduling simulations must
+replay bit-identically for a given seed.  Inside ``repro.core``,
+``repro.sim``, and ``repro.scheduler`` this rule therefore forbids
+*calls* to:
+
+* wall clocks — ``time.time()``, ``time.perf_counter()``,
+  ``time.monotonic()``, ``time.process_time()`` (and ``_ns`` variants),
+  ``datetime.now()`` / ``utcnow()`` / ``today()``;
+* the unseeded stdlib RNG — any ``random.<fn>()`` module-level call
+  (``random.Random(seed)`` instances are fine);
+* NumPy's legacy global RNG — ``np.random.seed()``, ``np.random.rand()``
+  etc. (``np.random.default_rng(seed)`` and explicit
+  ``np.random.Generator`` streams are the sanctioned pattern).
+
+Holding a *reference* (``clock=time.perf_counter`` as an injectable
+default) is allowed — that is exactly the injected-clock pattern the
+pipeline's ``StageTimings`` accounting uses; only call sites are
+nondeterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+from ..source import SourceModule
+
+#: Packages in which nondeterminism is forbidden.
+SCOPED_PACKAGES = ("core", "sim", "scheduler")
+
+#: Fully-qualified callables that read wall clocks.
+CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: ``numpy.random`` members that are *not* the global legacy RNG.
+NUMPY_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: ``random`` module members that are seedable classes, not global-RNG calls.
+STDLIB_RANDOM_OK = {"Random", "SystemRandom"}
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the fully-qualified thing they import.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from time import perf_counter as pc`` → ``{"pc": "time.perf_counter"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = a.name if a.asname else a.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def resolve_call(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Fully-qualified dotted name of a call target, or None."""
+    parts: list[str] = []
+    cur: ast.expr = node.func
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    head = aliases.get(cur.id, cur.id)
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    severity = Severity.ERROR
+    description = (
+        "no wall-clock or unseeded-RNG calls in repro.core/sim/scheduler "
+        "(use injected clocks and np.random.default_rng(seed))"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not module.in_packages(*SCOPED_PACKAGES):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, aliases)
+            if name is None:
+                continue
+            yield from self._check_call(module, node, name)
+
+    def _check_call(self, module: SourceModule, node: ast.Call, name: str) -> Iterator[Finding]:
+        if name in CLOCK_CALLS:
+            yield self.finding(
+                module,
+                node.lineno,
+                f"wall-clock call {name}() is nondeterministic; inject a clock "
+                "(see StageTimings accounting in repro.core.pipeline)",
+                col=node.col_offset,
+            )
+        elif name.startswith("random.") and name.count(".") == 1:
+            member = name.split(".")[1]
+            if member not in STDLIB_RANDOM_OK:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"global stdlib RNG call {name}(); use a seeded random.Random "
+                    "or np.random.default_rng(seed)",
+                    col=node.col_offset,
+                )
+        elif name.startswith("numpy.random."):
+            member = name.split(".", 2)[2].split(".")[0]
+            if member not in NUMPY_RANDOM_OK:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"legacy global NumPy RNG call {name.replace('numpy', 'np')}(); "
+                    "thread a seeded np.random.Generator instead",
+                    col=node.col_offset,
+                )

@@ -1,0 +1,67 @@
+"""Rule ``docstring``: public API in core/scheduler/sim must be documented.
+
+The three packages the paper's results flow through — the Figure-2
+pipeline (``core``), the §5.3 schedulers (``scheduler``), and the
+simulation substrate (``sim``) — are the reproduction's public surface.
+Every public module-level function, class, and public method there needs
+a docstring; undocumented entry points are where orientation and
+seeding mistakes hide.
+
+Skipped: private names (leading ``_``), dunders, ``@overload`` stubs,
+and ``@property`` setters/deleters (the getter carries the doc).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+from ..source import SourceModule
+
+SCOPED_PACKAGES = ("core", "scheduler", "sim")
+
+
+def _is_skippable(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in node.decorator_list:
+        text = ast.unparse(dec)
+        if text == "overload" or text.endswith(".setter") or text.endswith(".deleter"):
+            return True
+    return False
+
+
+@register
+class DocstringRule(Rule):
+    id = "docstring"
+    severity = Severity.WARNING
+    description = "public classes/functions/methods in repro.core/scheduler/sim need docstrings"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not module.in_packages(*SCOPED_PACKAGES):
+            return
+        yield from self._check_body(module, module.tree.body, qualname="")
+
+    def _check_body(
+        self, module: SourceModule, body: list[ast.stmt], qualname: str
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                name = f"{qualname}{node.name}"
+                if ast.get_docstring(node) is None:
+                    yield self.finding(
+                        module, node.lineno, f"public class {name} has no docstring"
+                    )
+                yield from self._check_body(module, node.body, qualname=f"{name}.")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_") or _is_skippable(node):
+                    continue
+                if ast.get_docstring(node) is None:
+                    kind = "method" if qualname else "function"
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"public {kind} {qualname}{node.name}() has no docstring",
+                    )

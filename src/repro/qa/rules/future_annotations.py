@@ -1,0 +1,73 @@
+"""Rule ``future-annotations``: PEP-604 unions need the future import.
+
+Modules writing ``int | None`` in annotations must carry
+``from __future__ import annotations``.  With the future import every
+annotation stays a string at runtime — uniformly cheap and uniformly
+safe for typing constructs the running interpreter cannot evaluate;
+without it, annotations are evaluated eagerly at import time.  The repo
+standard is: every module with PEP-604 annotations opts in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+from ..source import SourceModule
+
+
+def _has_future_annotations(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            if any(a.name == "annotations" for a in node.names):
+                return True
+    return False
+
+
+def _annotation_nodes(tree: ast.Module) -> Iterator[ast.expr]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            every = (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + [a for a in (args.vararg, args.kwarg) if a is not None]
+            )
+            for a in every:
+                if a.annotation is not None:
+                    yield a.annotation
+            if node.returns is not None:
+                yield node.returns
+        elif isinstance(node, ast.AnnAssign):
+            yield node.annotation
+
+
+def _first_pep604_union(tree: ast.Module) -> ast.expr | None:
+    for annotation in _annotation_nodes(tree):
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.BitOr):
+                return sub
+    return None
+
+
+@register
+class FutureAnnotationsRule(Rule):
+    id = "future-annotations"
+    severity = Severity.WARNING
+    description = "modules using PEP-604 `X | Y` annotations need `from __future__ import annotations`"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if _has_future_annotations(module.tree):
+            return
+        union = _first_pep604_union(module.tree)
+        if union is not None:
+            yield self.finding(
+                module,
+                union.lineno,
+                "PEP-604 union annotation without `from __future__ import annotations` "
+                "at the top of the module",
+                col=union.col_offset,
+            )

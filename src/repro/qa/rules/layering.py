@@ -1,0 +1,176 @@
+"""Rule ``layering``: enforce the architecture DAG between packages.
+
+The reproduction is layered bottom-up::
+
+    vm, metrics                      (leaves: no repro imports)
+    workloads, monitoring            (vm + metrics)
+    core                             (metrics + monitoring)
+    sim                              (metrics, monitoring, vm, workloads)
+    db, analysis                     (core + metrics)
+    scheduler                        (everything below experiments)
+    experiments                      (everything below manager/cli)
+    manager                          (everything below cli)
+    cli                              (anything; nothing imports cli)
+    qa                               (stdlib only)
+
+Violations of this DAG created the original ``metrics → analysis``
+cycle; this rule keeps it from regrowing.  Imports guarded by
+``typing.TYPE_CHECKING`` are exempt (they vanish at runtime and exist
+precisely to annotate without creating the runtime edge).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+from ..source import SourceModule
+
+#: package → repro packages it may import at runtime.
+ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
+    "vm": frozenset(),
+    "metrics": frozenset(),
+    "qa": frozenset(),
+    "workloads": frozenset({"metrics", "vm"}),
+    "monitoring": frozenset({"metrics", "vm"}),
+    "core": frozenset({"metrics", "monitoring"}),
+    "sim": frozenset({"metrics", "monitoring", "vm", "workloads"}),
+    "db": frozenset({"core", "metrics"}),
+    "analysis": frozenset({"core", "metrics"}),
+    "scheduler": frozenset(
+        {"core", "db", "metrics", "monitoring", "sim", "vm", "workloads"}
+    ),
+    "experiments": frozenset(
+        {"analysis", "core", "db", "metrics", "monitoring", "scheduler", "sim", "vm", "workloads"}
+    ),
+    "manager": frozenset(
+        {
+            "analysis",
+            "core",
+            "db",
+            "experiments",
+            "metrics",
+            "monitoring",
+            "scheduler",
+            "sim",
+            "vm",
+            "workloads",
+        }
+    ),
+    "cli": frozenset(
+        {
+            "analysis",
+            "core",
+            "db",
+            "experiments",
+            "manager",
+            "metrics",
+            "monitoring",
+            "scheduler",
+            "sim",
+            "vm",
+            "workloads",
+        }
+    ),
+}
+
+#: Top-level modules allowed to import ``repro.cli``.
+CLI_IMPORTERS = {"repro.__main__", "repro.cli"}
+
+
+def _type_checking_linenos(tree: ast.Module) -> set[int]:
+    """Line numbers inside ``if TYPE_CHECKING:`` blocks."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if is_tc:
+            for child in node.body:
+                out.update(range(child.lineno, (child.end_lineno or child.lineno) + 1))
+    return out
+
+
+def imported_repro_packages(module: SourceModule) -> list[tuple[str, int]]:
+    """(package, lineno) for every repro package this module imports.
+
+    Resolves both absolute (``from repro.sim import x``) and relative
+    (``from ..sim import x``) forms; same-package and own-module imports
+    are skipped.
+    """
+    own_parts = module.name.split(".")
+    out: list[tuple[str, int]] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                parts = a.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    out.append((parts[1], node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_from(node, own_parts, module.is_package)
+            if target is not None:
+                out.append((target, node.lineno))
+    return [(pkg, lineno) for pkg, lineno in out if pkg != module.package]
+
+
+def _resolve_from(node: ast.ImportFrom, own_parts: list[str], is_package: bool) -> str | None:
+    if node.level == 0:
+        if node.module and node.module.split(".")[0] == "repro":
+            parts = node.module.split(".")
+            if len(parts) > 1:
+                return parts[1]
+            # ``from repro import x`` — x may itself be a package.
+            return node.names[0].name if node.names else None
+        return None
+    if own_parts[0] != "repro":
+        return None
+    # Relative import: a package's own __init__ resolves against itself,
+    # a plain module against its parent package.
+    package_parts = own_parts if is_package else own_parts[:-1]
+    if not package_parts:
+        return None
+    base = package_parts[: len(package_parts) - (node.level - 1)]
+    target = base + (node.module.split(".") if node.module else [])
+    if not node.module and node.names:
+        target = target + [node.names[0].name]
+    if len(target) > 1 and target[0] == "repro":
+        return target[1]
+    return None
+
+
+@register
+class LayeringRule(Rule):
+    id = "layering"
+    severity = Severity.ERROR
+    description = "package imports must follow the architecture DAG (and nothing imports cli)"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not module.name.startswith("repro"):
+            return
+        tc_lines = _type_checking_linenos(module.tree)
+        pkg = module.package
+        allowed = ALLOWED_IMPORTS.get(pkg)
+        for target, lineno in imported_repro_packages(module):
+            if lineno in tc_lines:
+                continue
+            if target == "cli" and module.name not in CLI_IMPORTERS:
+                yield self.finding(
+                    module, lineno, "no module may import repro.cli (it is the outermost layer)"
+                )
+                continue
+            if allowed is None:
+                # Top-level modules (cli.py, __main__.py, __init__.py) are
+                # the composition root; only the no-cli rule applies.
+                continue
+            if target not in allowed and target != "cli":
+                yield self.finding(
+                    module,
+                    lineno,
+                    f"repro.{pkg} must not import repro.{target} "
+                    f"(allowed: {', '.join(sorted(allowed)) or 'stdlib only'})",
+                )

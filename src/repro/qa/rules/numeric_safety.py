@@ -1,0 +1,58 @@
+"""Rule ``float-eq``: no exact equality against float literals.
+
+``x == 0.15`` on a computed float is a reproducibility landmine: the
+comparison silently flips with summation order, BLAS build, or platform.
+Use ``math.isclose`` / ``np.isclose`` with an explicit tolerance, or
+compare against integers when the value is exact by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+from ..source import SourceModule
+
+
+def _float_literal(node: ast.expr) -> float | None:
+    """The value of a (possibly negated) float literal, else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return node.value
+    return None
+
+
+@register
+class FloatEqualityRule(Rule):
+    id = "float-eq"
+    severity = Severity.ERROR
+    description = "no == / != comparisons against float literals (use math.isclose with a tolerance)"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                lit = _float_literal(left)
+                if lit is None:
+                    lit = _float_literal(right)
+                if lit is None:
+                    continue
+                # Comparing two literals to each other is pointless but
+                # deterministic; only literal-vs-expression is flagged.
+                if _float_literal(left) is not None and _float_literal(right) is not None:
+                    continue
+                sym = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"exact float comparison `{sym} {lit!r}`; use math.isclose / "
+                    "np.isclose with an explicit tolerance",
+                    col=node.col_offset,
+                )

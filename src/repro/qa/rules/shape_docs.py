@@ -1,0 +1,87 @@
+"""Rule ``shape-doc``: matrix orientation must be documented in core.
+
+The pipeline's whole data flow is a chain of 2-D arrays whose
+orientation is easy to silently transpose::
+
+    A(n×m) --preprocess--> A'(p×m) --PCA--> B(q×m) --classify--> C(1×m)
+
+Any *public* function or method in ``repro.core`` that accepts or
+returns an ``np.ndarray`` must therefore state the orientation in its
+docstring — an explicit ``n×m`` / ``p×m`` / ``q×m`` / ``1×m`` marker, a
+``(rows, cols)``-style ``shape`` phrase, or a NumPy-docstring
+``array of shape ...`` line all count.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+from ..source import SourceModule
+
+#: Docstring patterns accepted as orientation documentation: the paper's
+#: ``n×m`` notation (or any ``samples×features``-style marker), a short
+#: shape tuple like ``(m, p)``, the word "shape", or rows/columns prose.
+ORIENTATION_RE = re.compile(
+    r"[a-z0-9_]+\s*×\s*[a-z0-9_]+"  # n×m, p×m, samples×features
+    r"|\b[npq1]\s*x\s*[mpq]\b"  # ascii n x m variant
+    r"|\bshape\b"  # "shape (k, m)" / "of shape ..."
+    r"|\(\s*(len\(\w+\)|[a-z0-9_]{1,3})\s*,\s*(len\(\w+\)|[a-z0-9_]{1,3})\s*\)"  # (m, p)
+    r"|\brows?\b.*\bcolumns?\b",  # prose orientation
+    re.IGNORECASE | re.DOTALL,
+)
+
+#: Annotation substrings that mark an argument/return as an array.
+ARRAY_ANNOTATIONS = ("ndarray", "ArrayLike", "NDArray")
+
+
+def _mentions_array(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation)
+    return any(marker in text for marker in ARRAY_ANNOTATIONS)
+
+
+def _takes_or_returns_array(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = node.args
+    every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg is not None:
+        every.append(args.vararg)
+    if args.kwarg is not None:
+        every.append(args.kwarg)
+    if any(_mentions_array(a.annotation) for a in every):
+        return True
+    return _mentions_array(node.returns)
+
+
+@register
+class ShapeDocRule(Rule):
+    id = "shape-doc"
+    severity = Severity.WARNING
+    description = (
+        "public repro.core functions taking/returning ndarrays must document "
+        "matrix orientation (n×m / p×m / q×m) in their docstring"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not module.in_packages("core"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not _takes_or_returns_array(node):
+                continue
+            doc = ast.get_docstring(node)
+            if doc is None or not ORIENTATION_RE.search(doc):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"public core function {node.name}() handles ndarrays but its "
+                    "docstring does not document matrix orientation "
+                    "(state n×m / p×m / q×m or a shape phrase)",
+                )

@@ -129,6 +129,7 @@ class PerAppSummary:
 
     @property
     def spn_gain_over_average_percent(self) -> float:
+        """SPN throughput gain over the schedule average, in percent."""
         return 100.0 * (self.spn - self.average) / self.average
 
 

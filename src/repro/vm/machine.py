@@ -122,7 +122,7 @@ class VirtualMachine:
             raise ValueError("working set must be non-negative")
         avail = self.available_app_mem_mb()
         overflow = max(working_set_mb - avail, 0.0)
-        if overflow == 0.0:
+        if overflow <= 0.0:
             free_frac = 1.0 - working_set_mb / avail if avail > 0 else 0.0
             # Mild cache amplification as free memory gets scarce.
             io_amp = 1.0 + max(0.0, 0.3 - free_frac) * 0.5
@@ -170,7 +170,9 @@ class VirtualMachine:
         miss = 1.0 if pressure.is_paging else 0.05
         cached_bi = demand.io_cached * miss * 0.7
         cached_bo = demand.io_cached * miss * 0.3
-        if not pressure.is_paging and pressure.io_amplification == 1.0 and demand.io_cached == 0.0:
+        # io_amplification is ≥ 1 and io_cached ≥ 0 by construction, so the
+        # inequality guards are exact (no float-equality hazard).
+        if not pressure.is_paging and pressure.io_amplification <= 1.0 and demand.io_cached <= 0.0:
             return demand
         burst = paging_burst_multiplier(tick) if tick is not None else 1.0
         ws_share = demand.mem_mb / vm_ws if vm_ws > 0 else 0.0

@@ -89,7 +89,7 @@ def _similar(a: ResourceDemand, b: ResourceDemand, tolerance: float) -> bool:
     for field in ("cpu_user", "cpu_system", "io_bi", "io_bo", "net_in", "net_out", "swap_in", "swap_out"):
         va, vb = getattr(a, field), getattr(b, field)
         scale = max(va, vb)
-        if scale == 0.0:
+        if scale <= 0.0:  # demands are non-negative, so this is exact
             continue
         if abs(va - vb) / scale > tolerance:
             return False

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.qa.cli import main as qa_main
 
 
 def test_list_apps(capsys):
@@ -87,3 +90,57 @@ def test_missing_command_exits():
 
 def test_module_entry_point():
     import repro.__main__  # noqa: F401  (import side effects only under __main__)
+
+
+# ----------------------------------------------------------------------
+# python -m repro.qa check — smoke coverage
+# ----------------------------------------------------------------------
+
+
+def test_qa_check_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text('"""A clean module."""\n\nVALUE = 1\n')
+    assert qa_main(["check", str(clean), "--no-baseline", "--strict"]) == 0
+    assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+
+def test_qa_check_seeded_violation_exits_one(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text('"""doc."""\n\n\ndef f(x=[]):\n    return x\n')
+    assert qa_main(["check", str(bad), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "mutable-default" in out
+    assert "bad.py:4" in out
+
+
+def test_qa_check_json_output_parses(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text('"""doc."""\n\n\ndef f(x=[]):\n    return x\n')
+    assert qa_main(["check", str(bad), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["error"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "mutable-default"
+    assert finding["line"] == 4
+    assert finding["fingerprint"].startswith("mutable-default:")
+
+
+def test_qa_check_baseline_grandfathers_finding(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text('"""doc."""\n\n\ndef f(x=[]):\n    return x\n')
+    baseline = tmp_path / "baseline.txt"
+    assert qa_main(["check", str(bad), "--baseline", str(baseline), "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert qa_main(["check", str(bad), "--baseline", str(baseline), "--strict"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_qa_rules_lists_every_rule(capsys):
+    assert qa_main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("determinism", "layering", "shape-doc", "float-eq", "dead-code"):
+        assert rule_id in out
+
+
+def test_qa_check_unreadable_path_exits_two(tmp_path, capsys):
+    assert qa_main(["check", str(tmp_path / "missing.py"), "--no-baseline"]) == 2

@@ -1,0 +1,483 @@
+"""Per-rule unit tests for the repro.qa static-analysis rules.
+
+Every rule gets three inline-source fixtures: one snippet that fires it,
+one clean snippet, and one snippet silenced by a ``# qa: ignore[...]``
+pragma.  Snippets run through :meth:`Analyzer.run_source` with a
+synthetic module name so package-scoped rules (determinism, layering,
+docstring, shape-doc) can be pointed at — or away from — their scope.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.qa import Analyzer, Severity, all_rules
+
+
+def findings(source: str, name: str = "repro.core.mod", rule: str | None = None):
+    """Lint a snippet; optionally keep only one rule's findings."""
+    out = Analyzer().run_source(textwrap.dedent(source), name=name)
+    if rule is not None:
+        out = [f for f in out if f.rule_id == rule]
+    return out
+
+
+# ----------------------------------------------------------------------
+# registry sanity
+# ----------------------------------------------------------------------
+
+
+def test_registry_has_all_rule_families():
+    ids = {r.id for r in all_rules()}
+    assert ids == {
+        "determinism",
+        "layering",
+        "shape-doc",
+        "float-eq",
+        "mutable-default",
+        "bare-except",
+        "all-resolves",
+        "docstring",
+        "dead-code",
+        "future-annotations",
+    }
+
+
+def test_rules_have_descriptions_and_severities():
+    for rule in all_rules():
+        assert rule.description, rule.id
+        assert isinstance(rule.severity, Severity), rule.id
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+DET_BAD = """\
+    import time
+
+    def stamp():
+        "doc"
+        return time.time()
+"""
+
+
+def test_determinism_fires_on_wall_clock():
+    hits = findings(DET_BAD, name="repro.sim.mod", rule="determinism")
+    assert len(hits) == 1
+    assert hits[0].line == 5
+    assert "time.time" in hits[0].message
+
+
+def test_determinism_clean_with_seeded_rng_and_clock_reference():
+    src = """\
+        import time
+        import numpy as np
+
+        CLOCK = time.perf_counter  # reference, not a call: injectable default
+
+        def draw(seed):
+            "doc"
+            rng = np.random.default_rng(seed)
+            return rng.normal()
+    """
+    assert findings(src, name="repro.sim.mod", rule="determinism") == []
+
+
+def test_determinism_pragma_suppressed():
+    src = """\
+        import time
+
+        def stamp():
+            "doc"
+            return time.time()  # qa: ignore[determinism]
+    """
+    assert findings(src, name="repro.sim.mod", rule="determinism") == []
+
+
+def test_determinism_out_of_scope_package_exempt():
+    assert findings(DET_BAD, name="repro.workloads.mod", rule="determinism") == []
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "import random\nx = random.random()",
+        "import random\nrandom.seed(1)",
+        "import numpy as np\nnp.random.seed(3)",
+        "import numpy as np\nx = np.random.rand(4)",
+        "from time import perf_counter\nt = perf_counter()",
+        "from datetime import datetime\nd = datetime.now()",
+    ],
+)
+def test_determinism_fires_on_each_banned_call(line):
+    assert findings(line, name="repro.scheduler.mod", rule="determinism")
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "import random\nr = random.Random(42)",
+        "import numpy as np\ng = np.random.Generator(np.random.PCG64(7))",
+        "import numpy as np\nss = np.random.SeedSequence(5)",
+    ],
+)
+def test_determinism_allows_seeded_constructions(line):
+    assert findings(line, name="repro.scheduler.mod", rule="determinism") == []
+
+
+# ----------------------------------------------------------------------
+# layering
+# ----------------------------------------------------------------------
+
+
+def test_layering_fires_on_upward_import():
+    src = "from repro.sim.engine import SimulationEngine\n"
+    hits = findings(src, name="repro.core.mod", rule="layering")
+    assert len(hits) == 1
+    assert "repro.core must not import repro.sim" in hits[0].message
+
+
+def test_layering_resolves_relative_imports():
+    src = "from ..analysis.export import export_cluster_diagram\n"
+    hits = findings(src, name="repro.metrics.mod", rule="layering")
+    assert len(hits) == 1
+    assert "repro.analysis" in hits[0].message
+
+
+def test_layering_clean_downward_import():
+    src = "from repro.metrics.series import SnapshotSeries\n"
+    assert findings(src, name="repro.core.mod", rule="layering") == []
+
+
+def test_layering_type_checking_imports_exempt():
+    src = """\
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            from repro.sim.engine import SimulationEngine
+    """
+    assert findings(src, name="repro.monitoring.mod", rule="layering") == []
+
+
+def test_layering_nobody_imports_cli():
+    src = "from repro.cli import main\n"
+    hits = findings(src, name="repro.experiments.mod", rule="layering")
+    assert len(hits) == 1
+    assert "repro.cli" in hits[0].message
+
+
+def test_layering_pragma_suppressed():
+    src = "from repro.sim.engine import SimulationEngine  # qa: ignore[layering]\n"
+    assert findings(src, name="repro.core.mod", rule="layering") == []
+
+
+# ----------------------------------------------------------------------
+# shape-doc
+# ----------------------------------------------------------------------
+
+SHAPE_BAD = """\
+    import numpy as np
+
+    def project(x: np.ndarray) -> np.ndarray:
+        "Project the data."
+        return x
+"""
+
+
+def test_shape_doc_fires_without_orientation():
+    hits = findings(SHAPE_BAD, name="repro.core.mod", rule="shape-doc")
+    assert len(hits) == 1
+    assert "project" in hits[0].message
+
+
+def test_shape_doc_clean_with_orientation():
+    src = """\
+        import numpy as np
+
+        def project(x: np.ndarray) -> np.ndarray:
+            "Project ``(m, p)`` samples×features data to ``(m, q)``."
+            return x
+    """
+    assert findings(src, name="repro.core.mod", rule="shape-doc") == []
+
+
+def test_shape_doc_pragma_suppressed():
+    src = """\
+        import numpy as np
+
+        def project(x: np.ndarray) -> np.ndarray:  # qa: ignore[shape-doc]
+            "Project the data."
+            return x
+    """
+    assert findings(src, name="repro.core.mod", rule="shape-doc") == []
+
+
+def test_shape_doc_only_applies_to_core():
+    assert findings(SHAPE_BAD, name="repro.sim.mod", rule="shape-doc") == []
+
+
+def test_shape_doc_private_functions_exempt():
+    src = """\
+        import numpy as np
+
+        def _helper(x: np.ndarray) -> np.ndarray:
+            return x
+
+        USE = _helper
+    """
+    assert findings(src, name="repro.core.mod", rule="shape-doc") == []
+
+
+# ----------------------------------------------------------------------
+# float-eq
+# ----------------------------------------------------------------------
+
+
+def test_float_eq_fires_on_literal_comparison():
+    hits = findings("ok = value == 0.15\n", rule="float-eq")
+    assert len(hits) == 1
+    assert "0.15" in hits[0].message
+
+
+def test_float_eq_clean_on_integer_and_isclose():
+    src = """\
+        import math
+        a = value == 3
+        b = math.isclose(value, 0.15, abs_tol=1e-9)
+        c = value <= 0.15
+    """
+    assert findings(src, rule="float-eq") == []
+
+
+def test_float_eq_pragma_suppressed():
+    assert findings("ok = value == 0.15  # qa: ignore[float-eq]\n", rule="float-eq") == []
+
+
+def test_float_eq_literal_vs_literal_not_flagged():
+    assert findings("x = 1.5 == 2.5\n", rule="float-eq") == []
+
+
+# ----------------------------------------------------------------------
+# mutable-default
+# ----------------------------------------------------------------------
+
+
+def test_mutable_default_fires():
+    hits = findings("def f(x=[]):\n    return x\n", rule="mutable-default")
+    assert len(hits) == 1
+
+
+def test_mutable_default_fires_on_constructor_and_kwonly():
+    src = "def f(*, x=dict()):\n    return x\n"
+    assert findings(src, rule="mutable-default")
+
+
+def test_mutable_default_clean_with_none():
+    src = "def f(x=None):\n    return [] if x is None else x\n"
+    assert findings(src, rule="mutable-default") == []
+
+
+def test_mutable_default_pragma_suppressed():
+    assert findings("def f(x=[]):  # qa: ignore[mutable-default]\n    return x\n", rule="mutable-default") == []
+
+
+# ----------------------------------------------------------------------
+# bare-except
+# ----------------------------------------------------------------------
+
+
+def test_bare_except_fires():
+    src = "try:\n    work()\nexcept:\n    pass\n"
+    assert len(findings(src, rule="bare-except")) == 1
+
+
+def test_bare_except_clean_with_type():
+    src = "try:\n    work()\nexcept ValueError:\n    pass\n"
+    assert findings(src, rule="bare-except") == []
+
+
+def test_bare_except_pragma_suppressed():
+    src = "try:\n    work()\nexcept:  # qa: ignore[bare-except]\n    pass\n"
+    assert findings(src, rule="bare-except") == []
+
+
+# ----------------------------------------------------------------------
+# all-resolves
+# ----------------------------------------------------------------------
+
+
+def test_all_resolves_fires_on_ghost_entry():
+    src = '__all__ = ["ghost"]\n'
+    hits = findings(src, rule="all-resolves")
+    assert len(hits) == 1
+    assert "ghost" in hits[0].message
+
+
+def test_all_resolves_clean():
+    src = """\
+        from os.path import join
+
+        __all__ = ["join", "CONST", "helper", "Thing"]
+
+        CONST = 1
+
+        def helper():
+            "doc"
+
+        class Thing:
+            "doc"
+    """
+    assert findings(src, rule="all-resolves") == []
+
+
+def test_all_resolves_pragma_suppressed():
+    assert findings('__all__ = ["ghost"]  # qa: ignore[all-resolves]\n', rule="all-resolves") == []
+
+
+# ----------------------------------------------------------------------
+# docstring
+# ----------------------------------------------------------------------
+
+DOC_BAD = """\
+    def api():
+        return 1
+"""
+
+
+def test_docstring_fires_on_undocumented_public_function():
+    hits = findings(DOC_BAD, name="repro.scheduler.mod", rule="docstring")
+    assert len(hits) == 1
+    assert "api()" in hits[0].message
+
+
+def test_docstring_clean_when_documented_or_private():
+    src = """\
+        def api():
+            "Documented."
+            return _impl()
+
+        def _impl():
+            return 1
+    """
+    assert findings(src, name="repro.scheduler.mod", rule="docstring") == []
+
+
+def test_docstring_pragma_suppressed():
+    src = "def api():  # qa: ignore[docstring]\n    return 1\n"
+    assert findings(src, name="repro.scheduler.mod", rule="docstring") == []
+
+
+def test_docstring_out_of_scope_package_exempt():
+    assert findings(DOC_BAD, name="repro.monitoring.mod", rule="docstring") == []
+
+
+def test_docstring_property_setter_exempt():
+    src = """\
+        class Box:
+            "doc"
+
+            @property
+            def value(self):
+                "doc"
+                return self._v
+
+            @value.setter
+            def value(self, v):
+                self._v = v
+    """
+    assert findings(src, name="repro.sim.mod", rule="docstring") == []
+
+
+# ----------------------------------------------------------------------
+# dead-code
+# ----------------------------------------------------------------------
+
+
+def test_dead_code_fires_on_unreferenced_private_function():
+    src = """\
+        def _orphan():
+            return 1
+
+        def api():
+            "doc"
+            return 2
+    """
+    hits = findings(src, name="repro.workloads.mod", rule="dead-code")
+    assert len(hits) == 1
+    assert "_orphan" in hits[0].message
+
+
+def test_dead_code_clean_when_referenced():
+    src = """\
+        def _impl():
+            return 1
+
+        def api():
+            "doc"
+            return _impl()
+    """
+    assert findings(src, name="repro.workloads.mod", rule="dead-code") == []
+
+
+def test_dead_code_self_recursion_does_not_count():
+    src = """\
+        def _loner(n):
+            return _loner(n - 1) if n else 0
+    """
+    assert findings(src, name="repro.workloads.mod", rule="dead-code")
+
+
+def test_dead_code_pragma_suppressed():
+    src = """\
+        def _orphan():  # qa: ignore[dead-code]
+            return 1
+    """
+    assert findings(src, name="repro.workloads.mod", rule="dead-code") == []
+
+
+# ----------------------------------------------------------------------
+# future-annotations
+# ----------------------------------------------------------------------
+
+FUT_BAD = """\
+    def f(x: int | None) -> str | None:
+        "doc"
+        return None
+"""
+
+
+def test_future_annotations_fires_on_pep604_without_import():
+    hits = findings(FUT_BAD, name="repro.workloads.mod", rule="future-annotations")
+    assert len(hits) == 1
+
+
+def test_future_annotations_clean_with_import():
+    src = "from __future__ import annotations\n\n" + textwrap.dedent(FUT_BAD)
+    assert findings(src, name="repro.workloads.mod", rule="future-annotations") == []
+
+
+def test_future_annotations_pragma_suppressed():
+    src = """\
+        def f(x: int | None) -> int:  # qa: ignore[future-annotations]
+            "doc"
+            return 0
+    """
+    assert findings(src, name="repro.workloads.mod", rule="future-annotations") == []
+
+
+# ----------------------------------------------------------------------
+# pragma machinery
+# ----------------------------------------------------------------------
+
+
+def test_bare_pragma_suppresses_every_rule():
+    src = "def f(x=[]):  # qa: ignore\n    return x\n"
+    assert findings(src) == []
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    src = "def f(x=[]):  # qa: ignore[float-eq]\n    return x\n"
+    assert findings(src, rule="mutable-default")
