@@ -1,0 +1,58 @@
+"""Benchmark — static-analysis engine, cold parse vs incremental cache.
+
+A cold ``repro-qa check`` parses every file under ``src/repro`` and
+extracts symbol/dataflow facts; a warm run restores both from the
+``(mtime, size)``-keyed result cache and re-runs only the index rules.
+The warm run must re-parse **zero** unchanged files — that contract is
+asserted here, and the speedup is the number the cache earns its
+complexity with.
+"""
+
+from pathlib import Path
+
+from repro.qa import Analyzer, Baseline, ResultCache, all_rules, rules_signature
+
+from conftest import emit
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def _cold_run():
+    analyzer = Analyzer(list(all_rules()), baseline=Baseline())
+    return analyzer.run([SRC])
+
+
+def _warm_run(cache_path):
+    cache = ResultCache(cache_path, rules_signature(list(all_rules())))
+    analyzer = Analyzer(list(all_rules()), baseline=Baseline(), cache=cache)
+    return analyzer.run([SRC])
+
+
+def test_qa_engine_cold(benchmark, out_dir):
+    report = benchmark.pedantic(_cold_run, rounds=3, iterations=1, warmup_rounds=1)
+    assert report.num_files > 50
+    assert report.parsed_files == report.num_files
+    emit(
+        out_dir,
+        "qa_engine_cold.txt",
+        f"repro-qa cold run: {report.num_files} files parsed, "
+        f"mean {benchmark.stats.stats.mean * 1e3:.1f} ms",
+    )
+
+
+def test_qa_engine_warm_cache(benchmark, tmp_path, out_dir):
+    cache_path = tmp_path / "qa-cache.json"
+    primed = _warm_run(cache_path)  # cold priming run populates the cache
+    assert primed.parsed_files == primed.num_files
+
+    report = benchmark.pedantic(_warm_run, args=(cache_path,), rounds=5, iterations=1)
+    assert report.num_files == primed.num_files
+    assert report.parsed_files == 0, "warm cache run must not re-parse unchanged files"
+    assert report.cached_files == report.num_files
+    assert report.findings == primed.findings
+    emit(
+        out_dir,
+        "qa_engine_warm.txt",
+        f"repro-qa warm run: {report.cached_files}/{report.num_files} files from cache, "
+        f"mean {benchmark.stats.stats.mean * 1e3:.1f} ms",
+    )

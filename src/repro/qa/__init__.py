@@ -12,22 +12,38 @@ See ``docs/STATIC_ANALYSIS.md`` for the rule catalog, the
 from __future__ import annotations
 
 from .baseline import Baseline
+from .cache import ResultCache, rules_signature
+from .callgraph import CallGraph, ProjectIndex
 from .engine import Analyzer, Report, collect_files
 from .findings import Finding, Severity
-from .registry import ProjectRule, Rule, all_rules, get_rule, register
+from .fix import FixResult, fix_file, fix_source
+from .registry import IndexRule, ProjectRule, Rule, all_rules, get_rule, register
+from .sarif import to_sarif
 from .source import SourceModule
+from .symbols import ModuleSymbols, build_module_symbols
 
 __all__ = [
     "Analyzer",
     "Baseline",
+    "CallGraph",
     "Finding",
+    "FixResult",
+    "IndexRule",
+    "ModuleSymbols",
+    "ProjectIndex",
     "ProjectRule",
     "Report",
+    "ResultCache",
     "Rule",
     "Severity",
     "SourceModule",
     "all_rules",
+    "build_module_symbols",
     "collect_files",
+    "fix_file",
+    "fix_source",
     "get_rule",
     "register",
+    "rules_signature",
+    "to_sarif",
 ]

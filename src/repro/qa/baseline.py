@@ -54,6 +54,34 @@ class Baseline:
         return new, old
 
     @staticmethod
+    def sync(path: str | Path, findings: Iterable[Finding]) -> tuple[int, int]:
+        """Prune entries no longer matched by any current finding.
+
+        Unlike :meth:`write`, this never *adds* entries and keeps the
+        file's comments — including each kept entry's trailing
+        justification — byte-for-byte.  Returns ``(kept, pruned)``
+        entry counts; a missing file is left missing.
+        """
+        path = Path(path)
+        if not path.exists():
+            return 0, 0
+        live = {f.fingerprint() for f in findings}
+        kept_lines: list[str] = []
+        kept = pruned = 0
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            entry = raw.split("#", 1)[0].strip()
+            if not entry:
+                kept_lines.append(raw)  # comment or blank line
+            elif entry in live:
+                kept_lines.append(raw)
+                kept += 1
+            else:
+                pruned += 1
+        if pruned:
+            path.write_text("\n".join(kept_lines) + "\n", encoding="utf-8")
+        return kept, pruned
+
+    @staticmethod
     def write(path: str | Path, findings: Iterable[Finding]) -> int:
         """Write a fresh baseline covering *findings*; returns entry count.
 

@@ -1,0 +1,155 @@
+"""Project index and call graph over :class:`ModuleSymbols` facts.
+
+The :class:`ProjectIndex` joins every module's facts into one symbol
+table: qualified function lookup with re-export chasing (a name
+imported into a package ``__init__`` resolves to its defining module),
+the catalog's metric-name vocabulary, and the call graph.
+
+The :class:`CallGraph` is conservative in the direction that avoids
+false "dead code" findings: a call or name reference whose target
+cannot be resolved through the import maps roots every function with a
+matching bare name, and references from class/method bodies count as
+references from the module root (classes are not tracked as nodes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .symbols import MODULE_CONTEXT, CallSite, FunctionSymbol, ModuleSymbols
+
+#: Synthetic caller node for module-level code and unresolved contexts.
+ROOT = "<root>"
+
+
+@dataclass
+class ProjectIndex:
+    """All module facts, cross-referenced."""
+
+    modules: dict[str, ModuleSymbols] = field(default_factory=dict)
+    functions: dict[str, FunctionSymbol] = field(default_factory=dict)
+    module_of: dict[str, ModuleSymbols] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, facts: Iterable[ModuleSymbols]) -> "ProjectIndex":
+        index = cls()
+        for mod in facts:
+            index.modules[mod.name] = mod
+            for fn in mod.functions:
+                index.functions[fn.qualname] = fn
+                index.module_of[fn.qualname] = mod
+        return index
+
+    def resolve(self, spec: str | None) -> FunctionSymbol | None:
+        """Resolve a dotted call spec to a function, chasing re-exports.
+
+        ``repro.metrics.metric_index`` resolves through the package
+        ``__init__``'s ``from .catalog import metric_index`` to the
+        defining ``repro.metrics.catalog.metric_index``.
+        """
+        seen: set[str] = set()
+        while spec is not None and spec not in seen:
+            seen.add(spec)
+            fn = self.functions.get(spec)
+            if fn is not None:
+                return fn
+            prefix, _, name = spec.rpartition(".")
+            if not prefix:
+                return None
+            mod = self.modules.get(prefix)
+            if mod is None:
+                return None
+            spec = mod.imports.get(name)
+        return None
+
+    def metric_names(self) -> frozenset[str]:
+        """Union of metric-name vocabularies found in catalog modules."""
+        names: set[str] = set()
+        for mod in self.modules.values():
+            names.update(mod.metric_names)
+        return frozenset(names)
+
+    def call_sites(self) -> Iterable[tuple[ModuleSymbols, CallSite]]:
+        for mod in self.modules.values():
+            for site in mod.call_sites:
+                yield mod, site
+
+
+class CallGraph:
+    """Liveness-oriented call/reference graph over top-level functions.
+
+    Nodes are function qualnames plus the synthetic :data:`ROOT`.
+    Edges come from resolved call sites and resolved name references;
+    unresolved references conservatively root every bare-name match.
+    """
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.edges: dict[str, set[str]] = {ROOT: set()}
+        self._by_bare_name: dict[str, list[str]] = {}
+        for qualname, fn in index.functions.items():
+            self.edges.setdefault(qualname, set())
+            self._by_bare_name.setdefault(fn.name, []).append(qualname)
+        self._build()
+
+    def _caller_node(self, mod: ModuleSymbols, context: str) -> str:
+        if context == MODULE_CONTEXT or "." in context:
+            return ROOT  # module level, class bodies, methods
+        qualname = f"{mod.name}.{context}"
+        return qualname if qualname in self.edges else ROOT
+
+    def _add(self, src: str, dst: str) -> None:
+        self.edges.setdefault(src, set()).add(dst)
+
+    def _build(self) -> None:
+        index = self.index
+        for mod in index.modules.values():
+            # Calls: resolved specs become precise edges, unresolved
+            # bare names conservatively root all matches.
+            for site in mod.call_sites:
+                src = self._caller_node(mod, site.caller)
+                target = index.resolve(site.callee)
+                if target is not None:
+                    self._add(src, target.qualname)
+                elif site.callee_name:
+                    for qualname in self._by_bare_name.get(site.callee_name, ()):
+                        self._add(ROOT, qualname)
+            # Name references (callbacks, re-exports, decorators): a
+            # resolved local/imported name is an edge from its context.
+            for context, name in mod.name_refs:
+                src = self._caller_node(mod, context)
+                spec = None
+                if f"{mod.name}.{name}" in index.functions:
+                    spec = f"{mod.name}.{name}"
+                elif name in mod.imports:
+                    spec = mod.imports[name]
+                target = index.resolve(spec)
+                if target is not None and target.name != context:
+                    self._add(src, target.qualname)
+            # Attribute references cannot be typed; root every match.
+            for attr in mod.attr_refs:
+                for qualname in self._by_bare_name.get(attr, ()):
+                    self._add(ROOT, qualname)
+            # Imports bind (and therefore evaluate) the name at module
+            # import time.
+            for alias, spec in mod.imports.items():
+                target = index.resolve(spec)
+                if target is not None:
+                    self._add(ROOT, target.qualname)
+
+    def reachable(self, roots: Sequence[str] = (ROOT,)) -> set[str]:
+        """Every function reachable from *roots* via edges."""
+        seen: set[str] = set()
+        queue: deque[str] = deque(roots)
+        while queue:
+            node = queue.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self.edges.get(node, ()):
+                if nxt not in seen:
+                    queue.append(nxt)
+        seen.discard(ROOT)
+        return seen

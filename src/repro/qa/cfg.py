@@ -1,0 +1,255 @@
+"""Intra-procedural control-flow graphs over the stdlib AST.
+
+:func:`build_cfg` lowers one function body into basic blocks of
+statements connected by directed edges.  The construction is
+deliberately coarse — good enough for the forward dataflow analyses in
+:mod:`repro.qa.dataflow` (reaching definitions, string-constant
+propagation), not for precise exception modelling:
+
+* ``if`` / ``while`` / ``for`` produce the usual diamond / loop edges
+  (including ``else`` clauses and ``break`` / ``continue``);
+* ``try`` conservatively assumes every handler can run after any
+  statement of the body, and ``finally`` joins all paths;
+* ``with`` bodies run unconditionally;
+* ``return`` / ``raise`` end the block with an edge to the synthetic
+  exit block;
+* ``match`` statements branch to every case arm and to the fall-through.
+
+Expressions are never split: each statement is an atomic node, so a
+dataflow fact holds "at statement entry".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of statements."""
+
+    index: int
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds = ",".join(type(s).__name__ for s in self.statements)
+        return f"<BB{self.index} [{kinds}] -> {self.successors}>"
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph.
+
+    ``blocks[entry]`` is the entry block and ``blocks[exit_index]`` the
+    single synthetic (empty) exit block every terminating path reaches.
+    """
+
+    blocks: list[BasicBlock]
+    entry: int
+    exit_index: int
+
+    def reverse_postorder(self) -> list[int]:
+        """Block indices in reverse postorder from the entry (for fast
+        convergence of forward worklist analyses)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        stack: list[tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            block, child = stack[-1]
+            succs = self.blocks[block].successors
+            if child < len(succs):
+                stack[-1] = (block, child + 1)
+                nxt = succs[child]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(block)
+        order.reverse()
+        return order
+
+
+class _Builder:
+    """Incremental CFG constructor used by :func:`build_cfg`."""
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self.current = self._new_block()
+
+    def _new_block(self) -> int:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].successors:
+            self.blocks[src].successors.append(dst)
+            self.blocks[dst].predecessors.append(src)
+
+    def _start_block(self, *preds: int) -> int:
+        block = self._new_block()
+        for p in preds:
+            self._edge(p, block)
+        return block
+
+    # ------------------------------------------------------------------
+    # statement lowering
+    # ------------------------------------------------------------------
+    def lower_body(
+        self,
+        body: list[ast.stmt],
+        exits: list[int],
+        breaks: list[int],
+        continues: list[int],
+    ) -> bool:
+        """Lower a statement list into the current block chain.
+
+        Returns False when the body always transfers control away
+        (return/raise/break/continue on every path), i.e. nothing falls
+        through to whatever follows.
+        """
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                self.blocks[self.current].statements.append(stmt)
+                cond = self.current
+                self.current = self._start_block(cond)
+                then_falls = self.lower_body(stmt.body, exits, breaks, continues)
+                then_end = self.current
+                self.current = self._start_block(cond)
+                else_falls = self.lower_body(stmt.orelse, exits, breaks, continues)
+                else_end = self.current
+                join = self._new_block()
+                if then_falls:
+                    self._edge(then_end, join)
+                if else_falls:
+                    self._edge(else_end, join)
+                self.current = join
+                if not (then_falls or else_falls):
+                    return False
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                head = self._start_block(self.current)
+                self.blocks[head].statements.append(stmt)
+                inner_breaks: list[int] = []
+                inner_continues: list[int] = []
+                self.current = self._start_block(head)
+                falls = self.lower_body(stmt.body, exits, inner_breaks, inner_continues)
+                if falls:
+                    self._edge(self.current, head)
+                for c in inner_continues:
+                    self._edge(c, head)
+                # The else clause runs when the loop exits normally.
+                self.current = self._start_block(head)
+                else_falls = self.lower_body(stmt.orelse, exits, breaks, continues)
+                after = self._new_block()
+                if else_falls:
+                    self._edge(self.current, after)
+                for b in inner_breaks:
+                    self._edge(b, after)
+                self.current = after
+            elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+                falls = self._lower_try(stmt, exits, breaks, continues)
+                if not falls:
+                    return False
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self.blocks[self.current].statements.append(stmt)
+                inner = self._start_block(self.current)
+                self.current = inner
+                falls = self.lower_body(stmt.body, exits, breaks, continues)
+                after = self._start_block(self.current) if falls else self._new_block()
+                if not falls:
+                    return False
+                self.current = after
+            elif isinstance(stmt, ast.Match):
+                self.blocks[self.current].statements.append(stmt)
+                subject = self.current
+                ends: list[int] = []
+                any_falls = False
+                for case in stmt.cases:
+                    self.current = self._start_block(subject)
+                    if self.lower_body(case.body, exits, breaks, continues):
+                        ends.append(self.current)
+                        any_falls = True
+                join = self._new_block()
+                # No-match fall-through (conservatively always possible).
+                self._edge(subject, join)
+                for e in ends:
+                    self._edge(e, join)
+                self.current = join
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                self.blocks[self.current].statements.append(stmt)
+                exits.append(self.current)
+                return False
+            elif isinstance(stmt, ast.Break):
+                self.blocks[self.current].statements.append(stmt)
+                breaks.append(self.current)
+                return False
+            elif isinstance(stmt, ast.Continue):
+                self.blocks[self.current].statements.append(stmt)
+                continues.append(self.current)
+                return False
+            else:
+                # Straight-line statement (incl. nested def/class, which
+                # are opaque single nodes for this analysis).
+                self.blocks[self.current].statements.append(stmt)
+        return True
+
+    def _lower_try(
+        self,
+        stmt: ast.Try,
+        exits: list[int],
+        breaks: list[int],
+        continues: list[int],
+    ) -> bool:
+        entry = self.current
+        self.current = self._start_block(entry)
+        body_falls = self.lower_body(stmt.body, exits, breaks, continues)
+        body_end = self.current
+        else_falls = body_falls
+        if body_falls and stmt.orelse:
+            self.current = self._start_block(body_end)
+            else_falls = self.lower_body(stmt.orelse, exits, breaks, continues)
+            body_end = self.current
+        handler_ends: list[int] = []
+        any_handler_falls = False
+        for handler in stmt.handlers:
+            # A handler may run after any prefix of the body: edge from
+            # the try entry (pre-state) — coarse but sound for forward
+            # "may" analyses.
+            self.current = self._start_block(entry)
+            if self.lower_body(handler.body, exits, breaks, continues):
+                handler_ends.append(self.current)
+                any_handler_falls = True
+        join = self._new_block()
+        if else_falls:
+            self._edge(body_end, join)
+        for h in handler_ends:
+            self._edge(h, join)
+        falls = else_falls or any_handler_falls or not stmt.handlers
+        if not stmt.handlers and not else_falls:
+            falls = False
+        self.current = join
+        if stmt.finalbody:
+            fin = self._start_block(join)
+            self.current = fin
+            fin_falls = self.lower_body(stmt.finalbody, exits, breaks, continues)
+            falls = falls and fin_falls
+        return falls
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    builder = _Builder()
+    exits: list[int] = []
+    falls = builder.lower_body(fn.body, exits, [], [])
+    exit_index = builder._new_block()
+    if falls:
+        builder._edge(builder.current, exit_index)
+    for e in exits:
+        builder._edge(e, exit_index)
+    return CFG(blocks=builder.blocks, entry=0, exit_index=exit_index)

@@ -1,24 +1,51 @@
 """The analysis driver: collect files, run rules, filter suppressions.
 
-:class:`Analyzer` walks the given paths, parses every ``*.py`` into a
-:class:`~repro.qa.source.SourceModule`, runs each registered per-file
-rule on each module and each project rule on the full set, then drops
-pragma-suppressed findings and partitions the rest against the baseline.
+:class:`Analyzer` walks the given paths and, per file, either parses it
+(running every per-file rule and extracting
+:class:`~repro.qa.symbols.ModuleSymbols` facts) or restores findings
+and facts from the incremental :class:`~repro.qa.cache.ResultCache`.
+The facts of all files are then joined into a
+:class:`~repro.qa.callgraph.ProjectIndex` for the flow-aware
+:class:`~repro.qa.registry.IndexRule` families (shape contracts,
+metric names, cross-module dead code, unused results).  Finally
+pragma-suppressed findings are dropped and the rest partitioned
+against the baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from .baseline import Baseline
+from .cache import ResultCache
+from .callgraph import ProjectIndex
 from .findings import Finding, Severity
-from .registry import ProjectRule, Rule, all_rules
+from .registry import IndexRule, ProjectRule, Rule, all_rules
 from .source import SourceModule
+from .symbols import ModuleSymbols, build_module_symbols
 
 #: Directory names never descended into.
-SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".tox",
+    ".venv",
+    "build",
+    "dist",
+    "node_modules",
+}
+
+#: Relative path fragments never descended into (matched as consecutive
+#: components anywhere in the path) — generated benchmark artefacts.
+SKIP_PATH_FRAGMENTS = (("benchmarks", "out"),)
+
+
+def _has_fragment(parts: tuple[str, ...], fragment: tuple[str, ...]) -> bool:
+    span = len(fragment)
+    return any(parts[i : i + span] == fragment for i in range(len(parts) - span + 1))
 
 
 def collect_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -36,8 +63,11 @@ def collect_files(paths: Iterable[str | Path]) -> list[Path]:
             raise FileNotFoundError(f"no such file or directory: {p}")
         if p.is_dir():
             for f in p.rglob("*.py"):
-                if not any(part in SKIP_DIRS for part in f.parts):
-                    out.add(f)
+                if any(part in SKIP_DIRS for part in f.parts):
+                    continue
+                if any(_has_fragment(f.parts, frag) for frag in SKIP_PATH_FRAGMENTS):
+                    continue
+                out.add(f)
         else:
             out.add(p)
     return sorted(out)
@@ -50,6 +80,9 @@ class Report:
     findings: list[Finding] = field(default_factory=list)
     grandfathered: list[Finding] = field(default_factory=list)
     num_files: int = 0
+    #: Files parsed this run vs. restored from the incremental cache.
+    parsed_files: int = 0
+    cached_files: int = 0
 
     @property
     def errors(self) -> list[Finding]:
@@ -68,6 +101,8 @@ class Report:
         return {
             "version": 1,
             "files": self.num_files,
+            "parsed": self.parsed_files,
+            "cached": self.cached_files,
             "counts": {
                 "error": len(self.errors),
                 "warning": len(self.warnings),
@@ -80,33 +115,35 @@ class Report:
 class Analyzer:
     """Run a set of rules over a set of modules."""
 
-    def __init__(self, rules: Sequence[Rule] | None = None, baseline: Baseline | None = None) -> None:
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        baseline: Baseline | None = None,
+        cache: ResultCache | None = None,
+    ) -> None:
         self.rules: list[Rule] = list(rules) if rules is not None else list(all_rules())
         self.baseline = baseline or Baseline()
+        self.cache = cache
+        # Legacy whole-tree rules need raw modules for every file, which
+        # the cache cannot provide: fall back to parsing everything.
+        self._legacy_project_rules = [
+            r for r in self.rules if isinstance(r, ProjectRule) and not isinstance(r, IndexRule)
+        ]
+        if self._legacy_project_rules:
+            self.cache = None
 
     # ------------------------------------------------------------------
-    # module loading
+    # per-file analysis
     # ------------------------------------------------------------------
-    def load_modules(self, files: Sequence[Path]) -> tuple[list[SourceModule], list[Finding]]:
-        """Parse *files*; unparseable ones become ``parse-error`` findings."""
-        modules: list[SourceModule] = []
-        errors: list[Finding] = []
-        for path in files:
-            relpath = _display_path(path)
-            try:
-                modules.append(SourceModule.parse(path, relpath=relpath))
-            except SyntaxError as exc:
-                errors.append(
-                    Finding(
-                        rule_id="parse-error",
-                        severity=Severity.ERROR,
-                        path=relpath,
-                        line=exc.lineno or 1,
-                        col=exc.offset or 0,
-                        message=f"file does not parse: {exc.msg}",
-                    )
-                )
-        return modules, errors
+    def _file_rules(self) -> list[Rule]:
+        return [r for r in self.rules if not isinstance(r, (IndexRule, ProjectRule))]
+
+    def _analyze_module(self, module: SourceModule) -> tuple[ModuleSymbols, list[Finding]]:
+        """Per-file rules + fact extraction for one parsed module."""
+        raw: list[Finding] = []
+        for rule in self._file_rules():
+            raw.extend(rule.check_module(module))
+        return build_module_symbols(module), raw
 
     # ------------------------------------------------------------------
     # running
@@ -114,39 +151,119 @@ class Analyzer:
     def run(self, paths: Iterable[str | Path]) -> Report:
         """Analyze every ``*.py`` under *paths* and return a report."""
         files = collect_files(paths)
-        modules, parse_errors = self.load_modules(files)
-        raw = list(parse_errors)
-        for module in modules:
-            for rule in self.rules:
-                for finding in rule.check_module(module):
-                    raw.append(finding)
-        by_path = {m.relpath: m for m in modules}
+        raw: list[Finding] = []
+        facts: list[ModuleSymbols] = []
+        modules: list[SourceModule] = []
+        parsed = cached = 0
+        for path in files:
+            relpath = _display_path(path)
+            hit = self.cache.lookup(path, relpath) if self.cache is not None else None
+            if hit is not None:
+                file_facts, file_findings = hit
+                cached += 1
+            else:
+                file_facts, file_findings, module = self._load_and_analyze(path, relpath)
+                parsed += 1
+                if module is not None:
+                    modules.append(module)
+                if self.cache is not None:
+                    self.cache.store(path, relpath, file_facts, file_findings)
+            if file_facts is not None:
+                facts.append(file_facts)
+            raw.extend(file_findings)
+        if self.cache is not None:
+            self.cache.prune(files)
+            self.cache.save()
+
+        index = ProjectIndex.build(facts)
         for rule in self.rules:
-            if isinstance(rule, ProjectRule):
-                for finding in rule.check_project(modules):
-                    raw.append(finding)
-        visible = [
-            f
-            for f in raw
-            if not _suppressed(by_path.get(f.path), f)
-        ]
+            if isinstance(rule, IndexRule):
+                raw.extend(rule.check_index(index))
+        for rule in self._legacy_project_rules:
+            raw.extend(rule.check_project(modules))
+
+        facts_by_path: Mapping[str, ModuleSymbols] = {f.relpath: f for f in facts}
+        visible = [f for f in raw if not _suppressed(facts_by_path.get(f.path), f)]
         new, old = self.baseline.split(visible)
         new.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-        return Report(findings=new, grandfathered=old, num_files=len(files))
+        return Report(
+            findings=new,
+            grandfathered=old,
+            num_files=len(files),
+            parsed_files=parsed,
+            cached_files=cached,
+        )
+
+    def _load_and_analyze(
+        self, path: Path, relpath: str
+    ) -> tuple[ModuleSymbols | None, list[Finding], SourceModule | None]:
+        try:
+            module = SourceModule.parse(path, relpath=relpath)
+        except SyntaxError as exc:
+            finding = Finding(
+                rule_id="parse-error",
+                severity=Severity.ERROR,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+            return None, [finding], None
+        facts, findings = self._analyze_module(module)
+        return facts, findings, module
+
+    # ------------------------------------------------------------------
+    # in-memory helpers (unit tests)
+    # ------------------------------------------------------------------
+    def run_sources(self, sources: Mapping[str, str]) -> list[Finding]:
+        """Analyze a dict of ``module name → source`` as one project.
+
+        Index rules see the whole synthetic project, so cross-module
+        fixtures (shape contracts, dead code, a catalog stub for
+        metric names) can be expressed inline in tests.
+        """
+        names = set(sources)
+        modules = [
+            SourceModule.from_source(
+                src,
+                relpath=f"<{name}>",
+                name=name,
+                is_package=any(other.startswith(name + ".") for other in names),
+            )
+            for name, src in sources.items()
+        ]
+        raw: list[Finding] = []
+        facts: list[ModuleSymbols] = []
+        for module in modules:
+            file_facts, file_findings = self._analyze_module(module)
+            facts.append(file_facts)
+            raw.extend(file_findings)
+        index = ProjectIndex.build(facts)
+        for rule in self.rules:
+            if isinstance(rule, IndexRule):
+                raw.extend(rule.check_index(index))
+        for rule in self._legacy_project_rules:
+            raw.extend(rule.check_project(modules))
+        by_path = {f.relpath: f for f in facts}
+        visible = [f for f in raw if not _suppressed(by_path.get(f.path), f)]
+        new, _old = self.baseline.split(visible)
+        return sorted(new, key=lambda f: (f.path, f.line, f.col, f.rule_id))
 
     def run_source(self, source: str, name: str = "repro.core.snippet") -> list[Finding]:
         """Analyze one in-memory source string (unit-test helper).
 
         The synthetic *name* controls package-scoped rules: pass e.g.
-        ``repro.core.x`` to exercise core-only rules.  Project rules see
+        ``repro.core.x`` to exercise core-only rules.  Index rules see
         a single-module project.
         """
         module = SourceModule.from_source(source, relpath="<snippet>", name=name)
-        raw: list[Finding] = []
+        facts, raw = self._analyze_module(module)
+        index = ProjectIndex.build([facts])
         for rule in self.rules:
-            raw.extend(rule.check_module(module))
-            if isinstance(rule, ProjectRule):
-                raw.extend(rule.check_project([module]))
+            if isinstance(rule, IndexRule):
+                raw.extend(rule.check_index(index))
+        for rule in self._legacy_project_rules:
+            raw.extend(rule.check_project([module]))
         visible = [f for f in raw if not module.suppressed(f.rule_id, f.line)]
         new, _old = self.baseline.split(visible)
         return sorted(new, key=lambda f: (f.line, f.col, f.rule_id))
@@ -160,7 +277,7 @@ def _display_path(path: Path) -> str:
         return path.as_posix()
 
 
-def _suppressed(module: SourceModule | None, finding: Finding) -> bool:
-    if module is None:
+def _suppressed(facts: ModuleSymbols | None, finding: Finding) -> bool:
+    if facts is None:
         return False
-    return module.suppressed(finding.rule_id, finding.line)
+    return facts.suppressed(finding.rule_id, finding.line)

@@ -1,0 +1,225 @@
+"""Autofixer for mechanically-correctable findings (``repro-qa fix``).
+
+Three rule families have fixes that are safe to apply without human
+judgement, and only those are automated:
+
+* ``future-annotations`` — insert ``from __future__ import annotations``
+  after the module docstring (or at the top of the file);
+* ``mutable-default`` — replace a single-line mutable default with
+  ``None`` and insert the canonical ``if param is None: param = ...``
+  guard after the function docstring;
+* ``bare-except`` — rewrite ``except:`` as ``except Exception:`` (the
+  weakest change that stops swallowing ``KeyboardInterrupt``).
+
+Fixes are **diff-minimal** (only the offending spans change, no
+reformatting) and **idempotent**: a fixed file produces no further
+findings for these rules, so a second ``repro-qa fix`` run is a no-op.
+Edits are computed from one parse and applied bottom-up so earlier
+spans stay valid; anything the fixer is not sure about (multi-line
+defaults, lambdas, annotated defaults whose annotation would become
+wrong) is left for a human.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .rules.api_hygiene import MutableDefaultRule
+from .rules.future_annotations import _first_pep604_union, _has_future_annotations
+from .source import SourceModule
+
+#: Rule ids this module can fix, in documentation order.
+FIXABLE_RULES = ("future-annotations", "mutable-default", "bare-except")
+
+_BARE_EXCEPT_RE = re.compile(r"except\s*:")
+
+
+@dataclass(frozen=True)
+class _Replace:
+    """Replace ``[col_start, col_end)`` of 1-based *lineno* with *text*."""
+
+    lineno: int
+    col_start: int
+    col_end: int
+    text: str
+    rule_id: str
+
+    @property
+    def sort_key(self) -> tuple[float, int]:
+        return (float(self.lineno), self.col_start)
+
+
+@dataclass(frozen=True)
+class _Insert:
+    """Insert *lines* after 1-based *after_line* (0 inserts at the top)."""
+
+    after_line: int
+    lines: tuple[str, ...]
+    rule_id: str
+
+    @property
+    def sort_key(self) -> tuple[float, int]:
+        return (self.after_line + 0.5, 0)
+
+
+@dataclass
+class FixResult:
+    """Outcome of fixing one file (or source string)."""
+
+    path: str
+    source: str
+    fixed: str
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed != self.source
+
+    @property
+    def num_fixes(self) -> int:
+        return sum(self.counts.values())
+
+
+# ----------------------------------------------------------------------
+# edit computation
+# ----------------------------------------------------------------------
+
+
+def _docstring_end(body: list[ast.stmt]) -> int:
+    """Last line of a leading docstring statement, or 0 when absent."""
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        return body[0].end_lineno or body[0].lineno
+    return 0
+
+
+def _future_annotations_edits(module: SourceModule) -> list[_Insert]:
+    if _has_future_annotations(module.tree):
+        return []
+    if _first_pep604_union(module.tree) is None:
+        return []
+    line = "from __future__ import annotations"
+    doc_end = _docstring_end(module.tree.body)
+    if doc_end:
+        # Keep the conventional blank line between docstring and import.
+        return [_Insert(doc_end, ("", line), "future-annotations")]
+    return [_Insert(0, (line, ""), "future-annotations")]
+
+
+def _defaults_with_params(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[str, ast.expr]]:
+    """(param name, default expr) pairs, positional then keyword-only."""
+    args = fn.args
+    positional = list(args.posonlyargs) + list(args.args)
+    out: list[tuple[str, ast.expr]] = []
+    for arg, default in zip(positional[len(positional) - len(args.defaults) :], args.defaults):
+        out.append((arg.arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            out.append((arg.arg, default))
+    return out
+
+
+def _mutable_default_edits(module: SourceModule) -> list[_Replace | _Insert]:
+    edits: list[_Replace | _Insert] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # a lambda has no body to hold the guard
+        guards: list[str] = []
+        for param, default in _defaults_with_params(node):
+            if not MutableDefaultRule._is_mutable(default):
+                continue
+            if default.lineno != default.end_lineno:
+                continue  # multi-line default: human judgement required
+            original = module.line_at(default.lineno)[default.col_offset : default.end_col_offset]
+            if not original:
+                continue
+            edits.append(
+                _Replace(
+                    default.lineno,
+                    default.col_offset,
+                    default.end_col_offset or default.col_offset,
+                    "None",
+                    "mutable-default",
+                )
+            )
+            guards.extend([f"if {param} is None:", f"    {param} = {original}"])
+        if not guards:
+            continue
+        anchor = _docstring_end(node.body) or (node.body[0].lineno - 1)
+        indent = " " * node.body[0].col_offset
+        edits.append(
+            _Insert(anchor, tuple(indent + g for g in guards), "mutable-default")
+        )
+    return edits
+
+
+def _bare_except_edits(module: SourceModule) -> list[_Replace]:
+    edits: list[_Replace] = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.ExceptHandler) and node.type is None):
+            continue
+        line = module.line_at(node.lineno)
+        m = _BARE_EXCEPT_RE.match(line, node.col_offset)
+        if m is None:
+            continue
+        edits.append(
+            _Replace(node.lineno, m.start(), m.end(), "except Exception:", "bare-except")
+        )
+    return edits
+
+
+# ----------------------------------------------------------------------
+# application
+# ----------------------------------------------------------------------
+
+
+def _apply(lines: list[str], edits: list[_Replace | _Insert]) -> list[str]:
+    """Apply edits bottom-up so positions computed on the original hold."""
+    for edit in sorted(edits, key=lambda e: e.sort_key, reverse=True):
+        if isinstance(edit, _Replace):
+            line = lines[edit.lineno - 1]
+            lines[edit.lineno - 1] = line[: edit.col_start] + edit.text + line[edit.col_end :]
+        else:
+            lines[edit.after_line : edit.after_line] = list(edit.lines)
+    return lines
+
+
+def fix_source(source: str, path: str = "<string>") -> FixResult:
+    """Compute and apply every automatic fix to one source string."""
+    module = SourceModule.from_source(source, path=path, relpath=path)
+    edits: list[_Replace | _Insert] = []
+    edits.extend(_future_annotations_edits(module))
+    edits.extend(_mutable_default_edits(module))
+    edits.extend(_bare_except_edits(module))
+    counts: dict[str, int] = {}
+    for edit in edits:
+        counts[edit.rule_id] = counts.get(edit.rule_id, 0) + 1
+    # Guard inserts and their None replacements are one logical fix each.
+    if "mutable-default" in counts:
+        counts["mutable-default"] = sum(
+            1 for e in edits if isinstance(e, _Replace) and e.rule_id == "mutable-default"
+        )
+    if not edits:
+        return FixResult(path=path, source=source, fixed=source)
+    trailing_newline = source.endswith("\n")
+    lines = _apply(source.splitlines(), edits)
+    fixed = "\n".join(lines) + ("\n" if trailing_newline else "")
+    return FixResult(path=path, source=source, fixed=fixed, counts=counts)
+
+
+def fix_file(path: Path, dry_run: bool = False) -> FixResult:
+    """Fix one file in place (unless *dry_run*); returns what changed."""
+    source = path.read_text(encoding="utf-8")
+    result = fix_source(source, path=str(path))
+    if result.changed and not dry_run:
+        path.write_text(result.fixed, encoding="utf-8")
+    return result

@@ -1,17 +1,22 @@
 """Rule base classes and the global rule registry.
 
-A rule subclasses :class:`Rule` (per-file) or :class:`ProjectRule`
-(whole-tree, e.g. dead-code detection needs cross-module references) and
-registers itself with the :func:`register` decorator.  The engine runs
-every registered rule; ``python -m repro.qa rules`` lists them.
+A rule subclasses :class:`Rule` (per-file AST), :class:`IndexRule`
+(flow-aware: sees the whole-project symbol/call-graph index built from
+cached facts), or the legacy :class:`ProjectRule` (whole-tree over raw
+modules; disables the incremental cache) and registers itself with the
+:func:`register` decorator.  The engine runs every registered rule;
+``python -m repro.qa rules`` lists them.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Type
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence, Type
 
 from .findings import Finding, Severity
 from .source import SourceModule
+
+if TYPE_CHECKING:
+    from .callgraph import ProjectIndex
 
 
 class Rule:
@@ -40,9 +45,46 @@ class Rule:
             source_line=module.line_at(lineno),
         )
 
+    def finding_at(
+        self, path: str, lineno: int, message: str, col: int = 0, source_line: str = ""
+    ) -> Finding:
+        """Build a finding from facts (no :class:`SourceModule` at hand)."""
+        return Finding(
+            rule_id=self.id,
+            severity=self.severity,
+            path=path,
+            line=lineno,
+            col=col,
+            message=message,
+            source_line=source_line,
+        )
+
+
+class IndexRule(Rule):
+    """Flow-aware rule over the project-wide :class:`ProjectIndex`.
+
+    Index rules run after every file's facts are available (parsed or
+    restored from the incremental cache) and may consult the symbol
+    table, the call graph, shape contracts, and call-site argument
+    facts.  They never see raw ASTs, which is what keeps warm cache
+    runs parse-free.
+    """
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def check_index(self, index: "ProjectIndex") -> Iterable[Finding]:
+        """Yield findings computed over the full project index."""
+        raise NotImplementedError
+
 
 class ProjectRule(Rule):
-    """Whole-tree rule: sees every module at once (cross-file analysis)."""
+    """Legacy whole-tree rule over raw modules.
+
+    Prefer :class:`IndexRule`: a registered ProjectRule forces the
+    engine to parse every file on every run (the incremental cache
+    cannot satisfy it).
+    """
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         return ()

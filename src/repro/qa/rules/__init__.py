@@ -4,11 +4,14 @@ from __future__ import annotations
 
 from . import (  # noqa: F401
     api_hygiene,
-    dead_code,
+    cross_dead_code,
     determinism,
     docstrings,
     future_annotations,
     layering,
+    metric_names,
     numeric_safety,
+    shape_contract,
     shape_docs,
+    unused_result,
 )

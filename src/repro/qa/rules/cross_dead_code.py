@@ -1,0 +1,75 @@
+"""Rule ``cross-module-dead-code``: call-graph-unreachable functions.
+
+Supersedes the old per-file ``dead-code`` rule (which only looked at
+module-private helpers and counted *any* textual reference as a use):
+this one walks the project call graph, so a helper kept "alive" only by
+another dead function is still flagged, and *public* top-level
+functions with no path from any entry point are flagged too.
+
+Entry points (roots) are:
+
+* module-level code (imports bind names at import time);
+* names exported through ``__all__`` — exporting is how an
+  intentionally-public API declares itself reachable;
+* decorated functions (decorators usually register them elsewhere);
+* ``main`` functions (console-script entry points) and dunders;
+* any bare-name or attribute reference the resolver cannot type —
+  conservatively roots every function of that name.
+
+The fix for a true positive is therefore one of: call it, export it via
+``__all__``, or delete it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..callgraph import ROOT, CallGraph, ProjectIndex
+from ..findings import Finding, Severity
+from ..registry import IndexRule, register
+
+
+@register
+class CrossModuleDeadCodeRule(IndexRule):
+    id = "cross-module-dead-code"
+    severity = Severity.WARNING
+    description = (
+        "top-level functions must be reachable from an entry point "
+        "(module level, __all__, decorator, main, or a live caller)"
+    )
+
+    def check_index(self, index: ProjectIndex) -> Iterable[Finding]:
+        graph = CallGraph(index)
+        roots = graph.edges[ROOT]
+        for mod in index.modules.values():
+            for name in mod.all_names:
+                target = index.resolve(f"{mod.name}.{name}")
+                if target is not None:
+                    roots.add(target.qualname)
+        for fn in index.functions.values():
+            if fn.decorated or fn.name == "main":
+                roots.add(fn.qualname)
+            elif fn.name.startswith("__") and fn.name.endswith("__"):
+                roots.add(fn.qualname)
+        live = graph.reachable()
+        for qualname in sorted(index.functions):
+            if qualname in live:
+                continue
+            fn = index.functions[qualname]
+            if fn.is_method:
+                continue  # instance dispatch is invisible to the resolver
+            mod = index.module_of[qualname]
+            if fn.is_public:
+                message = (
+                    f"public function {fn.name}() is unreachable from every entry "
+                    "point in the analyzed tree (call it, export it via __all__, "
+                    "or delete it)"
+                )
+            else:
+                message = (
+                    f"private function {fn.name}() is never referenced by any live "
+                    "code in the analyzed tree (delete it or call it)"
+                )
+            yield self.finding_at(
+                mod.relpath, fn.lineno, message, col=fn.col, source_line=fn.line_text
+            )

@@ -1,0 +1,98 @@
+"""Rule ``metric-name``: string literals keyed on metrics must exist.
+
+The paper's fixed vocabulary of 33 Table-1 metric names lives in
+``repro.metrics.catalog``; passing a misspelled name to a metric-keyed
+API (``metric_index``, ``metric_spec``, ``metric_indices``,
+``validate_metric_names``) fails only at runtime, possibly deep inside
+an experiment.  This rule checks it statically: every string constant
+*flowing into* such a call — literally, through locals resolved by
+string-constant propagation, or inside list/tuple literals — must be a
+member of the catalog.
+
+The catalog vocabulary is read from the *analyzed source* of the
+catalog module (the qa package is stdlib-only by the layering DAG, so
+it never imports ``repro.metrics``).  When no catalog module is in the
+analyzed set — e.g. linting a single file — the rule stays silent
+rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..callgraph import ProjectIndex
+from ..findings import Finding, Severity
+from ..registry import IndexRule, register
+from ..symbols import ArgFact, CallSite, ModuleSymbols
+
+#: Metric-keyed APIs taking one name (argument position 0 / ``name``).
+SCALAR_APIS = {"metric_index", "metric_spec"}
+#: Metric-keyed APIs taking a sequence of names in position 0.
+SEQUENCE_APIS = {"metric_indices", "validate_metric_names"}
+
+
+def _first_argument(site: CallSite) -> ArgFact | None:
+    for arg in site.args:
+        if arg.position == 0 or arg.keyword in ("name", "names", "metric_names"):
+            return arg
+    return None
+
+
+def _candidate_strings(arg: ArgFact) -> Iterator[str]:
+    """Every string constant this argument may evaluate to."""
+    if arg.kind == "str" and arg.value is not None:
+        yield arg.value
+    elif arg.kind == "strs" and arg.strings is not None:
+        yield from arg.strings
+    elif arg.kind == "seq" and arg.elements is not None:
+        for element in arg.elements:
+            yield from _candidate_strings(element)
+
+
+@register
+class MetricNameRule(IndexRule):
+    id = "metric-name"
+    severity = Severity.ERROR
+    description = (
+        "string constants flowing into metric-keyed catalog APIs must be "
+        "members of the Table-1 metric vocabulary"
+    )
+
+    def check_index(self, index: ProjectIndex) -> Iterable[Finding]:
+        vocabulary = index.metric_names()
+        if not vocabulary:
+            return  # no catalog module in the analyzed set
+        for mod, site in index.call_sites():
+            target = index.resolve(site.callee)
+            if target is None:
+                continue
+            if target.name not in SCALAR_APIS | SEQUENCE_APIS:
+                continue
+            owner = index.module_of.get(target.qualname)
+            if owner is None or owner.package != "metrics":
+                continue
+            arg = _first_argument(site)
+            if arg is None:
+                continue
+            if target.name in SCALAR_APIS and arg.kind == "seq":
+                continue  # wrong arity is the type checker's problem
+            for value in _candidate_strings(arg):
+                if value not in vocabulary:
+                    yield self._bad_name(mod, site, target.name, value, vocabulary)
+
+    def _bad_name(
+        self,
+        mod: ModuleSymbols,
+        site: CallSite,
+        api: str,
+        value: str,
+        vocabulary: frozenset[str],
+    ) -> Finding:
+        return self.finding_at(
+            mod.relpath,
+            site.lineno,
+            f"{value!r} flows into {api}() but is not one of the "
+            f"{len(vocabulary)} catalog metric names",
+            col=site.col,
+            source_line=site.line_text,
+        )

@@ -1,0 +1,95 @@
+"""Rule ``shape-contract``: call sites must agree with documented shapes.
+
+PR 1's ``shape-doc`` rule makes ``repro.core`` document matrix
+orientations (``n×m`` / ``(m, p)`` markers); this rule makes call
+sites *agree* with them.  Docstring markers are parsed into
+machine-checkable contracts (see the grammar in
+:mod:`repro.qa.symbols`), and dataflow provenance tells the analyzer
+what orientation an argument carries: either the caller's own
+contracted parameter, or the return contract of the call that produced
+the value (through reaching definitions).
+
+A finding fires only on an exact *transpose*: the argument is
+documented ``(a, b)`` while the callee's parameter is documented
+``(b, a)`` with ``a ≠ b`` — the silent-misalignment bug class that
+breaks fingerprint/feature-vector reproduction pipelines.  Call sites
+in ``repro.core`` and ``repro.sim`` are checked (the packages that
+carry the Figure-2 chain ``A(n×m) → A'(p×m) → B(q×m) → C(1×m)``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..callgraph import ProjectIndex
+from ..findings import Finding, Severity
+from ..registry import IndexRule, register
+from ..symbols import ArgFact, FunctionSymbol
+
+#: Caller packages whose call sites are checked.
+CHECKED_PACKAGES = ("core", "sim")
+
+
+def _arg_shape(arg: ArgFact, index: ProjectIndex) -> tuple[str, str] | None:
+    """The orientation the argument value is documented to carry."""
+    if arg.shape is not None:
+        return arg.shape
+    if arg.ret_of is not None:
+        producer = index.resolve(arg.ret_of)
+        if producer is not None:
+            return producer.return_shape
+    return None
+
+
+def _param_shape(target: FunctionSymbol, arg: ArgFact) -> tuple[str, str] | None:
+    """The orientation the callee documents for this parameter."""
+    if arg.keyword is not None:
+        return target.shape_of_param(arg.keyword)
+    if arg.position is not None:
+        return target.shape_of_position(arg.position)
+    return None
+
+
+def _transposed(a: tuple[str, str], b: tuple[str, str]) -> bool:
+    return a[0].lower() != a[1].lower() and (a[1].lower(), a[0].lower()) == (
+        b[0].lower(),
+        b[1].lower(),
+    )
+
+
+@register
+class ShapeContractRule(IndexRule):
+    id = "shape-contract"
+    severity = Severity.ERROR
+    description = (
+        "arguments documented with one matrix orientation must not flow into "
+        "parameters documented with the transposed orientation"
+    )
+
+    def check_index(self, index: ProjectIndex) -> Iterable[Finding]:
+        for mod, site in index.call_sites():
+            if mod.package not in CHECKED_PACKAGES:
+                continue
+            target = index.resolve(site.callee)
+            if target is None or not target.param_shapes:
+                continue
+            for arg in site.args:
+                got = _arg_shape(arg, index)
+                if got is None:
+                    continue
+                want = _param_shape(target, arg)
+                if want is None:
+                    continue
+                if _transposed(got, want):
+                    label = (
+                        f"argument {arg.keyword!r}" if arg.keyword else f"argument {arg.position}"
+                    )
+                    yield self.finding_at(
+                        mod.relpath,
+                        site.lineno,
+                        f"{label} of {target.name}() carries a "
+                        f"{got[0]}×{got[1]} value but the parameter is documented "
+                        f"{want[0]}×{want[1]} — transposed orientation",
+                        col=site.col,
+                        source_line=site.line_text,
+                    )

@@ -1,0 +1,50 @@
+"""Rule ``unused-result``: don't discard what pure core functions return.
+
+A bare expression statement ``fit_pca(data)`` whose callee is a *pure*
+``repro.core`` function computes a value and throws it away — almost
+always a forgotten assignment (the Figure-2 pipeline threads every
+stage's output into the next).  Purity is judged conservatively from
+the callee's own body (no attribute/subscript stores, no globals, no
+imports, only whitelisted builtin calls), and functions whose name
+starts with ``validate``/``check``/``ensure``/``assert`` are exempt:
+raising on bad input *is* their effect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..callgraph import ProjectIndex
+from ..findings import Finding, Severity
+from ..registry import IndexRule, register
+from ..symbols import VALIDATION_PREFIXES
+
+
+@register
+class UnusedResultRule(IndexRule):
+    id = "unused-result"
+    severity = Severity.WARNING
+    description = "discarded return value of a pure repro.core function (assign or remove the call)"
+
+    def check_index(self, index: ProjectIndex) -> Iterable[Finding]:
+        for mod, site in index.call_sites():
+            if site.result_used:
+                continue
+            target = index.resolve(site.callee)
+            if target is None:
+                continue
+            callee_mod = index.module_of.get(target.qualname)
+            if callee_mod is None or callee_mod.package != "core":
+                continue
+            if not (target.returns_value and target.is_pure):
+                continue
+            if target.name.startswith(VALIDATION_PREFIXES):
+                continue
+            yield self.finding_at(
+                mod.relpath,
+                site.lineno,
+                f"result of pure core function {target.name}() is discarded "
+                "(assign it or delete the call)",
+                col=site.col,
+                source_line=site.line_text,
+            )

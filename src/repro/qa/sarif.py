@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 output (``repro-qa check --format sarif``).
+
+Emits the minimal-but-valid subset GitHub code scanning consumes: one
+``run`` with a ``tool.driver`` carrying a ``reportingDescriptor`` per
+registered rule, and one ``result`` per (non-grandfathered) finding
+with a physical location and the engine's stable fingerprint under
+``partialFingerprints`` (so code-scanning alert identity survives line
+shifts, matching the baseline semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .engine import Report
+from .findings import Finding, Severity
+from .registry import Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: SARIF ``level`` for each severity.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, object]:
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; findings store 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproQa/v1": finding.fingerprint()},
+    }
+
+
+def to_sarif(report: Report, rules: Sequence[Rule] = ()) -> dict[str, object]:
+    """The report as a SARIF 2.1.0 log (a JSON-ready dict)."""
+    known = {r.id for r in rules}
+    descriptors = [_rule_descriptor(r) for r in rules]
+    # Findings from rules outside the registry (e.g. ``parse-error``,
+    # which is synthesized by the engine) still need a descriptor.
+    extra = sorted({f.rule_id for f in report.findings} - known)
+    descriptors.extend(
+        {
+            "id": rule_id,
+            "shortDescription": {"text": rule_id},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id in extra
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-qa",
+                        "rules": descriptors,
+                    }
+                },
+                "results": [_result(f) for f in report.findings],
+            }
+        ],
+    }

@@ -115,19 +115,19 @@ def test_qa_check_seeded_violation_exits_one(tmp_path, capsys):
 
 def test_qa_check_json_output_parses(tmp_path, capsys):
     bad = tmp_path / "bad.py"
-    bad.write_text('"""doc."""\n\n\ndef f(x=[]):\n    return x\n')
+    bad.write_text('"""doc."""\n\n__all__ = ["f"]\n\n\ndef f(x=[]):\n    return x\n')
     assert qa_main(["check", str(bad), "--no-baseline", "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["counts"]["error"] == 1
     (finding,) = payload["findings"]
     assert finding["rule"] == "mutable-default"
-    assert finding["line"] == 4
+    assert finding["line"] == 6
     assert finding["fingerprint"].startswith("mutable-default:")
 
 
 def test_qa_check_baseline_grandfathers_finding(tmp_path, capsys):
     bad = tmp_path / "bad.py"
-    bad.write_text('"""doc."""\n\n\ndef f(x=[]):\n    return x\n')
+    bad.write_text('"""doc."""\n\n__all__ = ["f"]\n\n\ndef f(x=[]):\n    return x\n')
     baseline = tmp_path / "baseline.txt"
     assert qa_main(["check", str(bad), "--baseline", str(baseline), "--write-baseline"]) == 0
     capsys.readouterr()

@@ -24,6 +24,14 @@ def findings(source: str, name: str = "repro.core.mod", rule: str | None = None)
     return out
 
 
+def project_findings(sources: dict[str, str], rule: str | None = None):
+    """Lint several snippets as one project (for the flow-aware rules)."""
+    out = Analyzer().run_sources({k: textwrap.dedent(v) for k, v in sources.items()})
+    if rule is not None:
+        out = [f for f in out if f.rule_id == rule]
+    return out
+
+
 # ----------------------------------------------------------------------
 # registry sanity
 # ----------------------------------------------------------------------
@@ -35,12 +43,15 @@ def test_registry_has_all_rule_families():
         "determinism",
         "layering",
         "shape-doc",
+        "shape-contract",
         "float-eq",
+        "metric-name",
         "mutable-default",
         "bare-except",
         "all-resolves",
         "docstring",
-        "dead-code",
+        "cross-module-dead-code",
+        "unused-result",
         "future-annotations",
     }
 
@@ -392,12 +403,16 @@ def test_docstring_property_setter_exempt():
 
 
 # ----------------------------------------------------------------------
-# dead-code
+# cross-module-dead-code
 # ----------------------------------------------------------------------
 
+DEAD = "cross-module-dead-code"
 
-def test_dead_code_fires_on_unreferenced_private_function():
+
+def test_cross_dead_code_fires_on_unreferenced_private_function():
     src = """\
+        __all__ = ["api"]
+
         def _orphan():
             return 1
 
@@ -405,37 +420,520 @@ def test_dead_code_fires_on_unreferenced_private_function():
             "doc"
             return 2
     """
-    hits = findings(src, name="repro.workloads.mod", rule="dead-code")
+    hits = findings(src, name="repro.workloads.mod", rule=DEAD)
     assert len(hits) == 1
     assert "_orphan" in hits[0].message
 
 
-def test_dead_code_clean_when_referenced():
+def test_cross_dead_code_fires_on_unreachable_public_function():
     src = """\
-        def _impl():
+        def api():
+            "doc"
+            return 2
+    """
+    hits = findings(src, name="repro.workloads.mod", rule=DEAD)
+    assert len(hits) == 1
+    assert "api()" in hits[0].message
+    assert "__all__" in hits[0].message
+
+
+def test_cross_dead_code_chain_kept_alive_only_by_dead_code_is_flagged():
+    # _a is "used" — but only by _b, which nothing reaches: both are dead.
+    src = """\
+        __all__ = ["api"]
+
+        def _a():
             return 1
+
+        def _b():
+            return _a()
 
         def api():
             "doc"
-            return _impl()
+            return 2
     """
-    assert findings(src, name="repro.workloads.mod", rule="dead-code") == []
+    hits = findings(src, name="repro.workloads.mod", rule=DEAD)
+    assert len(hits) == 2
+    assert {h.message.split()[2] for h in hits} == {"_a()", "_b()"}
+    assert all("never referenced by any live code" in h.message for h in hits)
 
 
-def test_dead_code_self_recursion_does_not_count():
+def test_cross_dead_code_sees_cross_module_callers():
+    hits = project_findings(
+        {
+            "repro.workloads.lib": """\
+                def helper():
+                    "doc"
+                    return 1
+            """,
+            "repro.workloads.use": """\
+                from repro.workloads.lib import helper
+
+                __all__ = ["api"]
+
+                def api():
+                    "doc"
+                    return helper()
+            """,
+        },
+        rule=DEAD,
+    )
+    assert hits == []
+
+
+def test_cross_dead_code_self_recursion_does_not_count():
     src = """\
         def _loner(n):
             return _loner(n - 1) if n else 0
     """
-    assert findings(src, name="repro.workloads.mod", rule="dead-code")
+    assert findings(src, name="repro.workloads.mod", rule=DEAD)
 
 
-def test_dead_code_pragma_suppressed():
+def test_cross_dead_code_roots_decorated_main_and_exported():
     src = """\
-        def _orphan():  # qa: ignore[dead-code]
+        import functools
+
+        __all__ = ["exported"]
+
+        def exported():
+            "doc"
+            return 1
+
+        @functools.lru_cache
+        def cached():
+            "doc"
+            return 2
+
+        def main():
+            "doc"
+            return 3
+    """
+    assert findings(src, name="repro.workloads.mod", rule=DEAD) == []
+
+
+def test_cross_dead_code_methods_exempt():
+    src = """\
+        __all__ = ["Thing"]
+
+        class Thing:
+            "doc"
+
+            def never_called(self):
+                "doc"
+                return 1
+    """
+    assert findings(src, name="repro.workloads.mod", rule=DEAD) == []
+
+
+def test_cross_dead_code_pragma_suppressed():
+    src = """\
+        def _orphan():  # qa: ignore[cross-module-dead-code]
             return 1
     """
-    assert findings(src, name="repro.workloads.mod", rule="dead-code") == []
+    assert findings(src, name="repro.workloads.mod", rule=DEAD) == []
+
+
+# ----------------------------------------------------------------------
+# shape-contract
+# ----------------------------------------------------------------------
+
+GRAM = """\
+    def gram(x):
+        "Gram matrix of an ``(m, p)`` samples×features input."
+        return x
+"""
+
+
+def test_shape_contract_fires_on_transposed_argument():
+    hits = project_findings(
+        {
+            "repro.core.lib": GRAM,
+            "repro.core.use": """\
+                from repro.core.lib import gram
+
+                def run(z):
+                    "Run on a ``(p, m)`` metrics-by-snapshots matrix z."
+                    return gram(z)
+            """,
+        },
+        rule="shape-contract",
+    )
+    assert len(hits) == 1
+    assert "p×m" in hits[0].message and "m×p" in hits[0].message
+    assert hits[0].path == "<repro.core.use>"
+
+
+def test_shape_contract_clean_on_matching_orientation():
+    hits = project_findings(
+        {
+            "repro.core.lib": GRAM,
+            "repro.core.use": """\
+                from repro.core.lib import gram
+
+                def run(z):
+                    "Run on an ``(m, p)`` matrix z."
+                    return gram(z)
+            """,
+        },
+        rule="shape-contract",
+    )
+    assert hits == []
+
+
+def test_shape_contract_tracks_return_contracts_through_locals():
+    hits = project_findings(
+        {
+            "repro.core.lib": GRAM,
+            "repro.core.make": """\
+                def produce():
+                    "Produce and return the ``(p, m)`` metric matrix."
+                    return [[0.0]]
+            """,
+            "repro.core.use": """\
+                from repro.core.lib import gram
+                from repro.core.make import produce
+
+                def run():
+                    "doc"
+                    y = produce()
+                    return gram(y)
+            """,
+        },
+        rule="shape-contract",
+    )
+    assert len(hits) == 1
+    assert "transposed" in hits[0].message
+
+
+def test_shape_contract_only_checks_core_and_sim_callers():
+    hits = project_findings(
+        {
+            "repro.core.lib": GRAM,
+            "repro.analysis.use": """\
+                from repro.core.lib import gram
+
+                def run(z):
+                    "Run on a ``(p, m)`` matrix z."
+                    return gram(z)
+            """,
+        },
+        rule="shape-contract",
+    )
+    assert hits == []
+
+
+def test_shape_contract_square_shapes_never_flagged():
+    # (p, p) vs (p, p): a == b means a transpose is indistinguishable.
+    hits = project_findings(
+        {
+            "repro.core.lib": """\
+                def sym(x):
+                    "Symmetrize a ``(p, p)`` matrix."
+                    return x
+            """,
+            "repro.core.use": """\
+                from repro.core.lib import sym
+
+                def run(z):
+                    "Run on a ``(p, p)`` matrix z."
+                    return sym(z)
+            """,
+        },
+        rule="shape-contract",
+    )
+    assert hits == []
+
+
+def test_shape_contract_prose_parentheses_are_not_contracts():
+    # "(package, lineno)" is prose, not an orientation marker.
+    hits = project_findings(
+        {
+            "repro.core.lib": GRAM,
+            "repro.core.use": """\
+                from repro.core.lib import gram
+
+                def run(z):
+                    "Takes a pair (package, lineno) and a matrix z."
+                    return gram(z)
+            """,
+        },
+        rule="shape-contract",
+    )
+    assert hits == []
+
+
+def test_shape_contract_pragma_suppressed():
+    hits = project_findings(
+        {
+            "repro.core.lib": GRAM,
+            "repro.core.use": """\
+                from repro.core.lib import gram
+
+                def run(z):
+                    "Run on a ``(p, m)`` matrix z."
+                    return gram(z)  # qa: ignore[shape-contract]
+            """,
+        },
+        rule="shape-contract",
+    )
+    assert hits == []
+
+
+# ----------------------------------------------------------------------
+# metric-name
+# ----------------------------------------------------------------------
+
+CATALOG = """\
+    GANGLIA_DEFAULT_METRICS = (
+        _m("cpu_user"),
+        _m("bytes_in"),
+    )
+
+    EXPERT_METRIC_NAMES = ("cpu_user",)
+
+    def metric_index(name):
+        "doc"
+        return 0
+
+    def metric_indices(names):
+        "doc"
+        return [0 for _ in names]
+"""
+
+
+def test_metric_name_fires_on_unknown_literal():
+    hits = project_findings(
+        {
+            "repro.metrics.catalog": CATALOG,
+            "repro.analysis.use": """\
+                from repro.metrics.catalog import metric_index
+
+                def lookup():
+                    "doc"
+                    return metric_index("cpu_userr")
+            """,
+        },
+        rule="metric-name",
+    )
+    assert len(hits) == 1
+    assert "'cpu_userr'" in hits[0].message
+
+
+def test_metric_name_clean_on_catalog_member():
+    hits = project_findings(
+        {
+            "repro.metrics.catalog": CATALOG,
+            "repro.analysis.use": """\
+                from repro.metrics.catalog import metric_index
+
+                def lookup():
+                    "doc"
+                    return metric_index("cpu_user")
+            """,
+        },
+        rule="metric-name",
+    )
+    assert hits == []
+
+
+def test_metric_name_tracks_string_constants_through_locals():
+    hits = project_findings(
+        {
+            "repro.metrics.catalog": CATALOG,
+            "repro.analysis.use": """\
+                from repro.metrics.catalog import metric_index
+
+                def lookup(flag):
+                    "doc"
+                    name = "cpu_user"
+                    if flag:
+                        name = "bogus_metric"
+                    return metric_index(name)
+            """,
+        },
+        rule="metric-name",
+    )
+    assert len(hits) == 1
+    assert "'bogus_metric'" in hits[0].message
+
+
+def test_metric_name_checks_sequence_literals():
+    hits = project_findings(
+        {
+            "repro.metrics.catalog": CATALOG,
+            "repro.analysis.use": """\
+                from repro.metrics.catalog import metric_indices
+
+                def lookup():
+                    "doc"
+                    return metric_indices(["cpu_user", "ghost_metric"])
+            """,
+        },
+        rule="metric-name",
+    )
+    assert len(hits) == 1
+    assert "'ghost_metric'" in hits[0].message
+
+
+def test_metric_name_silent_without_a_catalog_module():
+    hits = project_findings(
+        {
+            "repro.analysis.use": """\
+                def metric_index(name):
+                    "doc"
+                    return 0
+
+                def lookup():
+                    "doc"
+                    return metric_index("anything_goes")
+            """,
+        },
+        rule="metric-name",
+    )
+    assert hits == []
+
+
+def test_metric_name_unresolvable_names_not_flagged():
+    # A runtime-computed name has no string facts: nothing to check.
+    hits = project_findings(
+        {
+            "repro.metrics.catalog": CATALOG,
+            "repro.analysis.use": """\
+                from repro.metrics.catalog import metric_index
+
+                def lookup(name):
+                    "doc"
+                    return metric_index(name)
+            """,
+        },
+        rule="metric-name",
+    )
+    assert hits == []
+
+
+def test_metric_name_pragma_suppressed():
+    hits = project_findings(
+        {
+            "repro.metrics.catalog": CATALOG,
+            "repro.analysis.use": """\
+                from repro.metrics.catalog import metric_index
+
+                def lookup():
+                    "doc"
+                    return metric_index("cpu_userr")  # qa: ignore[metric-name]
+            """,
+        },
+        rule="metric-name",
+    )
+    assert hits == []
+
+
+# ----------------------------------------------------------------------
+# unused-result
+# ----------------------------------------------------------------------
+
+PURE_CORE = """\
+    def double(x):
+        "doc"
+        return x * 2
+"""
+
+
+def test_unused_result_fires_on_discarded_pure_core_return():
+    hits = project_findings(
+        {
+            "repro.core.pure": PURE_CORE,
+            "repro.sim.use": """\
+                from repro.core.pure import double
+
+                def run():
+                    "doc"
+                    double(21)
+            """,
+        },
+        rule="unused-result",
+    )
+    assert len(hits) == 1
+    assert "double()" in hits[0].message
+
+
+def test_unused_result_clean_when_assigned_or_returned():
+    hits = project_findings(
+        {
+            "repro.core.pure": PURE_CORE,
+            "repro.sim.use": """\
+                from repro.core.pure import double
+
+                def run():
+                    "doc"
+                    y = double(21)
+                    return double(y)
+            """,
+        },
+        rule="unused-result",
+    )
+    assert hits == []
+
+
+def test_unused_result_impure_and_validation_callees_exempt():
+    hits = project_findings(
+        {
+            "repro.core.pure": """\
+                def log_and_double(x):
+                    "doc"
+                    print(x)
+                    return x * 2
+
+                def validate_input(x):
+                    "doc"
+                    return x > 0
+            """,
+            "repro.sim.use": """\
+                from repro.core.pure import log_and_double, validate_input
+
+                def run():
+                    "doc"
+                    log_and_double(21)
+                    validate_input(21)
+            """,
+        },
+        rule="unused-result",
+    )
+    assert hits == []
+
+
+def test_unused_result_non_core_callee_exempt():
+    hits = project_findings(
+        {
+            "repro.workloads.pure": PURE_CORE,
+            "repro.sim.use": """\
+                from repro.workloads.pure import double
+
+                def run():
+                    "doc"
+                    double(21)
+            """,
+        },
+        rule="unused-result",
+    )
+    assert hits == []
+
+
+def test_unused_result_pragma_suppressed():
+    hits = project_findings(
+        {
+            "repro.core.pure": PURE_CORE,
+            "repro.sim.use": """\
+                from repro.core.pure import double
+
+                def run():
+                    "doc"
+                    double(21)  # qa: ignore[unused-result]
+            """,
+        },
+        rule="unused-result",
+    )
+    assert hits == []
 
 
 # ----------------------------------------------------------------------
@@ -481,3 +979,52 @@ def test_bare_pragma_suppresses_every_rule():
 def test_pragma_for_other_rule_does_not_suppress():
     src = "def f(x=[]):  # qa: ignore[float-eq]\n    return x\n"
     assert findings(src, rule="mutable-default")
+
+
+def test_pragma_on_decorated_def_line_not_decorator_line():
+    # The docstring finding anchors at the ``def`` line, so that is where
+    # the pragma must sit; one on the decorator line does nothing.
+    on_def = """\
+        import functools
+
+        @functools.lru_cache
+        def api():  # qa: ignore[docstring]
+            return 1
+    """
+    on_decorator = """\
+        import functools
+
+        @functools.lru_cache  # qa: ignore[docstring]
+        def api():
+            return 1
+    """
+    assert findings(on_def, name="repro.scheduler.mod", rule="docstring") == []
+    assert findings(on_decorator, name="repro.scheduler.mod", rule="docstring")
+
+
+def test_pragma_on_multiline_statement_anchors_at_first_line():
+    # The comparison spans three lines; the finding (and therefore the
+    # pragma) is on the line where the expression starts.
+    suppressed = """\
+        ok = (value  # qa: ignore[float-eq]
+              ==
+              0.15)
+    """
+    unsuppressed = """\
+        ok = (value
+              ==
+              0.15)  # qa: ignore[float-eq]
+    """
+    assert findings(suppressed, rule="float-eq") == []
+    assert findings(unsuppressed, rule="float-eq")
+
+
+def test_stacked_pragma_ids_suppress_each_listed_rule():
+    src = """\
+        def f(x=[], y=0.15):  # qa: ignore[mutable-default, float-eq, docstring]
+            return x == 0.15
+    """
+    hits = findings(src, name="repro.scheduler.mod")
+    assert [f for f in hits if f.rule_id in ("mutable-default", "docstring")] == []
+    # The float-eq comparison is on a *different* line: still reported.
+    assert [f.rule_id for f in hits if f.rule_id == "float-eq"] == ["float-eq"]
