@@ -1,0 +1,102 @@
+"""Observability overhead — instrumentation must stay under 5%.
+
+Times ``classify_series`` (the paper's Figure 2 pipeline, the hottest
+instrumented path) with collection disabled and enabled.  Rounds are
+paired — each disabled round is immediately followed by an enabled one
+— and the asserted statistic is the *median of paired deltas*, so CPU
+frequency drift and scheduler noise that move both arms together cancel
+out.  Uses plain ``time.perf_counter`` loops rather than the
+pytest-benchmark fixture so it runs in CI, where that plugin is not
+installed.
+
+The disabled case exercises the no-op facade (shared null singletons);
+the enabled case records one span, five stage-histogram observations,
+and two counters per call.  CI fails this bench if the enabled arm
+costs more than 5% of the disabled baseline plus a small absolute
+noise floor.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro import obs
+from repro.sim.execution import profiled_run
+from repro.workloads.cpu import specseis96
+
+from conftest import emit
+
+#: Calls per timed round.
+CALLS_PER_ROUND = 15
+#: Paired (disabled, enabled) rounds; the median delta is the estimate.
+ROUNDS = 11
+MAX_RELATIVE_OVERHEAD = 0.05
+#: Absolute noise floor per call (seconds): shared-runner scheduling
+#: jitter observed on paired medians.  Small enough that reverting to
+#: per-stage spans (~+35 us/call) still fails the gate.
+NOISE_FLOOR_S = 15e-6
+
+
+@pytest.fixture(scope="module")
+def seis_run():
+    return profiled_run(specseis96("small"), seed=200)
+
+
+def _time_round(classify, series):
+    # Two untimed calls absorb switch transients (a fresh registry's
+    # instrument creation, branch-predictor retraining) so the timed
+    # window sees only steady-state cost.
+    classify(series)
+    classify(series)
+    t0 = time.perf_counter()
+    for _ in range(CALLS_PER_ROUND):
+        classify(series)
+    return (time.perf_counter() - t0) / CALLS_PER_ROUND
+
+
+def test_obs_overhead_under_five_percent(classifier, seis_run, out_dir):
+    series = seis_run.series
+    classify = classifier.classify_series
+    obs.disable()
+    for _ in range(3):  # warm-up: caches, lazy allocations
+        classify(series)
+
+    off = []
+    on = []
+    try:
+        for _ in range(ROUNDS):
+            obs.disable()
+            off.append(_time_round(classify, series))
+            obs.enable()
+            on.append(_time_round(classify, series))
+    finally:
+        obs.disable()
+
+    baseline = min(off)
+    delta = statistics.median(e - o for e, o in zip(on, off))
+    overhead = delta / baseline
+    budget = MAX_RELATIVE_OVERHEAD * baseline + NOISE_FLOOR_S
+    emit(
+        out_dir,
+        "obs_overhead.txt",
+        "Observability overhead: classify_series, "
+        f"median of {ROUNDS} paired rounds x {CALLS_PER_ROUND} calls\n"
+        f"  disabled: {baseline * 1e3:.3f} ms/call (best round)\n"
+        f"  enabled:  {min(on) * 1e3:.3f} ms/call (best round)\n"
+        f"  overhead: {overhead * 100:+.2f}%  ({delta * 1e6:+.1f} us/call, paired median)\n"
+        f"  budget:   {MAX_RELATIVE_OVERHEAD * 100:.0f}% + {NOISE_FLOOR_S * 1e6:.0f} us noise floor",
+    )
+    assert delta <= budget, (
+        f"observability overhead {delta * 1e6:.1f} us/call ({overhead * 100:.2f}%) "
+        f"exceeds budget {budget * 1e6:.1f} us/call "
+        f"({MAX_RELATIVE_OVERHEAD * 100:.0f}% of {baseline * 1e3:.3f} ms baseline + noise floor)"
+    )
+
+
+def test_obs_disabled_records_nothing(classifier, seis_run):
+    """The disabled arm really is the null path (no instruments created)."""
+    obs.disable()
+    classifier.classify_series(seis_run.series)
+    assert obs.get_registry().instruments() == []
+    assert obs.get_registry().spans() == []

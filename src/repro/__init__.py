@@ -29,11 +29,26 @@ Subpackages
 - :mod:`repro.scheduler` — class-aware scheduling and throughput studies.
 - :mod:`repro.analysis` — cluster diagrams and report rendering.
 - :mod:`repro.experiments` — drivers for each paper table/figure.
+- :mod:`repro.obs` — observability: metrics registry, tracing spans,
+  Prometheus/JSON exporters (off by default; ``obs.enable()``).
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, core, db, experiments, manager, metrics, monitoring, scheduler, sim, vm, workloads
+from . import (
+    analysis,
+    core,
+    db,
+    experiments,
+    manager,
+    metrics,
+    monitoring,
+    obs,
+    scheduler,
+    sim,
+    vm,
+    workloads,
+)
 
 __all__ = [
     "analysis",
@@ -43,6 +58,7 @@ __all__ = [
     "manager",
     "metrics",
     "monitoring",
+    "obs",
     "scheduler",
     "sim",
     "vm",

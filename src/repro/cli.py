@@ -9,6 +9,8 @@ Usage::
     python -m repro fig3
     python -m repro fig4 [--horizon S]
     python -m repro cost [--samples N]
+    python -m repro obs dump [--app KEY] [--format prometheus|json]
+    python -m repro obs reset
 
 Every command trains the classifier from scratch (a few seconds) so the
 tool is fully self-contained.
@@ -19,6 +21,7 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from . import obs
 from .analysis.clustering import ClusterDiagram
 from .analysis.reports import render_bar_chart, render_table3, render_table4
 from .experiments.cost import collect_snapshot_pool, measure_cost
@@ -27,6 +30,7 @@ from .experiments.fig45 import run_fig45
 from .experiments.table3 import run_table3
 from .experiments.table4 import run_table4
 from .experiments.training import build_trained_classifier
+from .manager.service import ResourceManager
 from .sim.execution import profiled_run
 from .workloads.catalog import all_keys, entry, test_entries
 
@@ -69,6 +73,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("app", help="catalog key (see list-apps)")
     p.add_argument("--mem", type=float, default=None, help="VM memory override (MB)")
     p.add_argument("--seed", type=int, default=42)
+
+    p = sub.add_parser("obs", help="observability: dump or reset the metrics registry")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    d = obs_sub.add_parser(
+        "dump",
+        help="profile + learn one application with collection on, then dump all metrics",
+    )
+    d.add_argument("--app", default="postmark", help="catalog key to profile (see list-apps)")
+    d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--mem", type=float, default=None, help="VM memory override (MB)")
+    d.add_argument(
+        "--format", choices=("prometheus", "json", "trace"), default="prometheus"
+    )
+    d.add_argument(
+        "--no-run",
+        action="store_true",
+        help="dump whatever the process-local registry already holds, without running",
+    )
+    obs_sub.add_parser("reset", help="drop every collected metric and span")
 
     return parser
 
@@ -192,6 +215,31 @@ def _cmd_stages(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "reset":
+        obs.reset()
+        print("observability registry reset")
+        return 0
+    obs.enable()
+    if not args.no_run:
+        try:
+            e = entry(args.app)
+        except KeyError:
+            print(f"error: unknown application {args.app!r}; run `repro list-apps`")
+            return 2
+        manager = ResourceManager(seed=args.seed)
+        mem = args.mem if args.mem is not None else e.vm_mem_mb
+        manager.profile_and_learn(args.app, e.build(), vm_mem_mb=mem)
+    registry = obs.get_registry()
+    if args.format == "json":
+        print(obs.render_json(registry))
+    elif args.format == "trace":
+        print(obs.render_trace(registry.spans()))
+    else:
+        print(obs.render_prometheus(registry), end="")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -213,4 +261,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "stages":
         return _cmd_stages(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -188,16 +188,44 @@ class KNeighborsClassifier:
     def _predict_weighted(
         self, neighbor_labels: np.ndarray, distances: np.ndarray, n_classes: int
     ) -> np.ndarray:
-        """Inverse-distance-weighted voting (ablation variant)."""
+        """Inverse-distance-weighted voting (ablation variant).
+
+        *neighbor_labels* and *distances* both have shape ``(m, k)``.
+        Exact matches dominate: in any row containing zero-distance
+        neighbors, only those neighbors vote (each with unit weight), so
+        an exact training-pool hit can never be outvoted by a cloud of
+        merely-near neighbors.  Ties break exactly like the unweighted
+        path: higher score, then smaller summed neighbor distance, then
+        smaller class code.
+        """
         m = neighbor_labels.shape[0]
-        weights = 1.0 / (distances + 1e-9)
+        rows = np.repeat(np.arange(m), self.k)
+        # Distances come out of kneighbors clipped at zero, so <= 0 is
+        # the exact-match condition.
+        exact = distances <= 0.0
+        has_exact = exact.any(axis=1)
+        safe = np.where(exact, 1.0, distances)  # avoid 0-division; masked below
+        weights = np.where(has_exact[:, None], exact.astype(np.float64), 1.0 / safe)
         scores = np.zeros((m, n_classes), dtype=np.float64)
+        np.add.at(scores, (rows, neighbor_labels.ravel()), weights.ravel())
+        # Distance sums over *contributing* neighbors only (tie-break 1).
+        dist_sums = np.zeros((m, n_classes), dtype=np.float64)
         np.add.at(
-            scores,
-            (np.repeat(np.arange(m), self.k), neighbor_labels.ravel()),
-            weights.ravel(),
+            dist_sums,
+            (rows, neighbor_labels.ravel()),
+            np.where(weights > 0.0, distances, 0.0).ravel(),
         )
-        return scores.argmax(axis=1).astype(np.int64)
+        best = np.full(m, -1, dtype=np.int64)
+        best_score = np.full(m, -np.inf, dtype=np.float64)
+        best_dist = np.full(m, np.inf, dtype=np.float64)
+        for c in range(n_classes):
+            s = scores[:, c]
+            d = np.where(s > 0.0, dist_sums[:, c], np.inf)
+            better = (s > best_score) | ((s == best_score) & (d < best_dist))
+            best = np.where(better, c, best)
+            best_score = np.where(better, s, best_score)
+            best_dist = np.where(better, d, best_dist)
+        return best
 
     def predict_one(self, point: np.ndarray) -> int:
         """Convenience: classify a single feature vector of shape ``(q,)``."""

@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..metrics.catalog import metric_indices
 from ..monitoring.multicast import MetricAnnouncement, MulticastChannel
+from ..obs import counter as obs_counter, enabled as obs_enabled, histogram as obs_histogram
 from .labels import ALL_CLASSES, ClassComposition, SnapshotClass
 from .pipeline import ApplicationClassifier
 
@@ -100,26 +102,96 @@ class OnlineClassifier:
         # Bound-method access creates a fresh object each time; keep one
         # reference so unsubscribe can match it by identity.
         self._callback = self._on_announcement
-        channel.subscribe(self._callback)
+        self._metric_idx: np.ndarray | None = None
+        self._attached = False
+        self.attach()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """True while subscribed to the channel."""
+        return self._attached
+
+    def attach(self) -> None:
+        """(Re)subscribe to the channel; idempotent.
+
+        The selector's metric-index array is (re)computed here, once per
+        attachment, so the per-announcement path never touches the
+        catalog.  Node state accumulated before a detach is kept — a
+        re-attached classifier resumes its rolling compositions.
+        """
+        if self._attached:
+            return
+        self._metric_idx = np.asarray(metric_indices(self._selector_names), dtype=np.intp)
+        self.channel.subscribe(self._callback)
+        self._attached = True
+
+    def detach(self) -> None:
+        """Unsubscribe from the channel (stop consuming announcements).
+
+        Idempotent: a second ``detach()`` is a no-op, and a channel that
+        already dropped the subscription (torn down or replaced) is
+        tolerated.  Accumulated node state stays queryable; call
+        :meth:`attach` to resume consuming.
+        """
+        if not self._attached:
+            return
+        self._attached = False
+        try:
+            self.channel.unsubscribe(self._callback)
+        except ValueError:
+            # The channel no longer knows this listener (it was torn
+            # down or recreated underneath us); detaching twice through
+            # different paths must not blow up the shutdown sequence.
+            pass
 
     # ------------------------------------------------------------------
     # streaming path
     # ------------------------------------------------------------------
     def _on_announcement(self, announcement: MetricAnnouncement) -> None:
-        if self._allow is not None and announcement.node not in self._allow:
+        if not self._attached:
+            # Late delivery after detach (e.g. detach from inside another
+            # listener during the same fan-out) — drop, never classify.
+            obs_counter("online.announcements.dropped", help="Announcements ignored.").inc()
             return
+        if self._allow is not None and announcement.node not in self._allow:
+            obs_counter("online.announcements.dropped", help="Announcements ignored.").inc()
+            return
+        timed = obs_enabled()
+        clock = self.classifier.clock
+        t = clock() if timed else 0.0
         cls = self.classify_announcement(announcement)
         state = self._states.get(announcement.node)
         if state is None:
             state = NodeClassificationState(node=announcement.node)
             self._states[announcement.node] = state
         state.record(cls, announcement.timestamp)
+        if timed:
+            obs_histogram(
+                "online.announcement.seconds",
+                help="Per-announcement online classification latency.",
+            ).observe(clock() - t)
+            obs_counter("online.announcements.classified", help="Announcements classified.").inc()
 
     def classify_announcement(self, announcement: MetricAnnouncement) -> SnapshotClass:
-        """Classify a single 33-metric announcement vector."""
-        from ..metrics.catalog import metric_indices
+        """Classify a single 33-metric announcement vector.
 
-        raw = announcement.values[metric_indices(self._selector_names)][None, :]
+        Uses the selector index array hoisted at :meth:`attach` time —
+        nothing on this path recomputes catalog lookups.
+
+        Raises
+        ------
+        RuntimeError
+            If called while detached (the hoisted state is only
+            guaranteed fresh between ``attach()`` and ``detach()``).
+        """
+        if not self._attached or self._metric_idx is None:
+            raise RuntimeError(
+                "OnlineClassifier is detached; call attach() before classifying announcements"
+            )
+        raw = announcement.values[self._metric_idx][None, :]
         code = self.classifier.classify_snapshot_features(raw)[0]
         return SnapshotClass(int(code))
 
@@ -155,7 +227,3 @@ class OnlineClassifier:
         if state.current_class is not None and state.streak >= min_streak:
             return state.current_class
         return None
-
-    def detach(self) -> None:
-        """Unsubscribe from the channel (stop consuming announcements)."""
-        self.channel.unsubscribe(self._callback)

@@ -9,6 +9,8 @@ for never-seen applications.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Iterable
 
@@ -87,11 +89,33 @@ class ApplicationDB:
     # persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write all records to a JSON file."""
+        """Atomically write all records to a JSON file.
+
+        The payload goes to a temporary file in the target directory
+        first and is moved into place with :func:`os.replace`, so a
+        crash mid-write can never corrupt a previously learned database
+        — either the old contents or the complete new contents survive.
+        """
+        target = Path(path)
         payload = {
             app: [r.to_dict() for r in records] for app, records in self._runs.items()
         }
-        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        data = json.dumps(payload, indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "ApplicationDB":

@@ -30,6 +30,7 @@ from ..db.prediction import KnnRuntimePredictor, MeanPredictor, RuntimePredictio
 from ..db.records import RunRecord
 from ..db.store import ApplicationDB
 from ..experiments.training import build_trained_classifier
+from ..obs import counter as obs_counter, span as obs_span
 from ..scheduler.class_aware import ClassAwareScheduler, Placement
 from ..scheduler.composition_aware import CompositionAwareScheduler
 from ..scheduler.reservation import ResourceReservation, recommend_reservation
@@ -72,7 +73,8 @@ class ResourceManager:
     def ensure_trained(self) -> ApplicationClassifier:
         """Train the default classifier on first use; return it."""
         if self.classifier is None:
-            self.classifier = build_trained_classifier(seed=self.seed).classifier
+            with obs_span("manager.train"):
+                self.classifier = build_trained_classifier(seed=self.seed).classifier
         if not self.classifier.trained:
             raise RuntimeError("a classifier was supplied but is untrained")
         return self.classifier
@@ -82,10 +84,13 @@ class ResourceManager:
     # ------------------------------------------------------------------
     def classify_only(self, workload: Workload, vm_mem_mb: float = 256.0) -> ClassificationResult:
         """Profile and classify a workload without recording it."""
-        classifier = self.ensure_trained()
-        self._profile_counter += 1
-        run = profiled_run(workload, vm_mem_mb=vm_mem_mb, seed=self.seed + 1000 + self._profile_counter)
-        return classifier.classify_series(run.series)
+        with obs_span("manager.classify_only"):
+            classifier = self.ensure_trained()
+            self._profile_counter += 1
+            run = profiled_run(
+                workload, vm_mem_mb=vm_mem_mb, seed=self.seed + 1000 + self._profile_counter
+            )
+            return classifier.classify_series(run.series)
 
     def profile_and_learn(
         self,
@@ -94,24 +99,28 @@ class ResourceManager:
         vm_mem_mb: float = 256.0,
     ) -> LearnOutcome:
         """Run *workload* in a dedicated VM, classify it, store the record."""
-        classifier = self.ensure_trained()
-        self._profile_counter += 1
-        run = profiled_run(
-            workload, vm_mem_mb=vm_mem_mb, seed=self.seed + 1000 + self._profile_counter
-        )
-        result = classifier.classify_series(run.series)
-        record = RunRecord(
-            application=application,
-            node=run.node,
-            t0=run.t0,
-            t1=run.t1,
-            num_samples=result.num_samples,
-            application_class=result.application_class,
-            composition=result.composition,
-            environment={"vm_mem_mb": vm_mem_mb},
-        )
-        self.db.add_run(record)
-        return LearnOutcome(record=record, result=result, run=run)
+        with obs_span("manager.profile_and_learn"):
+            classifier = self.ensure_trained()
+            self._profile_counter += 1
+            with obs_span("manager.profile"):
+                run = profiled_run(
+                    workload, vm_mem_mb=vm_mem_mb, seed=self.seed + 1000 + self._profile_counter
+                )
+            with obs_span("manager.classify"):
+                result = classifier.classify_series(run.series)
+            record = RunRecord(
+                application=application,
+                node=run.node,
+                t0=run.t0,
+                t1=run.t1,
+                num_samples=result.num_samples,
+                application_class=result.application_class,
+                composition=result.composition,
+                environment={"vm_mem_mb": vm_mem_mb},
+            )
+            self.db.add_run(record)
+            obs_counter("manager.runs.learned", help="Profiling runs learned into the DB.").inc()
+            return LearnOutcome(record=record, result=result, run=run)
 
     def known_applications(self) -> list[str]:
         """Applications with at least one learned run."""
@@ -146,11 +155,12 @@ class ResourceManager:
         ValueError
             For an unknown policy.
         """
-        if policy == "class":
-            return ClassAwareScheduler(self.db).schedule_jobs(jobs, machines)
-        if policy == "composition":
-            return CompositionAwareScheduler(self.db).schedule_jobs(jobs, machines)
-        raise ValueError(f"unknown policy {policy!r}; use 'class' or 'composition'")
+        with obs_span("manager.schedule"):
+            if policy == "class":
+                return ClassAwareScheduler(self.db).schedule_jobs(jobs, machines)
+            if policy == "composition":
+                return CompositionAwareScheduler(self.db).schedule_jobs(jobs, machines)
+            raise ValueError(f"unknown policy {policy!r}; use 'class' or 'composition'")
 
     def reserve(self, application: str, headroom_sigmas: float = 2.0) -> ResourceReservation:
         """Reservation recommendation from the run history."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..metrics.catalog import metric_index
+from ..obs import counter as obs_counter
 from .multicast import MetricAnnouncement, MulticastChannel
 
 
@@ -47,6 +48,9 @@ class GmetadAggregator:
             state.history = deque(maxlen=self._history_len)
             self._nodes[announcement.node] = state
         state.record(announcement)
+        obs_counter(
+            "monitoring.aggregator.ingested", help="Announcements folded into cluster state."
+        ).inc()
 
     # ------------------------------------------------------------------
     # queries

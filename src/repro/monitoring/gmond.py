@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..metrics.catalog import ALL_METRIC_NAMES, NUM_METRICS, metric_index
+from ..obs import counter as obs_counter
 from ..vm.machine import VirtualMachine
 from .multicast import MetricAnnouncement, MulticastChannel
 from .procfs import SimulatedProcFS
@@ -179,6 +180,11 @@ class Gmond:
         announcement = MetricAnnouncement(node=self.vm.name, timestamp=now, values=self.collect(now))
         self.channel.announce(announcement)
         self.announcement_count += 1
+        obs_counter(
+            "monitoring.gmond.announcements",
+            help="Heartbeats announced per gmond.",
+            node=self.vm.name,
+        ).inc()
         return announcement
 
 

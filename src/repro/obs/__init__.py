@@ -1,0 +1,152 @@
+"""repro.obs — pipeline observability (metrics registry, spans, exporters).
+
+The paper's classifier lives inside a resource-management loop
+(profiler → classification center → application DB → schedulers); in
+production every stage of that loop must expose its latency, throughput
+and error behaviour.  This package is the telemetry subsystem the rest
+of the tree instruments itself with:
+
+* a process-local :class:`~repro.obs.registry.MetricsRegistry` of
+  counters, gauges, and fixed-bucket latency histograms;
+* hierarchical tracing :func:`span`\\ s driven by an injectable clock,
+  so traces are deterministic under test;
+* Prometheus-text and JSON exporters plus the ``repro obs`` CLI.
+
+Collection is **off by default**: the module-level registry starts as a
+:class:`~repro.obs.registry.NullRegistry` whose instruments are shared
+no-op singletons, so the instrumentation calls scattered through the
+hot paths cost almost nothing until :func:`enable` flips the one global
+switch.  Stdlib-only by design — every layer of the architecture DAG may
+import it.
+
+Typical use::
+
+    from repro import obs
+
+    registry = obs.enable()
+    ...  # run the pipeline
+    print(obs.render_prometheus(registry))
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .export import registry_to_dict, render_json, render_prometheus
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Clock,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SPAN_HISTOGRAM_NAME,
+)
+from .spans import SpanRecord, render_trace
+
+_SWITCH_LOCK = threading.Lock()
+_NULL_REGISTRY = NullRegistry()
+_registry: MetricsRegistry | NullRegistry = _NULL_REGISTRY
+
+
+def enable(clock: Clock | None = None) -> MetricsRegistry:
+    """Switch collection on; returns the live registry.
+
+    Idempotent: if already enabled, the existing registry (and its
+    collected data) is kept; a non-``None`` *clock* replaces its default
+    span clock either way.
+    """
+    global _registry
+    with _SWITCH_LOCK:
+        current = _registry
+        if isinstance(current, MetricsRegistry):
+            if clock is not None:
+                current.clock = clock
+            return current
+        live = MetricsRegistry(clock=clock)
+        _registry = live
+        return live
+
+
+def disable() -> None:
+    """Switch collection off (instrumentation reverts to no-ops).
+
+    The previous registry and its data are discarded; call
+    :func:`get_registry` first to keep a reference for late export.
+    """
+    global _registry
+    with _SWITCH_LOCK:
+        _registry = _NULL_REGISTRY
+
+
+def enabled() -> bool:
+    """True while a live registry is collecting."""
+    return _registry.enabled
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The currently active registry (live or the shared null one)."""
+    return _registry
+
+
+def reset() -> None:
+    """Drop all collected instruments and spans (no-op while disabled)."""
+    _registry.reset()
+
+
+def counter(name: str, help: str = "", **labels: str) -> Counter:
+    """Counter *name* from the active registry (no-op when disabled)."""
+    return _registry.counter(name, help=help, **labels)
+
+
+def gauge(name: str, help: str = "", **labels: str) -> Gauge:
+    """Gauge *name* from the active registry (no-op when disabled)."""
+    return _registry.gauge(name, help=help, **labels)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    **labels: str,
+) -> Histogram:
+    """Histogram *name* from the active registry (no-op when disabled)."""
+    return _registry.histogram(name, help=help, buckets=buckets, **labels)
+
+
+def span(name: str, clock: Clock | None = None) -> object:
+    """Open a tracing span on the active registry.
+
+    While disabled this returns a shared no-op context manager that
+    never reads any clock, so fake-clock call sequences in tests are
+    unchanged unless observability is explicitly on.
+    """
+    return _registry.span(name, clock=clock)
+
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SPAN_HISTOGRAM_NAME",
+    "SpanRecord",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "registry_to_dict",
+    "render_json",
+    "render_prometheus",
+    "render_trace",
+    "reset",
+    "span",
+]

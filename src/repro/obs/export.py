@@ -1,0 +1,147 @@
+"""Exporters: Prometheus text format and JSON.
+
+The registry is process-local; these functions turn its current state
+into the two formats downstream tooling expects:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``_total`` counters, cumulative
+  ``le`` histogram buckets), suitable for a scrape endpoint or a
+  textfile-collector drop;
+* :func:`render_json` / :func:`registry_to_dict` — a structured dump
+  including the span trace buffer, for ad-hoc inspection and tests.
+
+Internal instrument names are dotted (``pipeline.snapshots``); the
+Prometheus renderer sanitizes them to the ``repro_*`` namespace
+(``repro_pipeline_snapshots_total``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Iterable
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, NullRegistry
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Namespace prefix applied to every exported Prometheus metric.
+PROMETHEUS_PREFIX = "repro_"
+
+
+def prometheus_name(name: str, kind: str = "gauge") -> str:
+    """Sanitized, prefixed Prometheus metric family name.
+
+    Dots (and any other invalid characters) become underscores;
+    counters get the conventional ``_total`` suffix.
+    """
+    base = _INVALID_CHARS.sub("_", name)
+    if not base.startswith(PROMETHEUS_PREFIX):
+        base = PROMETHEUS_PREFIX + base
+    if kind == "counter" and not base.endswith("_total"):
+        base += "_total"
+    return base
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: Iterable[tuple[str, str]], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in sorted(pairs))
+    return "{" + inner + "}"
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return format(bound, ".12g")
+
+
+def render_prometheus(registry: MetricsRegistry | NullRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    families: dict[str, list[str]] = {}
+    headers: dict[str, tuple[str, str]] = {}
+    for instrument in registry.instruments():
+        fam = prometheus_name(instrument.name, instrument.kind)
+        headers.setdefault(fam, (instrument.kind, instrument.help))
+        lines = families.setdefault(fam, [])
+        if isinstance(instrument, Counter):
+            lines.append(f"{fam}{_label_text(instrument.labels)} {format(instrument.value, '.12g')}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"{fam}{_label_text(instrument.labels)} {format(instrument.value, '.12g')}")
+        elif isinstance(instrument, Histogram):
+            bounds, cumulative, total, count = instrument.snapshot()
+            for bound, cum in zip(tuple(bounds) + (math.inf,), cumulative):
+                le = (("le", _format_bound(bound)),)
+                lines.append(f"{fam}_bucket{_label_text(instrument.labels, le)} {cum}")
+            lines.append(f"{fam}_sum{_label_text(instrument.labels)} {format(total, '.12g')}")
+            lines.append(f"{fam}_count{_label_text(instrument.labels)} {count}")
+    out: list[str] = []
+    for fam in sorted(families):
+        kind, help_text = headers[fam]
+        if help_text:
+            out.append(f"# HELP {fam} {help_text}")
+        out.append(f"# TYPE {fam} {kind}")
+        out.extend(families[fam])
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def registry_to_dict(registry: MetricsRegistry | NullRegistry) -> dict:
+    """Structured dump of every instrument plus the span trace buffer."""
+    counters = []
+    gauges = []
+    histograms = []
+    for instrument in registry.instruments():
+        labels = dict(instrument.labels)
+        if isinstance(instrument, Counter):
+            counters.append({"name": instrument.name, "labels": labels, "value": instrument.value})
+        elif isinstance(instrument, Gauge):
+            gauges.append({"name": instrument.name, "labels": labels, "value": instrument.value})
+        elif isinstance(instrument, Histogram):
+            bounds, cumulative, total, count = instrument.snapshot()
+            histograms.append(
+                {
+                    "name": instrument.name,
+                    "labels": labels,
+                    "buckets": list(bounds),
+                    "cumulative_counts": list(cumulative),
+                    "sum": total,
+                    "count": count,
+                }
+            )
+    spans = [
+        {
+            "name": s.name,
+            "parent": s.parent,
+            "depth": s.depth,
+            "start_s": s.start_s,
+            "duration_s": s.duration_s,
+        }
+        for s in registry.spans()
+    ]
+    return {
+        "enabled": registry.enabled,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "spans": spans,
+    }
+
+
+def render_json(registry: MetricsRegistry | NullRegistry, indent: int = 2) -> str:
+    """JSON dump of :func:`registry_to_dict`."""
+    return json.dumps(registry_to_dict(registry), indent=indent, sort_keys=True)
+
+
+__all__ = [
+    "PROMETHEUS_PREFIX",
+    "prometheus_name",
+    "registry_to_dict",
+    "render_json",
+    "render_prometheus",
+]

@@ -1,0 +1,510 @@
+"""Process-local metrics registry: counters, gauges, latency histograms.
+
+The registry is the collection half of the :mod:`repro.obs` subsystem
+(the paper's monitoring-first philosophy turned on the pipeline itself:
+every stage of the resource-management loop must expose its latency,
+throughput, and error behaviour).  Three instrument kinds cover those
+needs:
+
+* :class:`Counter` — monotone event counts (announcements ingested,
+  snapshots classified, simulation ticks);
+* :class:`Gauge` — instantaneous values (active workload instances);
+* :class:`Histogram` — fixed-bucket latency distributions (stage and
+  span durations), exportable in the Prometheus cumulative-bucket form.
+
+All updates are thread-safe (one lock per instrument, one registry lock
+for get-or-create).  Time never enters the registry implicitly: spans
+read an injectable ``Clock`` (see :mod:`repro.obs.spans`), so traces
+collected under a fake clock are bit-reproducible.
+
+A :class:`NullRegistry` implements the same surface as no-ops; it is the
+default registry of the :mod:`repro.obs` facade, which makes every
+instrumentation call site effectively free until collection is switched
+on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterator
+
+from .spans import SpanRecord, null_span
+
+#: A clock is any zero-argument callable returning seconds as a float —
+#: the same injectable-clock contract as ``repro.core.pipeline.Clock``.
+Clock = Callable[[], float]
+
+#: Production clock, held as a reference (the injected-clock pattern):
+#: spans call whatever clock the registry or the caller supplies.
+DEFAULT_CLOCK: Clock = time.perf_counter
+
+#: Default latency buckets in seconds (upper bounds; +Inf is implicit).
+#: Spaced to resolve both per-snapshot costs (~µs) and whole profiling
+#: runs (~s).
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = (
+    1e-6,
+    5e-6,
+    1e-5,
+    5e-5,
+    1e-4,
+    5e-4,
+    1e-3,
+    5e-3,
+    1e-2,
+    5e-2,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+#: Name of the histogram every finished span observes its duration into
+#: (labelled with ``span=<span name>``).
+SPAN_HISTOGRAM_NAME = "span.seconds"
+
+#: Finished spans retained for trace dumps (bounded ring buffer).
+DEFAULT_TRACE_CAPACITY = 4096
+
+#: Label key/value pairs, sorted — the identity of one instrument.
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _label_set(labels: dict[str, str]) -> LabelSet:
+    """Normalize a label dict to the sorted-tuple identity form."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help", "_lock", "_value")
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the count.
+
+        Raises
+        ------
+        ValueError
+            On a negative increment (counters only go up).
+        """
+        if amount < 0:
+            raise ValueError("counters cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Instantaneous value that can move in both directions."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help", "_lock", "_value")
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (may be negative) to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract *amount* from the gauge."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values (latencies).
+
+    Buckets are upper bounds in increasing order; observations above the
+    last bound land in the implicit +Inf bucket.  Internally counts are
+    per-bucket; :meth:`snapshot` returns the Prometheus cumulative form.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "help", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(buckets) != sorted(buckets):
+            raise ValueError("bucket bounds must be increasing")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        i = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> tuple[tuple[float, ...], tuple[int, ...], float, int]:
+        """Return ``(bounds, cumulative_counts, sum, count)`` atomically.
+
+        ``cumulative_counts`` has one entry per bound plus the final
+        +Inf entry (equal to ``count``), in the Prometheus ``le`` form.
+        """
+        with self._lock:
+            cumulative = []
+            running = 0
+            for c in self._counts:
+                running += c
+                cumulative.append(running)
+            return self.buckets, tuple(cumulative), self._sum, self._count
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Live registry: get-or-create instruments, record spans, snapshot.
+
+    Parameters
+    ----------
+    clock:
+        Default span clock (see :data:`DEFAULT_CLOCK`); inject a fake
+        for deterministic traces.
+    trace_capacity:
+        Finished spans retained in the ring buffer.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Clock | None = None, trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if trace_capacity < 1:
+            raise ValueError("trace_capacity must be positive")
+        #: Bumped by :meth:`reset`.  Hot call sites that cache instrument
+        #: handles key the cache on ``(registry, generation)`` so a reset
+        #: invalidates them (the old handles no longer feed exports).
+        self.generation = 0
+        self.clock: Clock = clock if clock is not None else DEFAULT_CLOCK
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, LabelSet], Instrument] = {}
+        self._spans: deque[SpanRecord] = deque(maxlen=trace_capacity)
+        self._span_stacks = threading.local()
+        # Per-name cache of the span-duration histograms: record_span is
+        # the hottest registry path, and the get-or-create label-set
+        # normalization is measurable there.
+        self._span_hist: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instruments
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self, name: str, labels: dict[str, str], factory: Callable[[str, LabelSet], Instrument]
+    ) -> Instrument:
+        key = (name, _label_set(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    instrument = factory(name, key[1])
+                    self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create the counter *name* with the given labels.
+
+        Raises
+        ------
+        TypeError
+            If the name/labels pair is already registered as another kind.
+        """
+        instrument = self._get_or_create(name, labels, lambda n, l: Counter(n, l, help))
+        if not isinstance(instrument, Counter):
+            raise TypeError(f"{name!r} is registered as a {instrument.kind}, not a counter")
+        return instrument
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get or create the gauge *name* with the given labels.
+
+        Raises
+        ------
+        TypeError
+            If the name/labels pair is already registered as another kind.
+        """
+        instrument = self._get_or_create(name, labels, lambda n, l: Gauge(n, l, help))
+        if not isinstance(instrument, Gauge):
+            raise TypeError(f"{name!r} is registered as a {instrument.kind}, not a gauge")
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the histogram *name* with the given labels.
+
+        Raises
+        ------
+        TypeError
+            If the name/labels pair is already registered as another kind.
+        """
+        instrument = self._get_or_create(name, labels, lambda n, l: Histogram(n, l, help, buckets))
+        if not isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is registered as a {instrument.kind}, not a histogram")
+        return instrument
+
+    def instruments(self) -> list[Instrument]:
+        """All registered instruments, sorted by (name, labels)."""
+        with self._lock:
+            items = list(self._instruments.items())
+        return [instrument for _key, instrument in sorted(items, key=lambda kv: kv[0])]
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._span_stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._span_stacks.stack = stack
+        return stack
+
+    def span(self, name: str, clock: Clock | None = None) -> "_SpanContext":
+        """Open a tracing span; use as a context manager.
+
+        The span's duration is read from *clock* (default: the registry
+        clock), recorded in the trace buffer, and observed into the
+        ``span.seconds`` histogram labelled ``span=name``.
+        """
+        return _SpanContext(self, name, clock if clock is not None else self.clock)
+
+    def record_span(self, record: SpanRecord) -> None:
+        """Append a finished span and observe its duration histogram."""
+        # deque.append with maxlen is atomic under the GIL; no lock here.
+        self._spans.append(record)
+        hist = self._span_hist.get(record.name)
+        if hist is None:
+            hist = self.histogram(
+                SPAN_HISTOGRAM_NAME, help="Duration of tracing spans.", span=record.name
+            )
+            self._span_hist[record.name] = hist
+        hist.observe(record.duration_s)
+
+    def spans(self) -> list[SpanRecord]:
+        """Finished spans, oldest first (bounded by the trace capacity)."""
+        with self._lock:
+            return list(self._spans)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every instrument and all recorded spans (keep the clock)."""
+        with self._lock:
+            self._instruments.clear()
+            self._spans.clear()
+            self._span_hist.clear()
+            self.generation += 1
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`MetricsRegistry.span`."""
+
+    __slots__ = ("_registry", "_name", "_clock", "_start", "_parent", "_depth", "_stack")
+
+    def __init__(self, registry: MetricsRegistry, name: str, clock: Clock) -> None:
+        self._registry = registry
+        self._name = name
+        self._clock = clock
+
+    def __enter__(self) -> "_SpanContext":
+        # The thread-local stack lookup is cached for __exit__; a span
+        # always exits on the thread that entered it (with-statement).
+        stack = self._stack = self._registry._stack()
+        self._parent = stack[-1] if stack else None
+        self._depth = len(stack)
+        stack.append(self._name)
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        duration = self._clock() - self._start
+        stack = self._stack
+        if stack and stack[-1] == self._name:
+            stack.pop()
+        self._registry.record_span(
+            SpanRecord(self._name, self._parent, self._depth, self._start, duration)
+        )
+        return False
+
+
+class _NullCounter:
+    """No-op counter (shared singleton of :class:`NullRegistry`)."""
+
+    __slots__ = ()
+    kind = "counter"
+    name = ""
+    labels: LabelSet = ()
+    help = ""
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge:
+    """No-op gauge (shared singleton of :class:`NullRegistry`)."""
+
+    __slots__ = ()
+    kind = "gauge"
+    name = ""
+    labels: LabelSet = ()
+    help = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Discard the decrement."""
+
+
+class _NullHistogram:
+    """No-op histogram (shared singleton of :class:`NullRegistry`)."""
+
+    __slots__ = ()
+    kind = "histogram"
+    name = ""
+    labels: LabelSet = ()
+    help = ""
+    buckets: tuple[float, ...] = ()
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+    def snapshot(self) -> tuple[tuple[float, ...], tuple[int, ...], float, int]:
+        """Empty snapshot."""
+        return (), (0,), 0.0, 0
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Disabled registry: every operation is a cheap no-op.
+
+    This is the default registry of the :mod:`repro.obs` facade, so
+    instrumentation scattered through hot paths costs one call returning
+    a shared singleton until observability is explicitly enabled.
+    """
+
+    enabled = False
+    clock: Clock = DEFAULT_CLOCK
+    generation = 0
+
+    def counter(self, name: str, help: str = "", **labels: str) -> _NullCounter:
+        """Shared no-op counter."""
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> _NullGauge:
+        """Shared no-op gauge."""
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+        **labels: str,
+    ) -> _NullHistogram:
+        """Shared no-op histogram."""
+        return _NULL_HISTOGRAM
+
+    def span(self, name: str, clock: Clock | None = None) -> object:
+        """Shared no-op context manager (never reads any clock)."""
+        return null_span()
+
+    def instruments(self) -> list[Instrument]:
+        """Always empty."""
+        return []
+
+    def spans(self) -> list[SpanRecord]:
+        """Always empty."""
+        return []
+
+    def reset(self) -> None:
+        """Nothing to reset."""
+
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_CLOCK",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_TRACE_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SPAN_HISTOGRAM_NAME",
+]

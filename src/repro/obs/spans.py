@@ -1,0 +1,82 @@
+"""Hierarchical tracing spans.
+
+A span is one timed region of the pipeline, named by a stable dotted
+identifier (``pipeline.classify``, ``manager.profile_and_learn``).
+Spans nest: entering a span while another is open records the parent
+name and depth, so a dump reconstructs the call tree::
+
+    manager.profile_and_learn          depth 0
+      manager.profile                  depth 1
+      manager.classify                 depth 1
+        pipeline.classify              depth 2
+
+Durations are read from an injectable ``Clock`` (never a hard-wired
+wall clock), so instrumented code in the determinism-scoped packages
+(``repro.core``, ``repro.sim``) passes the ``repro.qa`` determinism
+rule and traces are bit-reproducible under a fake clock.
+
+The span *machinery* lives on the registry
+(:meth:`repro.obs.registry.MetricsRegistry.span`); this module holds the
+record type, the no-op span used while observability is disabled, and
+the trace renderer.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class SpanRecord(NamedTuple):
+    """One finished span.
+
+    A named tuple rather than a dataclass: span exit is the hottest
+    tracing operation and tuple construction keeps it cheap.
+    """
+
+    #: Dotted span name (``pipeline.pca``).
+    name: str
+    #: Name of the span open when this one started, or ``None`` at root.
+    parent: str | None
+    #: Nesting depth at entry (0 for a root span).
+    depth: int
+    #: Clock reading at entry (units of whatever clock timed the span).
+    start_s: float
+    #: Seconds between entry and exit, by the span's clock.
+    duration_s: float
+
+
+class _NullSpan:
+    """Context manager that does nothing (observability disabled).
+
+    A single shared instance is handed out for every disabled span, so
+    ``with obs.span(...):`` costs two trivial method calls and reads no
+    clock at all.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def null_span() -> _NullSpan:
+    """The shared no-op span context manager."""
+    return _NULL_SPAN
+
+
+def render_trace(spans: list[SpanRecord]) -> str:
+    """Render finished spans as an indented text tree (dump order)."""
+    lines = []
+    for s in spans:
+        indent = "  " * s.depth
+        lines.append(f"{indent}{s.name}  {s.duration_s * 1000.0:.3f} ms")
+    return "\n".join(lines)
+
+
+__all__ = ["SpanRecord", "null_span", "render_trace"]

@@ -2,16 +2,20 @@
 
 The reproduction is layered bottom-up::
 
-    vm, metrics                      (leaves: no repro imports)
-    workloads, monitoring            (vm + metrics)
-    core                             (metrics + monitoring)
-    sim                              (metrics, monitoring, vm, workloads)
+    vm, metrics, obs                 (leaves: no repro imports)
+    workloads, monitoring            (vm + metrics [+ obs])
+    core                             (metrics + monitoring [+ obs])
+    sim                              (metrics, monitoring, vm, workloads [+ obs])
     db, analysis                     (core + metrics)
     scheduler                        (everything below experiments)
     experiments                      (everything below manager/cli)
-    manager                          (everything below cli)
+    manager                          (everything below cli [+ obs])
     cli                              (anything; nothing imports cli)
     qa                               (stdlib only)
+
+``obs`` is the cross-cutting observability leaf: stdlib-only (like
+``qa``) so any instrumented layer may import it without creating a
+cycle; it must never import back into the tree.
 
 Violations of this DAG created the original ``metrics → analysis``
 cycle; this rule keeps it from regrowing.  Imports guarded by
@@ -32,18 +36,30 @@ from ..source import SourceModule
 ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "vm": frozenset(),
     "metrics": frozenset(),
+    "obs": frozenset(),
     "qa": frozenset(),
     "workloads": frozenset({"metrics", "vm"}),
-    "monitoring": frozenset({"metrics", "vm"}),
-    "core": frozenset({"metrics", "monitoring"}),
-    "sim": frozenset({"metrics", "monitoring", "vm", "workloads"}),
+    "monitoring": frozenset({"metrics", "obs", "vm"}),
+    "core": frozenset({"metrics", "monitoring", "obs"}),
+    "sim": frozenset({"metrics", "monitoring", "obs", "vm", "workloads"}),
     "db": frozenset({"core", "metrics"}),
     "analysis": frozenset({"core", "metrics"}),
     "scheduler": frozenset(
-        {"core", "db", "metrics", "monitoring", "sim", "vm", "workloads"}
+        {"core", "db", "metrics", "monitoring", "obs", "sim", "vm", "workloads"}
     ),
     "experiments": frozenset(
-        {"analysis", "core", "db", "metrics", "monitoring", "scheduler", "sim", "vm", "workloads"}
+        {
+            "analysis",
+            "core",
+            "db",
+            "metrics",
+            "monitoring",
+            "obs",
+            "scheduler",
+            "sim",
+            "vm",
+            "workloads",
+        }
     ),
     "manager": frozenset(
         {
@@ -53,6 +69,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "experiments",
             "metrics",
             "monitoring",
+            "obs",
             "scheduler",
             "sim",
             "vm",
@@ -68,6 +85,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "manager",
             "metrics",
             "monitoring",
+            "obs",
             "scheduler",
             "sim",
             "vm",

@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import counter as obs_counter, gauge as obs_gauge
 from ..vm.cluster import Cluster
 from ..vm.machine import VirtualMachine
 from ..vm.resources import BLOCKS_PER_SWAP_KB, ResourceGrant
@@ -196,6 +197,7 @@ class SimulationEngine:
         inst.vm_name = target_vm
         inst.paused_until = self.now + downtime_s
         self.migrations.append(event)
+        obs_counter("sim.migrations", help="Live migrations performed.").inc()
         return event
 
     def kill_instance(self, key: int) -> None:
@@ -333,8 +335,13 @@ class SimulationEngine:
                         elapsed=elapsed,
                     )
                 )
+                obs_counter("sim.completions", help="Workload passes completed.").inc()
         for listener in self._listeners:
             listener(self.now)
+        obs_counter("sim.ticks", help="Simulation ticks advanced.").inc()
+        obs_gauge("sim.active_instances", help="Instances active in the last tick.").set(
+            float(len(active))
+        )
 
     # ------------------------------------------------------------------
     # counter plumbing

@@ -166,3 +166,61 @@ class TestPredict:
         knn = KNeighborsClassifier(k=3).fit(x, y)
         assert knn.predict_one(np.array([0.05])) == 1
         assert knn.predict_one(np.array([10.05])) == 4
+
+
+class TestWeightedDeterminism:
+    """Regression tests for the weighted-vote tie-break cascade."""
+
+    def test_single_exact_match_beats_near_cloud(self):
+        """One zero-distance hit outvotes two merely-near neighbors.
+
+        Under the old epsilon weighting (1 / (d + 1e-9)) two neighbors
+        at 1e-10 could together outvote a true exact match; exact hits
+        must vote exclusively.
+        """
+        x = np.array([[0.0, 0.0], [1e-10, 0.0], [1e-10, 0.0]])
+        y = np.array([0, 1, 1])
+        weighted = KNeighborsClassifier(k=3, weighted=True).fit(x, y)
+        assert weighted.predict_one(np.array([0.0, 0.0])) == 0
+
+    def test_exact_match_majority_among_exacts(self):
+        """With several exact matches, they vote with unit weight each."""
+        x = np.array([[0.0], [0.0], [0.0], [5.0]])
+        y = np.array([1, 1, 0, 0])
+        weighted = KNeighborsClassifier(k=3, weighted=True).fit(x, y)
+        # Neighbors of 0.0: three exact matches (two class 1, one class 0).
+        assert weighted.predict_one(np.array([0.0])) == 1
+
+    def test_score_tie_breaks_on_summed_distance(self):
+        """Equal inverse-distance scores fall back to total distance."""
+        # Class 0: neighbors at ±4 → score 1/4 + 1/4 = 1/2, dist sum 8.
+        # Class 1: neighbor at 2   → score 1/2,           dist sum 2.
+        x = np.array([[-4.0], [4.0], [2.0]])
+        y = np.array([0, 0, 1])
+        weighted = KNeighborsClassifier(k=3, weighted=True).fit(x, y)
+        assert weighted.predict_one(np.array([0.0])) == 1
+
+    def test_full_tie_breaks_on_smaller_class_code(self):
+        """Identical score and distance sum resolve to the lower code."""
+        x = np.array([[-1.0], [1.0], [100.0]])
+        y = np.array([2, 1, 3])
+        weighted = KNeighborsClassifier(k=3, weighted=True).fit(x, y)
+        # Scores from probe 0.0: class 1 = 1 (one neighbor at 1), class 2
+        # = 1 (one neighbor at 1), class 3 = 1/100 — classes 1 and 2 tie
+        # on score AND summed distance, so the smaller code wins.
+        assert weighted.predict_one(np.array([0.0])) == 1
+
+    def test_weighted_prediction_is_deterministic_under_permutation(self):
+        """Training-row order never changes weighted predictions."""
+        rng = np.random.default_rng(7)
+        x, y = three_clusters(per=10, seed=3)
+        probes = rng.normal(scale=6.0, size=(40, 2))
+        base = KNeighborsClassifier(k=3, weighted=True).fit(x, y).predict(probes)
+        for seed in range(5):
+            perm = np.random.default_rng(seed).permutation(len(y))
+            shuffled = (
+                KNeighborsClassifier(k=3, weighted=True)
+                .fit(x[perm], y[perm])
+                .predict(probes)
+            )
+            assert np.array_equal(base, shuffled)

@@ -149,3 +149,89 @@ class TestOnlineClassifier:
         state = online.state("VM1")
         assert state.snapshots_seen >= 20
         assert state.majority_class() is SnapshotClass.IO
+
+
+class TestAttachDetachLifecycle:
+    """Regression tests: idempotent detach, re-attach, hoisted indices."""
+
+    def test_detach_is_idempotent(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        online.detach()
+        online.detach()  # second detach is a no-op, not a ValueError
+        assert not online.attached
+
+    def test_detach_tolerates_torn_down_channel(self, trained):
+        """A channel that already dropped the listener must not blow up."""
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        channel.unsubscribe(online._callback)
+        online.detach()
+        assert not online.attached
+
+    def test_attach_is_idempotent(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        online.attach()  # already attached: must not double-subscribe
+        announce_kind(channel, "VM1", 5.0, "cpu")
+        assert online.state("VM1").snapshots_seen == 1
+
+    def test_reattach_resumes_with_kept_state(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        announce_kind(channel, "VM1", 5.0, "cpu")
+        online.detach()
+        announce_kind(channel, "VM1", 10.0, "cpu")  # missed while detached
+        online.attach()
+        announce_kind(channel, "VM1", 15.0, "cpu")
+        assert online.attached
+        assert online.state("VM1").snapshots_seen == 2
+
+    def test_classify_announcement_raises_when_detached(self, trained):
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        series = synthetic_series("cpu", m=1, seed=11)
+        ann = MetricAnnouncement(node="VM1", timestamp=0.0, values=series.matrix[:, 0])
+        online.detach()
+        with pytest.raises(RuntimeError, match="detached"):
+            online.classify_announcement(ann)
+        online.attach()
+        assert online.classify_announcement(ann) is SnapshotClass.CPU
+
+    def test_late_delivery_after_detach_is_dropped(self, trained):
+        """Detaching from inside the same fan-out drops later deliveries.
+
+        The channel snapshots its listener list before delivering, so a
+        listener that detaches the classifier mid-fan-out cannot stop
+        the already-scheduled delivery — the classifier itself must
+        drop it instead of classifying while detached.
+        """
+        channel = MulticastChannel()
+        channel.subscribe(lambda ann: online.detach())
+        online = OnlineClassifier(trained, channel)
+        announce_kind(channel, "VM1", 5.0, "cpu")
+        assert not online.attached
+        with pytest.raises(KeyError):
+            online.state("VM1")
+
+    def test_metric_indices_hoisted_to_attach(self, trained, monkeypatch):
+        """The announcement path never recomputes catalog lookups."""
+        import repro.core.online as online_mod
+
+        calls = []
+        real = online_mod.metric_indices
+
+        def counting(names):
+            calls.append(tuple(names))
+            return real(names)
+
+        monkeypatch.setattr(online_mod, "metric_indices", counting)
+        channel = MulticastChannel()
+        online = OnlineClassifier(trained, channel)
+        assert len(calls) == 1  # once, at construction-time attach
+        for t in range(5):
+            announce_kind(channel, "VM1", float(t), "cpu")
+        assert len(calls) == 1  # streaming adds no lookups
+        online.detach()
+        online.attach()
+        assert len(calls) == 2  # re-attach recomputes exactly once

@@ -91,3 +91,54 @@ def test_load_detects_misfiled_record(tmp_path):
 def test_load_missing_file(tmp_path):
     with pytest.raises(FileNotFoundError):
         ApplicationDB.load(tmp_path / "nope.json")
+
+
+def test_save_is_atomic_under_simulated_crash(tmp_path, monkeypatch):
+    """A crash mid-write must leave the previous database intact."""
+    import repro.db.store as store_mod
+
+    db = ApplicationDB()
+    db.add_run(record("a", cpu=1.0))
+    path = tmp_path / "appdb.json"
+    db.save(path)
+    before = path.read_text()
+
+    db.add_run(record("b", io=1.0, cpu=0.0))
+
+    def crashing_replace(src, dst):
+        raise OSError("simulated crash during rename")
+
+    monkeypatch.setattr(store_mod.os, "replace", crashing_replace)
+    with pytest.raises(OSError, match="simulated crash"):
+        db.save(path)
+    # Old contents survived untouched and no temp file leaked.
+    assert path.read_text() == before
+    assert list(tmp_path.iterdir()) == [path]
+    assert ApplicationDB.load(path).applications() == ["a"]
+
+
+def test_save_leaves_no_temp_files_on_success(tmp_path):
+    db = ApplicationDB()
+    db.add_run(record("a"))
+    path = tmp_path / "appdb.json"
+    db.save(path)
+    db.save(path)  # overwrite in place
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_save_recovers_from_partial_writer_failure(tmp_path, monkeypatch):
+    """If serialization of the temp file fails, the target is untouched."""
+    import repro.db.store as store_mod
+
+    db = ApplicationDB()
+    db.add_run(record("a"))
+    path = tmp_path / "appdb.json"
+    db.save(path)
+
+    def failing_mkstemp(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(store_mod.tempfile, "mkstemp", failing_mkstemp)
+    with pytest.raises(OSError, match="disk full"):
+        db.save(path)
+    assert ApplicationDB.load(path).applications() == ["a"]

@@ -1,0 +1,119 @@
+"""Tests for the Prometheus and JSON exporters."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    PROMETHEUS_PREFIX,
+    prometheus_name,
+    registry_to_dict,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry, NullRegistry
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores_and_prefix_applied(self):
+        assert prometheus_name("pipeline.snapshots") == "repro_pipeline_snapshots"
+
+    def test_counter_gets_total_suffix(self):
+        assert prometheus_name("pipeline.runs", "counter") == "repro_pipeline_runs_total"
+
+    def test_total_suffix_not_duplicated(self):
+        assert prometheus_name("x_total", "counter") == "repro_x_total"
+
+    def test_invalid_characters_sanitized(self):
+        name = prometheus_name("weird metric-name!")
+        assert name.startswith(PROMETHEUS_PREFIX)
+        assert " " not in name and "-" not in name and "!" not in name
+
+
+class TestRenderPrometheus:
+    def test_counter_line_with_header(self):
+        reg = MetricsRegistry()
+        reg.counter("pipeline.runs", help="Pipeline invocations.").inc(3)
+        text = render_prometheus(reg)
+        assert "# HELP repro_pipeline_runs_total Pipeline invocations." in text
+        assert "# TYPE repro_pipeline_runs_total counter" in text
+        assert "repro_pipeline_runs_total 3" in text
+
+    def test_gauge_line(self):
+        reg = MetricsRegistry()
+        reg.gauge("sim.active_instances").set(4.0)
+        assert "repro_sim_active_instances 4" in render_prometheus(reg)
+
+    def test_labels_rendered_sorted_and_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("m", node='VM"1"', zone="a").inc()
+        text = render_prometheus(reg)
+        assert 'repro_m_total{node="VM\\"1\\"",zone="a"} 1' in text
+
+    def test_histogram_cumulative_buckets_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = render_prometheus(reg)
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="1"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_sum 5.55" in text
+        assert "repro_lat_count 3" in text
+
+    def test_histogram_keeps_existing_labels_alongside_le(self):
+        reg = MetricsRegistry()
+        reg.histogram("span.seconds", span="pipeline.pca").observe(0.01)
+        text = render_prometheus(reg)
+        assert 'repro_span_seconds_bucket{le="0.01",span="pipeline.pca"} ' in text
+        assert 'repro_span_seconds_count{span="pipeline.pca"} 1' in text
+
+    def test_families_sorted_and_terminated(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz").inc()
+        reg.counter("aaa").inc()
+        text = render_prometheus(reg)
+        assert text.index("repro_aaa_total") < text.index("repro_zzz_total")
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert render_prometheus(NullRegistry()) == ""
+
+
+class TestJsonExport:
+    def test_round_trips_through_json(self):
+        reg = MetricsRegistry(clock=iter(range(100)).__next__)
+        reg.counter("c", node="VM1").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        with reg.span("s"):
+            pass
+        parsed = json.loads(render_json(reg))
+        assert parsed == registry_to_dict(reg)
+        assert parsed["enabled"] is True
+        assert parsed["counters"] == [{"name": "c", "labels": {"node": "VM1"}, "value": 2.0}]
+        assert parsed["gauges"] == [{"name": "g", "labels": {}, "value": 1.5}]
+        (hist,) = [h for h in parsed["histograms"] if h["name"] == "h"]
+        assert hist["buckets"] == [1.0]
+        assert hist["cumulative_counts"] == [1, 1]
+        assert hist["count"] == 1
+        (span,) = parsed["spans"]
+        assert span["name"] == "s"
+        assert span["parent"] is None
+        assert span["duration_s"] == 1.0
+
+    def test_null_registry_dict_is_empty(self):
+        d = registry_to_dict(NullRegistry())
+        assert d["enabled"] is False
+        assert d["counters"] == d["gauges"] == d["histograms"] == d["spans"] == []

@@ -1,0 +1,218 @@
+"""Tests for the repro.obs metrics registry and facade."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("events")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        c = Counter("events")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("active")
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec(3.0)
+        assert g.value == 12.0
+
+    def test_histogram_buckets_cumulative(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        bounds, cumulative, total, count = h.snapshot()
+        assert bounds == (0.1, 1.0, 10.0)
+        assert cumulative == (1, 3, 4, 5)  # le 0.1, 1.0, 10.0, +Inf
+        assert count == 5
+        assert total == pytest.approx(56.05)
+
+    def test_histogram_boundary_lands_in_bucket(self):
+        """An observation equal to a bound counts into that bucket (le)."""
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(1.0)
+        _, cumulative, _, _ = h.snapshot()
+        assert cumulative == (1, 1)
+
+    def test_histogram_validates_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, 0.5))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x="1") is reg.counter("a", x="1")
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x="1", y="2") is reg.counter("a", y="2", x="1")
+
+    def test_distinct_labels_are_distinct_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("a", node="VM1")
+        b = reg.counter("a", node="VM2")
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+
+    def test_kind_mismatch_raises_type_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+        reg.gauge("y")
+        with pytest.raises(TypeError):
+            reg.counter("y")
+
+    def test_instruments_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a", node="VM2")
+        reg.counter("a", node="VM1")
+        names = [(i.name, i.labels) for i in reg.instruments()]
+        assert names == sorted(names)
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry(clock=lambda: 0.0)
+        reg.counter("a").inc()
+        with reg.span("s"):
+            pass
+        reg.reset()
+        assert reg.instruments() == []
+        assert reg.spans() == []
+
+    def test_counter_thread_safety_exact_count(self):
+        """Concurrent increments never lose updates."""
+        reg = MetricsRegistry()
+        c = reg.counter("threads.events")
+        per_thread, n_threads = 2000, 8
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == float(per_thread * n_threads)
+
+    def test_get_or_create_thread_safety(self):
+        """Racing get-or-create converges on a single instrument."""
+        reg = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append(reg.counter("race"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+
+class TestNullRegistry:
+    def test_null_instruments_are_shared_noops(self):
+        reg = NullRegistry()
+        c = reg.counter("a")
+        assert c is reg.counter("b", any="label")
+        c.inc()
+        assert c.value == 0.0
+        g = reg.gauge("g")
+        g.set(5.0)
+        g.inc()
+        g.dec()
+        assert g.value == 0.0
+        h = reg.histogram("h")
+        h.observe(1.0)
+        assert h.count == 0
+        assert reg.instruments() == []
+        assert reg.spans() == []
+        reg.reset()  # harmless
+
+    def test_null_span_never_reads_clock(self):
+        calls = []
+
+        def clock():
+            calls.append(1)
+            return 0.0
+
+        reg = NullRegistry()
+        with reg.span("s", clock=clock):
+            pass
+        assert calls == []
+
+
+class TestFacade:
+    def test_disabled_by_default_in_tests(self):
+        assert not obs.enabled()
+        assert isinstance(obs.get_registry(), NullRegistry)
+
+    def test_enable_swaps_live_registry(self):
+        reg = obs.enable()
+        assert obs.enabled()
+        assert isinstance(reg, MetricsRegistry)
+        assert obs.get_registry() is reg
+        obs.counter("facade.events").inc()
+        assert reg.counter("facade.events").value == 1.0
+
+    def test_enable_is_idempotent_and_keeps_data(self):
+        reg = obs.enable()
+        obs.counter("kept").inc()
+        again = obs.enable()
+        assert again is reg
+        assert again.counter("kept").value == 1.0
+
+    def test_enable_can_replace_clock(self):
+        obs.enable()
+        fake = lambda: 42.0  # noqa: E731
+        reg = obs.enable(clock=fake)
+        assert reg.clock is fake
+
+    def test_disable_reverts_to_noop(self):
+        obs.enable()
+        obs.counter("gone").inc()
+        obs.disable()
+        assert not obs.enabled()
+        obs.counter("gone").inc()  # no-op, no error
+        assert obs.get_registry().instruments() == []
+
+    def test_reset_while_disabled_is_noop(self):
+        obs.reset()
+        assert not obs.enabled()
