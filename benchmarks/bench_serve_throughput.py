@@ -1,0 +1,50 @@
+"""Serving-layer throughput — the batch kernel must stay ≥ 3× sequential.
+
+Times ``classify_series`` in a per-run loop against
+``BatchClassifier.classify_many`` on a 64-run fleet of short monitoring
+windows (the serving regime: many concurrent runs classified every
+scheduling round), asserting bit-identity of every output along the way.
+The arms are timed in interleaved pairs with a min-of-repeats estimator,
+so slow clock drift moves both arms together instead of biasing one.
+
+Full mode gates the speedup at ≥ 3.0× (the acceptance floor measured
+with ample headroom on an idle machine) and writes the trajectory point
+``BENCH_serve.json``.  CI runs with ``--smoke``: a smaller fleet, fewer
+repeats, and a noise-tolerant 1.5× floor that still fails if batching
+regresses to scalar dispatch.
+"""
+
+import json
+
+from repro.experiments.fleet import profile_fleet
+from repro.serve.bench import run_throughput_benchmark
+
+from conftest import emit
+
+#: Full-mode fleet and gate (the acceptance criterion's 64-run batch).
+FULL_RUNS = 64
+FULL_REPEATS = 30
+FULL_MIN_SPEEDUP = 3.0
+#: Smoke-mode fleet and gate (CI shared runners: noisy neighbours).
+SMOKE_RUNS = 32
+SMOKE_REPEATS = 8
+SMOKE_MIN_SPEEDUP = 1.5
+
+
+def test_serve_throughput(classifier, out_dir, smoke):
+    runs = SMOKE_RUNS if smoke else FULL_RUNS
+    repeats = SMOKE_REPEATS if smoke else FULL_REPEATS
+    floor = SMOKE_MIN_SPEEDUP if smoke else FULL_MIN_SPEEDUP
+
+    series_list = profile_fleet(runs, seed=100)
+    result = run_throughput_benchmark(classifier, series_list, repeats=repeats)
+
+    payload = dict(result.to_dict(), mode="smoke" if smoke else "full", floor=floor)
+    emit(out_dir, "BENCH_serve.json", json.dumps(payload, indent=2, sort_keys=True))
+
+    assert result.bit_identical, "batched results diverged from the sequential path"
+    assert result.speedup >= floor, (
+        f"batch speedup {result.speedup:.2f}x below the {floor:.1f}x floor "
+        f"(sequential {result.sequential_ms:.2f} ms vs batch {result.batch_ms:.2f} ms "
+        f"over {result.num_runs} runs / {result.num_snapshots} snapshots)"
+    )

@@ -18,6 +18,21 @@ from repro.experiments.training import TrainingOutcome, build_trained_classifier
 OUT_DIR = Path(__file__).parent / "out"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="quick benchmark gate for CI: smaller fleets, fewer repeats, "
+        "noise-tolerant floors",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture(scope="session")
 def out_dir() -> Path:
     OUT_DIR.mkdir(exist_ok=True)

@@ -31,20 +31,26 @@ Subpackages
 - :mod:`repro.experiments` — drivers for each paper table/figure.
 - :mod:`repro.obs` — observability: metrics registry, tracing spans,
   Prometheus/JSON exporters (off by default; ``obs.enable()``).
+- :mod:`repro.serve` — batched fleet-classification serving layer
+  (vectorized ``classify_many``, micro-batching service, model cache).
+- :mod:`repro.errors` — the typed exception hierarchy
+  (``except ReproError`` catches every caller-facing error).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import (
     analysis,
     core,
     db,
+    errors,
     experiments,
     manager,
     metrics,
     monitoring,
     obs,
     scheduler,
+    serve,
     sim,
     vm,
     workloads,
@@ -54,12 +60,14 @@ __all__ = [
     "analysis",
     "core",
     "db",
+    "errors",
     "experiments",
     "manager",
     "metrics",
     "monitoring",
     "obs",
     "scheduler",
+    "serve",
     "sim",
     "vm",
     "workloads",

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig3
     python -m repro fig4 [--horizon S]
     python -m repro cost [--samples N]
+    python -m repro serve bench [--runs N] [--repeats N] [--json]
     python -m repro obs dump [--app KEY] [--format prometheus|json]
     python -m repro obs reset
 
@@ -73,6 +74,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("app", help="catalog key (see list-apps)")
     p.add_argument("--mem", type=float, default=None, help="VM memory override (MB)")
     p.add_argument("--seed", type=int, default=42)
+
+    p = sub.add_parser("serve", help="serving layer: benchmark batched classification")
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+    b = serve_sub.add_parser(
+        "bench",
+        help="time sequential vs batched classification of a synthetic fleet",
+    )
+    b.add_argument("--runs", type=int, default=64, help="fleet size (profiled runs)")
+    b.add_argument("--repeats", type=int, default=30, help="timing passes per arm")
+    b.add_argument("--seed", type=int, default=100)
+    b.add_argument("--json", action="store_true", help="emit the result as JSON")
 
     p = sub.add_parser("obs", help="observability: dump or reset the metrics registry")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
@@ -215,6 +227,28 @@ def _cmd_stages(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.fleet import profile_fleet
+    from .manager.service import shared_model_cache
+    from .serve.bench import run_throughput_benchmark
+
+    print(f"profiling a fleet of {args.runs} short runs ...")
+    series_list = profile_fleet(args.runs, seed=args.seed)
+    classifier = shared_model_cache().get(seed=0)
+    result = run_throughput_benchmark(classifier, series_list, repeats=args.repeats)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"runs:          {result.num_runs} ({result.num_snapshots} snapshots)")
+        print(f"sequential:    {result.sequential_ms:.2f} ms/fleet")
+        print(f"batched:       {result.batch_ms:.2f} ms/fleet")
+        print(f"speedup:       {result.speedup:.2f}x")
+        print(f"bit-identical: {result.bit_identical}")
+    return 0 if result.bit_identical else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "reset":
         obs.reset()
@@ -261,6 +295,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "stages":
         return _cmd_stages(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs":
         return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -8,6 +8,7 @@ the paper names as future work: incremental PCA for online training, and
 automated relevance/redundancy feature selection.
 """
 
+from .config import ClassifierConfig
 from .cost_model import UnitCostModel
 from .feature_selection import (
     SelectionResult,
@@ -43,6 +44,7 @@ from .stages import (
 )
 
 __all__ = [
+    "ClassifierConfig",
     "UnitCostModel",
     "SelectionResult",
     "correlation_ratio",

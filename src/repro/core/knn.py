@@ -119,6 +119,32 @@ class KNeighborsClassifier:
             raise RuntimeError("classifier not fitted")
         return self._x.shape[0]
 
+    @property
+    def training_points(self) -> np.ndarray:
+        """The fitted ``(n, q)`` training pool (the serving kernel's read view).
+
+        Raises
+        ------
+        RuntimeError
+            Before fitting.
+        """
+        if self._x is None:
+            raise RuntimeError("classifier not fitted")
+        return self._x
+
+    @property
+    def training_labels(self) -> np.ndarray:
+        """The fitted class-code vector, shape ``(n,)``.
+
+        Raises
+        ------
+        RuntimeError
+            Before fitting.
+        """
+        if self._y is None:
+            raise RuntimeError("classifier not fitted")
+        return self._y
+
     # ------------------------------------------------------------------
     # inference
     # ------------------------------------------------------------------
@@ -152,9 +178,22 @@ class KNeighborsClassifier:
         *x* is row-per-sample, shape ``(m, q)``; returns the length-``m``
         class vector ``C`` (the paper's ``C(1×m)`` stage output).
         """
+        indices, distances = self.kneighbors(x)
+        return self.vote(indices, distances)
+
+    def vote(self, indices: np.ndarray, distances: np.ndarray) -> np.ndarray:
+        """Class codes from precomputed ``(m, k)`` neighbor indices/distances.
+
+        This is the voting half of :meth:`predict`, split out so callers
+        that compute neighbors differently (notably the batched serving
+        kernel, which stacks many runs into one neighbor search) vote
+        through exactly the same code path.  Every voting rule —
+        unweighted majority, the weighted ablation, and the
+        deterministic tie-breaks — operates row-independently, so
+        voting on stacked rows is bit-identical to voting per run.
+        """
         if self._y is None:
             raise RuntimeError("classifier not fitted")
-        indices, distances = self.kneighbors(x)
         neighbor_labels = self._y[indices]  # (m, k)
         m = neighbor_labels.shape[0]
         n_classes = int(self._y.max()) + 1

@@ -140,17 +140,23 @@ def majority_vote(classes: np.ndarray) -> SnapshotClass:
     return ClassComposition.from_class_vector(classes).dominant()
 
 
-def application_category(composition: ClassComposition) -> str:
+def application_category(
+    composition: ClassComposition, dominant: SnapshotClass | None = None
+) -> str:
     """Map a composition to the paper's application-level category.
 
     IO and MEM merge into "IO & Paging Intensive"; applications with a
     substantial idle share and a mix of other activity are the paper's
-    "Idle + Others" interactive category.
+    "Idle + Others" interactive category.  Callers that already computed
+    the composition's dominant class (the batched serving kernel does,
+    for a whole fleet at once) may pass it to skip the re-derivation; it
+    must equal ``composition.dominant()``.
     """
     # Interactive: substantial idle mixed with real activity.
     if composition.idle >= 0.15 and composition.idle < 0.9:
         return "Idle + Others"
-    dominant = composition.dominant()
+    if dominant is None:
+        dominant = composition.dominant()
     if dominant is SnapshotClass.CPU:
         return "CPU Intensive"
     if dominant in (SnapshotClass.IO, SnapshotClass.MEM):

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import NotTrainedError
 from ..metrics.catalog import metric_indices
 from ..monitoring.multicast import MetricAnnouncement, MulticastChannel
 from ..obs import counter as obs_counter, enabled as obs_enabled, histogram as obs_histogram
@@ -82,8 +83,8 @@ class OnlineClassifier:
 
     Raises
     ------
-    RuntimeError
-        If the classifier is untrained.
+    NotTrainedError
+        If the classifier is untrained (a ``RuntimeError`` subclass).
     """
 
     def __init__(
@@ -93,7 +94,7 @@ class OnlineClassifier:
         nodes: list[str] | None = None,
     ) -> None:
         if not classifier.trained:
-            raise RuntimeError("online classification requires a trained classifier")
+            raise NotTrainedError("online classification requires a trained classifier")
         self.classifier = classifier
         self.channel = channel
         self._allow = set(nodes) if nodes is not None else None

@@ -16,17 +16,20 @@ End-to-end dimension reduction and classification::
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..errors import EmptySeriesError, NotTrainedError
 from ..metrics.series import SnapshotSeries
 from ..obs import (
     enabled as obs_enabled,
     get_registry as obs_get_registry,
     span as obs_span,
 )
+from .config import ClassifierConfig
 from .knn import KNeighborsClassifier
 from .labels import (
     ClassComposition,
@@ -106,16 +109,42 @@ class ApplicationClassifier:
     clock:
         Injected clock for the §5.3 stage-timing accounting (defaults to
         :data:`DEFAULT_CLOCK`); pass a fake for deterministic timings.
+
+    All tuning parameters are keyword-only; passing them positionally is
+    deprecated (one-release shim, see ``docs/API.md``).
     """
+
+    #: Positional-shim order of the pre-1.1 signature.
+    _TUNING_PARAMS = ("selector", "n_components", "min_variance_fraction", "k", "clock")
 
     def __init__(
         self,
+        *args: object,
         selector: MetricSelector | None = None,
         n_components: int | None = 2,
         min_variance_fraction: float | None = None,
         k: int = 3,
         clock: Clock | None = None,
     ) -> None:
+        if args:
+            warnings.warn(
+                "passing ApplicationClassifier tuning parameters positionally "
+                "is deprecated and will be removed in the next release; use "
+                "keyword arguments (selector=..., n_components=..., ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(self._TUNING_PARAMS):
+                raise TypeError(
+                    f"ApplicationClassifier takes at most "
+                    f"{len(self._TUNING_PARAMS)} tuning arguments, got {len(args)}"
+                )
+            shim = dict(zip(self._TUNING_PARAMS, args))
+            selector = shim.get("selector", selector)
+            n_components = shim.get("n_components", n_components)
+            min_variance_fraction = shim.get("min_variance_fraction", min_variance_fraction)
+            k = shim.get("k", k)
+            clock = shim.get("clock", clock)
         self.clock: Clock = clock if clock is not None else DEFAULT_CLOCK
         self.preprocessor = Preprocessor(selector=selector or MetricSelector())
         if min_variance_fraction is not None:
@@ -127,6 +156,37 @@ class ApplicationClassifier:
         # Cached observability instrument handles, keyed by
         # (registry, generation); see _obs_instruments().
         self._obs_cache: tuple | None = None
+
+    @classmethod
+    def from_config(cls, config: ClassifierConfig) -> "ApplicationClassifier":
+        """Construct a classifier from a :class:`ClassifierConfig`.
+
+        The config is the sanctioned way to carry tuning parameters
+        through the serving layer (it doubles as the model-cache key).
+        """
+        return cls(
+            selector=config.selector(),
+            n_components=config.n_components,
+            min_variance_fraction=config.min_variance_fraction,
+            k=config.k,
+            clock=config.clock,
+        )
+
+    @property
+    def config(self) -> ClassifierConfig:
+        """The :class:`ClassifierConfig` equivalent to this classifier.
+
+        Reconstructed from the live components, so it is accurate for
+        classifiers built with scattered kwargs too; the clock is
+        excluded from config equality, making this usable as a cache key.
+        """
+        return ClassifierConfig(
+            metric_names=self.preprocessor.selector.names,
+            n_components=self.pca.n_components,
+            min_variance_fraction=self.pca.min_variance_fraction,
+            k=self.knn.k,
+            clock=self.clock,
+        )
 
     # ------------------------------------------------------------------
     # training
@@ -207,15 +267,15 @@ class ApplicationClassifier:
 
         Raises
         ------
-        RuntimeError
-            If called before training.
-        ValueError
-            If the series is empty.
+        NotTrainedError
+            If called before training (a ``RuntimeError`` subclass).
+        EmptySeriesError
+            If the series is empty (a ``ValueError`` subclass).
         """
         if not self.trained:
-            raise RuntimeError("classifier not trained")
+            raise NotTrainedError("classifier not trained")
         if len(series) == 0:
-            raise ValueError("cannot classify an empty series")
+            raise EmptySeriesError("cannot classify an empty series")
         timings = StageTimings()
         clock = self.clock
 

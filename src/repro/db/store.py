@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Iterable
 
 from ..core.labels import SnapshotClass
+from ..errors import UnknownApplicationError
 from .records import RunRecord
 from .stats import ApplicationStats, aggregate_runs
 
@@ -53,13 +54,16 @@ class ApplicationDB:
 
         Raises
         ------
-        KeyError
-            If the application has no recorded runs.
+        UnknownApplicationError
+            If the application has no recorded runs (a ``KeyError``
+            subclass, so pre-1.1 ``except KeyError`` clauses still catch).
         """
         try:
             return list(self._runs[application])
         except KeyError:
-            raise KeyError(f"no runs recorded for application {application!r}") from None
+            raise UnknownApplicationError(
+                f"no runs recorded for application {application!r}"
+            ) from None
 
     def run_count(self, application: str) -> int:
         """Number of recorded runs (0 for unknown applications)."""

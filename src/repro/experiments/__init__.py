@@ -2,6 +2,7 @@
 
 from .cost import CostBreakdown, collect_snapshot_pool, measure_cost
 from .fig3 import FIG3_TEST_KEYS, Fig3Outcome, run_fig3
+from .fleet import fleet_workload, profile_fleet
 from .fig45 import Fig45Outcome, class_aware_choice, run_fig45
 from .table3 import Table3Outcome, Table3Row, classify_entry, run_table3
 from .table4 import Table4Outcome, run_table4
@@ -24,6 +25,8 @@ __all__ = [
     "Fig45Outcome",
     "class_aware_choice",
     "run_fig45",
+    "fleet_workload",
+    "profile_fleet",
     "Table3Outcome",
     "Table3Row",
     "classify_entry",

@@ -1,5 +1,5 @@
 """Resource-manager facade: the full learn→store→schedule pipeline."""
 
-from .service import LearnOutcome, ResourceManager
+from .service import LearnOutcome, ResourceManager, shared_model_cache
 
-__all__ = ["LearnOutcome", "ResourceManager"]
+__all__ = ["LearnOutcome", "ResourceManager", "shared_model_cache"]

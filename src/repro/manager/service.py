@@ -20,22 +20,45 @@ entry point a downstream adopter actually wants::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Sequence
 
+from ..core.config import ClassifierConfig
 from ..core.cost_model import UnitCostModel
 from ..core.labels import ClassComposition, SnapshotClass
 from ..core.pipeline import ApplicationClassifier, ClassificationResult
 from ..db.prediction import KnnRuntimePredictor, MeanPredictor, RuntimePrediction
 from ..db.records import RunRecord
 from ..db.store import ApplicationDB
+from ..errors import NotTrainedError, UnknownApplicationError, UnknownPolicyError
 from ..experiments.training import build_trained_classifier
 from ..obs import counter as obs_counter, span as obs_span
 from ..scheduler.class_aware import ClassAwareScheduler, Placement
 from ..scheduler.composition_aware import CompositionAwareScheduler
 from ..scheduler.reservation import ResourceReservation, recommend_reservation
+from ..serve.batch import BatchClassifier
+from ..serve.cache import ModelCache
 from ..sim.execution import RunResult, profiled_run
 from ..workloads.base import Workload
+
+
+def _cache_trainer(config: ClassifierConfig, seed: int) -> ApplicationClassifier:
+    return build_trained_classifier(seed=seed, config=config).classifier
+
+
+_SHARED_MODEL_CACHE = ModelCache(trainer=_cache_trainer)
+
+
+def shared_model_cache() -> ModelCache:
+    """The process-wide model cache every manager uses by default.
+
+    Keyed by (:class:`~repro.core.config.ClassifierConfig`, seed), so
+    two managers with equal training configs share one trained
+    classifier instead of re-running the five training profiles.
+    """
+    return _SHARED_MODEL_CACHE
 
 
 @dataclass
@@ -54,43 +77,147 @@ class ResourceManager:
     Parameters
     ----------
     classifier:
-        A trained classifier, or ``None`` to train the paper's default on
-        first use (five training-application profiles, a few seconds).
+        A trained classifier, or ``None`` to fetch the model for
+        *config* from *model_cache* on first use (training it there if
+        the cache has never seen that config).
     db:
         The application database; a fresh one by default.
     seed:
         Base seed for training and profiling runs.
+    config:
+        Training configuration used when no classifier is supplied;
+        ``None`` means the paper's defaults.  Doubles as the model-cache
+        key.
+    model_cache:
+        Where trained models are shared; defaults to the process-wide
+        :func:`shared_model_cache`.
     """
 
     classifier: ApplicationClassifier | None = None
     db: ApplicationDB = field(default_factory=ApplicationDB)
     seed: int = 0
+    config: ClassifierConfig | None = None
+    model_cache: ModelCache | None = None
     _profile_counter: int = 0
 
     # ------------------------------------------------------------------
     # classifier lifecycle
     # ------------------------------------------------------------------
     def ensure_trained(self) -> ApplicationClassifier:
-        """Train the default classifier on first use; return it."""
+        """Fetch (or train) the configured classifier on first use; return it.
+
+        Raises
+        ------
+        NotTrainedError
+            If a classifier was supplied explicitly but is untrained
+            (a ``RuntimeError`` subclass).
+        """
         if self.classifier is None:
+            cache = self.model_cache if self.model_cache is not None else shared_model_cache()
             with obs_span("manager.train"):
-                self.classifier = build_trained_classifier(seed=self.seed).classifier
+                self.classifier = cache.get(self.config, seed=self.seed)
         if not self.classifier.trained:
-            raise RuntimeError("a classifier was supplied but is untrained")
+            raise NotTrainedError("a classifier was supplied but is untrained")
         return self.classifier
 
     # ------------------------------------------------------------------
     # learning
     # ------------------------------------------------------------------
-    def classify_only(self, workload: Workload, vm_mem_mb: float = 256.0) -> ClassificationResult:
+    def classify(
+        self, workload: Workload, *, vm_mem_mb: float = 256.0
+    ) -> ClassificationResult:
         """Profile and classify a workload without recording it."""
-        with obs_span("manager.classify_only"):
+        with obs_span("manager.classify"):
             classifier = self.ensure_trained()
             self._profile_counter += 1
             run = profiled_run(
                 workload, vm_mem_mb=vm_mem_mb, seed=self.seed + 1000 + self._profile_counter
             )
             return classifier.classify_series(run.series)
+
+    def classify_only(
+        self, workload: Workload, vm_mem_mb: float = 256.0
+    ) -> ClassificationResult:
+        """Deprecated pre-1.1 name of :meth:`classify` (one-release shim)."""
+        warnings.warn(
+            "ResourceManager.classify_only is deprecated and will be removed "
+            "in the next release; use ResourceManager.classify",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.classify(workload, vm_mem_mb=vm_mem_mb)
+
+    def classify_many(
+        self, workloads: Sequence[Workload], *, vm_mem_mb: float = 256.0
+    ) -> list[ClassificationResult]:
+        """Profile and classify a fleet of workloads in one batched pass.
+
+        Each workload is profiled in its own VM (distinct seeds, exactly
+        as repeated :meth:`classify` calls would), then all runs go
+        through the vectorized
+        :class:`~repro.serve.batch.BatchClassifier` — results are
+        bit-identical to per-run classification, nothing is recorded.
+        """
+        with obs_span("manager.classify_many"):
+            classifier = self.ensure_trained()
+            runs = []
+            for workload in workloads:
+                self._profile_counter += 1
+                runs.append(
+                    profiled_run(
+                        workload,
+                        vm_mem_mb=vm_mem_mb,
+                        seed=self.seed + 1000 + self._profile_counter,
+                    )
+                )
+            return BatchClassifier(classifier).classify_many([r.series for r in runs])
+
+    def learn_many(
+        self,
+        named_workloads: Sequence[tuple[str, Workload]],
+        *,
+        vm_mem_mb: float = 256.0,
+    ) -> list[LearnOutcome]:
+        """Profile, batch-classify, and record a fleet of named workloads.
+
+        The batched analogue of repeated :meth:`profile_and_learn`
+        calls: one :class:`LearnOutcome` per ``(application, workload)``
+        pair, with every run's record stored in the application DB and
+        classification done through the vectorized serving kernel.
+        """
+        with obs_span("manager.learn_many"):
+            classifier = self.ensure_trained()
+            apps = []
+            runs = []
+            for application, workload in named_workloads:
+                self._profile_counter += 1
+                apps.append(application)
+                runs.append(
+                    profiled_run(
+                        workload,
+                        vm_mem_mb=vm_mem_mb,
+                        seed=self.seed + 1000 + self._profile_counter,
+                    )
+                )
+            results = BatchClassifier(classifier).classify_many([r.series for r in runs])
+            outcomes = []
+            for application, run, result in zip(apps, runs, results):
+                record = RunRecord(
+                    application=application,
+                    node=run.node,
+                    t0=run.t0,
+                    t1=run.t1,
+                    num_samples=result.num_samples,
+                    application_class=result.application_class,
+                    composition=result.composition,
+                    environment={"vm_mem_mb": vm_mem_mb},
+                )
+                self.db.add_run(record)
+                outcomes.append(LearnOutcome(record=record, result=result, run=run))
+            obs_counter("manager.runs.learned", help="Profiling runs learned into the DB.").inc(
+                len(outcomes)
+            )
+            return outcomes
 
     def profile_and_learn(
         self,
@@ -131,12 +258,15 @@ class ResourceManager:
 
         Raises
         ------
-        KeyError
-            If the application was never profiled.
+        UnknownApplicationError
+            If the application was never profiled (a ``KeyError``
+            subclass, so pre-1.1 ``except KeyError`` clauses still catch).
         """
         known = self.db.known_class(application)
         if known is None:
-            raise KeyError(f"application {application!r} has no learned runs")
+            raise UnknownApplicationError(
+                f"application {application!r} has no learned runs"
+            )
         return known
 
     # ------------------------------------------------------------------
@@ -152,15 +282,18 @@ class ResourceManager:
 
         Raises
         ------
-        ValueError
-            For an unknown policy.
+        UnknownPolicyError
+            For an unknown policy (a ``ValueError`` subclass, so
+            pre-1.1 ``except ValueError`` clauses still catch).
         """
         with obs_span("manager.schedule"):
             if policy == "class":
                 return ClassAwareScheduler(self.db).schedule_jobs(jobs, machines)
             if policy == "composition":
                 return CompositionAwareScheduler(self.db).schedule_jobs(jobs, machines)
-            raise ValueError(f"unknown policy {policy!r}; use 'class' or 'composition'")
+            raise UnknownPolicyError(
+                f"unknown policy {policy!r}; use 'class' or 'composition'"
+            )
 
     def reserve(self, application: str, headroom_sigmas: float = 2.0) -> ResourceReservation:
         """Reservation recommendation from the run history."""

@@ -2,20 +2,24 @@
 
 The reproduction is layered bottom-up::
 
-    vm, metrics, obs                 (leaves: no repro imports)
+    vm, metrics, obs, errors         (leaves: no repro imports)
     workloads, monitoring            (vm + metrics [+ obs])
-    core                             (metrics + monitoring [+ obs])
+    core                             (metrics + monitoring [+ obs/errors])
     sim                              (metrics, monitoring, vm, workloads [+ obs])
-    db, analysis                     (core + metrics)
+    db, analysis                     (core + metrics [+ errors])
+    serve                            (core, metrics [+ obs/errors])
     scheduler                        (everything below experiments)
     experiments                      (everything below manager/cli)
-    manager                          (everything below cli [+ obs])
+    manager                          (everything below cli [+ obs/serve])
     cli                              (anything; nothing imports cli)
     qa                               (stdlib only)
 
 ``obs`` is the cross-cutting observability leaf: stdlib-only (like
 ``qa``) so any instrumented layer may import it without creating a
-cycle; it must never import back into the tree.
+cycle; it must never import back into the tree.  ``errors`` is the
+equally cross-cutting exception leaf: any layer may raise from it, it
+imports nothing back.  ``serve`` is the batched serving layer over
+``core``; only ``manager`` and ``cli`` may depend on it.
 
 Violations of this DAG created the original ``metrics → analysis``
 cycle; this rule keeps it from regrowing.  Imports guarded by
@@ -37,21 +41,24 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "vm": frozenset(),
     "metrics": frozenset(),
     "obs": frozenset(),
+    "errors": frozenset(),
     "qa": frozenset(),
     "workloads": frozenset({"metrics", "vm"}),
     "monitoring": frozenset({"metrics", "obs", "vm"}),
-    "core": frozenset({"metrics", "monitoring", "obs"}),
-    "sim": frozenset({"metrics", "monitoring", "obs", "vm", "workloads"}),
-    "db": frozenset({"core", "metrics"}),
-    "analysis": frozenset({"core", "metrics"}),
+    "core": frozenset({"errors", "metrics", "monitoring", "obs"}),
+    "sim": frozenset({"errors", "metrics", "monitoring", "obs", "vm", "workloads"}),
+    "db": frozenset({"core", "errors", "metrics"}),
+    "analysis": frozenset({"core", "errors", "metrics"}),
+    "serve": frozenset({"core", "errors", "metrics", "obs"}),
     "scheduler": frozenset(
-        {"core", "db", "metrics", "monitoring", "obs", "sim", "vm", "workloads"}
+        {"core", "db", "errors", "metrics", "monitoring", "obs", "sim", "vm", "workloads"}
     ),
     "experiments": frozenset(
         {
             "analysis",
             "core",
             "db",
+            "errors",
             "metrics",
             "monitoring",
             "obs",
@@ -66,11 +73,13 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "analysis",
             "core",
             "db",
+            "errors",
             "experiments",
             "metrics",
             "monitoring",
             "obs",
             "scheduler",
+            "serve",
             "sim",
             "vm",
             "workloads",
@@ -81,12 +90,14 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "analysis",
             "core",
             "db",
+            "errors",
             "experiments",
             "manager",
             "metrics",
             "monitoring",
             "obs",
             "scheduler",
+            "serve",
             "sim",
             "vm",
             "workloads",

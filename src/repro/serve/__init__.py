@@ -1,0 +1,44 @@
+"""repro.serve — batched fleet-classification serving layer.
+
+The paper's resource manager classifies one profiled run at a time; a
+deployment watching a fleet classifies hundreds of short monitoring
+windows per scheduling round.  This package is the serving layer for
+that regime:
+
+- :class:`~repro.serve.batch.BatchClassifier` — vectorized
+  ``classify_many`` over many snapshot series, **bit-identical** to the
+  sequential ``classify_series`` path at a multiple of its throughput;
+- :class:`~repro.serve.service.ClassificationService` — bounded-queue
+  micro-batching front end (flush on size or time) with explicit
+  backpressure via :class:`~repro.errors.ServiceOverloadedError`;
+- :class:`~repro.serve.cache.ModelCache` — trained models memoized by
+  :class:`~repro.core.config.ClassifierConfig`, shared across managers
+  and workers;
+- :func:`~repro.serve.bench.run_throughput_benchmark` — the
+  sequential-vs-batched measurement behind ``repro serve bench``.
+
+Typical use::
+
+    from repro.serve import ClassificationService
+
+    with ClassificationService(classifier, batch_size=32) as service:
+        futures = [service.submit(run.series) for run in fleet]
+        results = [f.result() for f in futures]
+"""
+
+from __future__ import annotations
+
+from .batch import BatchClassifier
+from .bench import ServeBenchResult, run_throughput_benchmark
+from .cache import ModelCache, Trainer
+from .service import ClassificationService, ServiceStats
+
+__all__ = [
+    "BatchClassifier",
+    "ClassificationService",
+    "ModelCache",
+    "ServeBenchResult",
+    "ServiceStats",
+    "Trainer",
+    "run_throughput_benchmark",
+]

@@ -1,0 +1,219 @@
+"""Vectorized fleet classification: many runs through one stacked kernel.
+
+The sequential path (:meth:`ApplicationClassifier.classify_series`)
+pays its Python and dispatch overhead once per run; a resource manager
+classifying a fleet of short monitoring windows pays it hundreds of
+times per scheduling round.  :class:`BatchClassifier` restructures the
+Figure-2 pipeline around one stacked pass:
+
+* normalization, squared-norm, distance assembly, top-k selection, and
+  voting run **once** over the vertically stacked snapshot rows of all
+  runs — each of these stages is row-independent, so stacking cannot
+  change any row's result;
+* the two GEMMs (PCA projection and the ``a·bᵀ`` term of the distance
+  expansion) keep their **per-run shapes**, writing into row slices of
+  preallocated batch buffers — BLAS kernel selection depends on the
+  operand shapes, so per-run shapes are what make the batch output
+  bit-identical to the sequential output.
+
+The result is a list of per-run :class:`ClassificationResult` objects
+whose class vectors, scores, compositions, application classes, and
+categories are **bit-identical** to calling ``classify_series`` on each
+run separately (asserted by ``tests/test_serve_batch.py``), at a
+multiple of the sequential throughput
+(``benchmarks/bench_serve_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.labels import ALL_CLASSES, ClassComposition, SnapshotClass, application_category
+from ..core.pipeline import ApplicationClassifier, ClassificationResult, StageTimings
+from ..errors import EmptySeriesError, NotTrainedError
+from ..metrics.catalog import metric_indices
+from ..metrics.series import SnapshotSeries
+from ..obs import counter as obs_counter, enabled as obs_enabled, span as obs_span
+
+__all__ = ["BatchClassifier"]
+
+
+class BatchClassifier:
+    """Classify many snapshot series in one vectorized pass.
+
+    Parameters
+    ----------
+    classifier:
+        A *trained* :class:`~repro.core.pipeline.ApplicationClassifier`.
+        The batch kernel reads the fitted preprocessing, PCA, and k-NN
+        state directly; training state is re-read on every call, so a
+        retrained classifier is picked up automatically.
+
+    Raises
+    ------
+    NotTrainedError
+        If the classifier is untrained (a ``RuntimeError`` subclass).
+    """
+
+    def __init__(self, classifier: ApplicationClassifier) -> None:
+        if not classifier.trained:
+            raise NotTrainedError("batch classification requires a trained classifier")
+        self.classifier = classifier
+
+    def classify_many(
+        self, series_list: Sequence[SnapshotSeries]
+    ) -> list[ClassificationResult]:
+        """Classify every series; results are bit-identical to the sequential path.
+
+        Returns one :class:`ClassificationResult` per input series, in
+        input order.  ``class_vector``, ``scores``, ``composition``,
+        ``application_class``, and ``category`` match
+        :meth:`~repro.core.pipeline.ApplicationClassifier.classify_series`
+        exactly (same bits); ``timings`` reports the batch's stage costs
+        apportioned to each run by its share of the stacked snapshots,
+        since per-run wall clocks are not observable inside one fused
+        kernel.
+
+        Raises
+        ------
+        NotTrainedError
+            If the classifier lost its training since construction.
+        EmptySeriesError
+            If any series is empty (the batch is rejected whole, before
+            any work, so a bad request cannot half-classify a fleet).
+        """
+        clf = self.classifier
+        if not clf.trained:
+            raise NotTrainedError("classifier not trained")
+        for series in series_list:
+            if len(series) == 0:
+                raise EmptySeriesError("cannot classify an empty series")
+        if not series_list:
+            return []
+        with obs_span("serve.batch.classify", clock=clf.clock):
+            results = self._classify_batch(series_list)
+        if obs_enabled():
+            obs_counter("serve.batch.runs", help="Runs classified by classify_many.").inc(
+                len(results)
+            )
+            obs_counter(
+                "serve.batch.snapshots", help="Snapshots classified by classify_many."
+            ).inc(sum(r.num_samples for r in results))
+        return results
+
+    # ------------------------------------------------------------------
+    # the stacked kernel
+    # ------------------------------------------------------------------
+    def _classify_batch(
+        self, series_list: Sequence[SnapshotSeries]
+    ) -> list[ClassificationResult]:
+        clf = self.classifier
+        preprocessor = clf.preprocessor
+        pca = clf.pca
+        knn = clf.knn
+        clock = clf.clock
+
+        # --- preprocess: gather selected metrics per run, normalize stacked.
+        # feature_matrix(names) is matrix[indices].copy().T; the direct
+        # gather below produces the same values without per-run catalog
+        # validation.  Normalization is elementwise (row-independent), so
+        # one stacked transform matches the per-run transforms bit for bit.
+        t = clock()
+        idx_cols = np.asarray(metric_indices(preprocessor.selector.names), dtype=np.intp)
+        selected = [s.matrix[idx_cols, :].T for s in series_list]
+        lengths = [f.shape[0] for f in selected]
+        offsets = [0]
+        for m in lengths:
+            offsets.append(offsets[-1] + m)
+        total = offsets[-1]
+        features = preprocessor.normalizer.transform(np.vstack(selected))
+        preprocess_s = clock() - t
+
+        # --- PCA: centering is elementwise (stacked); the projection GEMM
+        # runs per run on the matching row slice, so its operand shapes —
+        # and therefore its BLAS kernel and accumulation order — are the
+        # ones the sequential path uses.
+        t = clock()
+        centered = features - pca.mean_
+        components_t = pca.components_.T
+        scores_all = np.empty((total, components_t.shape[1]), dtype=np.float64)
+        for i, m in enumerate(lengths):
+            o = offsets[i]
+            np.matmul(centered[o : o + m], components_t, out=scores_all[o : o + m])
+        pca_s = clock() - t
+
+        # --- k-NN: the a·bᵀ GEMM of the ‖a−b‖² expansion runs per run,
+        # chunked exactly like KNeighborsClassifier.kneighbors for runs
+        # longer than chunk_size; everything downstream — the in-place
+        # distance assembly ((−2ab + aa) + bb ≡ (aa − 2ab) + bb bitwise,
+        # because IEEE addition commutes and negation is exact), clip,
+        # top-k selection, sort, and the shared vote() — is
+        # row-independent and runs once on the stacked rows.
+        t = clock()
+        pool = knn.training_points
+        pool_t = pool.T
+        bb = np.einsum("ij,ij->i", pool, pool)[None, :]
+        ab = np.empty((total, pool_t.shape[1]), dtype=np.float64)
+        chunk = knn.chunk_size
+        for i, m in enumerate(lengths):
+            o = offsets[i]
+            for start in range(o, o + m, chunk):
+                stop = min(start + chunk, o + m)
+                np.matmul(scores_all[start:stop], pool_t, out=ab[start:stop])
+        aa = np.einsum("ij,ij->i", scores_all, scores_all)[:, None]
+        d2 = ab
+        d2 *= -2.0
+        d2 += aa
+        d2 += bb
+        np.maximum(d2, 0.0, out=d2)
+        k = knn.k
+        part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        part_d = np.take_along_axis(d2, part, axis=1)
+        order = np.argsort(part_d, axis=1, kind="stable")
+        indices = np.take_along_axis(part, order, axis=1)
+        distances = np.sqrt(np.take_along_axis(part_d, order, axis=1))
+        class_vector_all = knn.vote(indices, distances)
+        classify_s = clock() - t
+
+        # --- package: compositions via one stacked bincount (integer
+        # counts and elementwise division — identical by construction to
+        # per-run from_class_vector), dominant classes via one row-wise
+        # argmax (identical to each composition's dominant()).
+        t = clock()
+        n_classes = len(ALL_CLASSES)
+        run_ids = np.repeat(np.arange(len(lengths)), lengths)
+        counts = np.bincount(
+            run_ids * n_classes + class_vector_all, minlength=len(lengths) * n_classes
+        ).reshape(len(lengths), n_classes)
+        fractions = counts / np.asarray(lengths, dtype=np.float64)[:, None]
+        dominant_codes = np.argmax(fractions, axis=1)
+        results: list[ClassificationResult] = []
+        for i, series in enumerate(series_list):
+            o, m = offsets[i], lengths[i]
+            composition = ClassComposition(fractions=tuple(fractions[i].tolist()))
+            app_class = SnapshotClass(int(dominant_codes[i]))
+            results.append(
+                ClassificationResult(
+                    node=series.node,
+                    num_samples=m,
+                    class_vector=class_vector_all[o : o + m].copy(),
+                    composition=composition,
+                    application_class=app_class,
+                    category=application_category(composition, dominant=app_class),
+                    scores=scores_all[o : o + m].copy(),
+                    timings=StageTimings(),
+                )
+            )
+        vote_s = clock() - t
+
+        # Apportion the batch's stage costs by snapshot share, so summed
+        # per-run timings reproduce the batch totals (§5.3 accounting).
+        for i, result in enumerate(results):
+            share = lengths[i] / total
+            result.timings.preprocess_s = preprocess_s * share
+            result.timings.pca_s = pca_s * share
+            result.timings.classify_s = classify_s * share
+            result.timings.vote_s = vote_s * share
+        return results

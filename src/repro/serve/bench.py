@@ -1,0 +1,114 @@
+"""Throughput measurement harness for the batched serving kernel.
+
+Times the sequential per-run path (``classify_series`` in a loop)
+against :meth:`BatchClassifier.classify_many` on the same fleet of
+snapshot series, verifies bit-identity of every output on the way, and
+reports the speedup.  The fleet itself is supplied by the caller
+(``repro serve bench`` and ``benchmarks/bench_serve_throughput.py``
+profile it with the simulator), keeping this module below the
+experiment drivers in the layering DAG.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.pipeline import ApplicationClassifier
+from ..metrics.series import SnapshotSeries
+from .batch import BatchClassifier
+
+__all__ = ["ServeBenchResult", "run_throughput_benchmark"]
+
+
+@dataclass(frozen=True)
+class ServeBenchResult:
+    """One sequential-vs-batched timing comparison."""
+
+    num_runs: int
+    num_snapshots: int
+    repeats: int
+    sequential_ms: float
+    batch_ms: float
+    speedup: float
+    bit_identical: bool
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON emission."""
+        return asdict(self)
+
+
+def _parity(classifier: ApplicationClassifier, series_list: Sequence[SnapshotSeries]) -> bool:
+    """True iff batched outputs match the sequential path bit for bit."""
+    sequential = [classifier.classify_series(s) for s in series_list]
+    batched = BatchClassifier(classifier).classify_many(series_list)
+    for seq_r, bat_r in zip(sequential, batched):
+        if not np.array_equal(seq_r.class_vector, bat_r.class_vector):
+            return False
+        if not np.array_equal(seq_r.scores, bat_r.scores):
+            return False
+        if seq_r.composition != bat_r.composition:
+            return False
+        if seq_r.application_class is not bat_r.application_class:
+            return False
+        if seq_r.category != bat_r.category:
+            return False
+    return True
+
+
+def run_throughput_benchmark(
+    classifier: ApplicationClassifier,
+    series_list: Sequence[SnapshotSeries],
+    repeats: int = 30,
+) -> ServeBenchResult:
+    """Time sequential vs batched classification of *series_list*.
+
+    The two arms are timed in **interleaved pairs** — each repeat times
+    one sequential pass then one batched pass — so slow drift (CPU
+    frequency scaling, thermal throttling) moves both arms together
+    instead of biasing whichever ran second.  The reported latency per
+    arm is the minimum across passes (the standard noise-robust
+    estimator for CPU-bound microbenchmarks).
+
+    Raises
+    ------
+    ValueError
+        For an empty fleet or non-positive repeats.
+    """
+    if not series_list:
+        raise ValueError("benchmark needs at least one series")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    identical = _parity(classifier, series_list)
+    batch = BatchClassifier(classifier)
+
+    def sequential_pass() -> None:
+        for series in series_list:
+            classifier.classify_series(series)
+
+    def batch_pass() -> None:
+        batch.classify_many(series_list)
+
+    sequential_pass()  # warm-up: caches, lazy allocations
+    batch_pass()
+    sequential_s = float("inf")
+    batch_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        sequential_pass()
+        sequential_s = min(sequential_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batch_pass()
+        batch_s = min(batch_s, time.perf_counter() - t0)
+    return ServeBenchResult(
+        num_runs=len(series_list),
+        num_snapshots=int(sum(len(s) for s in series_list)),
+        repeats=repeats,
+        sequential_ms=sequential_s * 1e3,
+        batch_ms=batch_s * 1e3,
+        speedup=sequential_s / batch_s,
+        bit_identical=identical,
+    )

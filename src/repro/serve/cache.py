@@ -1,0 +1,95 @@
+"""Model cache: one trained classifier per (config, seed), shared fleet-wide.
+
+Training the paper's classifier means five profiling runs plus a PCA
+fit — cheap enough to do once, far too expensive to repeat for every
+manager, service worker, or benchmark that wants the same model.
+:class:`ModelCache` memoizes trained classifiers keyed by their
+:class:`~repro.core.config.ClassifierConfig` (frozen and hashable by
+design — the clock field is excluded from equality) plus the training
+seed, behind a lock so concurrent service workers share one training
+run instead of racing five.
+
+The cache is mechanism only: *how* a model is trained is injected as a
+``trainer`` callable, keeping ``repro.serve`` below the experiment
+drivers in the layering DAG.  :func:`repro.manager.service.shared_model_cache`
+wires in the paper's five-application training run as the process-wide
+default.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from ..core.config import ClassifierConfig
+from ..core.pipeline import ApplicationClassifier
+
+__all__ = ["ModelCache", "Trainer"]
+
+#: A trainer maps (config, seed) to a trained classifier.
+Trainer = Callable[[ClassifierConfig, int], ApplicationClassifier]
+
+
+class ModelCache:
+    """Thread-safe memoization of trained classifiers.
+
+    Parameters
+    ----------
+    trainer:
+        Callable producing a trained classifier for a (config, seed)
+        pair — e.g. a wrapper over
+        :func:`~repro.experiments.training.build_trained_classifier`.
+    """
+
+    def __init__(self, trainer: Trainer) -> None:
+        self._trainer = trainer
+        self._models: dict[tuple[ClassifierConfig, int], ApplicationClassifier] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(
+        self, config: ClassifierConfig | None = None, seed: int = 0
+    ) -> ApplicationClassifier:
+        """Return the trained classifier for (config, seed), training on first use.
+
+        The lock is held across training, so concurrent callers asking
+        for the same model block on one training run rather than each
+        launching their own.
+        """
+        key = (config if config is not None else ClassifierConfig(), seed)
+        with self._lock:
+            model = self._models.get(key)
+            if model is not None:
+                self._hits += 1
+                return model
+            self._misses += 1
+            model = self._trainer(key[0], key[1])
+            self._models[key] = model
+            return model
+
+    def put(self, classifier: ApplicationClassifier, seed: int = 0) -> None:
+        """Seed the cache with an externally trained classifier.
+
+        The key is reconstructed from the classifier's own
+        :attr:`~repro.core.pipeline.ApplicationClassifier.config`, so a
+        later :meth:`get` with an equal config returns this model.
+        """
+        with self._lock:
+            self._models[(classifier.config, seed)] = classifier
+
+    def clear(self) -> None:
+        """Drop all cached models and reset the hit/miss statistics."""
+        with self._lock:
+            self._models.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """``{"hits": ..., "misses": ..., "models": ...}`` counters."""
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses, "models": len(self._models)}

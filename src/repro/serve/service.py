@@ -1,0 +1,341 @@
+"""Micro-batching classification service with bounded-queue backpressure.
+
+The fleet-serving front end of :mod:`repro.serve`: callers submit one
+snapshot series at a time and get a future back; worker threads collect
+submissions into micro-batches — flushed when **either** ``batch_size``
+requests have accumulated **or** ``max_wait_s`` has elapsed since the
+batch opened — and push each batch through the vectorized
+:class:`~repro.serve.batch.BatchClassifier`, so every caller gets the
+bit-identical sequential-path result at batched throughput.
+
+Load shedding is explicit: the request queue is bounded, and a full
+queue rejects new submissions immediately with
+:class:`~repro.errors.ServiceOverloadedError` instead of buffering
+without limit.  Shutdown drains by default — accepted requests complete
+before the workers exit.
+
+This module runs real threads against real deadlines, so it uses
+``time.monotonic`` directly (``repro.serve`` is outside the
+determinism-rule scope that covers the classification math itself).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from ..core.pipeline import ApplicationClassifier, ClassificationResult
+from ..errors import EmptySeriesError, ServiceOverloadedError
+from ..metrics.series import SnapshotSeries
+from ..obs import (
+    counter as obs_counter,
+    enabled as obs_enabled,
+    gauge as obs_gauge,
+    histogram as obs_histogram,
+)
+from .batch import BatchClassifier
+
+__all__ = ["ClassificationService", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Lifetime counters of one service instance."""
+
+    submitted: int
+    rejected: int
+    completed: int
+    failed: int
+    batches: int
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet completed or failed."""
+        return self.submitted - self.completed - self.failed
+
+
+class _Request:
+    """One queued classification request."""
+
+    __slots__ = ("series", "future", "enqueued_at")
+
+    def __init__(self, series: SnapshotSeries, enqueued_at: float) -> None:
+        self.series = series
+        self.future: Future[ClassificationResult] = Future()
+        self.enqueued_at = enqueued_at
+
+
+#: Queue sentinel that tells one worker to exit.
+_STOP = object()
+
+
+class ClassificationService:
+    """Accept classification requests and serve them in micro-batches.
+
+    Parameters
+    ----------
+    classifier:
+        A *trained* classifier (validated by the wrapped
+        :class:`~repro.serve.batch.BatchClassifier`).
+    batch_size:
+        Flush a batch as soon as this many requests are collected.
+    max_wait_s:
+        Flush a batch this many seconds after its first request, even
+        if it is not full (bounds per-request latency under light load).
+    max_queue:
+        Bound on requests buffered ahead of the workers; submissions
+        beyond it raise :class:`~repro.errors.ServiceOverloadedError`.
+    workers:
+        Worker threads pulling batches (1 is enough for the GIL-bound
+        NumPy kernel; more overlap when callers block on results).
+    autostart:
+        Start workers immediately; pass ``False`` to control startup
+        (e.g. tests that fill the queue before any draining happens).
+    """
+
+    def __init__(
+        self,
+        classifier: ApplicationClassifier,
+        *,
+        batch_size: int = 16,
+        max_wait_s: float = 0.01,
+        max_queue: int = 64,
+        workers: int = 1,
+        autostart: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.batch = BatchClassifier(classifier)
+        self.batch_size = batch_size
+        self.max_wait_s = max_wait_s
+        self.max_queue = max_queue
+        self._queue: queue.Queue[object] = queue.Queue(maxsize=max_queue)
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopping = False
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._batches = 0
+        self._num_workers = workers
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the worker threads; idempotent.
+
+        Raises
+        ------
+        RuntimeError
+            After :meth:`shutdown` (a service does not restart).
+        """
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("service is shut down")
+            if self._started:
+                return
+            self._started = True
+            for i in range(self._num_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting requests and stop the workers; idempotent.
+
+        With ``drain=True`` (default) every already-accepted request is
+        classified before the workers exit; with ``drain=False`` pending
+        requests fail with :class:`~repro.errors.ServiceOverloadedError`.
+        """
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            started = self._started
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(item, _Request):
+                    item.future.set_exception(
+                        ServiceOverloadedError("service shut down before request ran")
+                    )
+                    with self._lock:
+                        self._failed += 1
+        if started:
+            for _ in self._threads:
+                self._queue.put(_STOP)
+            for thread in self._threads:
+                thread.join()
+        else:
+            # Never-started service: fail anything still queued.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(item, _Request):
+                    item.future.set_exception(
+                        ServiceOverloadedError("service shut down before starting")
+                    )
+                    with self._lock:
+                        self._failed += 1
+
+    def __enter__(self) -> "ClassificationService":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(self, series: SnapshotSeries) -> Future[ClassificationResult]:
+        """Enqueue one series; returns a future with its ClassificationResult.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            If the bounded request queue is full (back-pressure: shed
+            load at the edge instead of buffering without bound).
+        EmptySeriesError
+            For an empty series (rejected before it can poison a batch).
+        RuntimeError
+            After shutdown.
+        """
+        if len(series) == 0:
+            raise EmptySeriesError("cannot classify an empty series")
+        if self._stopping:
+            raise RuntimeError("service is shut down")
+        request = _Request(series, time.monotonic())
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._lock:
+                self._rejected += 1
+            if obs_enabled():
+                obs_counter(
+                    "serve.requests.rejected", help="Submissions shed by backpressure."
+                ).inc()
+            raise ServiceOverloadedError(
+                f"request queue full ({self.max_queue} pending); retry later"
+            ) from None
+        with self._lock:
+            self._submitted += 1
+        if obs_enabled():
+            obs_gauge("serve.queue.depth", help="Requests waiting in the queue.").set(
+                self._queue.qsize()
+            )
+        return request.future
+
+    def classify(
+        self, series: SnapshotSeries, timeout: float | None = None
+    ) -> ClassificationResult:
+        """Blocking convenience: :meth:`submit` and wait for the result."""
+        return self.submit(series).result(timeout=timeout)
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Lifetime request/batch counters (a consistent snapshot)."""
+        with self._lock:
+            return ServiceStats(
+                submitted=self._submitted,
+                rejected=self._rejected,
+                completed=self._completed,
+                failed=self._failed,
+                batches=self._batches,
+            )
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            assert isinstance(item, _Request)
+            batch, saw_stop = self._collect_batch(item)
+            self._process_batch(batch)
+            if saw_stop:
+                return
+
+    def _collect_batch(self, first: _Request) -> tuple[list[_Request], bool]:
+        """Gather up to ``batch_size`` requests or until the wait window closes.
+
+        Returns the batch plus whether this worker consumed its own stop
+        sentinel while collecting (it must exit after flushing).
+        """
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.batch_size:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                return batch, True
+            assert isinstance(item, _Request)
+            batch.append(item)
+        return batch, False
+
+    def _process_batch(self, batch: list[_Request]) -> None:
+        timed = obs_enabled()
+        if timed:
+            obs_gauge("serve.queue.depth", help="Requests waiting in the queue.").set(
+                self._queue.qsize()
+            )
+            obs_histogram(
+                "serve.batch.size",
+                help="Requests per flushed micro-batch.",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+            ).observe(len(batch))
+        try:
+            results = self.batch.classify_many([r.series for r in batch])
+        except Exception as exc:  # propagate to every waiting caller
+            for request in batch:
+                request.future.set_exception(exc)
+            with self._lock:
+                self._failed += len(batch)
+                self._batches += 1
+            if timed:
+                obs_counter(
+                    "serve.requests.failed", help="Requests failed by a batch error."
+                ).inc(len(batch))
+            return
+        done = time.monotonic()
+        for request, result in zip(batch, results):
+            request.future.set_result(result)
+            if timed:
+                obs_histogram(
+                    "serve.request.seconds",
+                    help="Submit-to-result latency of one served request.",
+                ).observe(done - request.enqueued_at)
+        with self._lock:
+            self._completed += len(batch)
+            self._batches += 1
+        if timed:
+            obs_counter("serve.requests.completed", help="Requests served.").inc(len(batch))

@@ -83,6 +83,20 @@ def test_stages_unknown_app(capsys):
     assert main(["stages", "crysis"]) == 2
 
 
+def test_serve_bench_small(capsys):
+    assert main(["serve", "bench", "--runs", "6", "--repeats", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "bit-identical: True" in out
+    assert "speedup:" in out
+
+
+def test_serve_bench_json(capsys):
+    assert main(["serve", "bench", "--runs", "6", "--repeats", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out.split("...\n")[-1])
+    assert payload["bit_identical"] is True
+    assert payload["num_runs"] == 6
+
+
 def test_missing_command_exits():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,92 @@
+"""ClassifierConfig validation, hashability, and classifier round-trips."""
+
+import time
+
+import pytest
+
+from repro.core.config import ClassifierConfig
+from repro.core.pipeline import ApplicationClassifier
+from repro.metrics.catalog import EXPERT_METRIC_NAMES
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = ClassifierConfig()
+        assert config.metric_names == EXPERT_METRIC_NAMES
+        assert config.n_components == 2
+        assert config.min_variance_fraction is None
+        assert config.k == 3
+        assert config.clock is None
+
+    def test_selector_round_trip(self):
+        config = ClassifierConfig()
+        assert config.selector().names == config.metric_names
+
+
+class TestValidation:
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError):
+            ClassifierConfig(metric_names=("not_a_metric",))
+
+    def test_empty_metric_names_rejected(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(metric_names=())
+
+    def test_component_selection_exclusivity(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(n_components=2, min_variance_fraction=0.9)
+        with pytest.raises(ValueError):
+            ClassifierConfig(n_components=None, min_variance_fraction=None)
+
+    def test_bad_n_components(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(n_components=0)
+
+    def test_bad_variance_fraction(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(n_components=None, min_variance_fraction=1.5)
+
+    def test_even_or_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(k=2)
+        with pytest.raises(ValueError):
+            ClassifierConfig(k=0)
+
+
+class TestHashability:
+    def test_equal_configs_share_hash(self):
+        assert ClassifierConfig() == ClassifierConfig()
+        assert hash(ClassifierConfig()) == hash(ClassifierConfig())
+
+    def test_usable_as_dict_key(self):
+        cache = {ClassifierConfig(): "a", ClassifierConfig(k=5): "b"}
+        assert cache[ClassifierConfig()] == "a"
+        assert cache[ClassifierConfig(k=5)] == "b"
+
+    def test_clock_excluded_from_equality(self):
+        base = ClassifierConfig()
+        clocked = base.with_clock(time.perf_counter)
+        assert clocked == base
+        assert hash(clocked) == hash(base)
+        assert clocked.clock is time.perf_counter
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ClassifierConfig().k = 5
+
+
+class TestClassifierRoundTrip:
+    def test_from_config_applies_settings(self):
+        config = ClassifierConfig(k=5, clock=time.perf_counter)
+        clf = ApplicationClassifier.from_config(config)
+        assert clf.knn.k == 5
+        assert clf.clock is time.perf_counter
+        assert clf.preprocessor.selector.names == config.metric_names
+
+    def test_config_property_round_trips(self):
+        config = ClassifierConfig(k=5)
+        clf = ApplicationClassifier.from_config(config)
+        assert clf.config == config
+
+    def test_default_classifier_reports_default_config(self):
+        assert ApplicationClassifier().config == ClassifierConfig()

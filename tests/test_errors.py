@@ -1,0 +1,89 @@
+"""The typed error hierarchy and its backward-compatible dual inheritance."""
+
+import pytest
+
+from repro.errors import (
+    EmptySeriesError,
+    NotTrainedError,
+    ReproError,
+    ServiceOverloadedError,
+    UnknownApplicationError,
+    UnknownPolicyError,
+)
+
+#: Every concrete error with the builtin type the pre-1.1 API raised.
+LEGACY_TYPES = [
+    (NotTrainedError, RuntimeError),
+    (EmptySeriesError, ValueError),
+    (UnknownApplicationError, KeyError),
+    (UnknownPolicyError, ValueError),
+    (ServiceOverloadedError, RuntimeError),
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type,_", LEGACY_TYPES)
+    def test_all_derive_from_repro_error(self, error_type, _):
+        assert issubclass(error_type, ReproError)
+
+    @pytest.mark.parametrize("error_type,legacy", LEGACY_TYPES)
+    def test_dual_inheritance(self, error_type, legacy):
+        assert issubclass(error_type, legacy)
+
+    @pytest.mark.parametrize("error_type,legacy", LEGACY_TYPES)
+    def test_old_except_clauses_still_catch(self, error_type, legacy):
+        with pytest.raises(legacy):
+            raise error_type("boom")
+
+    @pytest.mark.parametrize("error_type,_", LEGACY_TYPES)
+    def test_one_blanket_except_catches_everything(self, error_type, _):
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+
+class TestMessages:
+    def test_unknown_application_message_not_garbled(self):
+        # Plain KeyError.__str__ would repr() the message; ours must not.
+        message = "application 'ghost' has no learned runs"
+        assert str(UnknownApplicationError(message)) == message
+
+    def test_other_messages_pass_through(self):
+        assert str(NotTrainedError("classifier not trained")) == "classifier not trained"
+
+
+class TestRaisedFromCore:
+    def test_classify_before_training(self, short_cpu_run):
+        from repro.core.pipeline import ApplicationClassifier
+
+        clf = ApplicationClassifier()
+        with pytest.raises(NotTrainedError):
+            clf.classify_series(short_cpu_run.series)
+        # Pre-1.1 callers caught RuntimeError; they still do.
+        with pytest.raises(RuntimeError):
+            clf.classify_series(short_cpu_run.series)
+
+    def test_empty_series_rejected(self, classifier):
+        import numpy as np
+
+        from repro.metrics.catalog import NUM_METRICS
+        from repro.metrics.series import SnapshotSeries
+
+        empty = SnapshotSeries(
+            node="VM1",
+            timestamps=np.empty(0, dtype=np.float64),
+            matrix=np.empty((NUM_METRICS, 0), dtype=np.float64),
+        )
+        with pytest.raises(EmptySeriesError):
+            classifier.classify_series(empty)
+
+    def test_manager_unknown_application(self):
+        from repro.manager.service import ResourceManager
+
+        with pytest.raises(UnknownApplicationError):
+            ResourceManager().class_of("ghost")
+
+    def test_manager_unknown_policy(self):
+        from repro.manager.service import ResourceManager
+
+        with pytest.raises(UnknownPolicyError):
+            ResourceManager().schedule(["a"], machines=1, policy="vibes")

@@ -1,10 +1,12 @@
 """Tests for the resource-manager facade."""
 
+import numpy as np
 import pytest
 
 from repro.core.cost_model import UnitCostModel
 from repro.core.labels import ClassComposition, SnapshotClass
-from repro.manager.service import ResourceManager
+from repro.errors import UnknownApplicationError, UnknownPolicyError
+from repro.manager.service import ResourceManager, shared_model_cache
 from repro.vm.resources import ResourceDemand
 from repro.workloads.base import constant_workload
 
@@ -42,12 +44,22 @@ class TestLearning:
         assert manager.class_of("io-app") is SnapshotClass.IO
 
     def test_unknown_application(self, manager):
+        # The typed error is also a KeyError, so both clauses catch.
         with pytest.raises(KeyError):
             manager.class_of("ghost")
+        with pytest.raises(UnknownApplicationError):
+            manager.class_of("ghost")
 
-    def test_classify_only_does_not_record(self, manager):
+    def test_classify_does_not_record(self, manager):
         before = manager.db.total_runs()
-        result = manager.classify_only(cpu_job(30.0))
+        result = manager.classify(cpu_job(30.0))
+        assert result.application_class is SnapshotClass.CPU
+        assert manager.db.total_runs() == before
+
+    def test_classify_only_is_deprecated_alias(self, manager):
+        before = manager.db.total_runs()
+        with pytest.warns(DeprecationWarning, match="classify_only is deprecated"):
+            result = manager.classify_only(cpu_job(30.0))
         assert result.application_class is SnapshotClass.CPU
         assert manager.db.total_runs() == before
 
@@ -69,6 +81,42 @@ class TestLearning:
             mgr.ensure_trained()
 
 
+class TestBatchPaths:
+    def test_classify_many_matches_sequential(self, classifier):
+        jobs = [cpu_job(30.0), io_job(30.0), cpu_job(40.0)]
+        batched_mgr = ResourceManager(classifier=classifier, seed=11)
+        sequential_mgr = ResourceManager(classifier=classifier, seed=11)
+        batched = batched_mgr.classify_many(jobs)
+        sequential = [sequential_mgr.classify(job) for job in jobs]
+        for bat, seq in zip(batched, sequential):
+            assert np.array_equal(bat.class_vector, seq.class_vector)
+            assert np.array_equal(bat.scores, seq.scores)
+            assert bat.application_class is seq.application_class
+
+    def test_classify_many_does_not_record(self, classifier):
+        mgr = ResourceManager(classifier=classifier, seed=11)
+        mgr.classify_many([cpu_job(30.0), io_job(30.0)])
+        assert mgr.db.total_runs() == 0
+
+    def test_learn_many_records_every_run(self, classifier):
+        mgr = ResourceManager(classifier=classifier, seed=11)
+        outcomes = mgr.learn_many(
+            [("cpu-app", cpu_job(30.0)), ("io-app", io_job(30.0)), ("cpu-app", cpu_job(40.0))]
+        )
+        assert len(outcomes) == 3
+        assert mgr.db.run_count("cpu-app") == 2
+        assert mgr.db.run_count("io-app") == 1
+        assert mgr.class_of("cpu-app") is SnapshotClass.CPU
+        for outcome in outcomes:
+            assert outcome.record.environment == {"vm_mem_mb": 256.0}
+            assert outcome.record.application_class is outcome.result.application_class
+
+    def test_shared_model_cache_is_process_wide(self):
+        assert shared_model_cache() is shared_model_cache()
+        mgr = ResourceManager()
+        assert mgr.model_cache is None  # defaults to the shared one lazily
+
+
 class TestConsumers:
     def test_class_schedule_spreads_classes(self, manager):
         placement = manager.schedule(["cpu-app", "io-app", "cpu-app", "io-app"], machines=2)
@@ -83,7 +131,10 @@ class TestConsumers:
             assert set(machine) == {"cpu-app", "io-app"}
 
     def test_unknown_policy(self, manager):
+        # The typed error is also a ValueError, so both clauses catch.
         with pytest.raises(ValueError):
+            manager.schedule(["cpu-app"], machines=1, policy="vibes")
+        with pytest.raises(UnknownPolicyError):
             manager.schedule(["cpu-app"], machines=1, policy="vibes")
 
     def test_reserve(self, manager):

@@ -16,10 +16,25 @@ def test_readme_quickstart_snippet():
     assert percentages["IO"] > 90.0
 
 
+def test_readme_serve_snippet():
+    from repro.manager.service import shared_model_cache
+    from repro.serve import BatchClassifier, ClassificationService
+
+    classifier = shared_model_cache().get()
+    series_list = [profiled_run(postmark(), seed=42).series]
+    results = BatchClassifier(classifier).classify_many(series_list)
+    assert results[0].application_class.name == "IO"
+
+    with ClassificationService(classifier, batch_size=16) as service:
+        futures = [service.submit(series) for series in series_list]
+        results = [f.result() for f in futures]
+    assert results[0].application_class.name == "IO"
+
+
 def test_package_version_importable():
     import repro
 
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
     # Every advertised subpackage is importable from the root.
     for name in repro.__all__:
         if name != "__version__":

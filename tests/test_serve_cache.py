@@ -1,0 +1,107 @@
+"""Model-cache memoization keyed by (ClassifierConfig, seed)."""
+
+import threading
+
+import pytest
+
+from repro.core.config import ClassifierConfig
+from repro.serve.cache import ModelCache
+
+
+class FakeModel:
+    """Stands in for a trained classifier; carries its own config."""
+
+    def __init__(self, config):
+        self.config = config
+
+
+@pytest.fixture()
+def calls():
+    return []
+
+
+@pytest.fixture()
+def cache(calls):
+    def trainer(config, seed):
+        calls.append((config, seed))
+        return FakeModel(config)
+
+    return ModelCache(trainer=trainer)
+
+
+class TestMemoization:
+    def test_trains_once_per_key(self, cache, calls):
+        first = cache.get(seed=0)
+        second = cache.get(seed=0)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_none_config_means_default(self, cache, calls):
+        a = cache.get(None, seed=0)
+        b = cache.get(ClassifierConfig(), seed=0)
+        assert a is b
+        assert len(calls) == 1
+
+    def test_distinct_seeds_distinct_models(self, cache, calls):
+        assert cache.get(seed=0) is not cache.get(seed=1)
+        assert len(calls) == 2
+
+    def test_distinct_configs_distinct_models(self, cache, calls):
+        a = cache.get(ClassifierConfig(k=3))
+        b = cache.get(ClassifierConfig(k=5))
+        assert a is not b
+        assert calls == [(ClassifierConfig(k=3), 0), (ClassifierConfig(k=5), 0)]
+
+    def test_clock_excluded_from_key(self, cache, calls):
+        a = cache.get(ClassifierConfig())
+        b = cache.get(ClassifierConfig().with_clock(lambda: 0.0))
+        assert a is b
+        assert len(calls) == 1
+
+
+class TestPut:
+    def test_put_preseeds_cache(self, cache, calls):
+        model = FakeModel(ClassifierConfig())
+        cache.put(model, seed=7)
+        assert cache.get(ClassifierConfig(), seed=7) is model
+        assert calls == []
+
+
+class TestStats:
+    def test_hit_miss_counters(self, cache):
+        cache.get(seed=0)
+        cache.get(seed=0)
+        cache.get(seed=1)
+        assert cache.stats == {"hits": 1, "misses": 2, "models": 2}
+        assert len(cache) == 2
+
+    def test_clear_resets(self, cache):
+        cache.get(seed=0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats == {"hits": 0, "misses": 0, "models": 0}
+
+
+class TestConcurrency:
+    def test_concurrent_gets_share_one_training(self, calls):
+        trained = threading.Barrier(9, timeout=10.0)
+
+        def trainer(config, seed):
+            calls.append((config, seed))
+            return FakeModel(config)
+
+        cache = ModelCache(trainer=trainer)
+        models = []
+
+        def fetch():
+            models.append(cache.get(seed=0))
+            trained.wait()
+
+        threads = [threading.Thread(target=fetch) for _ in range(8)]
+        for t in threads:
+            t.start()
+        trained.wait()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(m is models[0] for m in models)

@@ -1,0 +1,181 @@
+"""Micro-batching, backpressure, and shutdown of the classification service."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptySeriesError, ReproError, ServiceOverloadedError
+from repro.experiments.fleet import profile_fleet
+from repro.metrics.series import SnapshotSeries
+from repro.serve.service import ClassificationService
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return profile_fleet(8, seed=100)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"max_wait_s": -0.1},
+            {"max_queue": 0},
+            {"workers": 0},
+        ],
+    )
+    def test_bad_parameters(self, classifier, kwargs):
+        with pytest.raises(ValueError):
+            ClassificationService(classifier, autostart=False, **kwargs)
+
+    def test_empty_series_rejected_at_submit(self, classifier, fleet):
+        empty = SnapshotSeries(
+            node="VM1",
+            timestamps=np.empty(0, dtype=np.float64),
+            matrix=np.empty((fleet[0].matrix.shape[0], 0), dtype=np.float64),
+        )
+        with ClassificationService(classifier) as service:
+            with pytest.raises(EmptySeriesError):
+                service.submit(empty)
+
+
+class TestMicroBatching:
+    def test_size_trigger_flushes_full_batch(self, classifier, fleet):
+        # max_wait_s is far longer than the test budget: only the size
+        # trigger can flush, so completion proves it fired.
+        with ClassificationService(
+            classifier, batch_size=len(fleet), max_wait_s=30.0
+        ) as service:
+            futures = [service.submit(s) for s in fleet]
+            results = [f.result(timeout=10.0) for f in futures]
+        expected = [classifier.classify_series(s) for s in fleet]
+        for result, exp in zip(results, expected):
+            assert np.array_equal(result.class_vector, exp.class_vector)
+            assert result.application_class is exp.application_class
+        assert service.stats.batches == 1
+        assert service.stats.completed == len(fleet)
+
+    def test_time_trigger_flushes_partial_batch(self, classifier, fleet):
+        # Fewer submissions than batch_size: only the wait-window timer
+        # can flush this batch.
+        with ClassificationService(
+            classifier, batch_size=64, max_wait_s=0.02
+        ) as service:
+            futures = [service.submit(s) for s in fleet[:3]]
+            results = [f.result(timeout=10.0) for f in futures]
+        assert len(results) == 3
+        assert service.stats.completed == 3
+        assert service.stats.batches >= 1
+
+    def test_classify_blocking_convenience(self, classifier, fleet):
+        with ClassificationService(classifier, max_wait_s=0.005) as service:
+            result = service.classify(fleet[0], timeout=10.0)
+        expected = classifier.classify_series(fleet[0])
+        assert np.array_equal(result.class_vector, expected.class_vector)
+
+    def test_stats_snapshot(self, classifier, fleet):
+        with ClassificationService(classifier, max_wait_s=0.005) as service:
+            for s in fleet[:4]:
+                service.submit(s)
+        stats = service.stats
+        assert stats.submitted == 4
+        assert stats.completed == 4
+        assert stats.failed == 0
+        assert stats.rejected == 0
+        assert stats.pending == 0
+
+
+class TestBackpressure:
+    def test_full_queue_rejects(self, classifier, fleet):
+        service = ClassificationService(classifier, max_queue=4, autostart=False)
+        try:
+            for s in fleet[:4]:
+                service.submit(s)
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(fleet[4])
+            # Dual inheritance: RuntimeError and ReproError both catch.
+            with pytest.raises(RuntimeError):
+                service.submit(fleet[4])
+            with pytest.raises(ReproError):
+                service.submit(fleet[4])
+            assert service.stats.rejected == 3
+            assert service.stats.submitted == 4
+        finally:
+            service.start()
+            service.shutdown()
+        assert service.stats.completed == 4
+
+    def test_submit_after_shutdown_raises(self, classifier, fleet):
+        service = ClassificationService(classifier)
+        service.shutdown()
+        with pytest.raises(RuntimeError):
+            service.submit(fleet[0])
+
+
+class TestShutdown:
+    def test_drain_completes_pending(self, classifier, fleet):
+        service = ClassificationService(classifier, max_queue=16, autostart=False)
+        futures = [service.submit(s) for s in fleet]
+        service.start()
+        service.shutdown(drain=True)
+        for future in futures:
+            assert future.result(timeout=0).application_class is not None
+        assert service.stats.completed == len(fleet)
+        assert service.stats.pending == 0
+
+    def test_no_drain_fails_pending(self, classifier, fleet):
+        service = ClassificationService(classifier, max_queue=16, autostart=False)
+        futures = [service.submit(s) for s in fleet]
+        service.shutdown(drain=False)
+        for future in futures:
+            with pytest.raises(ServiceOverloadedError):
+                future.result(timeout=0)
+        assert service.stats.failed == len(fleet)
+
+    def test_shutdown_idempotent(self, classifier):
+        service = ClassificationService(classifier)
+        service.shutdown()
+        service.shutdown()
+
+    def test_start_after_shutdown_raises(self, classifier):
+        service = ClassificationService(classifier)
+        service.shutdown()
+        with pytest.raises(RuntimeError):
+            service.start()
+
+    def test_no_deadlock_under_saturation(self, classifier, fleet):
+        # Submit far more than the queue holds, from the caller thread,
+        # while one worker drains: every accepted request completes and
+        # the service shuts down within the test budget.
+        service = ClassificationService(
+            classifier, batch_size=4, max_wait_s=0.001, max_queue=4
+        )
+        accepted, rejected = [], 0
+        deadline = time.monotonic() + 10.0
+        for _ in range(5):
+            for s in fleet:
+                assert time.monotonic() < deadline
+                try:
+                    accepted.append(service.submit(s))
+                except ServiceOverloadedError:
+                    rejected += 1
+        service.shutdown(drain=True)
+        for future in accepted:
+            assert future.result(timeout=0) is not None
+        stats = service.stats
+        assert stats.completed == len(accepted)
+        assert stats.rejected == rejected
+        assert stats.pending == 0
+
+
+class TestWorkers:
+    def test_multiple_workers(self, classifier, fleet):
+        with ClassificationService(
+            classifier, workers=3, batch_size=2, max_wait_s=0.001
+        ) as service:
+            futures = [service.submit(s) for s in fleet]
+            for future in futures:
+                future.result(timeout=10.0)
+        assert service.stats.completed == len(fleet)
