@@ -1,0 +1,127 @@
+"""CI exposition smoke test for the telemetry plane.
+
+Launches ``python -m repro obs serve`` as a subprocess, waits for the
+"serving telemetry on <url>" banner, then exercises the HTTP plane with
+urllib:
+
+* ``/metrics``  — 200, Prometheus content type, parseable text format
+  (every non-comment line is ``name{labels} value``), trailing newline;
+* ``/healthz``  — 200 with an ``"OK"`` overall verdict (a fresh
+  profiling run must not page);
+* ``/readyz``   — 200 while serving.
+
+Finally sends SIGINT and asserts the server shuts down cleanly (exit
+status 0, "telemetry server stopped" on stdout).  Stdlib only; exits
+non-zero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import urllib.request
+
+BANNER = re.compile(r"serving telemetry on (http://\S+)")
+#: Prometheus text format: comment, blank, or ``name{labels} value``.
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$"
+)
+
+
+def fail(msg: str) -> "None":
+    """Print a diagnostic and exit non-zero."""
+    print(f"obs_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fetch(url: str) -> "tuple[int, str, str]":
+    """(status, content-type, body) for *url*."""
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+
+
+def check_metrics(base: str) -> None:
+    """Assert /metrics is parseable Prometheus text exposition."""
+    status, ctype, body = fetch(base + "/metrics")
+    if status != 200:
+        fail(f"/metrics returned {status}")
+    if not ctype.startswith("text/plain"):
+        fail(f"/metrics content type {ctype!r}")
+    if not body.endswith("\n"):
+        fail("/metrics body missing trailing newline")
+    samples = 0
+    for line in body.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if not SAMPLE_LINE.match(line):
+            fail(f"/metrics line not parseable: {line!r}")
+        samples += 1
+    if samples == 0:
+        fail("/metrics exposed no samples after a profiling run")
+    print(f"obs_smoke: /metrics ok ({samples} samples)")
+
+
+def check_healthz(base: str) -> None:
+    """Assert /healthz reports an overall OK verdict."""
+    status, _, body = fetch(base + "/healthz")
+    if status != 200:
+        fail(f"/healthz returned {status}: {body!r}")
+    payload = json.loads(body)
+    if payload.get("status") != "OK":
+        fail(f"/healthz verdict {payload.get('status')!r}: {body}")
+    print(f"obs_smoke: /healthz ok ({len(payload.get('rules', []))} rules)")
+
+
+def check_readyz(base: str) -> None:
+    """Assert /readyz is 200 while the server runs."""
+    status, _, body = fetch(base + "/readyz")
+    if status != 200:
+        fail(f"/readyz returned {status}: {body!r}")
+    print("obs_smoke: /readyz ok")
+
+
+def main() -> int:
+    """Run the smoke test; return a process exit status."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "obs", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    base = None
+    try:
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            print(f"obs_smoke: serve: {line.rstrip()}")
+            m = BANNER.search(line)
+            if m:
+                base = m.group(1).rstrip("/")
+                break
+        if base is None:
+            fail(f"server exited (status {proc.wait()}) before printing its URL")
+        check_metrics(base)
+        check_healthz(base)
+        check_readyz(base)
+        proc.send_signal(signal.SIGINT)
+        try:
+            rest = proc.stdout.read()
+            status = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            fail("server did not exit within 30s of SIGINT")
+        if status != 0:
+            fail(f"server exited {status} after SIGINT: {rest!r}")
+        if "telemetry server stopped" not in rest:
+            fail(f"missing shutdown banner in: {rest!r}")
+        print("obs_smoke: clean shutdown ok")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,10 @@ Usage::
     python -m repro fig4 [--horizon S]
     python -m repro cost [--samples N]
     python -m repro serve bench [--runs N] [--repeats N] [--json]
-    python -m repro obs dump [--app KEY] [--format prometheus|json]
+    python -m repro obs dump [--app KEY] [--format prometheus|json] [--output FILE]
+    python -m repro obs serve [--app KEY] [--port N] [--duration S]
+    python -m repro obs top [--app KEY] [--window S]
+    python -m repro obs slo [--app KEY]
     python -m repro obs reset
 
 Every command trains the classifier from scratch (a few seconds) so the
@@ -86,24 +89,62 @@ def _build_parser() -> argparse.ArgumentParser:
     b.add_argument("--seed", type=int, default=100)
     b.add_argument("--json", action="store_true", help="emit the result as JSON")
 
-    p = sub.add_parser("obs", help="observability: dump or reset the metrics registry")
+    p = sub.add_parser(
+        "obs", help="observability: dump, serve, watch, or reset the telemetry plane"
+    )
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    def _obs_run_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--app", default="postmark", help="catalog key to profile (see list-apps)"
+        )
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--mem", type=float, default=None, help="VM memory override (MB)")
+        sp.add_argument(
+            "--no-run",
+            action="store_true",
+            help="use whatever the process-local registry already holds, without running",
+        )
+
     d = obs_sub.add_parser(
         "dump",
         help="profile + learn one application with collection on, then dump all metrics",
     )
-    d.add_argument("--app", default="postmark", help="catalog key to profile (see list-apps)")
-    d.add_argument("--seed", type=int, default=0)
-    d.add_argument("--mem", type=float, default=None, help="VM memory override (MB)")
+    _obs_run_args(d)
     d.add_argument(
-        "--format", choices=("prometheus", "json", "trace"), default="prometheus"
+        "--format", choices=("prometheus", "json", "trace", "events"), default="prometheus"
     )
     d.add_argument(
-        "--no-run",
-        action="store_true",
-        help="dump whatever the process-local registry already holds, without running",
+        "--output", default=None, help="write the dump to FILE instead of stdout"
     )
-    obs_sub.add_parser("reset", help="drop every collected metric and span")
+
+    s = obs_sub.add_parser(
+        "serve",
+        help="expose /metrics, /healthz, /readyz, /tracez, /eventz over HTTP",
+    )
+    _obs_run_args(s)
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=0, help="bind port (0 = OS-assigned)")
+    s.add_argument(
+        "--interval", type=float, default=1.0, help="recorder scrape cadence (seconds)"
+    )
+    s.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit (default: until Ctrl-C)",
+    )
+
+    t = obs_sub.add_parser("top", help="snapshot table of recorded metric series")
+    _obs_run_args(t)
+    t.add_argument(
+        "--window", type=float, default=3600.0, help="statistics window (seconds)"
+    )
+
+    sl = obs_sub.add_parser("slo", help="evaluate the default SLO monitor rules")
+    _obs_run_args(sl)
+
+    obs_sub.add_parser("reset", help="drop every collected metric, span, and event")
 
     return parser
 
@@ -249,29 +290,112 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if result.bit_identical else 1
 
 
+def _obs_profile(args: argparse.Namespace) -> int:
+    """Profile + learn the requested app with collection on; 0 on success."""
+    try:
+        e = entry(args.app)
+    except KeyError:
+        print(f"error: unknown application {args.app!r}; run `repro list-apps`")
+        return 2
+    manager = ResourceManager(seed=args.seed)
+    mem = args.mem if args.mem is not None else e.vm_mem_mb
+    manager.profile_and_learn(args.app, e.build(), vm_mem_mb=mem)
+    return 0
+
+
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    registry = obs.get_registry()
+    if args.format == "json":
+        text = obs.render_json(registry) + "\n"
+    elif args.format == "trace":
+        rendered = obs.render_trace(registry.spans())
+        text = rendered + "\n" if rendered else ""
+    elif args.format == "events":
+        text = obs.render_events_jsonl(registry.events())
+    else:
+        text = obs.render_prometheus(registry)
+    if args.output is not None:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(text)} bytes to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    registry = obs.get_registry()
+    recorder = obs.MetricsRecorder(registry, interval_s=args.interval)
+    recorder.sample()
+    server = obs.TelemetryServer(
+        recorder=recorder, host=args.host, port=args.port
+    ).start()
+    recorder.start()
+    print(f"serving telemetry on {server.url}", flush=True)
+    print(
+        "endpoints: /metrics /metrics.json /healthz /readyz /tracez /eventz",
+        flush=True,
+    )
+    try:
+        if args.duration is not None:
+            threading.Event().wait(args.duration)
+        else:
+            while True:
+                threading.Event().wait(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        recorder.stop()
+        server.stop()
+    print("telemetry server stopped")
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace, recorder: "obs.MetricsRecorder") -> int:
+    recorder.sample()
+    print(obs.render_top(recorder, window_s=args.window))
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace, recorder: "obs.MetricsRecorder") -> int:
+    from repro.obs.slo import render_results, worst
+
+    recorder.sample()
+    results = obs.evaluate(obs.default_rules(), recorder)
+    print(render_results(results))
+    return 1 if worst(results) is obs.Verdict.PAGE else 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "reset":
         obs.reset()
         print("observability registry reset")
         return 0
     obs.enable()
+    # top/slo bracket the profiled run with two scrapes so windowed
+    # rates cover the run itself.
+    recorder = None
+    if args.obs_command in ("top", "slo"):
+        recorder = obs.MetricsRecorder(obs.get_registry())
+        recorder.sample()
     if not args.no_run:
-        try:
-            e = entry(args.app)
-        except KeyError:
-            print(f"error: unknown application {args.app!r}; run `repro list-apps`")
-            return 2
-        manager = ResourceManager(seed=args.seed)
-        mem = args.mem if args.mem is not None else e.vm_mem_mb
-        manager.profile_and_learn(args.app, e.build(), vm_mem_mb=mem)
-    registry = obs.get_registry()
-    if args.format == "json":
-        print(obs.render_json(registry))
-    elif args.format == "trace":
-        print(obs.render_trace(registry.spans()))
-    else:
-        print(obs.render_prometheus(registry), end="")
-    return 0
+        status = _obs_profile(args)
+        if status != 0:
+            return status
+    if args.obs_command == "dump":
+        return _cmd_obs_dump(args)
+    if args.obs_command == "serve":
+        return _cmd_obs_serve(args)
+    if args.obs_command == "top":
+        assert recorder is not None
+        return _cmd_obs_top(args, recorder)
+    if args.obs_command == "slo":
+        assert recorder is not None
+        return _cmd_obs_slo(args, recorder)
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:

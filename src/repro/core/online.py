@@ -18,7 +18,12 @@ import numpy as np
 from ..errors import NotTrainedError
 from ..metrics.catalog import metric_indices
 from ..monitoring.multicast import MetricAnnouncement, MulticastChannel
-from ..obs import counter as obs_counter, enabled as obs_enabled, histogram as obs_histogram
+from ..obs import (
+    counter as obs_counter,
+    enabled as obs_enabled,
+    event as obs_event,
+    histogram as obs_histogram,
+)
 from .labels import ALL_CLASSES, ClassComposition, SnapshotClass
 from .pipeline import ApplicationClassifier
 
@@ -128,6 +133,7 @@ class OnlineClassifier:
         self._metric_idx = np.asarray(metric_indices(self._selector_names), dtype=np.intp)
         self.channel.subscribe(self._callback)
         self._attached = True
+        obs_event("online.attach", nodes=str(len(self._states)))
 
     def detach(self) -> None:
         """Unsubscribe from the channel (stop consuming announcements).
@@ -140,6 +146,7 @@ class OnlineClassifier:
         if not self._attached:
             return
         self._attached = False
+        obs_event("online.detach", nodes=str(len(self._states)))
         try:
             self.channel.unsubscribe(self._callback)
         except ValueError:

@@ -16,6 +16,7 @@ from typing import Iterable
 
 from ..core.labels import SnapshotClass
 from ..errors import UnknownApplicationError
+from ..obs import event as obs_event
 from .records import RunRecord
 from .stats import ApplicationStats, aggregate_runs
 
@@ -120,6 +121,12 @@ class ApplicationDB:
             except OSError:
                 pass
             raise
+        obs_event(
+            "db.saved",
+            path=str(target),
+            applications=str(len(self._runs)),
+            runs=str(self.total_runs()),
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "ApplicationDB":

@@ -48,7 +48,12 @@ def _cache_trainer(config: ClassifierConfig, seed: int) -> ApplicationClassifier
     return build_trained_classifier(seed=seed, config=config).classifier
 
 
-_SHARED_MODEL_CACHE = ModelCache(trainer=_cache_trainer)
+#: The process-wide cache keeps the eight most recently used models;
+#: fleets cycling through ablation configs evict old PCA bases instead
+#: of accreting them (evictions are journalled as ``serve.cache.evicted``).
+_SHARED_CACHE_MAX_MODELS = 8
+
+_SHARED_MODEL_CACHE = ModelCache(trainer=_cache_trainer, max_models=_SHARED_CACHE_MAX_MODELS)
 
 
 def shared_model_cache() -> ModelCache:
@@ -56,7 +61,9 @@ def shared_model_cache() -> ModelCache:
 
     Keyed by (:class:`~repro.core.config.ClassifierConfig`, seed), so
     two managers with equal training configs share one trained
-    classifier instead of re-running the five training profiles.
+    classifier instead of re-running the five training profiles; bounded
+    LRU (:data:`_SHARED_CACHE_MAX_MODELS`) so long-lived processes stay
+    bounded too.
     """
     return _SHARED_MODEL_CACHE
 

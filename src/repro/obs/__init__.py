@@ -10,7 +10,14 @@ of the tree instruments itself with:
   counters, gauges, and fixed-bucket latency histograms;
 * hierarchical tracing :func:`span`\\ s driven by an injectable clock,
   so traces are deterministic under test;
-* Prometheus-text and JSON exporters plus the ``repro obs`` CLI.
+* Prometheus-text and JSON exporters plus the ``repro obs`` CLI;
+* a live telemetry plane on top of the registry: an HTTP exposition
+  endpoint (:class:`~repro.obs.http.TelemetryServer` — ``/metrics``,
+  ``/healthz``, ``/readyz``, ``/tracez``, ``/eventz``), a fixed-capacity
+  :class:`~repro.obs.timeseries.MetricsRecorder` of per-instrument
+  history, declarative SLO monitor rules (:mod:`repro.obs.slo`), and a
+  span-correlated structured :func:`event` journal
+  (:mod:`repro.obs.events`).
 
 Collection is **off by default**: the module-level registry starts as a
 :class:`~repro.obs.registry.NullRegistry` whose instruments are shared
@@ -33,7 +40,9 @@ from __future__ import annotations
 
 import threading
 
+from .events import EventRecord, render_events_jsonl
 from .export import registry_to_dict, render_json, render_prometheus
+from .http import TelemetryServer
 from .registry import (
     DEFAULT_LATENCY_BUCKETS_S,
     Clock,
@@ -43,20 +52,31 @@ from .registry import (
     MetricsRegistry,
     NullRegistry,
     SPAN_HISTOGRAM_NAME,
+    histogram_quantile,
 )
+from .slo import SloResult, SloRule, Verdict, default_rules, evaluate
 from .spans import SpanRecord, render_trace
+from .timeseries import MetricsRecorder, render_top
 
 _SWITCH_LOCK = threading.Lock()
 _NULL_REGISTRY = NullRegistry()
 _registry: MetricsRegistry | NullRegistry = _NULL_REGISTRY
 
 
-def enable(clock: Clock | None = None) -> MetricsRegistry:
+def enable(
+    clock: Clock | None = None,
+    trace_capacity: int | None = None,
+    event_capacity: int | None = None,
+) -> MetricsRegistry:
     """Switch collection on; returns the live registry.
 
     Idempotent: if already enabled, the existing registry (and its
     collected data) is kept; a non-``None`` *clock* replaces its default
-    span clock either way.
+    span clock and non-``None`` capacities resize the span ring / event
+    journal (keeping the newest records) either way.  Capacities left
+    ``None`` fall back to the ``REPRO_OBS_TRACE_CAPACITY`` /
+    ``REPRO_OBS_EVENT_CAPACITY`` environment variables, then the
+    defaults.
     """
     global _registry
     with _SWITCH_LOCK:
@@ -64,8 +84,14 @@ def enable(clock: Clock | None = None) -> MetricsRegistry:
         if isinstance(current, MetricsRegistry):
             if clock is not None:
                 current.clock = clock
+            if trace_capacity is not None:
+                current.set_trace_capacity(trace_capacity)
+            if event_capacity is not None:
+                current.set_event_capacity(event_capacity)
             return current
-        live = MetricsRegistry(clock=clock)
+        live = MetricsRegistry(
+            clock=clock, trace_capacity=trace_capacity, event_capacity=event_capacity
+        )
         _registry = live
         return live
 
@@ -126,26 +152,54 @@ def span(name: str, clock: Clock | None = None) -> object:
     return _registry.span(name, clock=clock)
 
 
+def event(name: str, **fields: str) -> None:
+    """Record a structured event on the active registry.
+
+    While disabled this is a no-op that never reads any clock; while
+    enabled the record lands in the bounded event journal carrying the
+    id of the span enclosing the call (see :mod:`repro.obs.events`).
+    """
+    _registry.event(name, **fields)
+
+
+def events() -> list[EventRecord]:
+    """Retained journal events of the active registry (empty when disabled)."""
+    return _registry.events()
+
+
 __all__ = [
     "Clock",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_S",
+    "EventRecord",
     "Gauge",
     "Histogram",
+    "MetricsRecorder",
     "MetricsRegistry",
     "NullRegistry",
     "SPAN_HISTOGRAM_NAME",
+    "SloResult",
+    "SloRule",
     "SpanRecord",
+    "TelemetryServer",
+    "Verdict",
     "counter",
+    "default_rules",
     "disable",
     "enable",
     "enabled",
+    "evaluate",
+    "event",
+    "events",
     "gauge",
     "get_registry",
     "histogram",
+    "histogram_quantile",
     "registry_to_dict",
+    "render_events_jsonl",
     "render_json",
     "render_prometheus",
+    "render_top",
     "render_trace",
     "reset",
     "span",

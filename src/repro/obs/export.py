@@ -48,6 +48,11 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    # HELP text shares the label-value escaping rules minus the quotes.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_text(labels: Iterable[tuple[str, str]], extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = list(labels) + list(extra)
     if not pairs:
@@ -63,12 +68,20 @@ def _format_bound(bound: float) -> str:
 
 
 def render_prometheus(registry: MetricsRegistry | NullRegistry) -> str:
-    """Render the registry in the Prometheus text exposition format."""
+    """Render the registry in the Prometheus text exposition format.
+
+    Compliance guarantees: ``# HELP``/``# TYPE`` appear exactly once
+    per family even when many label sets share one metric name (the
+    first non-empty help text wins), help text is escaped, and the
+    output always ends with a newline when any sample is rendered.
+    """
     families: dict[str, list[str]] = {}
     headers: dict[str, tuple[str, str]] = {}
     for instrument in registry.instruments():
         fam = prometheus_name(instrument.name, instrument.kind)
-        headers.setdefault(fam, (instrument.kind, instrument.help))
+        known = headers.get(fam)
+        if known is None or (not known[1] and instrument.help):
+            headers[fam] = (instrument.kind, instrument.help)
         lines = families.setdefault(fam, [])
         if isinstance(instrument, Counter):
             lines.append(f"{fam}{_label_text(instrument.labels)} {format(instrument.value, '.12g')}")
@@ -85,7 +98,7 @@ def render_prometheus(registry: MetricsRegistry | NullRegistry) -> str:
     for fam in sorted(families):
         kind, help_text = headers[fam]
         if help_text:
-            out.append(f"# HELP {fam} {help_text}")
+            out.append(f"# HELP {fam} {_escape_help(help_text)}")
         out.append(f"# TYPE {fam} {kind}")
         out.extend(families[fam])
     return "\n".join(out) + ("\n" if out else "")
@@ -121,6 +134,8 @@ def registry_to_dict(registry: MetricsRegistry | NullRegistry) -> dict:
             "depth": s.depth,
             "start_s": s.start_s,
             "duration_s": s.duration_s,
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
         }
         for s in registry.spans()
     ]
@@ -130,6 +145,7 @@ def registry_to_dict(registry: MetricsRegistry | NullRegistry) -> dict:
         "gauges": gauges,
         "histograms": histograms,
         "spans": spans,
+        "events": [e.to_dict() for e in registry.events()],
     }
 
 

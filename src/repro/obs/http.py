@@ -1,0 +1,226 @@
+"""Threaded HTTP exposition endpoint for the telemetry plane.
+
+The scrape surface of :mod:`repro.obs`: a stdlib
+:class:`~http.server.ThreadingHTTPServer` serving
+
+* ``/metrics`` — Prometheus text exposition of the registry;
+* ``/metrics.json`` — structured JSON dump (instruments, spans, events);
+* ``/healthz`` — SLO verdicts (200 on OK/WARN, 503 on PAGE) as JSON;
+* ``/readyz`` — lifecycle readiness (503 before start / while draining);
+* ``/tracez`` — the span ring rendered as an indented tree;
+* ``/eventz`` — the event journal as JSON Lines.
+
+The server is start/stoppable programmatically (``repro obs serve``
+wraps it), binds port 0 by default so tests and embedders never collide,
+and embeds into :class:`~repro.serve.service.ClassificationService` —
+the service starts it with the worker pool, flips ``/readyz`` to
+draining on shutdown, and stops it after the workers drain.
+
+Serving real sockets means real threads; like :mod:`repro.serve`, this
+module is outside the determinism-rule scope.  Health evaluation itself
+stays deterministic: ``/healthz`` only does arithmetic over whatever
+the recorder has already sampled.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .events import render_events_jsonl
+from .export import registry_to_dict, render_prometheus
+from .registry import MetricsRegistry, NullRegistry
+from .slo import SloRule, Verdict, default_rules, evaluate, worst
+from .spans import render_trace
+from .timeseries import MetricsRecorder
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TelemetryServer:
+    """Programmatic lifecycle around the exposition HTTP server.
+
+    Parameters
+    ----------
+    registry:
+        Registry to expose; ``None`` resolves the process-global
+        facade registry *at request time*, so a server constructed
+        before ``obs.enable()`` serves the live registry afterwards.
+    recorder:
+        Recorder whose windows back ``/healthz``; without one the
+        health endpoint reports OK (no rules can trip).
+    rules:
+        Monitor rules for ``/healthz``; defaults to
+        :func:`~repro.obs.slo.default_rules`.
+    host / port:
+        Bind address; port 0 (default) picks a free port, readable from
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | NullRegistry | None = None,
+        recorder: MetricsRecorder | None = None,
+        rules: tuple[SloRule, ...] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self.recorder = recorder
+        self.rules = rules if rules is not None else default_rules()
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetryServer":
+        """Bind and serve in a daemon thread; idempotent; returns self."""
+        if self._server is not None:
+            return self
+        server = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+        server.daemon_threads = True
+        server.telemetry = self  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-obs-http", daemon=True
+        )
+        self._thread.start()
+        self._ready = True
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread; idempotent."""
+        self._ready = False
+        server = self._server
+        if server is None:
+            return
+        self._server = None
+        server.shutdown()
+        server.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """True while the server thread is serving."""
+        return self._server is not None
+
+    def set_ready(self, ready: bool) -> None:
+        """Flip the ``/readyz`` verdict (e.g. draining on shutdown)."""
+        self._ready = bool(ready)
+
+    @property
+    def ready(self) -> bool:
+        """Current ``/readyz`` state."""
+        return self._ready
+
+    @property
+    def port(self) -> int:
+        """Bound port (the OS-assigned one when constructed with port 0).
+
+        Raises
+        ------
+        RuntimeError
+            Before :meth:`start`.
+        """
+        if self._server is None:
+            raise RuntimeError("telemetry server is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # request-side helpers (called from handler threads)
+    # ------------------------------------------------------------------
+    def resolve_registry(self) -> MetricsRegistry | NullRegistry:
+        """The registry to serve: the injected one or the live facade's."""
+        if self._registry is not None:
+            return self._registry
+        from . import get_registry  # local: the facade imports this module
+
+        return get_registry()
+
+    def health(self) -> tuple[Verdict, list]:
+        """Evaluate the monitor rules; ``(worst verdict, results)``."""
+        if self.recorder is None:
+            return Verdict.OK, []
+        results = evaluate(self.rules, self.recorder)
+        return worst(results), results
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request to the owning :class:`TelemetryServer`."""
+
+    # Stable tag in error responses instead of the python version.
+    server_version = "repro-obs/1.0"
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Serve one exposition endpoint."""
+        telemetry: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        registry = telemetry.resolve_registry()
+        if path == "/metrics":
+            body = render_prometheus(registry)
+            if body and not body.endswith("\n"):
+                body += "\n"
+            self._respond(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/metrics.json":
+            self._respond(
+                200,
+                "application/json",
+                json.dumps(registry_to_dict(registry), indent=2, sort_keys=True) + "\n",
+            )
+        elif path == "/healthz":
+            verdict, results = telemetry.health()
+            payload = {
+                "status": verdict.name,
+                "rules": [
+                    {
+                        "rule": r.rule.name,
+                        "verdict": r.verdict.name,
+                        "value": r.value,
+                        "reason": r.reason,
+                    }
+                    for r in results
+                ],
+            }
+            status = 503 if verdict is Verdict.PAGE else 200
+            self._respond(status, "application/json", json.dumps(payload, indent=2) + "\n")
+        elif path == "/readyz":
+            if telemetry.ready:
+                self._respond(200, "text/plain; charset=utf-8", "ready\n")
+            else:
+                self._respond(503, "text/plain; charset=utf-8", "draining\n")
+        elif path == "/tracez":
+            body = render_trace(registry.spans())
+            self._respond(200, "text/plain; charset=utf-8", body + ("\n" if body else ""))
+        elif path == "/eventz":
+            self._respond(
+                200, "application/x-ndjson", render_events_jsonl(registry.events())
+            )
+        else:
+            self._respond(404, "text/plain; charset=utf-8", f"no such endpoint: {path}\n")
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (scrapes are frequent)."""
+
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "TelemetryServer"]

@@ -26,11 +26,15 @@ on.
 from __future__ import annotations
 
 import bisect
+import itertools
+import math
+import os
 import threading
 import time
 from collections import deque
 from typing import Callable, Iterator
 
+from .events import DEFAULT_EVENT_CAPACITY, EventJournal, EventRecord
 from .spans import SpanRecord, null_span
 
 #: A clock is any zero-argument callable returning seconds as a float —
@@ -69,6 +73,24 @@ SPAN_HISTOGRAM_NAME = "span.seconds"
 #: Finished spans retained for trace dumps (bounded ring buffer).
 DEFAULT_TRACE_CAPACITY = 4096
 
+#: Environment fallbacks for the ring capacities: consulted when
+#: :class:`MetricsRegistry` (or ``obs.enable``) is not given an explicit
+#: capacity, so a deployment can size the buffers without code changes.
+TRACE_CAPACITY_ENV = "REPRO_OBS_TRACE_CAPACITY"
+EVENT_CAPACITY_ENV = "REPRO_OBS_EVENT_CAPACITY"
+
+
+def _capacity_from_env(var: str, default: int) -> int:
+    """Resolve a ring capacity from the environment, ignoring junk values."""
+    raw = os.environ.get(var)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
 #: Label key/value pairs, sorted — the identity of one instrument.
 LabelSet = tuple[tuple[str, str], ...]
 
@@ -76,6 +98,52 @@ LabelSet = tuple[tuple[str, str], ...]
 def _label_set(labels: dict[str, str]) -> LabelSet:
     """Normalize a label dict to the sorted-tuple identity form."""
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def histogram_quantile(
+    bounds: tuple[float, ...], cumulative: tuple[int, ...], q: float
+) -> float:
+    """Estimate the *q*-quantile from cumulative bucket counts.
+
+    The Prometheus ``histogram_quantile`` estimator: locate the bucket
+    holding the ``q * count``-th observation and interpolate linearly
+    between its bounds (the lower edge of the first bucket is 0.0, the
+    fixed-bucket histograms here being latency distributions).
+
+    ``cumulative`` has one entry per finite bound plus the trailing
+    +Inf entry, exactly the shape :meth:`Histogram.snapshot` returns.
+    Returns ``nan`` for an empty histogram; when the quantile falls in
+    the +Inf bucket the highest finite bound is returned (the estimate
+    cannot exceed the instrumented range).
+
+    Raises
+    ------
+    ValueError
+        If *q* is outside ``[0, 1]`` or the shapes disagree.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(cumulative) != len(bounds) + 1:
+        raise ValueError(
+            f"cumulative counts ({len(cumulative)}) must be one longer "
+            f"than bounds ({len(bounds)})"
+        )
+    total = cumulative[-1]
+    if total <= 0:
+        return math.nan
+    rank = q * total
+    prev_cum = 0
+    for i, cum in enumerate(cumulative):
+        if cum >= rank and cum > prev_cum:
+            if i >= len(bounds):
+                # +Inf bucket: clamp to the largest finite bound.
+                return bounds[-1]
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i]
+            fraction = max(rank - prev_cum, 0.0) / (cum - prev_cum)
+            return lower + (upper - lower) * fraction
+        prev_cum = cum
+    return bounds[-1] if bounds else math.nan
 
 
 class Counter:
@@ -210,6 +278,16 @@ class Histogram:
                 cumulative.append(running)
             return self.buckets, tuple(cumulative), self._sum, self._count
 
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile of the observed distribution.
+
+        Cumulative-bucket interpolation (see :func:`histogram_quantile`);
+        ``nan`` while empty, clamped to the highest finite bound when
+        the quantile lands in the +Inf bucket.
+        """
+        bounds, cumulative, _total, _count = self.snapshot()
+        return histogram_quantile(bounds, cumulative, q)
+
 
 Instrument = Counter | Gauge | Histogram
 
@@ -223,12 +301,26 @@ class MetricsRegistry:
         Default span clock (see :data:`DEFAULT_CLOCK`); inject a fake
         for deterministic traces.
     trace_capacity:
-        Finished spans retained in the ring buffer.
+        Finished spans retained in the ring buffer; ``None`` falls back
+        to :data:`TRACE_CAPACITY_ENV` then :data:`DEFAULT_TRACE_CAPACITY`.
+    event_capacity:
+        Event-journal records retained; ``None`` falls back to
+        :data:`EVENT_CAPACITY_ENV` then
+        :data:`~repro.obs.events.DEFAULT_EVENT_CAPACITY`.
     """
 
     enabled = True
 
-    def __init__(self, clock: Clock | None = None, trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        trace_capacity: int | None = None,
+        event_capacity: int | None = None,
+    ) -> None:
+        if trace_capacity is None:
+            trace_capacity = _capacity_from_env(TRACE_CAPACITY_ENV, DEFAULT_TRACE_CAPACITY)
+        if event_capacity is None:
+            event_capacity = _capacity_from_env(EVENT_CAPACITY_ENV, DEFAULT_EVENT_CAPACITY)
         if trace_capacity < 1:
             raise ValueError("trace_capacity must be positive")
         #: Bumped by :meth:`reset`.  Hot call sites that cache instrument
@@ -236,14 +328,22 @@ class MetricsRegistry:
         #: invalidates them (the old handles no longer feed exports).
         self.generation = 0
         self.clock: Clock = clock if clock is not None else DEFAULT_CLOCK
+        self.trace_capacity = trace_capacity
         self._lock = threading.Lock()
         self._instruments: dict[tuple[str, LabelSet], Instrument] = {}
         self._spans: deque[SpanRecord] = deque(maxlen=trace_capacity)
+        self._events = EventJournal(event_capacity)
+        self._span_ids = itertools.count(1)
         self._span_stacks = threading.local()
         # Per-name cache of the span-duration histograms: record_span is
         # the hottest registry path, and the get-or-create label-set
         # normalization is measurable there.
         self._span_hist: dict[str, Histogram] = {}
+
+    @property
+    def event_capacity(self) -> int:
+        """Configured event-journal ring capacity."""
+        return self._events.capacity
 
     # ------------------------------------------------------------------
     # instruments
@@ -315,12 +415,17 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # spans
     # ------------------------------------------------------------------
-    def _stack(self) -> list[str]:
+    def _stack(self) -> list[tuple[str, int]]:
         stack = getattr(self._span_stacks, "stack", None)
         if stack is None:
             stack = []
             self._span_stacks.stack = stack
         return stack
+
+    def current_span_id(self) -> int | None:
+        """Id of the span currently open on this thread, if any."""
+        stack = self._stack()
+        return stack[-1][1] if stack else None
 
     def span(self, name: str, clock: Clock | None = None) -> "_SpanContext":
         """Open a tracing span; use as a context manager.
@@ -349,21 +454,79 @@ class MetricsRegistry:
             return list(self._spans)
 
     # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def event(self, name: str, **fields: str) -> None:
+        """Record a structured event, correlated to the enclosing span.
+
+        The timestamp comes from the registry clock (injectable, so
+        event streams are deterministic under a fake clock), the span id
+        from this thread's open-span stack.  Each event also increments
+        the ``obs.events`` counter labelled ``event=name`` so monitor
+        rules can alert on event *rates*.
+        """
+        record = EventRecord(
+            self.clock(),
+            name,
+            self.current_span_id(),
+            tuple(sorted((str(k), str(v)) for k, v in fields.items())),
+        )
+        self._events.append(record)
+        self.counter("obs.events", help="Structured events recorded.", event=name).inc()
+
+    def events(self) -> list[EventRecord]:
+        """Retained journal events, oldest first."""
+        return self._events.records()
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def set_trace_capacity(self, capacity: int) -> None:
+        """Resize the span ring, keeping the newest records.
+
+        Raises
+        ------
+        ValueError
+            If *capacity* is not positive.
+        """
+        if capacity < 1:
+            raise ValueError("trace_capacity must be positive")
+        with self._lock:
+            self._spans = deque(self._spans, maxlen=capacity)
+            self.trace_capacity = capacity
+
+    def set_event_capacity(self, capacity: int) -> None:
+        """Resize the event journal, keeping the newest records."""
+        self._events.resize(capacity)
+
     def reset(self) -> None:
-        """Drop every instrument and all recorded spans (keep the clock)."""
+        """Drop every instrument, span, and event (keep clock and capacities).
+
+        The span ring and event journal are cleared in place, so the
+        capacities configured at construction (or via the ``set_*``
+        methods) survive a reset.
+        """
         with self._lock:
             self._instruments.clear()
             self._spans.clear()
             self._span_hist.clear()
             self.generation += 1
+        self._events.clear()
 
 
 class _SpanContext:
     """Context manager produced by :meth:`MetricsRegistry.span`."""
 
-    __slots__ = ("_registry", "_name", "_clock", "_start", "_parent", "_depth", "_stack")
+    __slots__ = (
+        "_registry",
+        "_name",
+        "_clock",
+        "_start",
+        "_parent",
+        "_depth",
+        "_stack",
+        "_span_id",
+    )
 
     def __init__(self, registry: MetricsRegistry, name: str, clock: Clock) -> None:
         self._registry = registry
@@ -376,17 +539,27 @@ class _SpanContext:
         stack = self._stack = self._registry._stack()
         self._parent = stack[-1] if stack else None
         self._depth = len(stack)
-        stack.append(self._name)
+        self._span_id = next(self._registry._span_ids)
+        stack.append((self._name, self._span_id))
         self._start = self._clock()
         return self
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         duration = self._clock() - self._start
         stack = self._stack
-        if stack and stack[-1] == self._name:
+        if stack and stack[-1][1] == self._span_id:
             stack.pop()
+        parent = self._parent
         self._registry.record_span(
-            SpanRecord(self._name, self._parent, self._depth, self._start, duration)
+            SpanRecord(
+                self._name,
+                parent[0] if parent is not None else None,
+                self._depth,
+                self._start,
+                duration,
+                self._span_id,
+                parent[1] if parent is not None else None,
+            )
         )
         return False
 
@@ -484,6 +657,17 @@ class NullRegistry:
         """Shared no-op context manager (never reads any clock)."""
         return null_span()
 
+    def current_span_id(self) -> int | None:
+        """Always ``None`` (no spans while disabled)."""
+        return None
+
+    def event(self, name: str, **fields: str) -> None:
+        """Discard the event (never reads any clock)."""
+
+    def events(self) -> list[EventRecord]:
+        """Always empty."""
+        return []
+
     def instruments(self) -> list[Instrument]:
         """Always empty."""
         return []
@@ -502,9 +686,12 @@ __all__ = [
     "DEFAULT_CLOCK",
     "DEFAULT_LATENCY_BUCKETS_S",
     "DEFAULT_TRACE_CAPACITY",
+    "EVENT_CAPACITY_ENV",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
     "SPAN_HISTOGRAM_NAME",
+    "TRACE_CAPACITY_ENV",
+    "histogram_quantile",
 ]

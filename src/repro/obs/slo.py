@@ -1,0 +1,254 @@
+"""Declarative SLO monitor rules over recorder windows.
+
+A monitor rule turns telemetry into a *verdict*: OK, WARN, or PAGE.
+Three rule kinds cover the instrument kinds:
+
+* ``counter_rate`` — per-second increase of a counter over the window
+  (drop rates, overload-shed rates);
+* ``gauge_threshold`` — the gauge's most recent sampled value (queue
+  depths, active-instance counts);
+* ``histogram_quantile`` — a windowed quantile of a latency histogram,
+  computed by cumulative-bucket subtraction + interpolation
+  (per-stage p99).
+
+Rules are evaluated against a :class:`~repro.obs.timeseries.MetricsRecorder`
+— pure arithmetic over already-recorded samples, no clock reads — so a
+test that drives ``recorder.sample()`` under a fake clock gets
+bit-reproducible verdicts with zero sleeps.  A rule whose metric has no
+recorded data is OK-with-a-note, never a false page.
+
+:func:`default_rules` packs monitors for the wired hot paths; they
+drive ``/healthz`` on the exposition endpoint and ``repro obs slo``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .timeseries import InstrumentSeries, MetricsRecorder
+
+
+class Verdict(enum.IntEnum):
+    """Health verdict, ordered by severity."""
+
+    OK = 0
+    WARN = 1
+    PAGE = 2
+
+
+#: Rule kinds understood by :func:`evaluate_rule`.
+RULE_KINDS = ("counter_rate", "gauge_threshold", "histogram_quantile")
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative monitor rule.
+
+    Parameters
+    ----------
+    name:
+        Stable rule identifier (``online-drop-rate``).
+    kind:
+        One of :data:`RULE_KINDS`.
+    metric:
+        Internal dotted instrument name the rule watches.
+    warn / page:
+        Thresholds for the WARN and PAGE verdicts.
+    labels:
+        Sorted ``(key, value)`` pairs the watched series must carry; an
+        empty tuple matches every label set of *metric*, and the rule
+        takes the worst series (e.g. the slowest pipeline stage).
+    window_s:
+        Evaluation window over the recorder samples.
+    quantile:
+        Quantile for ``histogram_quantile`` rules.
+    below:
+        Trip when the value drops *below* the thresholds instead of
+        rising above them (for "too little traffic" style monitors).
+    """
+
+    name: str
+    kind: str
+    metric: str
+    warn: float
+    page: float
+    labels: tuple[tuple[str, str], ...] = ()
+    window_s: float = 60.0
+    quantile: float = 0.99
+    below: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise ValueError(f"unknown rule kind {self.kind!r}; use one of {RULE_KINDS}")
+        if not 0.0 <= self.quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """Outcome of evaluating one rule."""
+
+    rule: SloRule
+    verdict: Verdict
+    #: Observed value the thresholds were compared against, or ``None``
+    #: when the rule had no data.
+    value: float | None
+    #: Human-readable explanation ("rate 12.0/s >= page 10.0").
+    reason: str
+
+
+def _series_value(rule: SloRule, series: InstrumentSeries, now: float | None) -> float | None:
+    if rule.kind == "counter_rate":
+        return series.rate(rule.window_s, now)
+    if rule.kind == "gauge_threshold":
+        return series.last()
+    return series.quantile(rule.quantile, rule.window_s, now)
+
+
+def _verdict_for(rule: SloRule, value: float) -> Verdict:
+    if rule.below:
+        if value <= rule.page:
+            return Verdict.PAGE
+        if value <= rule.warn:
+            return Verdict.WARN
+        return Verdict.OK
+    if value >= rule.page:
+        return Verdict.PAGE
+    if value >= rule.warn:
+        return Verdict.WARN
+    return Verdict.OK
+
+
+def evaluate_rule(
+    rule: SloRule, recorder: MetricsRecorder, now: float | None = None
+) -> SloResult:
+    """Evaluate one rule against the recorder; deterministic, no clock reads.
+
+    Of all series matching the rule's metric and label subset, the one
+    producing the worst verdict (ties broken toward the larger — or for
+    ``below`` rules smaller — value) decides the outcome.
+    """
+    candidates = recorder.series_matching(rule.metric, **dict(rule.labels))
+    best: tuple[Verdict, float, float] | None = None
+    for series in candidates:
+        value = _series_value(rule, series, now)
+        if value is None or value != value:  # no data or NaN  # qa: ignore[float-eq]
+            continue
+        verdict = _verdict_for(rule, value)
+        # Extremity orders ties toward the more alarming value under
+        # either threshold direction.
+        extremity = -value if rule.below else value
+        if best is None or (verdict, extremity) > (best[0], best[1]):
+            best = (verdict, extremity, value)
+    if best is None:
+        return SloResult(rule, Verdict.OK, None, "no data in window")
+    verdict, _extremity, value = best
+    side = "<=" if rule.below else ">="
+    if verdict is Verdict.PAGE:
+        reason = f"value {value:.6g} {side} page threshold {rule.page:.6g}"
+    elif verdict is Verdict.WARN:
+        reason = f"value {value:.6g} {side} warn threshold {rule.warn:.6g}"
+    else:
+        reason = f"value {value:.6g} within thresholds"
+    return SloResult(rule, verdict, value, reason)
+
+
+def evaluate(
+    rules: tuple[SloRule, ...] | list[SloRule],
+    recorder: MetricsRecorder,
+    now: float | None = None,
+) -> list[SloResult]:
+    """Evaluate every rule; results in rule order."""
+    return [evaluate_rule(rule, recorder, now) for rule in rules]
+
+
+def worst(results: list[SloResult]) -> Verdict:
+    """The most severe verdict across results (OK when empty)."""
+    verdict = Verdict.OK
+    for result in results:
+        if result.verdict > verdict:
+            verdict = result.verdict
+    return verdict
+
+
+def default_rules() -> tuple[SloRule, ...]:
+    """The built-in monitor pack for the wired hot paths.
+
+    * ``online-drop-rate`` — announcements the online classifier drops
+      (detached or filtered) per second;
+    * ``serve-queue-depth`` — requests waiting in the classification
+      service queue (thresholds sized to the default ``max_queue=64``);
+    * ``serve-overload-rate`` — submissions shed with
+      ``ServiceOverloadedError`` per second (backpressure firing);
+    * ``stage-p99-seconds`` — worst per-stage p99 latency of the
+      Figure-2 pipeline over the window.
+    """
+    return (
+        SloRule(
+            name="online-drop-rate",
+            kind="counter_rate",
+            metric="online.announcements.dropped",
+            warn=1.0,
+            page=10.0,
+        ),
+        SloRule(
+            name="serve-queue-depth",
+            kind="gauge_threshold",
+            metric="serve.queue.depth",
+            warn=32.0,
+            page=56.0,
+        ),
+        SloRule(
+            name="serve-overload-rate",
+            kind="counter_rate",
+            metric="serve.requests.rejected",
+            warn=1.0,
+            page=10.0,
+        ),
+        SloRule(
+            name="stage-p99-seconds",
+            kind="histogram_quantile",
+            metric="pipeline.stage.seconds",
+            warn=0.05,
+            page=0.5,
+            quantile=0.99,
+        ),
+    )
+
+
+def render_results(results: list[SloResult]) -> str:
+    """Text table of rule verdicts for the ``repro obs slo`` CLI."""
+    if not results:
+        return "(no rules)"
+    rows = [["RULE", "KIND", "METRIC", "VERDICT", "VALUE", "REASON"]]
+    for r in results:
+        rows.append(
+            [
+                r.rule.name,
+                r.rule.kind,
+                r.rule.metric,
+                r.verdict.name,
+                "-" if r.value is None else f"{r.value:.6g}",
+                r.reason,
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip() for row in rows]
+    lines.append(f"overall: {worst(results).name}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "RULE_KINDS",
+    "SloResult",
+    "SloRule",
+    "Verdict",
+    "default_rules",
+    "evaluate",
+    "evaluate_rule",
+    "render_results",
+    "worst",
+]

@@ -43,6 +43,12 @@ class SpanRecord(NamedTuple):
     start_s: float
     #: Seconds between entry and exit, by the span's clock.
     duration_s: float
+    #: Registry-unique id of this span (monotone per registry; 0 for
+    #: records predating id assignment, e.g. hand-built test fixtures).
+    span_id: int = 0
+    #: Id of the enclosing span, or ``None`` at root.  Event-journal
+    #: records correlate to spans through these ids.
+    parent_id: int | None = None
 
 
 class _NullSpan:

@@ -6,7 +6,8 @@ The reproduction is layered bottom-up::
     workloads, monitoring            (vm + metrics [+ obs])
     core                             (metrics + monitoring [+ obs/errors])
     sim                              (metrics, monitoring, vm, workloads [+ obs])
-    db, analysis                     (core + metrics [+ errors])
+    db                               (core + metrics [+ errors/obs])
+    analysis                         (core + metrics [+ errors])
     serve                            (core, metrics [+ obs/errors])
     scheduler                        (everything below experiments)
     experiments                      (everything below manager/cli)
@@ -47,7 +48,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "monitoring": frozenset({"metrics", "obs", "vm"}),
     "core": frozenset({"errors", "metrics", "monitoring", "obs"}),
     "sim": frozenset({"errors", "metrics", "monitoring", "obs", "vm", "workloads"}),
-    "db": frozenset({"core", "errors", "metrics"}),
+    "db": frozenset({"core", "errors", "metrics", "obs"}),
     "analysis": frozenset({"core", "errors", "metrics"}),
     "serve": frozenset({"core", "errors", "metrics", "obs"}),
     "scheduler": frozenset(

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ..core.labels import SnapshotClass
 from ..core.online import OnlineClassifier
+from ..obs import event as obs_event
 from ..sim.engine import MigrationEvent, SimulationEngine
 
 
@@ -139,8 +140,16 @@ class MigrationController:
                 MigrationDecision(now, stable, target, False, "already best placed")
             )
             return
+        source = inst.vm_name
         self.engine.migrate(self.instance_key, target, downtime_s=self.downtime_s)
         self._last_migration_time = now
+        obs_event(
+            "scheduler.migration",
+            instance=str(self.instance_key),
+            source=source,
+            target=target,
+            stage=stable.name,
+        )
         self.decisions.append(
             MigrationDecision(now, stable, target, True, "stage change")
         )

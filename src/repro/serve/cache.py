@@ -23,6 +23,7 @@ from typing import Callable
 
 from ..core.config import ClassifierConfig
 from ..core.pipeline import ApplicationClassifier
+from ..obs import event as obs_event
 
 __all__ = ["ModelCache", "Trainer"]
 
@@ -31,7 +32,7 @@ Trainer = Callable[[ClassifierConfig, int], ApplicationClassifier]
 
 
 class ModelCache:
-    """Thread-safe memoization of trained classifiers.
+    """Thread-safe memoization of trained classifiers with LRU eviction.
 
     Parameters
     ----------
@@ -39,14 +40,26 @@ class ModelCache:
         Callable producing a trained classifier for a (config, seed)
         pair — e.g. a wrapper over
         :func:`~repro.experiments.training.build_trained_classifier`.
+    max_models:
+        Bound on retained models; ``None`` (default) keeps every model
+        ever trained.  When the bound is exceeded the least recently
+        used model is evicted (trained models hold PCA bases and kNN
+        reference sets — a fleet cycling through many configs must not
+        grow without limit) and a ``serve.cache.evicted`` event is
+        journalled.
     """
 
-    def __init__(self, trainer: Trainer) -> None:
+    def __init__(self, trainer: Trainer, max_models: int | None = None) -> None:
+        if max_models is not None and max_models < 1:
+            raise ValueError("max_models must be positive (or None for unbounded)")
         self._trainer = trainer
+        self.max_models = max_models
+        # Insertion order doubles as recency order: hits re-insert.
         self._models: dict[tuple[ClassifierConfig, int], ApplicationClassifier] = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def get(
         self, config: ClassifierConfig | None = None, seed: int = 0
@@ -62,10 +75,14 @@ class ModelCache:
             model = self._models.get(key)
             if model is not None:
                 self._hits += 1
+                # Re-insert to mark most recently used.
+                del self._models[key]
+                self._models[key] = model
                 return model
             self._misses += 1
             model = self._trainer(key[0], key[1])
             self._models[key] = model
+            self._evict_over_bound()
             return model
 
     def put(self, classifier: ApplicationClassifier, seed: int = 0) -> None:
@@ -76,20 +93,39 @@ class ModelCache:
         later :meth:`get` with an equal config returns this model.
         """
         with self._lock:
-            self._models[(classifier.config, seed)] = classifier
+            key = (classifier.config, seed)
+            self._models.pop(key, None)
+            self._models[key] = classifier
+            self._evict_over_bound()
+
+    def _evict_over_bound(self) -> None:
+        # Caller holds the lock.
+        if self.max_models is None:
+            return
+        while len(self._models) > self.max_models:
+            key = next(iter(self._models))
+            del self._models[key]
+            self._evictions += 1
+            obs_event("serve.cache.evicted", seed=str(key[1]), retained=str(len(self._models)))
 
     def clear(self) -> None:
-        """Drop all cached models and reset the hit/miss statistics."""
+        """Drop all cached models and reset the hit/miss/eviction statistics."""
         with self._lock:
             self._models.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     def __len__(self) -> int:
         return len(self._models)
 
     @property
     def stats(self) -> dict[str, int]:
-        """``{"hits": ..., "misses": ..., "models": ...}`` counters."""
+        """``{"hits", "misses", "models", "evictions"}`` counters."""
         with self._lock:
-            return {"hits": self._hits, "misses": self._misses, "models": len(self._models)}
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "models": len(self._models),
+                "evictions": self._evictions,
+            }

@@ -33,9 +33,11 @@ from ..metrics.series import SnapshotSeries
 from ..obs import (
     counter as obs_counter,
     enabled as obs_enabled,
+    event as obs_event,
     gauge as obs_gauge,
     histogram as obs_histogram,
 )
+from ..obs.http import TelemetryServer
 from .batch import BatchClassifier
 
 __all__ = ["ClassificationService", "ServiceStats"]
@@ -94,6 +96,12 @@ class ClassificationService:
     autostart:
         Start workers immediately; pass ``False`` to control startup
         (e.g. tests that fill the queue before any draining happens).
+    telemetry:
+        Optional :class:`~repro.obs.http.TelemetryServer` tied to this
+        service's lifecycle: started with the worker pool, flipped to
+        not-ready (``/readyz`` 503) the moment shutdown begins, and
+        stopped after the queue drains — so a load balancer stops
+        routing to a draining replica before its socket disappears.
     """
 
     def __init__(
@@ -105,6 +113,7 @@ class ClassificationService:
         max_queue: int = 64,
         workers: int = 1,
         autostart: bool = True,
+        telemetry: TelemetryServer | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -129,6 +138,7 @@ class ClassificationService:
         self._failed = 0
         self._batches = 0
         self._num_workers = workers
+        self.telemetry = telemetry
         if autostart:
             self.start()
 
@@ -155,6 +165,9 @@ class ClassificationService:
                 )
                 self._threads.append(thread)
                 thread.start()
+        if self.telemetry is not None:
+            self.telemetry.start()
+            self.telemetry.set_ready(True)
 
     def shutdown(self, drain: bool = True) -> None:
         """Stop accepting requests and stop the workers; idempotent.
@@ -168,6 +181,11 @@ class ClassificationService:
                 return
             self._stopping = True
             started = self._started
+        if self.telemetry is not None:
+            # Flip /readyz to draining before any request is failed or
+            # drained, so balancers stop routing while we still answer.
+            self.telemetry.set_ready(False)
+        obs_event("serve.drain.begin", drain=str(drain), pending=str(self._queue.qsize()))
         if not drain:
             while True:
                 try:
@@ -198,6 +216,9 @@ class ClassificationService:
                     )
                     with self._lock:
                         self._failed += 1
+        obs_event("serve.drain.end", completed=str(self._completed), failed=str(self._failed))
+        if self.telemetry is not None:
+            self.telemetry.stop()
 
     def __enter__(self) -> "ClassificationService":
         self.start()
@@ -236,6 +257,7 @@ class ClassificationService:
                 obs_counter(
                     "serve.requests.rejected", help="Submissions shed by backpressure."
                 ).inc()
+                obs_event("serve.overloaded", max_queue=str(self.max_queue))
             raise ServiceOverloadedError(
                 f"request queue full ({self.max_queue} pending); retry later"
             ) from None

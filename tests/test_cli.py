@@ -97,6 +97,57 @@ def test_serve_bench_json(capsys):
     assert payload["num_runs"] == 6
 
 
+# ----------------------------------------------------------------------
+# repro obs — telemetry plane verbs
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def _obs_cleanup():
+    from repro import obs
+
+    yield
+    obs.disable()
+
+
+def test_obs_dump_to_file(tmp_path, capsys, _obs_cleanup):
+    target = tmp_path / "metrics.prom"
+    assert main(["obs", "dump", "--no-run", "--output", str(target)]) == 0
+    assert str(target) in capsys.readouterr().out
+    assert target.exists()
+
+
+def test_obs_dump_events_format(capsys, _obs_cleanup):
+    from repro import obs
+
+    obs.enable()
+    obs.event("cli.test", k="v")
+    assert main(["obs", "dump", "--no-run", "--format", "events"]) == 0
+    out = capsys.readouterr().out
+    assert json.loads(out.splitlines()[0])["name"] == "cli.test"
+
+
+def test_obs_top_no_run(capsys, _obs_cleanup):
+    assert main(["obs", "top", "--no-run"]) == 0
+    assert "no series recorded" in capsys.readouterr().out
+
+
+def test_obs_slo_no_run(capsys, _obs_cleanup):
+    assert main(["obs", "slo", "--no-run"]) == 0
+    out = capsys.readouterr().out
+    assert "online-drop-rate" in out
+    assert "overall: OK" in out
+
+
+def test_obs_serve_short_duration(capsys, _obs_cleanup):
+    assert main(
+        ["obs", "serve", "--no-run", "--duration", "0.05", "--port", "0"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "serving telemetry on http://127.0.0.1:" in out
+    assert "telemetry server stopped" in out
+
+
 def test_missing_command_exits():
     with pytest.raises(SystemExit):
         main([])

@@ -90,6 +90,39 @@ class TestRenderPrometheus:
         assert render_prometheus(MetricsRegistry()) == ""
         assert render_prometheus(NullRegistry()) == ""
 
+    def test_headers_once_per_family_across_label_sets(self):
+        """HELP/TYPE must appear exactly once even with many label sets."""
+        reg = MetricsRegistry()
+        for node in ("VM1", "VM2", "VM3"):
+            reg.counter("gmond.announcements", help="Announcements.", node=node).inc()
+        text = render_prometheus(reg)
+        assert text.count("# HELP repro_gmond_announcements_total") == 1
+        assert text.count("# TYPE repro_gmond_announcements_total") == 1
+        for node in ("VM1", "VM2", "VM3"):
+            assert f'repro_gmond_announcements_total{{node="{node}"}} 1' in text
+
+    def test_first_nonempty_help_wins(self):
+        reg = MetricsRegistry()
+        reg.counter("m", node="a").inc()  # registered first, no help
+        reg.counter("m", help="Real help.", node="b").inc()
+        text = render_prometheus(reg)
+        assert "# HELP repro_m_total Real help." in text
+        assert text.count("# HELP repro_m_total") == 1
+
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("m", help="line one\nback\\slash").inc()
+        text = render_prometheus(reg)
+        assert "# HELP repro_m_total line one\\nback\\\\slash" in text
+
+    def test_every_render_ends_with_newline(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        reg.gauge("g").set(1.0)
+        text = render_prometheus(reg)
+        assert text.endswith("\n")
+        assert not text.endswith("\n\n")
+
 
 class TestJsonExport:
     def test_round_trips_through_json(self):
@@ -113,7 +146,27 @@ class TestJsonExport:
         assert span["parent"] is None
         assert span["duration_s"] == 1.0
 
+    def test_spans_carry_ids(self):
+        reg = MetricsRegistry(clock=iter(range(100)).__next__)
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        spans = {s["name"]: s for s in registry_to_dict(reg)["spans"]}
+        assert spans["outer"]["span_id"] == 1
+        assert spans["outer"]["parent_id"] is None
+        assert spans["inner"]["parent_id"] == 1
+
+    def test_events_included(self):
+        reg = MetricsRegistry(clock=iter(range(100)).__next__)
+        with reg.span("s"):
+            reg.event("cache.evicted", seed="3")
+        (event,) = registry_to_dict(reg)["events"]
+        assert event["name"] == "cache.evicted"
+        assert event["fields"] == {"seed": "3"}
+        assert event["span_id"] == 1
+
     def test_null_registry_dict_is_empty(self):
         d = registry_to_dict(NullRegistry())
         assert d["enabled"] is False
         assert d["counters"] == d["gauges"] == d["histograms"] == d["spans"] == []
+        assert d["events"] == []

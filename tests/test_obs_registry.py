@@ -1,16 +1,21 @@
 """Tests for the repro.obs metrics registry and facade."""
 
+import math
 import threading
 
 import pytest
 
 from repro import obs
 from repro.obs.registry import (
+    DEFAULT_TRACE_CAPACITY,
+    EVENT_CAPACITY_ENV,
+    TRACE_CAPACITY_ENV,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    histogram_quantile,
 )
 
 
@@ -63,6 +68,46 @@ class TestInstruments:
             Histogram("lat", buckets=())
         with pytest.raises(ValueError):
             Histogram("lat", buckets=(1.0, 0.5))
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(histogram_quantile((1.0,), (0, 0), 0.5))
+
+    def test_single_bucket_interpolates_from_zero(self):
+        h = Histogram("lat", buckets=(10.0,))
+        h.observe(3.0)  # exact position inside the bucket is unknown
+        # p50 of one observation in [0, 10] interpolates to the midpoint.
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_interpolation_between_bounds(self):
+        # 100 observations uniformly into (1.0, 2.0]: cumulative (0, 100, 100).
+        assert histogram_quantile((1.0, 2.0), (0, 100, 100), 0.5) == pytest.approx(1.5)
+        assert histogram_quantile((1.0, 2.0), (0, 100, 100), 0.9) == pytest.approx(1.9)
+
+    def test_quantile_in_inf_bucket_clamps_to_highest_bound(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        h.observe(50.0)  # lands beyond the last finite bound
+        assert h.quantile(0.99) == 1.0
+
+    def test_extreme_quantiles(self):
+        cumulative = (10, 20, 20)
+        assert histogram_quantile((1.0, 2.0), cumulative, 0.0) == pytest.approx(0.0)
+        assert histogram_quantile((1.0, 2.0), cumulative, 1.0) == pytest.approx(2.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="quantile"):
+            histogram_quantile((1.0,), (0, 0), 1.5)
+        with pytest.raises(ValueError, match="one longer"):
+            histogram_quantile((1.0,), (0, 0, 0), 0.5)
+
+    def test_skips_empty_leading_buckets(self):
+        # All mass in the last finite bucket; empty buckets before it
+        # must not capture the quantile.
+        assert histogram_quantile((0.1, 1.0, 10.0), (0, 0, 5, 5), 0.5) == pytest.approx(5.5)
 
 
 class TestMetricsRegistry:
@@ -145,6 +190,111 @@ class TestMetricsRegistry:
         for t in threads:
             t.join()
         assert all(c is seen[0] for c in seen)
+
+
+class TestCapacities:
+    def test_defaults(self):
+        reg = MetricsRegistry()
+        assert reg.trace_capacity == DEFAULT_TRACE_CAPACITY
+
+    def test_explicit_capacities_bound_rings(self):
+        reg = MetricsRegistry(clock=lambda: 0.0, trace_capacity=2, event_capacity=3)
+        for i in range(5):
+            with reg.span(f"s{i}"):
+                pass
+            reg.event(f"e{i}")
+        assert [s.name for s in reg.spans()] == ["s3", "s4"]
+        assert [e.name for e in reg.events()] == ["e2", "e3", "e4"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(trace_capacity=0)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(TRACE_CAPACITY_ENV, "7")
+        monkeypatch.setenv(EVENT_CAPACITY_ENV, "9")
+        reg = MetricsRegistry()
+        assert reg.trace_capacity == 7
+        assert reg.event_capacity == 9
+
+    def test_env_junk_ignored(self, monkeypatch):
+        monkeypatch.setenv(TRACE_CAPACITY_ENV, "not-a-number")
+        monkeypatch.setenv(EVENT_CAPACITY_ENV, "-5")
+        reg = MetricsRegistry()
+        assert reg.trace_capacity == DEFAULT_TRACE_CAPACITY
+        assert reg.event_capacity > 0
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(TRACE_CAPACITY_ENV, "7")
+        assert MetricsRegistry(trace_capacity=3).trace_capacity == 3
+
+    def test_set_trace_capacity_keeps_newest(self):
+        reg = MetricsRegistry(clock=lambda: 0.0)
+        for i in range(4):
+            with reg.span(f"s{i}"):
+                pass
+        reg.set_trace_capacity(2)
+        assert [s.name for s in reg.spans()] == ["s2", "s3"]
+        with pytest.raises(ValueError):
+            reg.set_trace_capacity(0)
+
+    def test_reset_preserves_capacities(self):
+        reg = MetricsRegistry(clock=lambda: 0.0, trace_capacity=2, event_capacity=3)
+        with reg.span("s"):
+            pass
+        reg.event("e")
+        reg.reset()
+        assert reg.spans() == []
+        assert reg.events() == []
+        assert reg.trace_capacity == 2
+        assert reg.event_capacity == 3
+        for i in range(5):
+            with reg.span(f"s{i}"):
+                pass
+        assert len(reg.spans()) == 2  # the ring is still bounded
+
+    def test_enable_configures_and_resizes_capacities(self):
+        reg = obs.enable(trace_capacity=2)
+        assert reg.trace_capacity == 2
+        # Already enabled: a further enable() resizes in place.
+        again = obs.enable(trace_capacity=5, event_capacity=6)
+        assert again is reg
+        assert reg.trace_capacity == 5
+        assert reg.event_capacity == 6
+
+
+class TestSpanIds:
+    def test_ids_are_monotone_from_one(self):
+        reg = MetricsRegistry(clock=lambda: 0.0)
+        with reg.span("a"):
+            pass
+        with reg.span("b"):
+            pass
+        ids = [s.span_id for s in reg.spans()]
+        assert ids == [1, 2]
+
+    def test_parent_id_threads_through_nesting(self):
+        reg = MetricsRegistry(clock=lambda: 0.0)
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        by_name = {s.name: s for s in reg.spans()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_current_span_id_tracks_stack(self):
+        reg = MetricsRegistry(clock=lambda: 0.0)
+        assert reg.current_span_id() is None
+        with reg.span("a"):
+            outer = reg.current_span_id()
+            assert outer is not None
+            with reg.span("b"):
+                assert reg.current_span_id() == outer + 1
+            assert reg.current_span_id() == outer
+        assert reg.current_span_id() is None
+
+    def test_null_registry_has_no_span_id(self):
+        assert NullRegistry().current_span_id() is None
 
 
 class TestNullRegistry:

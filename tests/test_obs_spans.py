@@ -98,9 +98,10 @@ class TestDeterminism:
         assert first == second
         by_name = {s.name: s for s in first}
         # FakeClock readings: outer start=0, inner start=1, inner end=2,
-        # outer end=3 → inner duration 1.0, outer duration 3.0.
-        assert by_name["inner"] == SpanRecord("inner", "outer", 1, 1.0, 1.0)
-        assert by_name["outer"] == SpanRecord("outer", None, 0, 0.0, 3.0)
+        # outer end=3 → inner duration 1.0, outer duration 3.0.  Span ids
+        # count up from 1 in entry order; parent ids follow the stack.
+        assert by_name["inner"] == SpanRecord("inner", "outer", 1, 1.0, 1.0, 2, 1)
+        assert by_name["outer"] == SpanRecord("outer", None, 0, 0.0, 3.0, 1, None)
 
     def test_per_span_clock_override(self):
         reg = MetricsRegistry(clock=FakeClock(step=1.0))

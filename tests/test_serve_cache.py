@@ -72,14 +72,53 @@ class TestStats:
         cache.get(seed=0)
         cache.get(seed=0)
         cache.get(seed=1)
-        assert cache.stats == {"hits": 1, "misses": 2, "models": 2}
+        assert cache.stats == {"hits": 1, "misses": 2, "models": 2, "evictions": 0}
         assert len(cache) == 2
 
     def test_clear_resets(self, cache):
         cache.get(seed=0)
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats == {"hits": 0, "misses": 0, "models": 0}
+        assert cache.stats == {"hits": 0, "misses": 0, "models": 0, "evictions": 0}
+
+
+class TestEviction:
+    def make(self, calls, max_models):
+        def trainer(config, seed):
+            calls.append((config, seed))
+            return FakeModel(config)
+
+        return ModelCache(trainer=trainer, max_models=max_models)
+
+    def test_bound_must_be_positive(self, calls):
+        with pytest.raises(ValueError):
+            self.make(calls, max_models=0)
+
+    def test_unbounded_by_default(self, cache, calls):
+        for seed in range(50):
+            cache.get(seed=seed)
+        assert len(cache) == 50
+        assert cache.stats["evictions"] == 0
+
+    def test_evicts_least_recently_used(self, calls):
+        cache = self.make(calls, max_models=2)
+        cache.get(seed=0)
+        cache.get(seed=1)
+        cache.get(seed=0)  # refresh seed 0 — seed 1 is now LRU
+        cache.get(seed=2)  # evicts seed 1
+        assert len(cache) == 2
+        assert cache.stats["evictions"] == 1
+        cache.get(seed=0)  # still cached: no retraining
+        assert [s for _, s in calls] == [0, 1, 2]
+        cache.get(seed=1)  # was evicted: retrained
+        assert [s for _, s in calls] == [0, 1, 2, 1]
+
+    def test_put_respects_bound(self, calls):
+        cache = self.make(calls, max_models=1)
+        cache.get(seed=0)
+        cache.put(FakeModel(ClassifierConfig()), seed=9)
+        assert len(cache) == 1
+        assert cache.stats["evictions"] == 1
 
 
 class TestConcurrency:
