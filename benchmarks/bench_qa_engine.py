@@ -6,7 +6,17 @@ extracts symbol/dataflow facts; a warm run restores both from the
 The warm run must re-parse **zero** unchanged files — that contract is
 asserted here, and the speedup is the number the cache earns its
 complexity with.
+
+The warm run also carries a *budget*: everything that still executes
+warm (index rules — including the concurrency inference — plus cache
+restore) must finish within :data:`WARM_BUDGET_FRACTION` of the cold
+run that primed the cache.  The fraction is ~2x the warm/cold ratio
+measured when the concurrency rules landed, so an index rule quietly
+growing super-linear work fails the gate instead of eroding the cache's
+whole point.
 """
+
+import time
 
 from pathlib import Path
 
@@ -15,6 +25,9 @@ from repro.qa import Analyzer, Baseline, ResultCache, all_rules, rules_signature
 from conftest import emit
 
 SRC = Path(__file__).parent.parent / "src" / "repro"
+
+#: Warm-run mean must stay within this fraction of the priming cold run.
+WARM_BUDGET_FRACTION = 0.20
 
 
 def _cold_run():
@@ -42,7 +55,9 @@ def test_qa_engine_cold(benchmark, out_dir):
 
 def test_qa_engine_warm_cache(benchmark, tmp_path, out_dir):
     cache_path = tmp_path / "qa-cache.json"
+    t0 = time.perf_counter()
     primed = _warm_run(cache_path)  # cold priming run populates the cache
+    cold_s = time.perf_counter() - t0
     assert primed.parsed_files == primed.num_files
 
     report = benchmark.pedantic(_warm_run, args=(cache_path,), rounds=5, iterations=1)
@@ -50,9 +65,16 @@ def test_qa_engine_warm_cache(benchmark, tmp_path, out_dir):
     assert report.parsed_files == 0, "warm cache run must not re-parse unchanged files"
     assert report.cached_files == report.num_files
     assert report.findings == primed.findings
+    warm_s = benchmark.stats.stats.mean
+    assert warm_s <= WARM_BUDGET_FRACTION * cold_s, (
+        f"warm run blew its budget: {warm_s * 1e3:.1f} ms vs "
+        f"{WARM_BUDGET_FRACTION:.0%} of the {cold_s * 1e3:.1f} ms cold run — "
+        "an index rule (concurrency inference?) is doing too much warm work"
+    )
     emit(
         out_dir,
         "qa_engine_warm.txt",
         f"repro-qa warm run: {report.cached_files}/{report.num_files} files from cache, "
-        f"mean {benchmark.stats.stats.mean * 1e3:.1f} ms",
+        f"mean {warm_s * 1e3:.1f} ms "
+        f"({warm_s / cold_s:.1%} of the {cold_s * 1e3:.0f} ms cold prime)",
     )

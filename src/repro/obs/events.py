@@ -68,7 +68,10 @@ class EventJournal:
     @property
     def capacity(self) -> int:
         """Maximum records retained before the oldest are dropped."""
-        maxlen = self._ring.maxlen
+        # Under the lock: resize() rebinds the ring, so a lock-free
+        # read here could see a deque mid-swap.
+        with self._lock:
+            maxlen = self._ring.maxlen
         assert maxlen is not None
         return maxlen
 

@@ -72,6 +72,10 @@ class TelemetryServer:
         self.rules = rules if rules is not None else default_rules()
         self.host = host
         self._requested_port = port
+        # Guards the lifecycle state below: start/stop can race (the
+        # embedding service may be shut down from several threads) and
+        # handler threads read readiness while the state is swapped.
+        self._lock = threading.Lock()
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._ready = False
@@ -81,45 +85,58 @@ class TelemetryServer:
     # ------------------------------------------------------------------
     def start(self) -> "TelemetryServer":
         """Bind and serve in a daemon thread; idempotent; returns self."""
-        if self._server is not None:
-            return self
-        server = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
-        server.daemon_threads = True
-        server.telemetry = self  # type: ignore[attr-defined]
-        self._server = server
-        self._thread = threading.Thread(
-            target=server.serve_forever, name="repro-obs-http", daemon=True
-        )
-        self._thread.start()
-        self._ready = True
+        with self._lock:
+            if self._server is not None:
+                return self
+            server = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+            server.daemon_threads = True
+            server.telemetry = self  # type: ignore[attr-defined]
+            self._server = server
+            thread = threading.Thread(
+                target=server.serve_forever, name="repro-obs-http", daemon=True
+            )
+            self._thread = thread
+            thread.start()
+            self._ready = True
         return self
 
     def stop(self) -> None:
-        """Shut the server down and join its thread; idempotent."""
-        self._ready = False
-        server = self._server
+        """Shut the server down and join its thread; idempotent.
+
+        The state swap happens under the lock (so a concurrent stop is a
+        no-op), but the socket teardown and the join happen outside it —
+        joining a thread while holding the lock its handlers may need
+        would deadlock.
+        """
+        with self._lock:
+            self._ready = False
+            server = self._server
+            thread = self._thread
+            self._server = None
+            self._thread = None
         if server is None:
             return
-        self._server = None
         server.shutdown()
         server.server_close()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
+        if thread is not None:
+            thread.join()
 
     @property
     def running(self) -> bool:
         """True while the server thread is serving."""
-        return self._server is not None
+        with self._lock:
+            return self._server is not None
 
     def set_ready(self, ready: bool) -> None:
         """Flip the ``/readyz`` verdict (e.g. draining on shutdown)."""
-        self._ready = bool(ready)
+        with self._lock:
+            self._ready = bool(ready)
 
     @property
     def ready(self) -> bool:
         """Current ``/readyz`` state."""
-        return self._ready
+        with self._lock:
+            return self._ready
 
     @property
     def port(self) -> int:
@@ -130,9 +147,11 @@ class TelemetryServer:
         RuntimeError
             Before :meth:`start`.
         """
-        if self._server is None:
+        with self._lock:
+            server = self._server
+        if server is None:
             raise RuntimeError("telemetry server is not running")
-        return self._server.server_address[1]
+        return server.server_address[1]
 
     @property
     def url(self) -> str:

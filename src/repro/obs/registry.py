@@ -352,7 +352,10 @@ class MetricsRegistry:
         self, name: str, labels: dict[str, str], factory: Callable[[str, LabelSet], Instrument]
     ) -> Instrument:
         key = (name, _label_set(labels))
-        instrument = self._instruments.get(key)
+        # Deliberate double-checked locking: the lock-free read is a GIL-
+        # atomic dict lookup, and a miss re-checks under the lock before
+        # creating, so the worst case is taking the slow path needlessly.
+        instrument = self._instruments.get(key)  # qa: ignore[unguarded-shared-state]
         if instrument is None:
             with self._lock:
                 instrument = self._instruments.get(key)

@@ -247,15 +247,20 @@ class MetricsRecorder:
     def stop(self) -> None:
         """Stop the background thread (if running); idempotent."""
         self._stop.set()
-        thread = self._thread
+        # Swap the thread reference out under the lock, but join outside
+        # it: the loop's sample() takes the same lock, so joining while
+        # holding it would deadlock against the final in-flight scrape.
+        with self._lock:
+            thread = self._thread
+            self._thread = None
         if thread is not None and thread.is_alive():
             thread.join()
-        self._thread = None
 
     @property
     def running(self) -> bool:
         """True while the background scrape thread is alive."""
-        thread = self._thread
+        with self._lock:
+            thread = self._thread
         return thread is not None and thread.is_alive()
 
     def _loop(self) -> None:

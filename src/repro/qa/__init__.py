@@ -14,9 +14,11 @@ from __future__ import annotations
 from .baseline import Baseline
 from .cache import ResultCache, rules_signature
 from .callgraph import CallGraph, ProjectIndex
+from .concurrency import ModuleConcurrency, build_module_concurrency
 from .engine import Analyzer, Report, collect_files
 from .findings import Finding, Severity
 from .fix import FixResult, fix_file, fix_source
+from .lockgraph import ConcurrencyIndex, LockOrderGraph
 from .registry import IndexRule, ProjectRule, Rule, all_rules, get_rule, register
 from .sarif import to_sarif
 from .source import SourceModule
@@ -26,9 +28,12 @@ __all__ = [
     "Analyzer",
     "Baseline",
     "CallGraph",
+    "ConcurrencyIndex",
     "Finding",
     "FixResult",
     "IndexRule",
+    "LockOrderGraph",
+    "ModuleConcurrency",
     "ModuleSymbols",
     "ProjectIndex",
     "ProjectRule",
@@ -38,6 +43,7 @@ __all__ = [
     "Severity",
     "SourceModule",
     "all_rules",
+    "build_module_concurrency",
     "build_module_symbols",
     "collect_files",
     "fix_file",

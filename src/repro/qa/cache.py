@@ -27,7 +27,10 @@ from .findings import Finding, Severity
 from .symbols import ModuleSymbols
 
 #: Manual analysis-semantics revision; see module docstring.
-ENGINE_REVISION = 1
+#: Revision 2: concurrency facts added to :class:`ModuleSymbols` —
+#: caches written before the concurrency rules existed must not
+#: satisfy them with fact records that lack lock/thread information.
+ENGINE_REVISION = 2
 
 #: Default cache file name, looked up in the working directory.
 DEFAULT_CACHE = ".repro-qa-cache.json"

@@ -7,6 +7,7 @@ Usage::
                                   [--cache FILE | --no-cache]
     python -m repro.qa fix src/ [--dry-run]
     python -m repro.qa baseline src/ --sync [--baseline FILE]
+    python -m repro.qa concurrency src/ [--dot FILE] [--cache FILE | --no-cache]
     python -m repro.qa rules
 
 Exit codes: 0 clean, 1 findings (errors always; warnings too under
@@ -103,6 +104,29 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help=f"baseline file to sync (default: {DEFAULT_BASELINE})",
+    )
+
+    p = sub.add_parser(
+        "concurrency",
+        help="render the inferred lock-guard tables and the lock-order graph",
+    )
+    p.add_argument("paths", nargs="+", help="files or directories to analyze")
+    p.add_argument(
+        "--dot",
+        default=None,
+        metavar="FILE",
+        help="also write the lock-order graph as DOT to FILE ('-' for stdout)",
+    )
+    p.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE,
+        metavar="FILE",
+        help=f"incremental result cache file (default: {DEFAULT_CACHE})",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the incremental cache (cold run)",
     )
 
     sub.add_parser("rules", help="list every registered rule")
@@ -204,6 +228,32 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_concurrency(args: argparse.Namespace) -> int:
+    from .lockgraph import ConcurrencyIndex, render_guard_tables, render_lock_order, to_dot
+
+    rules = list(all_rules())
+    cache = None if args.no_cache else ResultCache(args.cache, rules_signature(rules))
+    analyzer = Analyzer(rules, cache=cache)
+    try:
+        index = analyzer.build_index(args.paths)
+    except FileNotFoundError as exc:
+        print(f"repro-qa: error: {exc}", file=sys.stderr)
+        return 2
+    conc = ConcurrencyIndex.of(index)
+    print(render_guard_tables(conc), end="")
+    print()
+    print(render_lock_order(conc), end="")
+    if args.dot is not None:
+        dot = to_dot(conc.lock_order)
+        if args.dot == "-":
+            print()
+            print(dot, end="")
+        else:
+            Path(args.dot).write_text(dot, encoding="utf-8")
+            print(f"repro-qa: wrote lock-order DOT to {args.dot}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.qa`` and the ``repro-qa`` script."""
     args = _build_parser().parse_args(argv)
@@ -215,4 +265,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_fix(args)
     if args.command == "baseline":
         return _cmd_baseline(args)
+    if args.command == "concurrency":
+        return _cmd_concurrency(args)
     raise AssertionError(f"unhandled command {args.command!r}")

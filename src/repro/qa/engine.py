@@ -148,8 +148,15 @@ class Analyzer:
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
-    def run(self, paths: Iterable[str | Path]) -> Report:
-        """Analyze every ``*.py`` under *paths* and return a report."""
+    def _collect(
+        self, paths: Iterable[str | Path]
+    ) -> tuple[list[Path], list[ModuleSymbols], list[Finding], list[SourceModule], int, int]:
+        """Gather facts + per-file findings for every file under *paths*.
+
+        Each file is either parsed (running per-file rules and fact
+        extraction) or restored from the incremental cache.  Shared by
+        :meth:`run` and :meth:`build_index`.
+        """
         files = collect_files(paths)
         raw: list[Finding] = []
         facts: list[ModuleSymbols] = []
@@ -174,6 +181,20 @@ class Analyzer:
         if self.cache is not None:
             self.cache.prune(files)
             self.cache.save()
+        return files, facts, raw, modules, parsed, cached
+
+    def build_index(self, paths: Iterable[str | Path]) -> ProjectIndex:
+        """The :class:`ProjectIndex` of *paths*, cache-accelerated.
+
+        Used by the ``repro-qa concurrency`` CLI verb, which consumes
+        the index directly instead of running rules over it.
+        """
+        _files, facts, _raw, _modules, _parsed, _cached = self._collect(paths)
+        return ProjectIndex.build(facts)
+
+    def run(self, paths: Iterable[str | Path]) -> Report:
+        """Analyze every ``*.py`` under *paths* and return a report."""
+        files, facts, raw, modules, parsed, cached = self._collect(paths)
 
         index = ProjectIndex.build(facts)
         for rule in self.rules:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from . import (  # noqa: F401
     api_hygiene,
+    concurrency,
     cross_dead_code,
     determinism,
     docstrings,

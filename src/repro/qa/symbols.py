@@ -262,6 +262,11 @@ class ModuleSymbols:
     pragmas: dict[int, set[str]] = field(default_factory=dict)
     #: Metric-name string constants (populated for the catalog module).
     metric_names: tuple[str, ...] = ()
+    #: Concurrency facts (locks, guarded accesses, thread lifecycles);
+    #: ``None`` for modules with nothing concurrency-relevant.  Typed
+    #: loosely to keep the import lazy (symbols ↔ concurrency would
+    #: otherwise be a cycle).
+    concurrency: object | None = None
 
     @property
     def package(self) -> str:
@@ -291,10 +296,16 @@ class ModuleSymbols:
             "call_sites": [c.to_dict() for c in self.call_sites],
             "pragmas": {str(k): sorted(v) for k, v in self.pragmas.items()},
             "metric_names": list(self.metric_names),
+            "concurrency": self.concurrency.to_dict()  # type: ignore[attr-defined]
+            if self.concurrency is not None
+            else None,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ModuleSymbols":
+        from .concurrency import ModuleConcurrency
+
+        conc_data = data.get("concurrency")
         return cls(
             name=data["name"],
             relpath=data["relpath"],
@@ -308,6 +319,9 @@ class ModuleSymbols:
             call_sites=[CallSite.from_dict(c) for c in data["call_sites"]],
             pragmas={int(k): set(v) for k, v in data["pragmas"].items()},
             metric_names=tuple(data["metric_names"]),
+            concurrency=ModuleConcurrency.from_dict(conc_data)
+            if conc_data is not None
+            else None,
         )
 
 
@@ -798,6 +812,12 @@ def build_module_symbols(module: SourceModule) -> ModuleSymbols:
     if module.name.endswith("metrics.catalog"):
         metric_names = _extract_metric_names(module)
 
+    # Lazy import: concurrency.py imports helpers from this module's
+    # siblings, so the dependency must point one way at import time.
+    from .concurrency import build_module_concurrency
+
+    concurrency = build_module_concurrency(module, imports, local_defs)
+
     return ModuleSymbols(
         name=module.name,
         relpath=module.relpath,
@@ -811,4 +831,5 @@ def build_module_symbols(module: SourceModule) -> ModuleSymbols:
         call_sites=call_sites,
         pragmas={k: set(v) for k, v in module.pragmas.items()},
         metric_names=metric_names,
+        concurrency=concurrency,
     )

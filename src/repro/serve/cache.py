@@ -57,6 +57,11 @@ class ModelCache:
         # Insertion order doubles as recency order: hits re-insert.
         self._models: dict[tuple[ClassifierConfig, int], ApplicationClassifier] = {}
         self._lock = threading.Lock()
+        # In-flight training runs: key → event set when the run ends.
+        # Training happens *outside* the lock (five profiling runs plus
+        # a PCA fit must not stall every unrelated hit); same-key
+        # callers wait on the event instead of launching a second run.
+        self._pending: dict[tuple[ClassifierConfig, int], threading.Event] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -66,24 +71,43 @@ class ModelCache:
     ) -> ApplicationClassifier:
         """Return the trained classifier for (config, seed), training on first use.
 
-        The lock is held across training, so concurrent callers asking
-        for the same model block on one training run rather than each
-        launching their own.
+        Concurrent callers asking for the same model block on one
+        training run rather than each launching their own; callers
+        asking for *different* models train concurrently (the cache
+        lock is never held across the trainer callback).
         """
         key = (config if config is not None else ClassifierConfig(), seed)
-        with self._lock:
-            model = self._models.get(key)
-            if model is not None:
-                self._hits += 1
-                # Re-insert to mark most recently used.
-                del self._models[key]
-                self._models[key] = model
-                return model
-            self._misses += 1
+        while True:
+            with self._lock:
+                model = self._models.get(key)
+                if model is not None:
+                    self._hits += 1
+                    # Re-insert to mark most recently used.
+                    del self._models[key]
+                    self._models[key] = model
+                    return model
+                waiter = self._pending.get(key)
+                if waiter is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    self._misses += 1
+                    break
+            # Another thread is training this key: wait, then re-check
+            # (its run may also have failed, in which case we retrain).
+            waiter.wait()
+        try:
             model = self._trainer(key[0], key[1])
+        except BaseException:
+            with self._lock:
+                self._pending.pop(key, None)
+            event.set()
+            raise
+        with self._lock:
             self._models[key] = model
             self._evict_over_bound()
-            return model
+            self._pending.pop(key, None)
+        event.set()
+        return model
 
     def put(self, classifier: ApplicationClassifier, seed: int = 0) -> None:
         """Seed the cache with an externally trained classifier.
@@ -117,7 +141,8 @@ class ModelCache:
             self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._models)
+        with self._lock:
+            return len(self._models)
 
     @property
     def stats(self) -> dict[str, int]:

@@ -132,6 +132,10 @@ class ClassificationService:
         self._lock = threading.Lock()
         self._started = False
         self._stopping = False
+        # Set once the first shutdown() call has fully finished, so
+        # concurrent shutdown() callers block until the drain is done
+        # instead of returning while workers are still exiting.
+        self._stopped = threading.Event()
         self._submitted = 0
         self._rejected = 0
         self._completed = 0
@@ -175,12 +179,22 @@ class ClassificationService:
         With ``drain=True`` (default) every already-accepted request is
         classified before the workers exit; with ``drain=False`` pending
         requests fail with :class:`~repro.errors.ServiceOverloadedError`.
+
+        Safe to call concurrently from several threads: exactly one
+        caller performs the shutdown, and every other caller blocks
+        until it has fully finished (guarded state transition on
+        ``self._stopping``, completion signalled via an event).
         """
         with self._lock:
-            if self._stopping:
-                return
+            first = not self._stopping
             self._stopping = True
             started = self._started
+            threads = list(self._threads)
+        if not first:
+            # Another thread is (or was) shutting down: wait for it so
+            # "shutdown returned" always means "workers are gone".
+            self._stopped.wait()
+            return
         if self.telemetry is not None:
             # Flip /readyz to draining before any request is failed or
             # drained, so balancers stop routing while we still answer.
@@ -199,9 +213,9 @@ class ClassificationService:
                     with self._lock:
                         self._failed += 1
         if started:
-            for _ in self._threads:
+            for _ in threads:
                 self._queue.put(_STOP)
-            for thread in self._threads:
+            for thread in threads:
                 thread.join()
         else:
             # Never-started service: fail anything still queued.
@@ -216,9 +230,19 @@ class ClassificationService:
                     )
                     with self._lock:
                         self._failed += 1
-        obs_event("serve.drain.end", completed=str(self._completed), failed=str(self._failed))
+        stats = self.stats
+        obs_event("serve.drain.end", completed=str(stats.completed), failed=str(stats.failed))
         if self.telemetry is not None:
             self.telemetry.stop()
+        self._stopped.set()
+
+    def stop(self) -> None:
+        """Shut down without draining (pending requests fail fast)."""
+        self.shutdown(drain=False)
+
+    def drain(self) -> None:
+        """Shut down after serving every already-accepted request."""
+        self.shutdown(drain=True)
 
     def __enter__(self) -> "ClassificationService":
         self.start()
@@ -245,14 +269,22 @@ class ClassificationService:
         """
         if len(series) == 0:
             raise EmptySeriesError("cannot classify an empty series")
-        if self._stopping:
-            raise RuntimeError("service is shut down")
         request = _Request(series, time.monotonic())
-        try:
-            self._queue.put_nowait(request)
-        except queue.Full:
-            with self._lock:
+        # One critical section covers the stopping check, the enqueue
+        # (put_nowait never blocks), and the counter, so a request can
+        # never slip into the queue after shutdown() snapshotted it.
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("service is shut down")
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
                 self._rejected += 1
+                full = True
+            else:
+                self._submitted += 1
+                full = False
+        if full:
             if obs_enabled():
                 obs_counter(
                     "serve.requests.rejected", help="Submissions shed by backpressure."
@@ -261,8 +293,6 @@ class ClassificationService:
             raise ServiceOverloadedError(
                 f"request queue full ({self.max_queue} pending); retry later"
             ) from None
-        with self._lock:
-            self._submitted += 1
         if obs_enabled():
             obs_gauge("serve.queue.depth", help="Requests waiting in the queue.").set(
                 self._queue.qsize()

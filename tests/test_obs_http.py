@@ -1,6 +1,7 @@
 """Tests for the HTTP exposition endpoint (real sockets, deterministic health)."""
 
 import json
+import threading
 import urllib.error
 import urllib.request
 
@@ -241,3 +242,43 @@ class TestServiceEmbedding:
         # Shutdown flipped readiness and then stopped the server.
         assert not telemetry.ready
         assert not telemetry.running
+
+
+class TestConcurrentLifecycle:
+    def test_concurrent_stop_is_safe(self, registry, recorder):
+        srv = TelemetryServer(registry=registry, recorder=recorder).start()
+        barrier = threading.Barrier(3, timeout=10.0)
+
+        def closer():
+            barrier.wait()
+            srv.stop()
+
+        threads = [threading.Thread(target=closer) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert not any(t.is_alive() for t in threads)
+        assert not srv.running
+
+    def test_concurrent_start_binds_one_server(self, registry):
+        srv = TelemetryServer(registry=registry)
+        barrier = threading.Barrier(4, timeout=10.0)
+
+        def opener():
+            barrier.wait()
+            srv.start()
+
+        threads = [threading.Thread(target=opener) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        try:
+            assert not any(t.is_alive() for t in threads)
+            assert srv.running
+            status, _ctype, body = fetch(srv, "/readyz")
+            assert (status, body) == (200, "ready\n")
+        finally:
+            srv.stop()
+        assert not srv.running

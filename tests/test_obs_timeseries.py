@@ -1,5 +1,7 @@
 """Tests for the fixed-capacity time-series recorder (fake clocks, no sleeps)."""
 
+import threading
+
 import pytest
 
 from repro import obs
@@ -264,3 +266,40 @@ class TestRenderTop:
         assert any(line.startswith("depth") for line in lines)
         hits_line = next(line for line in lines if line.startswith("hits"))
         assert "2" in hits_line.split()  # rate: +4 over 2 s
+
+
+class TestConcurrentStop:
+    def test_stop_joins_outside_the_lock(self, registry):
+        # The loop's sample() takes the recorder lock; stop() must join
+        # the thread without holding it, or this would deadlock against
+        # an in-flight scrape.  Bound the whole check with a watchdog.
+        recorder = MetricsRecorder(registry, interval_s=0.001)
+        registry.counter("c").inc()
+        recorder.start()
+        done = threading.Event()
+
+        def closer():
+            recorder.stop()
+            done.set()
+
+        threading.Thread(target=closer, daemon=True).start()
+        assert done.wait(10.0), "stop() deadlocked against the sampling loop"
+        assert not recorder.running
+
+    def test_concurrent_stop_is_safe(self, registry):
+        recorder = MetricsRecorder(registry, interval_s=0.001).start()
+        barrier = threading.Barrier(3, timeout=10.0)
+
+        def closer():
+            barrier.wait()
+            recorder.stop()
+
+        threads = [threading.Thread(target=closer) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert not any(t.is_alive() for t in threads)
+        assert not recorder.running
+        recorder.start()  # still restartable after a racy stop
+        recorder.stop()

@@ -53,6 +53,10 @@ def test_registry_has_all_rule_families():
         "cross-module-dead-code",
         "unused-result",
         "future-annotations",
+        "unguarded-shared-state",
+        "lock-order-inversion",
+        "blocking-under-lock",
+        "thread-lifecycle",
     }
 
 

@@ -292,6 +292,96 @@ def test_cached_findings_still_pragma_filtered(tree, tmp_path):
 
 
 # ----------------------------------------------------------------------
+# concurrency facts through cache and baseline
+# ----------------------------------------------------------------------
+
+
+CONC_FIXTURE = dedent(
+    '''\
+    """Doc."""
+
+    from __future__ import annotations
+
+    import threading
+
+    __all__ = ["Box"]
+
+
+    class Box:
+        """Doc."""
+
+        def __init__(self):
+            """Doc."""
+            self._lock = threading.Lock()
+            self._items = []
+
+        def add(self, x):
+            """Doc."""
+            with self._lock:
+                self._items.append(x)
+
+        def flush(self):
+            """Doc."""
+            with self._lock:
+                self._items = []
+
+        def peek(self):
+            """Doc."""
+            return self._items
+    '''
+)
+
+
+def test_cache_round_trips_concurrency_facts(tree, tmp_path):
+    # The concurrency rules are index rules: a warm (parse-free) run
+    # answers them from cached ModuleSymbols, so the lock/thread facts
+    # must survive the serialization round trip.
+    sig = rules_signature(list(all_rules()))
+    cache_path = tmp_path / "cache.json"
+    (tree / "repro" / "core" / "conc.py").write_text(CONC_FIXTURE)
+    cold = _run(tree, ResultCache(cache_path, sig))
+    assert [f.rule_id for f in cold.findings] == ["unguarded-shared-state"]
+    warm = _run(tree, ResultCache(cache_path, sig))
+    assert warm.parsed_files == 0
+    assert warm.findings == cold.findings
+
+
+def test_engine_revision_invalidates_rules_signature(monkeypatch):
+    # Caches written before the concurrency facts existed must not
+    # satisfy a run that needs them: bumping ENGINE_REVISION (as the
+    # concurrency release did) changes the signature, forcing a reparse.
+    import repro.qa.cache as cache_mod
+
+    before = rules_signature(list(all_rules()))
+    monkeypatch.setattr(cache_mod, "ENGINE_REVISION", cache_mod.ENGINE_REVISION + 1)
+    assert rules_signature(list(all_rules())) != before
+
+
+def test_baseline_workflow_covers_concurrency_rules(tree, tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    conc = tree / "repro" / "core" / "conc.py"
+    conc.write_text(CONC_FIXTURE)
+    baseline = tmp_path / "qa-baseline.txt"
+    args = ["--baseline", str(baseline), "--no-cache"]
+    assert qa_main(["check", str(tree / "repro"), "--write-baseline", *args]) == 0
+    assert "unguarded-shared-state" in baseline.read_text()
+    capsys.readouterr()
+    # Grandfathered: strict is clean with the baseline in place.
+    assert qa_main(["check", str(tree / "repro"), "--strict", *args]) == 0
+    capsys.readouterr()
+    # Fix the bug at source; --sync prunes the now-stale entry.
+    conc.write_text(
+        CONC_FIXTURE.replace(
+            "return self._items",
+            "with self._lock:\n            return self._items",
+        )
+    )
+    code = qa_main(["baseline", str(tree / "repro"), "--sync", "--baseline", str(baseline)])
+    assert code == 0
+    assert "unguarded-shared-state" not in baseline.read_text()
+
+
+# ----------------------------------------------------------------------
 # baseline sync
 # ----------------------------------------------------------------------
 

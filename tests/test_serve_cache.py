@@ -144,3 +144,71 @@ class TestConcurrency:
             t.join()
         assert len(calls) == 1
         assert all(m is models[0] for m in models)
+
+    def test_same_key_waiters_block_on_inflight_training(self, calls):
+        # The first caller is held *inside* the trainer; same-key callers
+        # arriving meanwhile must wait for that run, not launch their own.
+        entered = threading.Event()
+        release = threading.Event()
+
+        def trainer(config, seed):
+            calls.append((config, seed))
+            entered.set()
+            assert release.wait(10.0)
+            return FakeModel(config)
+
+        cache = ModelCache(trainer=trainer)
+        models = []
+
+        def fetch():
+            models.append(cache.get(seed=0))
+
+        threads = [threading.Thread(target=fetch) for _ in range(4)]
+        threads[0].start()
+        assert entered.wait(10.0)
+        for t in threads[1:]:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(10.0)
+        assert not any(t.is_alive() for t in threads)
+        assert len(calls) == 1
+        assert all(m is models[0] for m in models)
+
+    def test_different_keys_train_in_parallel(self):
+        # Both trainers must be in flight at once: if the cache lock were
+        # held across training, the second could never reach the barrier.
+        barrier = threading.Barrier(2, timeout=10.0)
+
+        def trainer(config, seed):
+            barrier.wait()
+            return FakeModel(config)
+
+        cache = ModelCache(trainer=trainer)
+        out = {}
+
+        def fetch(seed):
+            out[seed] = cache.get(seed=seed)
+
+        threads = [threading.Thread(target=fetch, args=(seed,)) for seed in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert not any(t.is_alive() for t in threads)
+        assert out[0] is not out[1]
+        assert cache.stats["models"] == 2
+
+    def test_failed_training_releases_key_for_retry(self, calls):
+        def trainer(config, seed):
+            calls.append((config, seed))
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return FakeModel(config)
+
+        cache = ModelCache(trainer=trainer)
+        with pytest.raises(RuntimeError):
+            cache.get(seed=0)
+        model = cache.get(seed=0)
+        assert isinstance(model, FakeModel)
+        assert len(calls) == 2

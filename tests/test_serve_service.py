@@ -1,5 +1,6 @@
 """Micro-batching, backpressure, and shutdown of the classification service."""
 
+import threading
 import time
 
 import numpy as np
@@ -179,3 +180,67 @@ class TestWorkers:
             for future in futures:
                 future.result(timeout=10.0)
         assert service.stats.completed == len(fleet)
+
+
+class TestConcurrentShutdown:
+    def test_concurrent_shutdown_callers_all_wait_for_drain(self, classifier, fleet):
+        service = ClassificationService(classifier, batch_size=4)
+        futures = [service.submit(s) for s in fleet]
+        barrier = threading.Barrier(4, timeout=10.0)
+
+        def closer():
+            barrier.wait()
+            service.shutdown(drain=True)
+            # shutdown returned => the drain is fully finished, no matter
+            # which caller actually performed it.
+            assert all(f.done() for f in futures)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert not any(t.is_alive() for t in threads)
+        assert service.stats.completed == len(fleet)
+        assert service.stats.pending == 0
+
+    def test_stop_alias_sheds_pending(self, classifier, fleet):
+        service = ClassificationService(classifier, autostart=False)
+        futures = [service.submit(s) for s in fleet[:2]]
+        service.stop()
+        for future in futures:
+            with pytest.raises(ServiceOverloadedError):
+                future.result(timeout=1.0)
+
+    def test_drain_alias_completes_pending(self, classifier, fleet):
+        service = ClassificationService(classifier)
+        futures = [service.submit(s) for s in fleet]
+        service.drain()
+        for future in futures:
+            assert future.result(timeout=1.0) is not None
+
+    def test_submit_shutdown_race_strands_no_future(self, classifier, fleet):
+        # submit() checks _stopping and enqueues atomically: a request
+        # accepted during a concurrent drain must still complete instead
+        # of slipping into the queue after the workers were told to stop.
+        service = ClassificationService(classifier)
+        series = fleet[0]
+        accepted = []
+
+        def submitter():
+            while True:
+                try:
+                    accepted.append(service.submit(series))
+                except RuntimeError:
+                    return
+                except ServiceOverloadedError:
+                    time.sleep(0.001)
+
+        thread = threading.Thread(target=submitter)
+        thread.start()
+        time.sleep(0.05)
+        service.shutdown(drain=True)
+        thread.join(30.0)
+        assert not thread.is_alive()
+        for future in accepted:
+            assert future.result(timeout=10.0) is not None
