@@ -8,12 +8,14 @@ asserted here, and the speedup is the number the cache earns its
 complexity with.
 
 The warm run also carries a *budget*: everything that still executes
-warm (index rules — including the concurrency inference — plus cache
-restore) must finish within :data:`WARM_BUDGET_FRACTION` of the cold
-run that primed the cache.  The fraction is ~2x the warm/cold ratio
-measured when the concurrency rules landed, so an index rule quietly
-growing super-linear work fails the gate instead of eroding the cache's
-whole point.
+warm (index rules — including the concurrency and numeric-kernel
+inference — plus cache restore) must finish within
+:data:`WARM_BUDGET_FRACTION` of the cold run that primed the cache.
+The fraction is ~2x the warm/cold ratio measured when the concurrency
+rules landed, so an index rule quietly growing super-linear work fails
+the gate instead of eroding the cache's whole point.  (The numeric
+facts — like the concurrency facts — are extracted at parse time and
+ride the cache, so warm runs answer the numeric rules parse-free too.)
 """
 
 import time
@@ -69,7 +71,7 @@ def test_qa_engine_warm_cache(benchmark, tmp_path, out_dir):
     assert warm_s <= WARM_BUDGET_FRACTION * cold_s, (
         f"warm run blew its budget: {warm_s * 1e3:.1f} ms vs "
         f"{WARM_BUDGET_FRACTION:.0%} of the {cold_s * 1e3:.1f} ms cold run — "
-        "an index rule (concurrency inference?) is doing too much warm work"
+        "an index rule (concurrency or numerics inference?) is doing too much warm work"
     )
     emit(
         out_dir,

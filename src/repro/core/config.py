@@ -45,6 +45,13 @@ class ClassifierConfig:
         Variance-based component selection, if preferred.
     k:
         Neighbors in the k-NN vote (positive and odd).
+    compute_dtype:
+        Dtype of the numeric pipeline, ``"float64"`` (default) or
+        ``"float32"``.  The declared policy the ``repro-qa numerics``
+        analysis holds the kernels to, and the seam for ROADMAP item
+        3's reduced-precision tolerance mode.  Participates in
+        equality/hashing: models fitted at different precisions must
+        not share a cache slot.
     clock:
         Injected clock for §5.3 stage timings.  Excluded from
         equality/hashing: two configs that differ only in clock fit the
@@ -55,6 +62,7 @@ class ClassifierConfig:
     n_components: int | None = 2
     min_variance_fraction: float | None = None
     k: int = 3
+    compute_dtype: str = "float64"
     clock: Clock | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -73,6 +81,10 @@ class ClassifierConfig:
             raise ValueError("min_variance_fraction must be in (0, 1]")
         if self.k < 1 or self.k % 2 == 0:
             raise ValueError("k must be a positive odd number (majority vote)")
+        if self.compute_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"compute_dtype must be 'float64' or 'float32', got {self.compute_dtype!r}"
+            )
 
     def selector(self) -> MetricSelector:
         """A fresh :class:`MetricSelector` over :attr:`metric_names`."""

@@ -37,7 +37,13 @@ def pairwise_sq_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         raise ValueError(f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}")
     aa = np.einsum("ij,ij->i", a, a)[:, None]
     bb = np.einsum("ij,ij->i", b, b)[None, :]
-    d2 = aa - 2.0 * (a @ b.T) + bb
+    # Assemble in place on the GEMM output — no full-size temporaries.
+    # Bit-identical to ``aa - 2.0 * ab + bb``: negation is exact, so
+    # ``ab *= -2.0`` equals ``-(2.0 * ab)``, and IEEE addition commutes.
+    d2 = a @ b.T
+    d2 *= -2.0
+    d2 += aa
+    d2 += bb
     np.maximum(d2, 0.0, out=d2)
     return d2
 

@@ -93,8 +93,10 @@ class PCA:
             raise ValueError(f"cannot keep {self.n_components} components of {p} features")
         self.mean_ = x.mean(axis=0)
         centered = x - self.mean_
-        # Scatter matrix normalized to the (m-1) covariance estimator.
-        cov = (centered.T @ centered) / (m - 1)
+        # Scatter matrix normalized in place to the (m-1) covariance
+        # estimator (identical values, one fewer p×p temporary).
+        cov = centered.T @ centered
+        cov /= m - 1
         eigenvalues, eigenvectors = scipy.linalg.eigh(cov)
         # eigh returns ascending order; we want descending.
         order = np.argsort(eigenvalues)[::-1]

@@ -163,7 +163,19 @@ class ApplicationClassifier:
 
         The config is the sanctioned way to carry tuning parameters
         through the serving layer (it doubles as the model-cache key).
+
+        Raises
+        ------
+        NotImplementedError
+            For ``compute_dtype="float32"`` — the config seam exists
+            (and the numeric kernels are lint-clean for it), but the
+            reduced-precision pipeline itself is ROADMAP item 3.
         """
+        if config.compute_dtype != "float64":
+            raise NotImplementedError(
+                "compute_dtype='float32' is reserved for the ROADMAP item 3 "
+                "tolerance mode; only 'float64' is implemented"
+            )
         return cls(
             selector=config.selector(),
             n_components=config.n_components,

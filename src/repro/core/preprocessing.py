@@ -105,7 +105,10 @@ class Normalizer:
             raise ValueError(
                 f"expected {self.mean_.shape[0]} features, got {x.shape[1]}"
             )
-        return (x - self.mean_) / self.scale_
+        # One temporary, divided in place (same values as ``(x - μ) / σ``).
+        out = x - self.mean_
+        out /= self.scale_
+        return out
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         """Fit on ``(m, p)`` data *x* and return its normalized form."""
@@ -116,7 +119,10 @@ class Normalizer:
         if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("Normalizer.inverse_transform called before fit")
         z = _check_matrix(z)
-        return z * self.scale_ + self.mean_
+        # One temporary, shifted in place (same values as ``z·σ + μ``).
+        out = z * self.scale_
+        out += self.mean_
+        return out
 
 
 @dataclass

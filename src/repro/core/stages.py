@@ -47,15 +47,25 @@ def mode_filter(classes: np.ndarray, window: int = 3) -> np.ndarray:
     if window == 1 or classes.size <= 2:
         return classes.copy()
     half = window // 2
-    out = classes.copy()
+    m = classes.size
     n_classes = int(classes.max()) + 1
-    for i in range(classes.size):
-        lo, hi = max(0, i - half), min(classes.size, i + half + 1)
-        counts = np.bincount(classes[lo:hi], minlength=n_classes)
-        best = int(counts.argmax())
-        if counts[best] > counts[classes[i]]:
-            out[i] = best
-    return out
+    # Windowed per-class counts via a one-hot prefix sum: row ``i`` of
+    # ``counts`` is ``bincount(classes[lo:hi], minlength=n_classes)``
+    # exactly as the per-element reference loop computed it, but in a
+    # handful of O(m·n_classes) integer vector ops (integer arithmetic
+    # is exact, so the result is bit-identical to the loop).
+    onehot = np.zeros((m + 1, n_classes), dtype=np.int64)
+    onehot[np.arange(1, m + 1), classes] = 1
+    prefix = np.cumsum(onehot, axis=0, out=onehot)
+    idx = np.arange(m)
+    lo = np.maximum(idx - half, 0)
+    hi = np.minimum(idx + half + 1, m)
+    counts = prefix[hi] - prefix[lo]
+    # argmax takes the lowest class on a count tie — the same winner
+    # bincount().argmax() produced per window.
+    best = counts.argmax(axis=1)
+    improve = counts[idx, best] > counts[idx, classes]
+    return np.where(improve, best, classes)
 
 
 @dataclass(frozen=True)

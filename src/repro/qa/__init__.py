@@ -19,6 +19,7 @@ from .engine import Analyzer, Report, collect_files
 from .findings import Finding, Severity
 from .fix import FixResult, fix_file, fix_source
 from .lockgraph import ConcurrencyIndex, LockOrderGraph
+from .numerics import ModuleNumerics, NumericsIndex, build_module_numerics
 from .registry import IndexRule, ProjectRule, Rule, all_rules, get_rule, register
 from .sarif import to_sarif
 from .source import SourceModule
@@ -34,7 +35,9 @@ __all__ = [
     "IndexRule",
     "LockOrderGraph",
     "ModuleConcurrency",
+    "ModuleNumerics",
     "ModuleSymbols",
+    "NumericsIndex",
     "ProjectIndex",
     "ProjectRule",
     "Report",
@@ -44,6 +47,7 @@ __all__ = [
     "SourceModule",
     "all_rules",
     "build_module_concurrency",
+    "build_module_numerics",
     "build_module_symbols",
     "collect_files",
     "fix_file",

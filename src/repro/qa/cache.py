@@ -30,7 +30,10 @@ from .symbols import ModuleSymbols
 #: Revision 2: concurrency facts added to :class:`ModuleSymbols` —
 #: caches written before the concurrency rules existed must not
 #: satisfy them with fact records that lack lock/thread information.
-ENGINE_REVISION = 2
+#: Revision 3: numeric kernel facts (dtype/allocation flow) added to
+#: :class:`ModuleSymbols` — pre-numerics caches lack the array-op,
+#: scalar-loop, and dtype-policy records the numeric rules read.
+ENGINE_REVISION = 3
 
 #: Default cache file name, looked up in the working directory.
 DEFAULT_CACHE = ".repro-qa-cache.json"

@@ -8,6 +8,7 @@ Usage::
     python -m repro.qa fix src/ [--dry-run]
     python -m repro.qa baseline src/ --sync [--baseline FILE]
     python -m repro.qa concurrency src/ [--dot FILE] [--cache FILE | --no-cache]
+    python -m repro.qa numerics src/ [--format text|json] [--cache FILE | --no-cache]
     python -m repro.qa rules
 
 Exit codes: 0 clean, 1 findings (errors always; warnings too under
@@ -117,6 +118,24 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the lock-order graph as DOT to FILE ('-' for stdout)",
     )
+    p.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE,
+        metavar="FILE",
+        help=f"incremental result cache file (default: {DEFAULT_CACHE})",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the incremental cache (cold run)",
+    )
+
+    p = sub.add_parser(
+        "numerics",
+        help="render the per-kernel dtype/allocation table",
+    )
+    p.add_argument("paths", nargs="+", help="files or directories to analyze")
+    p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument(
         "--cache",
         default=DEFAULT_CACHE,
@@ -254,6 +273,25 @@ def _cmd_concurrency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_numerics(args: argparse.Namespace) -> int:
+    from .numerics import NumericsIndex, numerics_to_json, render_numerics_table
+
+    rules = list(all_rules())
+    cache = None if args.no_cache else ResultCache(args.cache, rules_signature(rules))
+    analyzer = Analyzer(rules, cache=cache)
+    try:
+        index = analyzer.build_index(args.paths)
+    except FileNotFoundError as exc:
+        print(f"repro-qa: error: {exc}", file=sys.stderr)
+        return 2
+    num = NumericsIndex.of(index)
+    if args.format == "json":
+        print(json.dumps(numerics_to_json(num), indent=2))
+    else:
+        print(render_numerics_table(num), end="")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.qa`` and the ``repro-qa`` script."""
     args = _build_parser().parse_args(argv)
@@ -267,4 +305,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_baseline(args)
     if args.command == "concurrency":
         return _cmd_concurrency(args)
+    if args.command == "numerics":
+        return _cmd_numerics(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,442 @@
+"""Dtype propagation lattice over :mod:`repro.qa.cfg` graphs.
+
+The numeric kernel analysis (:mod:`repro.qa.numerics`) needs to know,
+at every array operation in a kernel function, which NumPy dtype the
+result has — without importing NumPy.  This module provides the three
+pieces that make that possible on the stdlib AST:
+
+* a small dtype lattice (:data:`FLOAT64` … :data:`BOOL` plus the two
+  *weak* Python-scalar elements and :data:`UNKNOWN`) with a
+  :func:`promote` operator that mirrors NumPy's NEP-50 promotion rules
+  for the dtypes the repo actually uses;
+* :class:`ExprDtyper` — syntax-directed dtype inference for one
+  expression given an environment of local-variable dtypes, covering
+  array constructors (``np.zeros``/``asarray``/``full_like`` …),
+  ufuncs and reductions, ``astype``, arithmetic promotion, and
+  dtype-preserving views (``.T``, slicing, ``reshape``);
+* :class:`DtypeFlow` — a :class:`~repro.qa.dataflow.ForwardAnalysis`
+  propagating those dtypes through assignments so a dtype inferred at
+  an allocation site reaches its later uses.
+
+Weak scalars follow NEP 50: a Python ``float`` literal does *not*
+promote a ``float32`` array to ``float64``, but a ``float64`` array
+(or an explicitly-dtyped scalar) does.  Joins across control-flow
+paths are conservative — two different concrete dtypes meet to
+:data:`UNKNOWN`, so the rules built on top never guess.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from typing import Callable
+
+from .dataflow import ForwardAnalysis, bindings, killed_names
+
+# ----------------------------------------------------------------------
+# the lattice
+# ----------------------------------------------------------------------
+
+#: Inference gave up — rules must stay silent on UNKNOWN.
+UNKNOWN = None
+
+FLOAT64 = "float64"
+FLOAT32 = "float32"
+FLOAT16 = "float16"
+INT64 = "int64"
+INT32 = "int32"
+BOOL = "bool"
+
+#: Weak Python scalars (NEP 50): literals that defer to the array operand.
+WEAK_FLOAT = "~float"
+WEAK_INT = "~int"
+
+_FLOAT_RANK = {FLOAT16: 0, FLOAT32: 1, FLOAT64: 2}
+_INT_RANK = {BOOL: 0, INT32: 1, INT64: 2}
+
+#: Names accepted in ``dtype=`` positions (string form or ``np.<name>``).
+_DTYPE_NAMES = {
+    "float64": FLOAT64,
+    "float_": FLOAT64,
+    "double": FLOAT64,
+    "float32": FLOAT32,
+    "single": FLOAT32,
+    "float16": FLOAT16,
+    "half": FLOAT16,
+    "int64": INT64,
+    "intp": INT64,
+    "int_": INT64,
+    "int32": INT32,
+    "bool_": BOOL,
+    "bool": BOOL,
+    "float": FLOAT64,  # builtin float as a dtype means float64
+    "int": INT64,
+}
+
+
+def concrete(dtype: str | None) -> str | None:
+    """Strengthen a weak scalar to the dtype NumPy materialises it as."""
+    if dtype == WEAK_FLOAT:
+        return FLOAT64
+    if dtype == WEAK_INT:
+        return INT64
+    return dtype
+
+
+def is_float(dtype: str | None) -> bool:
+    return dtype in _FLOAT_RANK or dtype == WEAK_FLOAT
+
+
+def promote(a: str | None, b: str | None) -> str | None:
+    """NEP-50 result dtype of a binary op between *a* and *b*.
+
+    UNKNOWN is absorbing: promotion with an unknown operand is unknown.
+    """
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN
+    if a == b:
+        return a
+    # Two weak scalars: float wins, stays weak.
+    if a in (WEAK_FLOAT, WEAK_INT) and b in (WEAK_FLOAT, WEAK_INT):
+        return WEAK_FLOAT
+    # One weak operand defers to the concrete one — except a weak float
+    # forces an integer array up to float64.
+    for weak, strong in ((a, b), (b, a)):
+        if weak == WEAK_INT:
+            return strong
+        if weak == WEAK_FLOAT:
+            return strong if strong in _FLOAT_RANK else FLOAT64
+    if a in _FLOAT_RANK and b in _FLOAT_RANK:
+        return a if _FLOAT_RANK[a] >= _FLOAT_RANK[b] else b
+    if a in _INT_RANK and b in _INT_RANK:
+        return a if _INT_RANK[a] >= _INT_RANK[b] else b
+    # Mixed integer/float: bool defers; int32/int64 cannot be represented
+    # in half/single, so the result widens to float64.
+    flt = a if a in _FLOAT_RANK else b
+    integer = b if flt == a else a
+    if integer == BOOL:
+        return flt
+    return flt if flt == FLOAT64 else FLOAT64
+
+
+def join(a: str | None, b: str | None) -> str | None:
+    """Control-flow join: agreement or nothing."""
+    return a if a == b else UNKNOWN
+
+
+def dtype_from_node(
+    node: ast.expr | None,
+    resolve: Callable[[ast.expr], str | None],
+) -> str | None:
+    """Interpret a ``dtype=`` argument expression.
+
+    Handles string constants (``"float32"``), ``np.float32``-style
+    attributes (via *resolve*, which maps an expression to its dotted
+    import spec), the ``float``/``int``/``bool`` builtins, and
+    ``np.dtype(...)`` wrappers.
+    """
+    if node is None:
+        return UNKNOWN
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _DTYPE_NAMES.get(node.value, UNKNOWN)
+    if isinstance(node, ast.Name):
+        return _DTYPE_NAMES.get(node.id, UNKNOWN)
+    if isinstance(node, ast.Attribute):
+        spec = resolve(node)
+        if spec and spec.startswith("numpy."):
+            return _DTYPE_NAMES.get(spec.split(".", 1)[1], UNKNOWN)
+        return UNKNOWN
+    if isinstance(node, ast.Call):
+        spec = resolve(node.func)
+        if spec == "numpy.dtype" and node.args:
+            return dtype_from_node(node.args[0], resolve)
+    return UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# expression inference
+# ----------------------------------------------------------------------
+
+#: numpy callables returning float64 regardless of (integer) inputs.
+_ALWAYS_FLOAT = {
+    "divide",
+    "true_divide",
+    "sqrt",
+    "exp",
+    "log",
+    "log2",
+    "log10",
+    "mean",
+    "average",
+    "std",
+    "var",
+    "linspace",
+    "cos",
+    "sin",
+    "tan",
+}
+
+#: numpy callables whose result promotes their array arguments.
+_PROMOTING = {
+    "add",
+    "subtract",
+    "multiply",
+    "matmul",
+    "dot",
+    "maximum",
+    "minimum",
+    "power",
+    "abs",
+    "absolute",
+    "negative",
+    "sum",
+    "prod",
+    "max",
+    "min",
+    "amax",
+    "amin",
+    "where",
+    "clip",
+    "einsum",
+    "outer",
+    "cumsum",
+    "square",
+}
+
+#: numpy callables returning an index/count dtype.
+_INDEX_VALUED = {"argmax", "argmin", "argsort", "searchsorted", "bincount", "nonzero", "arange"}
+
+#: Array methods that preserve the dtype of their receiver.
+_PRESERVING_METHODS = {
+    "copy",
+    "reshape",
+    "ravel",
+    "flatten",
+    "transpose",
+    "squeeze",
+    "sum",
+    "max",
+    "min",
+    "cumsum",
+    "clip",
+    "take",
+    "repeat",
+    "view",
+}
+
+#: Attributes that preserve the dtype of their base array.
+_PRESERVING_ATTRS = {"T", "real", "flat"}
+
+
+class ExprDtyper:
+    """Infer the dtype of a single expression.
+
+    ``resolve`` maps a function/attribute expression to its dotted
+    spec through the module's imports (``np.zeros`` → ``numpy.zeros``);
+    ``return_dtype`` (optional) supplies the inferred return dtype of a
+    module-local function for one level of interprocedural propagation.
+    """
+
+    def __init__(
+        self,
+        resolve: Callable[[ast.expr], str | None],
+        return_dtype: Callable[[str], str | None] | None = None,
+    ) -> None:
+        self.resolve = resolve
+        self.return_dtype = return_dtype
+
+    def infer(self, expr: ast.expr | None, env: dict[str, str | None]) -> str | None:
+        if expr is None:
+            return UNKNOWN
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool):
+                return WEAK_INT
+            if isinstance(expr.value, float):
+                return WEAK_FLOAT
+            if isinstance(expr.value, int):
+                return WEAK_INT
+            return UNKNOWN
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, UNKNOWN)
+        if isinstance(expr, ast.UnaryOp):
+            if isinstance(expr.op, ast.Not):
+                return BOOL
+            return self.infer(expr.operand, env)
+        if isinstance(expr, ast.BinOp):
+            left = self.infer(expr.left, env)
+            right = self.infer(expr.right, env)
+            result = promote(left, right)
+            if isinstance(expr.op, ast.Div):
+                # True division always yields a float.
+                if result is UNKNOWN:
+                    return UNKNOWN
+                return result if is_float(result) else FLOAT64
+            return result
+        if isinstance(expr, ast.Compare):
+            return BOOL
+        if isinstance(expr, ast.BoolOp):
+            out = self.infer(expr.values[0], env)
+            for value in expr.values[1:]:
+                out = join(out, self.infer(value, env))
+            return out
+        if isinstance(expr, ast.IfExp):
+            return join(self.infer(expr.body, env), self.infer(expr.orelse, env))
+        if isinstance(expr, ast.Subscript):
+            # Indexing/slicing preserves dtype (basic or fancy alike).
+            return self.infer(expr.value, env)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in _PRESERVING_ATTRS:
+                return self.infer(expr.value, env)
+            return UNKNOWN
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, env)
+        return UNKNOWN
+
+    # -- calls ----------------------------------------------------------
+    def _kwarg(self, call: ast.Call, name: str) -> ast.expr | None:
+        for kw in call.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _promote_args(self, args: list[ast.expr], env: dict[str, str | None]) -> str | None:
+        out: str | None = None
+        first = True
+        for arg in args:
+            got = self.infer(arg, env)
+            out = got if first else promote(out, got)
+            first = False
+        return out
+
+    def _first_arg_dtype(self, call: ast.Call, env: dict[str, str | None]) -> str | None:
+        if not call.args:
+            return UNKNOWN
+        arg = call.args[0]
+        if isinstance(arg, (ast.List, ast.Tuple)):
+            # concatenate/stack take a sequence of arrays.
+            return self._promote_args(list(arg.elts), env)
+        return self.infer(arg, env)
+
+    def _infer_call(self, call: ast.Call, env: dict[str, str | None]) -> str | None:
+        # Method calls on arrays: receiver dtype dominates.
+        if isinstance(call.func, ast.Attribute):
+            method = call.func.attr
+            spec = self.resolve(call.func)
+            if spec is None or not spec.startswith("numpy."):
+                base = self.infer(call.func.value, env)
+                if method == "astype":
+                    target = call.args[0] if call.args else self._kwarg(call, "dtype")
+                    return dtype_from_node(target, self.resolve)
+                if method == "mean" or method == "std" or method == "var":
+                    return base if is_float(base) else (UNKNOWN if base is UNKNOWN else FLOAT64)
+                if method in ("argmax", "argmin", "argsort"):
+                    return INT64
+                if method in _PRESERVING_METHODS:
+                    return concrete(base)
+                if spec is None:
+                    return UNKNOWN
+        spec = self.resolve(call.func)
+        if spec is None:
+            return UNKNOWN
+        if spec.startswith("numpy."):
+            name = spec.split(".")[-1]
+            explicit = dtype_from_node(self._kwarg(call, "dtype"), self.resolve)
+            if explicit is not UNKNOWN:
+                return explicit
+            if name in ("zeros", "ones", "empty", "identity", "eye"):
+                return FLOAT64  # numpy's default dtype
+            if name in ("full",):
+                return concrete(self._promote_args(call.args[1:2], env))
+            if name in ("asarray", "ascontiguousarray", "asfortranarray", "array", "copy", "atleast_2d"):
+                return concrete(self._first_arg_dtype(call, env))
+            if name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+                return self.infer(call.args[0], env) if call.args else UNKNOWN
+            if name in ("concatenate", "vstack", "hstack", "stack", "column_stack", "row_stack"):
+                return concrete(self._first_arg_dtype(call, env))
+            if name in _INDEX_VALUED:
+                return INT64
+            if name in _ALWAYS_FLOAT:
+                got = self._promote_args(list(call.args), env)
+                if got is UNKNOWN:
+                    return FLOAT64 if name == "linspace" else UNKNOWN
+                return got if is_float(got) and got != WEAK_FLOAT else FLOAT64
+            if name in _PROMOTING:
+                return concrete(self._promote_args(list(call.args), env))
+            if name in _DTYPE_NAMES:
+                # np.float32(x) — an explicitly dtyped scalar, not weak.
+                return _DTYPE_NAMES[name]
+            return UNKNOWN
+        if self.return_dtype is not None:
+            return self.return_dtype(spec)
+        return UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# flow analysis
+# ----------------------------------------------------------------------
+
+
+class DtypeFlow(ForwardAnalysis):
+    """name → inferred dtype (or :data:`UNKNOWN`) at statement entry."""
+
+    def __init__(
+        self,
+        dtyper: ExprDtyper,
+        param_dtypes: dict[str, str | None] | None = None,
+    ) -> None:
+        self.dtyper = dtyper
+        self.param_dtypes = dict(param_dtypes or {})
+
+    def entry_fact(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> dict:
+        return dict(self.param_dtypes)
+
+    def join(self, facts: list[dict]) -> dict:
+        keys: set[str] = set()
+        for f in facts:
+            keys.update(f)
+        joined: dict[str, str | None] = {}
+        for name in keys:
+            values = [f.get(name, UNKNOWN) for f in facts]
+            out = values[0]
+            for v in values[1:]:
+                out = join(out, v)
+            joined[name] = out
+        return joined
+
+    def transfer(self, fact: dict, stmt: ast.stmt) -> dict:
+        # In-place augmented assignment on an array keeps its dtype.
+        if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            return fact
+        new_defs = bindings(stmt)
+        killed = killed_names(stmt)
+        if not new_defs and not killed:
+            return fact
+        out = dict(fact)
+        for name in killed:
+            out[name] = UNKNOWN
+        for d in new_defs:
+            if d.kind == "assign" and d.value is not None:
+                out[d.name] = self.dtyper.infer(d.value, fact)
+            else:
+                out[d.name] = UNKNOWN
+        return out
+
+
+__all__ = [
+    "UNKNOWN",
+    "FLOAT64",
+    "FLOAT32",
+    "FLOAT16",
+    "INT64",
+    "INT32",
+    "BOOL",
+    "WEAK_FLOAT",
+    "WEAK_INT",
+    "concrete",
+    "is_float",
+    "promote",
+    "join",
+    "dtype_from_node",
+    "ExprDtyper",
+    "DtypeFlow",
+]

@@ -12,6 +12,7 @@ from . import (  # noqa: F401
     layering,
     metric_names,
     numeric_safety,
+    numerics,
     shape_contract,
     shape_docs,
     unused_result,

@@ -1,0 +1,160 @@
+"""The four numeric kernel rules over the dtype/allocation model.
+
+All four are :class:`~repro.qa.registry.IndexRule` families computed
+from one shared :class:`~repro.qa.numerics.NumericsIndex` (built once
+per project index, memoized), and all four fire only inside functions
+with a declared dtype policy — a docstring ``dtype:`` tag or an entry
+in :data:`~repro.qa.numerics.DEFAULT_DTYPE_POLICY` — so only the
+numeric kernel modules are held to them:
+
+* ``dtype-promotion`` — a float64 result (constructor default,
+  explicit cast, Python-scalar upcast, or a project call returning
+  float64) inside a declared ``float32``/``preserve`` kernel;
+* ``hot-loop-alloc`` — an allocating or copying operation inside a
+  per-element loop over an array dimension (hoist the buffer, use
+  ``out=``);
+* ``implicit-copy`` — a copy-inducing construct (``concatenate``
+  family, ``.copy()``/``.astype()``, fancy indexing) directly feeding
+  a GEMM or reduction operand;
+* ``scalar-loop`` — per-element Python iteration over an array
+  dimension where a vectorized equivalent exists.
+
+All four are warnings: they are heuristic by design (see the "Numeric
+kernel analysis" chapter of ``docs/STATIC_ANALYSIS.md``), and strict
+mode — the CI gate — still holds the tree to zero.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..callgraph import ProjectIndex
+from ..dtypeflow import FLOAT64, concrete
+from ..findings import Finding, Severity
+from ..numerics import NumericsIndex
+from ..registry import IndexRule, register
+
+
+@register
+class DtypePromotionRule(IndexRule):
+    id = "dtype-promotion"
+    severity = Severity.WARNING
+    description = (
+        "declared float32/preserve kernels must not produce float64 "
+        "results (constructor defaults, scalar upcasts, or project "
+        "calls returning float64)"
+    )
+
+    def check_index(self, index: ProjectIndex) -> Iterable[Finding]:
+        num = NumericsIndex.of(index)
+        for module, relpath, fn in num.functions:
+            if fn.declared not in ("float32", "preserve"):
+                continue
+            for op in sorted(fn.array_ops, key=lambda o: (o.lineno, o.col)):
+                if op.kind == "inplace":
+                    continue  # writes into an existing buffer keep its dtype
+                if concrete(op.dtype) == FLOAT64:
+                    yield self.finding_at(
+                        relpath,
+                        op.lineno,
+                        f"{op.op} produces float64 in {fn.qualname}(), a "
+                        f"declared dtype:{fn.declared} kernel — pass an "
+                        "explicit dtype or keep the compute dtype",
+                        col=op.col,
+                        source_line=op.line_text,
+                    )
+            for call in sorted(fn.calls, key=lambda c: (c.lineno, c.col)):
+                ret = num.callee_return_dtype(call.callee)
+                if concrete(ret) == FLOAT64:
+                    yield self.finding_at(
+                        relpath,
+                        call.lineno,
+                        f"{call.callee}() returns float64 into {fn.qualname}(), "
+                        f"a declared dtype:{fn.declared} kernel — cast at the "
+                        "boundary or fix the callee's dtype",
+                        col=call.col,
+                        source_line=call.line_text,
+                    )
+
+
+@register
+class HotLoopAllocRule(IndexRule):
+    id = "hot-loop-alloc"
+    severity = Severity.WARNING
+    description = (
+        "kernel loops over array dimensions must not allocate per "
+        "iteration — hoist the buffer and write through out=/preallocation"
+    )
+
+    def check_index(self, index: ProjectIndex) -> Iterable[Finding]:
+        num = NumericsIndex.of(index)
+        for module, relpath, fn in num.functions:
+            if fn.declared is None:
+                continue
+            for op in sorted(fn.array_ops, key=lambda o: (o.lineno, o.col)):
+                if op.kind not in ("alloc", "copy") or op.out or op.loop_depth < 1:
+                    continue
+                yield self.finding_at(
+                    relpath,
+                    op.lineno,
+                    f"{op.op} allocates a fresh array on every iteration of a "
+                    f"per-element loop in {fn.qualname}() — preallocate the "
+                    "buffer outside the loop and write through out=, or "
+                    "vectorize the loop away",
+                    col=op.col,
+                    source_line=op.line_text,
+                )
+
+
+@register
+class ImplicitCopyRule(IndexRule):
+    id = "implicit-copy"
+    severity = Severity.WARNING
+    description = (
+        "copy-inducing constructs (concatenate family, .copy()/.astype(), "
+        "fancy indexing) must not feed GEMM/reduction operands directly"
+    )
+
+    def check_index(self, index: ProjectIndex) -> Iterable[Finding]:
+        num = NumericsIndex.of(index)
+        for module, relpath, fn in num.functions:
+            if fn.declared is None:
+                continue
+            for op in sorted(fn.array_ops, key=lambda o: (o.lineno, o.col)):
+                if op.kind != "copy" or not op.feeds_gemm:
+                    continue
+                yield self.finding_at(
+                    relpath,
+                    op.lineno,
+                    f"{op.op} materialises a copy directly inside a "
+                    f"GEMM/reduction operand in {fn.qualname}() — stage it "
+                    "into a reused buffer (or operate on the view) instead",
+                    col=op.col,
+                    source_line=op.line_text,
+                )
+
+
+@register
+class ScalarLoopRule(IndexRule):
+    id = "scalar-loop"
+    severity = Severity.WARNING
+    description = (
+        "kernel modules must not iterate arrays per element in Python — "
+        "use vectorized array ops (chunked range(..., step) loops are exempt)"
+    )
+
+    def check_index(self, index: ProjectIndex) -> Iterable[Finding]:
+        num = NumericsIndex.of(index)
+        for module, relpath, fn in num.functions:
+            if fn.declared is None:
+                continue
+            for loop in sorted(fn.scalar_loops, key=lambda s: (s.lineno, s.col)):
+                yield self.finding_at(
+                    relpath,
+                    loop.lineno,
+                    f"per-element Python loop over {loop.bound} in "
+                    f"{fn.qualname}() — replace with vectorized array "
+                    "operations (cumsum/argmax/where and friends)",
+                    col=loop.col,
+                    source_line=loop.line_text,
+                )

@@ -267,6 +267,10 @@ class ModuleSymbols:
     #: loosely to keep the import lazy (symbols ↔ concurrency would
     #: otherwise be a cycle).
     concurrency: object | None = None
+    #: Numeric kernel facts (dtypes, allocations, copies, loops);
+    #: ``None`` for modules with no NumPy-relevant code.  Loosely typed
+    #: for the same lazy-import reason as ``concurrency``.
+    numerics: object | None = None
 
     @property
     def package(self) -> str:
@@ -299,13 +303,18 @@ class ModuleSymbols:
             "concurrency": self.concurrency.to_dict()  # type: ignore[attr-defined]
             if self.concurrency is not None
             else None,
+            "numerics": self.numerics.to_dict()  # type: ignore[attr-defined]
+            if self.numerics is not None
+            else None,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ModuleSymbols":
         from .concurrency import ModuleConcurrency
+        from .numerics import ModuleNumerics
 
         conc_data = data.get("concurrency")
+        num_data = data.get("numerics")
         return cls(
             name=data["name"],
             relpath=data["relpath"],
@@ -321,6 +330,9 @@ class ModuleSymbols:
             metric_names=tuple(data["metric_names"]),
             concurrency=ModuleConcurrency.from_dict(conc_data)
             if conc_data is not None
+            else None,
+            numerics=ModuleNumerics.from_dict(num_data)
+            if num_data is not None
             else None,
         )
 
@@ -812,11 +824,14 @@ def build_module_symbols(module: SourceModule) -> ModuleSymbols:
     if module.name.endswith("metrics.catalog"):
         metric_names = _extract_metric_names(module)
 
-    # Lazy import: concurrency.py imports helpers from this module's
-    # siblings, so the dependency must point one way at import time.
+    # Lazy imports: concurrency.py / numerics.py import helpers from
+    # this module's siblings, so the dependency must point one way at
+    # import time.
     from .concurrency import build_module_concurrency
+    from .numerics import build_module_numerics
 
     concurrency = build_module_concurrency(module, imports, local_defs)
+    numerics = build_module_numerics(module, imports, local_defs)
 
     return ModuleSymbols(
         name=module.name,
@@ -832,4 +847,5 @@ def build_module_symbols(module: SourceModule) -> ModuleSymbols:
         pragmas={k: set(v) for k, v in module.pragmas.items()},
         metric_names=metric_names,
         concurrency=concurrency,
+        numerics=numerics,
     )

@@ -122,13 +122,20 @@ class BatchClassifier:
         # one stacked transform matches the per-run transforms bit for bit.
         t = clock()
         idx_cols = np.asarray(metric_indices(preprocessor.selector.names), dtype=np.intp)
-        selected = [s.matrix[idx_cols, :].T for s in series_list]
-        lengths = [f.shape[0] for f in selected]
+        lengths = [s.matrix.shape[1] for s in series_list]
         offsets = [0]
         for m in lengths:
             offsets.append(offsets[-1] + m)
         total = offsets[-1]
-        features = preprocessor.normalizer.transform(np.vstack(selected))
+        # Gather straight into one preallocated buffer: each run's
+        # fancy-indexed rows land in their final stacked slot, skipping
+        # the per-run temporaries and the full-size vstack copy (pure
+        # copies, values unchanged).
+        raw = np.empty((total, idx_cols.shape[0]), dtype=np.float64)
+        for i, s in enumerate(series_list):
+            o = offsets[i]
+            raw[o : o + lengths[i]] = s.matrix[idx_cols, :].T
+        features = preprocessor.normalizer.transform(raw)
         preprocess_s = clock() - t
 
         # --- PCA: centering is elementwise (stacked); the projection GEMM

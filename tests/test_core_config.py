@@ -90,3 +90,37 @@ class TestClassifierRoundTrip:
 
     def test_default_classifier_reports_default_config(self):
         assert ApplicationClassifier().config == ClassifierConfig()
+
+
+class TestComputeDtype:
+    def test_defaults_to_float64(self):
+        assert ClassifierConfig().compute_dtype == "float64"
+
+    def test_accepts_float32(self):
+        assert ClassifierConfig(compute_dtype="float32").compute_dtype == "float32"
+
+    def test_rejects_other_dtypes(self):
+        for bad in ("float16", "f8", "double", ""):
+            with pytest.raises(ValueError, match="compute_dtype"):
+                ClassifierConfig(compute_dtype=bad)
+
+    def test_participates_in_equality_and_hash(self):
+        # Models fitted at different precisions must not share a cache
+        # slot, so unlike the clock the dtype is part of the key.
+        f64 = ClassifierConfig()
+        f32 = ClassifierConfig(compute_dtype="float32")
+        assert f64 != f32
+        assert hash(f64) != hash(f32)
+        cache = {f64: "double", f32: "single"}
+        assert cache[ClassifierConfig(compute_dtype="float32")] == "single"
+
+    def test_float32_pipeline_is_reserved(self):
+        # The config seam exists; the reduced-precision pipeline itself
+        # is ROADMAP item 3.
+        with pytest.raises(NotImplementedError, match="float32"):
+            ApplicationClassifier.from_config(
+                ClassifierConfig(compute_dtype="float32")
+            )
+
+    def test_config_property_reports_float64(self):
+        assert ApplicationClassifier().config.compute_dtype == "float64"

@@ -57,6 +57,10 @@ def test_registry_has_all_rule_families():
         "lock-order-inversion",
         "blocking-under-lock",
         "thread-lifecycle",
+        "dtype-promotion",
+        "hot-loop-alloc",
+        "implicit-copy",
+        "scalar-loop",
     }
 
 

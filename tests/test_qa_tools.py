@@ -484,3 +484,80 @@ def test_cli_collect_files_skips_configured_dirs(tmp_path):
     (tmp_path / "keep.py").write_text("x = 1\n")
     found = {p.name for p in collect_files([tmp_path])}
     assert found == {"keep.py", "bench_ok.py"}
+
+
+# ----------------------------------------------------------------------
+# numeric facts through cache and baseline
+# ----------------------------------------------------------------------
+
+
+NUM_FIXTURE = dedent(
+    '''\
+    """Doc."""
+
+    from __future__ import annotations
+
+    import numpy as np
+
+    __all__ = ["accumulate"]
+
+
+    def accumulate(x):
+        """Doc.
+
+        dtype: float64
+        """
+        total = np.zeros(3)
+        for i in range(len(x)):
+            t = np.ones(3)
+            total += t * x[i]
+        return total
+    '''
+)
+
+
+def test_cache_round_trips_numeric_facts(tree, tmp_path):
+    # The numeric rules are index rules too: a warm (parse-free) run
+    # answers them from cached ModuleSymbols, so the array-op,
+    # scalar-loop, and dtype-policy facts must survive serialization.
+    sig = rules_signature(list(all_rules()))
+    cache_path = tmp_path / "cache.json"
+    (tree / "repro" / "core" / "num.py").write_text(NUM_FIXTURE)
+    cold = _run(tree, ResultCache(cache_path, sig))
+    assert sorted(f.rule_id for f in cold.findings) == [
+        "hot-loop-alloc",
+        "scalar-loop",
+    ]
+    warm = _run(tree, ResultCache(cache_path, sig))
+    assert warm.parsed_files == 0
+    assert warm.findings == cold.findings
+
+
+def test_baseline_workflow_covers_numeric_rules(tree, tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    num = tree / "repro" / "core" / "num.py"
+    num.write_text(NUM_FIXTURE)
+    baseline = tmp_path / "qa-baseline.txt"
+    args = ["--baseline", str(baseline), "--no-cache"]
+    assert qa_main(["check", str(tree / "repro"), "--write-baseline", *args]) == 0
+    text = baseline.read_text()
+    assert "hot-loop-alloc" in text and "scalar-loop" in text
+    capsys.readouterr()
+    # Grandfathered: strict is clean with the baseline in place.
+    assert qa_main(["check", str(tree / "repro"), "--strict", *args]) == 0
+    capsys.readouterr()
+    # Vectorize the kernel at source; --sync prunes the stale entries.
+    num.write_text(
+        NUM_FIXTURE.replace(
+            "    total = np.zeros(3)\n"
+            "    for i in range(len(x)):\n"
+            "        t = np.ones(3)\n"
+            "        total += t * x[i]\n"
+            "    return total\n",
+            "    return np.sum(x)\n",
+        )
+    )
+    code = qa_main(["baseline", str(tree / "repro"), "--sync", "--baseline", str(baseline)])
+    assert code == 0
+    text = baseline.read_text()
+    assert "hot-loop-alloc" not in text and "scalar-loop" not in text
