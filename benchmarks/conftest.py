@@ -12,6 +12,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.config import ClassifierConfig
+from repro.core.pipeline import ApplicationClassifier
 from repro.experiments.fig45 import Fig45Outcome, run_fig45
 from repro.experiments.training import TrainingOutcome, build_trained_classifier
 
@@ -47,6 +49,24 @@ def training_outcome() -> TrainingOutcome:
 @pytest.fixture(scope="session")
 def classifier(training_outcome):
     return training_outcome.classifier
+
+
+@pytest.fixture(scope="session")
+def classifier_f32(training_outcome):
+    """A float32 tolerance-mode classifier trained on the same profiles.
+
+    Refits from the float64 session's profiling runs instead of
+    re-profiling the five training applications, so the two numeric
+    modes are compared on identical training data.
+    """
+    clf = ApplicationClassifier.from_config(ClassifierConfig(compute_dtype="float32"))
+    clf.train(
+        [
+            (run.series, training_outcome.labels[key])
+            for key, run in training_outcome.runs.items()
+        ]
+    )
+    return clf
 
 
 @pytest.fixture(scope="session")

@@ -9,7 +9,7 @@ Usage::
     python -m repro fig3
     python -m repro fig4 [--horizon S]
     python -m repro cost [--samples N]
-    python -m repro serve bench [--runs N] [--repeats N] [--json]
+    python -m repro serve bench [--runs N] [--repeats N] [--compute-dtype D] [--json]
     python -m repro obs dump [--app KEY] [--format prometheus|json] [--output FILE]
     python -m repro obs serve [--app KEY] [--port N] [--duration S]
     python -m repro obs top [--app KEY] [--window S]
@@ -87,6 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
     b.add_argument("--runs", type=int, default=64, help="fleet size (profiled runs)")
     b.add_argument("--repeats", type=int, default=30, help="timing passes per arm")
     b.add_argument("--seed", type=int, default=100)
+    b.add_argument(
+        "--compute-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="numeric mode of the benchmarked model (float32 = tolerance mode)",
+    )
     b.add_argument("--json", action="store_true", help="emit the result as JSON")
 
     p = sub.add_parser(
@@ -271,18 +277,21 @@ def _cmd_stages(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
+    from .core.config import ClassifierConfig
     from .experiments.fleet import profile_fleet
     from .manager.service import shared_model_cache
     from .serve.bench import run_throughput_benchmark
 
     print(f"profiling a fleet of {args.runs} short runs ...")
     series_list = profile_fleet(args.runs, seed=args.seed)
-    classifier = shared_model_cache().get(seed=0)
+    config = ClassifierConfig(compute_dtype=args.compute_dtype)
+    classifier = shared_model_cache().get(config, seed=0)
     result = run_throughput_benchmark(classifier, series_list, repeats=args.repeats)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(f"runs:          {result.num_runs} ({result.num_snapshots} snapshots)")
+        print(f"compute dtype: {args.compute_dtype}")
         print(f"sequential:    {result.sequential_ms:.2f} ms/fleet")
         print(f"batched:       {result.batch_ms:.2f} ms/fleet")
         print(f"speedup:       {result.speedup:.2f}x")

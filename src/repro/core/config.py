@@ -47,11 +47,13 @@ class ClassifierConfig:
         Neighbors in the k-NN vote (positive and odd).
     compute_dtype:
         Dtype of the numeric pipeline, ``"float64"`` (default) or
-        ``"float32"``.  The declared policy the ``repro-qa numerics``
-        analysis holds the kernels to, and the seam for ROADMAP item
-        3's reduced-precision tolerance mode.  Participates in
-        equality/hashing: models fitted at different precisions must
-        not share a cache slot.
+        ``"float32"``.  Float64 is the bit-identical reference mode;
+        float32 is the documented tolerance mode (fused single-GEMM
+        projection, all-float32 buffers, ≥99% label agreement on the
+        Table-2 corpus — see ``docs/API.md`` § Numeric modes).  Also
+        the declared policy the ``repro-qa numerics`` analysis holds
+        the kernels to.  Participates in equality/hashing: models
+        fitted at different precisions must not share a cache slot.
     clock:
         Injected clock for §5.3 stage timings.  Excluded from
         equality/hashing: two configs that differ only in clock fit the

@@ -7,8 +7,12 @@ feature space.
 
 Implementation follows the HPC guides: the distance matrix is computed
 with the vectorized ``‖a−b‖² = ‖a‖² − 2a·b + ‖b‖²`` expansion (one GEMM
-instead of Python loops), and test sets are processed in chunks to bound
-peak memory at a few megabytes regardless of pool size.  Tie-breaking is
+instead of Python loops) with the pool-side ``‖b‖²`` term cached once at
+fit time, and test sets are processed in chunks to bound peak memory at
+a few megabytes regardless of pool size.  The classifier is
+dtype-preserving: the pool is stored at the training scores' float dtype
+(float64 reference mode or float32 tolerance mode) and queries, distance
+buffers, and vote accumulators all follow it.  Tie-breaking is
 deterministic: among tied vote counts, the class with the smaller summed
 neighbor distance wins, then the smaller class code.
 """
@@ -23,20 +27,43 @@ from .preprocessing import _check_matrix
 DEFAULT_CHUNK_SIZE: int = 2048
 
 
-def pairwise_sq_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def pairwise_sq_distances(
+    a: np.ndarray, b: np.ndarray, b_sq_norms: np.ndarray | None = None
+) -> np.ndarray:
     """Squared Euclidean distances between rows of *a* and rows of *b*.
 
+    dtype: preserve
+
     Both inputs are row-per-sample (the transpose of the paper's ``q×m``
-    column convention); returns a matrix of shape ``(len(a), len(b))``,
-    clipped at zero to suppress the tiny negatives the expansion trick
-    can produce.
+    column convention); returns a matrix of shape ``(len(a), len(b))``
+    in the inputs' (promoted) float dtype.  The in-place
+    ``(−2ab) + aa + bb`` assembly cancels catastrophically when a query
+    coincides with a pool point — the result can come out as a tiny
+    *negative* squared distance (≈ −ε·‖x‖², far worse in float32),
+    which would poison ``1/d`` weighted votes and tie ordering — so the
+    matrix is clamped at 0.0 in place before returning.
+
+    *b_sq_norms* optionally supplies precomputed per-row squared norms
+    of *b* (``np.einsum("ij,ij->i", b, b)``): the k-NN hot path hands in
+    the norms cached at fit time so repeated query batches stop
+    recomputing ``‖b‖²`` over the whole training pool.  The cached
+    values are exactly the ones this function would compute, so the
+    output is bit-identical either way.
     """
-    a = _check_matrix(a)
-    b = _check_matrix(b)
+    a = _check_matrix(a, dtype=None)
+    b = _check_matrix(b, dtype=None)
     if a.shape[1] != b.shape[1]:
         raise ValueError(f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}")
     aa = np.einsum("ij,ij->i", a, a)[:, None]
-    bb = np.einsum("ij,ij->i", b, b)[None, :]
+    if b_sq_norms is None:
+        bb = np.einsum("ij,ij->i", b, b)[None, :]
+    else:
+        bb = np.asarray(b_sq_norms)
+        if bb.shape != (b.shape[0],):
+            raise ValueError(
+                f"b_sq_norms shape {bb.shape} does not match {b.shape[0]} pool rows"
+            )
+        bb = bb[None, :]
     # Assemble in place on the GEMM output — no full-size temporaries.
     # Bit-identical to ``aa - 2.0 * ab + bb``: negation is exact, so
     # ``ab *= -2.0`` equals ``-(2.0 * ab)``, and IEEE addition commutes.
@@ -79,6 +106,7 @@ class KNeighborsClassifier:
         self._x: np.ndarray | None = None
         self._y: np.ndarray | None = None
         self._classes: np.ndarray | None = None
+        self._sq_norms: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # training
@@ -88,7 +116,12 @@ class KNeighborsClassifier:
 
         *x* has shape ``(n, q)`` — one row per training snapshot in the
         ``q``-dimensional PCA space — and *y* is the matching length-``n``
-        class-code vector.
+        class-code vector.  The pool is stored at *x*'s float dtype
+        (float64 reference mode or float32 tolerance mode), and every
+        inference buffer follows the fitted dtype from then on.  The
+        per-row squared norms ``‖b‖²`` of the pool — the constant term
+        of the distance expansion — are computed once here, so
+        :meth:`kneighbors` stops recomputing them per query batch.
 
         Raises
         ------
@@ -96,7 +129,7 @@ class KNeighborsClassifier:
             If labels don't match samples, or fewer than *k* samples are
             given.
         """
-        x = _check_matrix(x)
+        x = _check_matrix(x, dtype=None)
         y = np.asarray(y, dtype=np.int64)
         if y.ndim != 1 or y.shape[0] != x.shape[0]:
             raise ValueError(f"labels shape {y.shape} does not match {x.shape[0]} samples")
@@ -105,6 +138,7 @@ class KNeighborsClassifier:
         self._x = x.copy()
         self._y = y.copy()
         self._classes = np.unique(y)
+        self._sq_norms = np.einsum("ij,ij->i", self._x, self._x)
         return self
 
     @property
@@ -151,6 +185,36 @@ class KNeighborsClassifier:
             raise RuntimeError("classifier not fitted")
         return self._y
 
+    @property
+    def training_sq_norms(self) -> np.ndarray:
+        """Per-fit cached ``‖b‖²`` of the training pool, shape ``(n,)``.
+
+        The constant term of the ``‖a‖² + ‖b‖² − 2a·bᵀ`` distance
+        expansion, computed once in :meth:`fit`; the batched serving
+        kernel reads it here instead of re-reducing the pool per call.
+
+        Raises
+        ------
+        RuntimeError
+            Before fitting.
+        """
+        if self._sq_norms is None:
+            raise RuntimeError("classifier not fitted")
+        return self._sq_norms
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Float dtype of the fitted training pool.
+
+        Raises
+        ------
+        RuntimeError
+            Before fitting.
+        """
+        if self._x is None:
+            raise RuntimeError("classifier not fitted")
+        return self._x.dtype
+
     # ------------------------------------------------------------------
     # inference
     # ------------------------------------------------------------------
@@ -159,17 +223,20 @@ class KNeighborsClassifier:
 
         *x* is row-per-sample, shape ``(m, q)``.  Returns
         ``(indices, distances)``, both of shape ``(m, k)``, neighbors
-        sorted by increasing distance.
+        sorted by increasing distance.  Queries are routed through the
+        fitted pool's dtype (a float32 model computes float32 distances
+        instead of silently upcasting), and the ``‖b‖²`` term comes
+        from the per-fit cache rather than a per-batch reduction.
         """
         if self._x is None:
             raise RuntimeError("classifier not fitted")
-        x = _check_matrix(x)
+        x = _check_matrix(x, dtype=self._x.dtype)
         m = x.shape[0]
         indices = np.empty((m, self.k), dtype=np.int64)
-        distances = np.empty((m, self.k), dtype=np.float64)
+        distances = np.empty((m, self.k), dtype=self._x.dtype)
         for start in range(0, m, self.chunk_size):
             stop = min(start + self.chunk_size, m)
-            d2 = pairwise_sq_distances(x[start:stop], self._x)
+            d2 = pairwise_sq_distances(x[start:stop], self._x, b_sq_norms=self._sq_norms)
             # argpartition for the k smallest, then sort just those.
             part = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
             part_d = np.take_along_axis(d2, part, axis=1)
@@ -209,8 +276,9 @@ class KNeighborsClassifier:
         # (row, class) keys.
         keys = (np.arange(m)[:, None] * n_classes + neighbor_labels).ravel()
         votes = np.bincount(keys, minlength=m * n_classes).reshape(m, n_classes)
-        # Distance sums per class (tie-break 1: smaller total distance).
-        dist_sums = np.zeros((m, n_classes), dtype=np.float64)
+        # Distance sums per class (tie-break 1: smaller total distance),
+        # accumulated at the model's compute dtype (float64 path unchanged).
+        dist_sums = np.zeros((m, n_classes), dtype=distances.dtype)
         np.add.at(
             dist_sums,
             (np.repeat(np.arange(m), self.k), neighbor_labels.ravel()),
@@ -220,7 +288,7 @@ class KNeighborsClassifier:
         # Compose a sortable score; votes dominate, then negative distance.
         best = np.full(m, -1, dtype=np.int64)
         best_votes = np.full(m, -1, dtype=np.int64)
-        best_dist = np.full(m, np.inf, dtype=np.float64)
+        best_dist = np.full(m, np.inf, dtype=distances.dtype)
         for c in range(n_classes):
             v = votes[:, c]
             d = np.where(v > 0, dist_sums[:, c], np.inf)
@@ -244,25 +312,26 @@ class KNeighborsClassifier:
         smaller class code.
         """
         m = neighbor_labels.shape[0]
+        dtype = distances.dtype
         rows = np.repeat(np.arange(m), self.k)
         # Distances come out of kneighbors clipped at zero, so <= 0 is
         # the exact-match condition.
         exact = distances <= 0.0
         has_exact = exact.any(axis=1)
-        safe = np.where(exact, 1.0, distances)  # avoid 0-division; masked below
-        weights = np.where(has_exact[:, None], exact.astype(np.float64), 1.0 / safe)
-        scores = np.zeros((m, n_classes), dtype=np.float64)
+        safe = np.where(exact, dtype.type(1.0), distances)  # avoid 0-division; masked below
+        weights = np.where(has_exact[:, None], exact.astype(dtype), dtype.type(1.0) / safe)
+        scores = np.zeros((m, n_classes), dtype=dtype)
         np.add.at(scores, (rows, neighbor_labels.ravel()), weights.ravel())
         # Distance sums over *contributing* neighbors only (tie-break 1).
-        dist_sums = np.zeros((m, n_classes), dtype=np.float64)
+        dist_sums = np.zeros((m, n_classes), dtype=dtype)
         np.add.at(
             dist_sums,
             (rows, neighbor_labels.ravel()),
-            np.where(weights > 0.0, distances, 0.0).ravel(),
+            np.where(weights > 0.0, distances, dtype.type(0.0)).ravel(),
         )
         best = np.full(m, -1, dtype=np.int64)
-        best_score = np.full(m, -np.inf, dtype=np.float64)
-        best_dist = np.full(m, np.inf, dtype=np.float64)
+        best_score = np.full(m, -np.inf, dtype=dtype)
+        best_dist = np.full(m, np.inf, dtype=dtype)
         for c in range(n_classes):
             s = scores[:, c]
             d = np.where(s > 0.0, dist_sums[:, c], np.inf)
@@ -274,7 +343,8 @@ class KNeighborsClassifier:
 
     def predict_one(self, point: np.ndarray) -> int:
         """Convenience: classify a single feature vector of shape ``(q,)``."""
-        point = np.asarray(point, dtype=np.float64)
+        dtype = self._x.dtype if self._x is not None else np.dtype(np.float64)
+        point = np.asarray(point, dtype=dtype)
         if point.ndim != 1:
             raise ValueError("predict_one expects a 1-D feature vector")
         return int(self.predict(point[None, :])[0])
@@ -282,8 +352,11 @@ class KNeighborsClassifier:
     def score(self, x: np.ndarray, y: np.ndarray) -> float:
         """Classification accuracy on labelled data.
 
+        dtype: float64
+
         *x* is row-per-sample, shape ``(m, q)``; *y* the length-``m``
-        ground-truth class vector.
+        ground-truth class vector.  Accuracy is a scalar diagnostic,
+        always accumulated at float64 regardless of the model dtype.
         """
         y = np.asarray(y, dtype=np.int64)
         pred = self.predict(x)

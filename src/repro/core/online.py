@@ -109,6 +109,10 @@ class OnlineClassifier:
         # reference so unsubscribe can match it by identity.
         self._callback = self._on_announcement
         self._metric_idx: np.ndarray | None = None
+        # Hoisted compute dtype: announcements are cast once at gather
+        # time (a no-copy view in float64 mode), so the per-announcement
+        # path never upcasts a float32 model's buffers.
+        self._dtype = np.dtype(classifier.compute_dtype)
         self._attached = False
         self.attach()
 
@@ -199,7 +203,7 @@ class OnlineClassifier:
             raise RuntimeError(
                 "OnlineClassifier is detached; call attach() before classifying announcements"
             )
-        raw = announcement.values[self._metric_idx][None, :]
+        raw = announcement.values[self._metric_idx].astype(self._dtype, copy=False)[None, :]
         code = self.classifier.classify_snapshot_features(raw)[0]
         return SnapshotClass(int(code))
 

@@ -79,20 +79,32 @@ class PCA:
     def fit(self, x: np.ndarray) -> "PCA":
         """Fit on an ``(m, p)`` samples×features matrix.
 
+        dtype: float64
+
+        The fit is dtype-preserving at the interface: the eigensolve
+        always runs at float64 (covariance accumulation and LAPACK
+        *syevd* stay well-conditioned, and both compute modes therefore
+        select identical component counts), while ``mean_`` and
+        ``components_`` — the transform-time operands — are stored at
+        the input's float dtype.  A float64 input round-trips through
+        no-op casts, keeping the reference mode bit-identical.
+
         Raises
         ------
         ValueError
             If fewer than 2 samples are given, or the requested component
             count exceeds the feature dimension.
         """
-        x = _check_matrix(x)
+        x = _check_matrix(x, dtype=None)
+        out_dtype = x.dtype
+        x = x.astype(np.float64, copy=False)
         m, p = x.shape
         if m < 2:
             raise ValueError("PCA needs at least 2 samples")
         if self.n_components is not None and self.n_components > p:
             raise ValueError(f"cannot keep {self.n_components} components of {p} features")
-        self.mean_ = x.mean(axis=0)
-        centered = x - self.mean_
+        mean = x.mean(axis=0)
+        centered = x - mean
         # Scatter matrix normalized in place to the (m-1) covariance
         # estimator (identical values, one fewer p×p temporary).
         cov = centered.T @ centered
@@ -110,7 +122,8 @@ class PCA:
         # is positive.
         signs = np.sign(components[np.arange(q), np.argmax(np.abs(components), axis=1)])
         signs[signs == 0] = 1.0
-        self.components_ = components * signs[:, None]
+        self.mean_ = mean.astype(out_dtype, copy=False)
+        self.components_ = (components * signs[:, None]).astype(out_dtype, copy=False)
         self.explained_variance_ = eigenvalues[:q]
         total = eigenvalues.sum()
         self.explained_variance_ratio_ = (
@@ -161,7 +174,7 @@ class PCA:
         """
         if self.components_ is None or self.mean_ is None:
             raise RuntimeError("PCA.transform called before fit")
-        x = _check_matrix(x)
+        x = _check_matrix(x, dtype=self.mean_.dtype)
         if x.shape[1] != self.mean_.shape[0]:
             raise ValueError(f"expected {self.mean_.shape[0]} features, got {x.shape[1]}")
         return (x - self.mean_) @ self.components_.T
@@ -174,7 +187,7 @@ class PCA:
         """Map ``(m, q)`` component-space points back to ``(m, p)`` feature space (lossy)."""
         if self.components_ is None or self.mean_ is None:
             raise RuntimeError("PCA.inverse_transform called before fit")
-        z = np.asarray(z, dtype=np.float64)
+        z = np.asarray(z, dtype=self.components_.dtype)
         if z.ndim != 2 or z.shape[1] != self.components_.shape[0]:
             raise ValueError(
                 f"expected (m, {self.components_.shape[0]}) scores, got {z.shape}"
@@ -182,7 +195,10 @@ class PCA:
         return z @ self.components_ + self.mean_
 
     def reconstruction_error(self, x: np.ndarray) -> float:
-        """Mean squared reconstruction error of ``(m, p)`` data *x* through the projection."""
+        """Mean squared reconstruction error of ``(m, p)`` data *x* through the projection.
+
+        dtype: float64
+        """
         recon = self.inverse_transform(self.transform(x))
         return float(np.mean((np.asarray(x, dtype=np.float64) - recon) ** 2))
 

@@ -38,7 +38,7 @@ from .labels import (
     majority_vote,
 )
 from .pca import PCA
-from .preprocessing import MetricSelector, Preprocessor
+from .preprocessing import MetricSelector, Normalizer, Preprocessor
 
 
 #: A clock is any zero-argument callable returning seconds as a float.
@@ -106,6 +106,14 @@ class ApplicationClassifier:
         Variance-based component selection, if preferred.
     k:
         Neighbors in the vote (default 3, odd required).
+    compute_dtype:
+        ``"float64"`` (default) — the bit-identical reference mode,
+        byte-for-byte reproducible against the pre-tolerance-mode
+        pipeline — or ``"float32"`` — the documented tolerance mode:
+        every fitted parameter, intermediate buffer, and GEMM on the
+        classification path runs at float32, and the per-snapshot
+        normalize→center→project stages collapse into one fused GEMM
+        (+bias) against the folded projection built at train time.
     clock:
         Injected clock for the §5.3 stage-timing accounting (defaults to
         :data:`DEFAULT_CLOCK`); pass a fake for deterministic timings.
@@ -124,6 +132,7 @@ class ApplicationClassifier:
         n_components: int | None = 2,
         min_variance_fraction: float | None = None,
         k: int = 3,
+        compute_dtype: str = "float64",
         clock: Clock | None = None,
     ) -> None:
         if args:
@@ -145,14 +154,28 @@ class ApplicationClassifier:
             min_variance_fraction = shim.get("min_variance_fraction", min_variance_fraction)
             k = shim.get("k", k)
             clock = shim.get("clock", clock)
+        if compute_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"compute_dtype must be 'float64' or 'float32', got {compute_dtype!r}"
+            )
+        self.compute_dtype = compute_dtype
+        self._dtype = np.dtype(compute_dtype)
         self.clock: Clock = clock if clock is not None else DEFAULT_CLOCK
-        self.preprocessor = Preprocessor(selector=selector or MetricSelector())
+        self.preprocessor = Preprocessor(
+            selector=selector or MetricSelector(),
+            normalizer=Normalizer(dtype=self._dtype),
+        )
         if min_variance_fraction is not None:
             n_components = None
         self.pca = PCA(n_components=n_components, min_variance_fraction=min_variance_fraction)
         self.knn = KNeighborsClassifier(k=k)
         self.training_scores_: np.ndarray | None = None
         self.training_labels_: np.ndarray | None = None
+        # Folded normalize→center→project operands, built at train time:
+        # scores == raw_selected @ fused_weights_ + fused_bias_ (the
+        # tolerance mode's single-GEMM classification kernel).
+        self.fused_weights_: np.ndarray | None = None
+        self.fused_bias_: np.ndarray | None = None
         # Cached observability instrument handles, keyed by
         # (registry, generation); see _obs_instruments().
         self._obs_cache: tuple | None = None
@@ -163,24 +186,17 @@ class ApplicationClassifier:
 
         The config is the sanctioned way to carry tuning parameters
         through the serving layer (it doubles as the model-cache key).
-
-        Raises
-        ------
-        NotImplementedError
-            For ``compute_dtype="float32"`` — the config seam exists
-            (and the numeric kernels are lint-clean for it), but the
-            reduced-precision pipeline itself is ROADMAP item 3.
+        Both numeric modes construct here: ``compute_dtype="float64"``
+        is the bit-identical reference pipeline and
+        ``compute_dtype="float32"`` the tolerance mode (see
+        ``docs/API.md`` § Numeric modes).
         """
-        if config.compute_dtype != "float64":
-            raise NotImplementedError(
-                "compute_dtype='float32' is reserved for the ROADMAP item 3 "
-                "tolerance mode; only 'float64' is implemented"
-            )
         return cls(
             selector=config.selector(),
             n_components=config.n_components,
             min_variance_fraction=config.min_variance_fraction,
             k=config.k,
+            compute_dtype=config.compute_dtype,
             clock=config.clock,
         )
 
@@ -197,6 +213,7 @@ class ApplicationClassifier:
             n_components=self.pca.n_components,
             min_variance_fraction=self.pca.min_variance_fraction,
             k=self.knn.k,
+            compute_dtype=self.compute_dtype,
             clock=self.clock,
         )
 
@@ -235,7 +252,29 @@ class ApplicationClassifier:
         self.knn.fit(scores, y_arr)
         self.training_scores_ = scores
         self.training_labels_ = y_arr
+        self._build_fused_projection()
         return self
+
+    def _build_fused_projection(self) -> None:
+        """Fold the Normalizer affine and PCA centering into one projection.
+
+        With ``μn, σn`` the normalizer statistics, ``μp`` the PCA mean,
+        and ``W`` the ``(q, p)`` component matrix, the staged pipeline
+        computes ``((x − μn)/σn − μp) @ Wᵀ``.  Distributing gives the
+        affine form ``x @ (Wᵀ/σn) + c`` with
+        ``c = −(μn/σn + μp) @ Wᵀ`` — one GEMM plus a bias broadcast per
+        classification instead of three elementwise passes and a GEMM.
+        Built in both modes (the operands carry the compute dtype); the
+        classification paths use it in the float32 tolerance mode, while
+        the float64 reference mode keeps the staged kernels so its
+        outputs stay bit-identical to the pre-fusion pipeline.
+        """
+        normalizer = self.preprocessor.normalizer
+        components_t = self.pca.components_.T
+        self.fused_weights_ = components_t / normalizer.scale_[:, None]
+        self.fused_bias_ = -(
+            (normalizer.mean_ / normalizer.scale_ + self.pca.mean_) @ components_t
+        )
 
     @property
     def trained(self) -> bool:
@@ -300,17 +339,31 @@ class ApplicationClassifier:
         # obs is disabled (the default) the span is a shared no-op and
         # ``timed`` is False, so the clock-call sequence is exactly the
         # classic four stage pairs.
+        # The float32 tolerance mode swaps the staged normalize→center→
+        # project stages for the fused single-GEMM projection built at
+        # train time: the "normalize" slot becomes the one float32
+        # downcast and the "pca" slot the fused GEMM (+bias).  The
+        # float64 reference mode keeps the staged kernels bit-identical
+        # to the pre-fusion pipeline.
+        tolerance = self.compute_dtype != "float64"
         timed = obs_enabled()
         with obs_span("pipeline.classify", clock=clock):
             t0 = t = clock()
             selected = self.preprocessor.selector.transform_series(series)
             t_filter = clock() if timed else 0.0
-            features = self.preprocessor.normalizer.transform(selected)
+            if tolerance:
+                features = selected.astype(self._dtype)
+            else:
+                features = self.preprocessor.normalizer.transform(selected)
             t1 = clock()
             timings.preprocess_s = t1 - t
 
             t = clock()
-            scores = self.pca.transform(features)
+            if tolerance:
+                scores = features @ self.fused_weights_
+                scores += self.fused_bias_
+            else:
+                scores = self.pca.transform(features)
             timings.pca_s = clock() - t
 
             t = clock()
@@ -352,7 +405,14 @@ class ApplicationClassifier:
         *features* is oriented samples×metrics — shape ``(k, p)`` for
         ``k`` snapshots of the ``p`` selected metrics (the transpose of
         the paper's ``p×m`` convention, one row per snapshot); returns
-        the length-``k`` class vector.
+        the length-``k`` class vector.  In the float32 tolerance mode
+        the rows go through the fused projection (one GEMM + bias); the
+        float64 reference mode keeps the staged path bit-identical.
         """
+        if self.compute_dtype != "float64":
+            x = np.asarray(features, dtype=self._dtype)
+            scores = x @ self.fused_weights_
+            scores += self.fused_bias_
+            return self.knn.predict(scores)
         normalized = self.preprocessor.transform_features(features)
         return self.knn.predict(self.pca.transform(normalized))

@@ -58,9 +58,22 @@ class Normalizer:
     Constant metrics (zero variance in the training pool) are scaled by
     1 instead of 0⁻¹ so they contribute nothing to distances rather than
     producing NaNs.
+
+    Parameters
+    ----------
+    dtype:
+        Compute dtype of the fitted statistics and every transform
+        buffer — ``float64`` (default, bit-identical reference mode) or
+        ``float32`` (the tolerance mode).  Statistics are *accumulated*
+        in float64 regardless (mean/std of raw metrics spanning ~10⁷
+        need the headroom) and stored at the compute dtype, so both
+        modes normalize against the same underlying estimates.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dtype: str | np.dtype = np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float64 or float32, got {self.dtype}")
         self.mean_: np.ndarray | None = None
         self.scale_: np.ndarray | None = None
 
@@ -72,20 +85,26 @@ class Normalizer:
     def fit(self, x: np.ndarray) -> "Normalizer":
         """Learn per-column mean and standard deviation from ``(m, p)`` data.
 
+        dtype: float64
+
+        Statistics are accumulated at float64 and stored at the
+        configured compute dtype (a no-op cast in float64 mode).
+
         Raises
         ------
         ValueError
             On empty or non-2D input.
         """
         x = _check_matrix(x)
-        self.mean_ = x.mean(axis=0)
+        mean = x.mean(axis=0)
         std = x.std(axis=0)
         # Constant-column guard: relative threshold, so a column of equal
         # large values whose mean subtraction leaves float-rounding residue
         # is treated as constant rather than normalized to ±1.
-        constant = std < 1e-9 * np.maximum(1.0, np.abs(self.mean_))
+        constant = std < 1e-9 * np.maximum(1.0, np.abs(mean))
         std[constant] = 1.0
-        self.scale_ = std
+        self.mean_ = mean.astype(self.dtype, copy=False)
+        self.scale_ = std.astype(self.dtype, copy=False)
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:
@@ -100,7 +119,7 @@ class Normalizer:
         """
         if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("Normalizer.transform called before fit")
-        x = _check_matrix(x)
+        x = _check_matrix(x, dtype=self.dtype)
         if x.shape[1] != self.mean_.shape[0]:
             raise ValueError(
                 f"expected {self.mean_.shape[0]} features, got {x.shape[1]}"
@@ -118,7 +137,7 @@ class Normalizer:
         """Undo the normalization of ``(m, p)`` data (reconstruction diagnostics)."""
         if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("Normalizer.inverse_transform called before fit")
-        z = _check_matrix(z)
+        z = _check_matrix(z, dtype=self.dtype)
         # One temporary, shifted in place (same values as ``z·σ + μ``).
         out = z * self.scale_
         out += self.mean_
@@ -155,8 +174,21 @@ class Preprocessor:
         return self.normalizer.transform(x)
 
 
-def _check_matrix(x: np.ndarray) -> np.ndarray:
-    x = np.asarray(x, dtype=np.float64)
+def _check_matrix(x: np.ndarray, dtype: np.dtype | None = np.float64) -> np.ndarray:
+    """Coerce *x* to a finite 2-D float matrix.
+
+    dtype: preserve
+
+    *dtype* selects the compute dtype; the float64 default keeps every
+    pre-tolerance-mode caller bit-identical.  ``None`` preserves a
+    float32/float64 input dtype (anything else is promoted to float64),
+    which is how the dtype-preserving kernels (PCA, k-NN) follow the
+    dtype of whatever the Normalizer handed them.
+    """
+    if dtype is None:
+        got = np.asarray(x).dtype
+        dtype = got if got in (np.dtype(np.float64), np.dtype(np.float32)) else np.float64
+    x = np.asarray(x, dtype=dtype)
     if x.ndim != 2:
         raise ValueError(f"expected a 2-D samples×features matrix, got shape {x.shape}")
     if x.shape[0] == 0:

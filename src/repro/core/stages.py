@@ -34,7 +34,10 @@ def mode_filter(classes: np.ndarray, window: int = 3) -> np.ndarray:
 
     Each element is replaced by the most frequent class in the centred
     window (ties keep the original value); returns a vector of the same
-    shape.  *window* must be odd.
+    shape.  *window* must be odd.  Class vectors are int64 under both
+    numeric modes (``compute_dtype`` shapes the float kernels upstream,
+    never the class codes), so smoothing and stage segmentation are
+    exact regardless of the pipeline's compute dtype.
 
     Raises
     ------

@@ -63,7 +63,9 @@ def shared_model_cache() -> ModelCache:
     two managers with equal training configs share one trained
     classifier instead of re-running the five training profiles; bounded
     LRU (:data:`_SHARED_CACHE_MAX_MODELS`) so long-lived processes stay
-    bounded too.
+    bounded too.  ``compute_dtype`` is part of the config key: a manager
+    asking for a float32 tolerance-mode model never receives (or
+    clobbers) the float64 reference model, and vice versa.
     """
     return _SHARED_MODEL_CACHE
 

@@ -340,9 +340,20 @@ class ExprDtyper:
             return UNKNOWN
         if spec.startswith("numpy."):
             name = spec.split(".")[-1]
-            explicit = dtype_from_node(self._kwarg(call, "dtype"), self.resolve)
+            dtype_node = self._kwarg(call, "dtype")
+            explicit = dtype_from_node(dtype_node, self.resolve)
             if explicit is not UNKNOWN:
                 return explicit
+            if dtype_node is not None:
+                # A dtype= argument was passed but isn't a literal.  A
+                # ``<array>.dtype`` attribute follows the base array
+                # (the dtype-preserving-kernel idiom); anything else —
+                # a dtype held in a local, a parameter — is unknown,
+                # NOT numpy's float64 default (that default only
+                # applies when no dtype is passed at all).
+                if isinstance(dtype_node, ast.Attribute) and dtype_node.attr == "dtype":
+                    return concrete(self.infer(dtype_node.value, env))
+                return UNKNOWN
             if name in ("zeros", "ones", "empty", "identity", "eye"):
                 return FLOAT64  # numpy's default dtype
             if name in ("full",):

@@ -26,8 +26,9 @@ What is extracted, per function or method:
   one level of interprocedural dtype propagation at index time;
 * **declared dtype policy** — a ``dtype: float64|float32|preserve``
   docstring tag, falling back to :data:`DEFAULT_DTYPE_POLICY` for the
-  named kernel modules (the module map mirrors
-  ``ClassifierConfig.compute_dtype``'s default).
+  named kernel modules (dual-dtype kernels are "preserve" — they must
+  follow whichever ``ClassifierConfig.compute_dtype`` the model was
+  fitted at).
 
 The four rules built on these facts fire only inside declared-policy
 functions, so instrumentation, tests, and tooling modules stay quiet
@@ -53,16 +54,21 @@ from .dtypeflow import (
 )
 from .source import SourceModule
 
-#: Module-level dtype policy for the numeric kernel modules.  Mirrors
-#: the ``ClassifierConfig.compute_dtype`` default ("float64"); a
-#: per-function docstring ``dtype:`` tag overrides it.
+#: Module-level dtype policy for the numeric kernel modules.  The
+#: dual-dtype kernels ("preserve") must follow the fitted model's
+#: ``ClassifierConfig.compute_dtype`` without silent upcasts; stage
+#: segmentation stays "float64" (its float work — durations, mode
+#: statistics — is diagnostics, never a model buffer).  A per-function
+#: docstring ``dtype:`` tag overrides the module default (fit-time
+#: master-statistics accumulators and result packaging declare
+#: ``dtype: float64`` explicitly).
 DEFAULT_DTYPE_POLICY: dict[str, str] = {
-    "repro.core.preprocessing": "float64",
-    "repro.core.pca": "float64",
-    "repro.core.knn": "float64",
+    "repro.core.preprocessing": "preserve",
+    "repro.core.pca": "preserve",
+    "repro.core.knn": "preserve",
     "repro.core.stages": "float64",
-    "repro.core.pipeline": "float64",
-    "repro.serve.batch": "float64",
+    "repro.core.pipeline": "preserve",
+    "repro.serve.batch": "preserve",
 }
 
 #: Valid values of a docstring ``dtype:`` tag.

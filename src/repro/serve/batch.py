@@ -22,6 +22,14 @@ categories are **bit-identical** to calling ``classify_series`` on each
 run separately (asserted by ``tests/test_serve_batch.py``), at a
 multiple of the sequential throughput
 (``benchmarks/bench_serve_throughput.py``).
+
+The kernel follows the classifier's ``compute_dtype``: the float64
+reference mode stages normalize→center→project exactly as before, while
+the float32 tolerance mode gathers straight into float32 and projects
+through the fused single-GEMM (+bias) built at train time — in both
+modes the batch stays bit-identical to the *same-dtype* sequential
+path (the tolerance guarantee lives between dtypes, not between batch
+and sequential).
 """
 
 from __future__ import annotations
@@ -114,12 +122,20 @@ class BatchClassifier:
         pca = clf.pca
         knn = clf.knn
         clock = clf.clock
+        dtype = np.dtype(clf.compute_dtype)
+        # Same branch the sequential path takes: float32 runs the fused
+        # normalize→center→project GEMM, float64 keeps the staged
+        # kernels bit-identical to the pre-fusion pipeline.
+        tolerance = clf.compute_dtype != "float64"
 
         # --- preprocess: gather selected metrics per run, normalize stacked.
         # feature_matrix(names) is matrix[indices].copy().T; the direct
         # gather below produces the same values without per-run catalog
-        # validation.  Normalization is elementwise (row-independent), so
-        # one stacked transform matches the per-run transforms bit for bit.
+        # validation.  The gather buffer carries the compute dtype, so in
+        # tolerance mode the float32 downcast happens during the copy —
+        # the same rounding ``astype`` applies on the sequential path.
+        # Normalization is elementwise (row-independent), so one stacked
+        # transform matches the per-run transforms bit for bit.
         t = clock()
         idx_cols = np.asarray(metric_indices(preprocessor.selector.names), dtype=np.intp)
         lengths = [s.matrix.shape[1] for s in series_list]
@@ -131,24 +147,33 @@ class BatchClassifier:
         # fancy-indexed rows land in their final stacked slot, skipping
         # the per-run temporaries and the full-size vstack copy (pure
         # copies, values unchanged).
-        raw = np.empty((total, idx_cols.shape[0]), dtype=np.float64)
+        raw = np.empty((total, idx_cols.shape[0]), dtype=dtype)
         for i, s in enumerate(series_list):
             o = offsets[i]
             raw[o : o + lengths[i]] = s.matrix[idx_cols, :].T
-        features = preprocessor.normalizer.transform(raw)
+        features = raw if tolerance else preprocessor.normalizer.transform(raw)
         preprocess_s = clock() - t
 
-        # --- PCA: centering is elementwise (stacked); the projection GEMM
-        # runs per run on the matching row slice, so its operand shapes —
-        # and therefore its BLAS kernel and accumulation order — are the
-        # ones the sequential path uses.
+        # --- projection: the GEMM runs per run on the matching row
+        # slice, so its operand shapes — and therefore its BLAS kernel
+        # and accumulation order — are the ones the sequential path
+        # uses.  Tolerance mode projects the raw gather through the
+        # fused weights and adds the bias once over the stacked rows
+        # (elementwise, row-independent); the float64 mode centers
+        # stacked and projects per run exactly as before.
         t = clock()
-        centered = features - pca.mean_
-        components_t = pca.components_.T
-        scores_all = np.empty((total, components_t.shape[1]), dtype=np.float64)
+        if tolerance:
+            operand = features
+            projection = clf.fused_weights_
+        else:
+            operand = features - pca.mean_
+            projection = pca.components_.T
+        scores_all = np.empty((total, projection.shape[1]), dtype=dtype)
         for i, m in enumerate(lengths):
             o = offsets[i]
-            np.matmul(centered[o : o + m], components_t, out=scores_all[o : o + m])
+            np.matmul(operand[o : o + m], projection, out=scores_all[o : o + m])
+        if tolerance:
+            scores_all += clf.fused_bias_
         pca_s = clock() - t
 
         # --- k-NN: the a·bᵀ GEMM of the ‖a−b‖² expansion runs per run,
@@ -157,12 +182,13 @@ class BatchClassifier:
         # distance assembly ((−2ab + aa) + bb ≡ (aa − 2ab) + bb bitwise,
         # because IEEE addition commutes and negation is exact), clip,
         # top-k selection, sort, and the shared vote() — is
-        # row-independent and runs once on the stacked rows.
+        # row-independent and runs once on the stacked rows.  The pool
+        # norms ``‖b‖²`` come from the per-fit cache on the kNN model.
         t = clock()
         pool = knn.training_points
         pool_t = pool.T
-        bb = np.einsum("ij,ij->i", pool, pool)[None, :]
-        ab = np.empty((total, pool_t.shape[1]), dtype=np.float64)
+        bb = knn.training_sq_norms[None, :]
+        ab = np.empty((total, pool_t.shape[1]), dtype=dtype)
         chunk = knn.chunk_size
         for i, m in enumerate(lengths):
             o = offsets[i]
@@ -184,11 +210,38 @@ class BatchClassifier:
         class_vector_all = knn.vote(indices, distances)
         classify_s = clock() - t
 
-        # --- package: compositions via one stacked bincount (integer
-        # counts and elementwise division — identical by construction to
-        # per-run from_class_vector), dominant classes via one row-wise
-        # argmax (identical to each composition's dominant()).
         t = clock()
+        results = self._package_results(series_list, lengths, offsets, class_vector_all, scores_all)
+        vote_s = clock() - t
+
+        # Apportion the batch's stage costs by snapshot share, so summed
+        # per-run timings reproduce the batch totals (§5.3 accounting).
+        for i, result in enumerate(results):
+            share = lengths[i] / total
+            result.timings.preprocess_s = preprocess_s * share
+            result.timings.pca_s = pca_s * share
+            result.timings.classify_s = classify_s * share
+            result.timings.vote_s = vote_s * share
+        return results
+
+    def _package_results(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        lengths: list[int],
+        offsets: list[int],
+        class_vector_all: np.ndarray,
+        scores_all: np.ndarray,
+    ) -> list[ClassificationResult]:
+        """Per-run results from the stacked class vector and scores.
+
+        dtype: float64
+
+        Compositions are fractions of integer counts — exact bookkeeping
+        shared by both numeric modes, always at float64 — via one
+        stacked bincount (identical by construction to per-run
+        ``from_class_vector``) and one row-wise argmax (identical to
+        each composition's ``dominant()``).
+        """
         n_classes = len(ALL_CLASSES)
         run_ids = np.repeat(np.arange(len(lengths)), lengths)
         counts = np.bincount(
@@ -213,14 +266,4 @@ class BatchClassifier:
                     timings=StageTimings(),
                 )
             )
-        vote_s = clock() - t
-
-        # Apportion the batch's stage costs by snapshot share, so summed
-        # per-run timings reproduce the batch totals (§5.3 accounting).
-        for i, result in enumerate(results):
-            share = lengths[i] / total
-            result.timings.preprocess_s = preprocess_s * share
-            result.timings.pca_s = pca_s * share
-            result.timings.classify_s = classify_s * share
-            result.timings.vote_s = vote_s * share
         return results

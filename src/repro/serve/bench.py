@@ -21,7 +21,12 @@ from ..core.pipeline import ApplicationClassifier
 from ..metrics.series import SnapshotSeries
 from .batch import BatchClassifier
 
-__all__ = ["ServeBenchResult", "run_throughput_benchmark"]
+__all__ = [
+    "DtypeBenchResult",
+    "ServeBenchResult",
+    "run_dtype_benchmark",
+    "run_throughput_benchmark",
+]
 
 
 @dataclass(frozen=True)
@@ -39,6 +44,93 @@ class ServeBenchResult:
     def to_dict(self) -> dict:
         """Plain-dict form for JSON emission."""
         return asdict(self)
+
+
+@dataclass(frozen=True)
+class DtypeBenchResult:
+    """One float64-batched vs float32-batched timing comparison.
+
+    The float32 arm is the tolerance mode: ``speedup`` is its throughput
+    multiple over the float64 *batched* path (the relevant baseline —
+    both arms use the stacked kernel), ``label_agreement`` the fraction
+    of snapshots whose class matches the float64 labels, and
+    ``f32_bit_identical`` whether the float32 batch matched the float32
+    sequential path bit for bit (the same-dtype guarantee).
+    """
+
+    num_runs: int
+    num_snapshots: int
+    repeats: int
+    batch_f64_ms: float
+    batch_f32_ms: float
+    speedup: float
+    label_agreement: float
+    f32_bit_identical: bool
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON emission."""
+        return asdict(self)
+
+
+def run_dtype_benchmark(
+    classifier_f64: ApplicationClassifier,
+    classifier_f32: ApplicationClassifier,
+    series_list: Sequence[SnapshotSeries],
+    repeats: int = 30,
+) -> DtypeBenchResult:
+    """Time the float64 batched path against the float32 tolerance mode.
+
+    Both arms run :meth:`BatchClassifier.classify_many` over the same
+    fleet, interleaved with a min-of-repeats estimator exactly like
+    :func:`run_throughput_benchmark`.  Correctness is checked before
+    timing: the float32 batch must match the float32 sequential path
+    bit for bit, and per-snapshot label agreement against the float64
+    labels is reported (the tolerance mode's corpus guarantee is ≥99%).
+
+    Raises
+    ------
+    ValueError
+        For an empty fleet, non-positive repeats, or classifiers whose
+        compute dtypes are not (float64, float32) respectively.
+    """
+    if not series_list:
+        raise ValueError("benchmark needs at least one series")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    if classifier_f64.compute_dtype != "float64" or classifier_f32.compute_dtype != "float32":
+        raise ValueError(
+            "run_dtype_benchmark expects (float64, float32) classifiers, got "
+            f"({classifier_f64.compute_dtype}, {classifier_f32.compute_dtype})"
+        )
+    f32_identical = _parity(classifier_f32, series_list)
+    batch64 = BatchClassifier(classifier_f64)
+    batch32 = BatchClassifier(classifier_f32)
+
+    results64 = batch64.classify_many(series_list)
+    results32 = batch32.classify_many(series_list)
+    labels64 = np.concatenate([r.class_vector for r in results64])
+    labels32 = np.concatenate([r.class_vector for r in results32])
+    agreement = float(np.mean(labels64 == labels32))
+
+    f64_s = float("inf")
+    f32_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        batch64.classify_many(series_list)
+        f64_s = min(f64_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batch32.classify_many(series_list)
+        f32_s = min(f32_s, time.perf_counter() - t0)
+    return DtypeBenchResult(
+        num_runs=len(series_list),
+        num_snapshots=int(sum(len(s) for s in series_list)),
+        repeats=repeats,
+        batch_f64_ms=f64_s * 1e3,
+        batch_f32_ms=f32_s * 1e3,
+        speedup=f64_s / f32_s,
+        label_agreement=agreement,
+        f32_bit_identical=f32_identical,
+    )
 
 
 def _parity(classifier: ApplicationClassifier, series_list: Sequence[SnapshotSeries]) -> bool:

@@ -5,9 +5,11 @@ fit — cheap enough to do once, far too expensive to repeat for every
 manager, service worker, or benchmark that wants the same model.
 :class:`ModelCache` memoizes trained classifiers keyed by their
 :class:`~repro.core.config.ClassifierConfig` (frozen and hashable by
-design — the clock field is excluded from equality) plus the training
-seed, behind a lock so concurrent service workers share one training
-run instead of racing five.
+design — the clock field is excluded from equality, while
+``compute_dtype`` participates: a float64 reference model and a float32
+tolerance model of otherwise equal tuning are *distinct* cache entries
+and never alias) plus the training seed, behind a lock so concurrent
+service workers share one training run instead of racing five.
 
 The cache is mechanism only: *how* a model is trained is injected as a
 ``trainer`` callable, keeping ``repro.serve`` below the experiment

@@ -114,13 +114,14 @@ class TestComputeDtype:
         cache = {f64: "double", f32: "single"}
         assert cache[ClassifierConfig(compute_dtype="float32")] == "single"
 
-    def test_float32_pipeline_is_reserved(self):
-        # The config seam exists; the reduced-precision pipeline itself
-        # is ROADMAP item 3.
-        with pytest.raises(NotImplementedError, match="float32"):
-            ApplicationClassifier.from_config(
-                ClassifierConfig(compute_dtype="float32")
-            )
+    def test_float32_pipeline_constructs(self):
+        # The tolerance mode is live: from_config builds a float32
+        # classifier whose config round-trips the dtype.
+        clf = ApplicationClassifier.from_config(
+            ClassifierConfig(compute_dtype="float32")
+        )
+        assert clf.compute_dtype == "float32"
+        assert clf.config.compute_dtype == "float32"
 
     def test_config_property_reports_float64(self):
         assert ApplicationClassifier().config.compute_dtype == "float64"

@@ -224,3 +224,112 @@ class TestWeightedDeterminism:
                 .predict(probes)
             )
             assert np.array_equal(base, shuffled)
+
+
+class TestCancellationClamp:
+    """Negative squared distances from catastrophic cancellation clamp to 0."""
+
+    def test_far_from_origin_duplicates_clamp_to_zero(self):
+        # Points identical up to float rounding but far from the origin:
+        # the (−2ab + aa + bb) expansion cancels catastrophically and,
+        # unclamped, goes slightly negative — poisoning sqrt with NaN.
+        base = np.full((1, 4), 1e8)
+        jitter = base * (1.0 + np.array([0.0, 2e-16, -2e-16, 4e-16]))[:, None]
+        d2 = pairwise_sq_distances(jitter, jitter)
+        assert (d2 >= 0.0).all()
+        assert not np.isnan(np.sqrt(d2)).any()
+
+    def test_clamp_in_both_dtypes(self):
+        # Near-duplicate rows at large magnitude: the unclamped
+        # expansion dips negative in either precision (float32 needs a
+        # proportionally larger jitter — its epsilon is ~1e-7).
+        for dtype, scale, jitter in (
+            (np.float64, 1e8, 2e-8),
+            (np.float32, 1e5, 1e-2),
+        ):
+            a = (np.full((8, 3), scale) + np.arange(8)[:, None] * jitter).astype(dtype)
+            d2 = pairwise_sq_distances(a, a)
+            assert d2.dtype == np.dtype(dtype)
+            assert (d2 >= 0.0).all()
+            assert not np.isnan(np.sqrt(d2)).any()
+
+    def test_exact_duplicate_rows_have_zero_distance(self):
+        a = np.full((3, 2), 7e7)
+        d2 = pairwise_sq_distances(a, a)
+        assert (d2 == 0.0).all()
+
+
+class TestDtypeRouting:
+    """The fitted pool's dtype governs every downstream buffer."""
+
+    def test_fit_preserves_float32(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier(k=3).fit(x.astype(np.float32), y)
+        assert knn.dtype == np.dtype(np.float32)
+        assert knn.training_points.dtype == np.dtype(np.float32)
+        assert knn.training_sq_norms.dtype == np.dtype(np.float32)
+
+    def test_fit_preserves_float64(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        assert knn.dtype == np.dtype(np.float64)
+        assert knn.training_sq_norms.dtype == np.dtype(np.float64)
+
+    def test_integer_training_data_promotes_to_float64(self):
+        x = np.array([[0, 0], [1, 0], [0, 1], [5, 5], [6, 5]], dtype=np.int64)
+        y = np.array([0, 0, 0, 1, 1])
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        assert knn.dtype == np.dtype(np.float64)
+
+    def test_kneighbors_distances_follow_model_dtype(self):
+        x, y = three_clusters()
+        for dtype in (np.float32, np.float64):
+            knn = KNeighborsClassifier(k=3).fit(x.astype(dtype), y)
+            _, distances = knn.kneighbors(x[:5])  # float64 queries downcast
+            assert distances.dtype == np.dtype(dtype)
+
+    def test_float32_model_predicts_like_float64_on_separated_data(self):
+        x, y = three_clusters()
+        test_x, _ = three_clusters(seed=99)
+        f64 = KNeighborsClassifier(k=3).fit(x, y).predict(test_x)
+        f32 = KNeighborsClassifier(k=3).fit(x.astype(np.float32), y).predict(test_x)
+        assert np.array_equal(f64, f32)
+
+    def test_weighted_vote_buffers_follow_model_dtype(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier(k=3, weighted=True).fit(x.astype(np.float32), y)
+        pred = knn.predict(x[:10])
+        assert pred.dtype == np.dtype(np.int64)
+        assert np.array_equal(pred, y[:10])
+
+    def test_unfitted_dtype_and_norms_raise(self):
+        knn = KNeighborsClassifier()
+        with pytest.raises(RuntimeError):
+            knn.dtype
+        with pytest.raises(RuntimeError):
+            knn.training_sq_norms
+
+
+class TestPrecomputedNorms:
+    """The per-fit ‖b‖² cache must be value-identical to recomputation."""
+
+    def test_cached_norms_match_einsum(self):
+        x, y = three_clusters()
+        knn = KNeighborsClassifier(k=3).fit(x, y)
+        assert np.array_equal(
+            knn.training_sq_norms, np.einsum("ij,ij->i", x, x)
+        )
+
+    def test_precomputed_norms_bit_identical_distances(self):
+        rng = np.random.default_rng(11)
+        a, b = rng.normal(size=(20, 5)), rng.normal(size=(30, 5))
+        norms = np.einsum("ij,ij->i", b, b)
+        assert np.array_equal(
+            pairwise_sq_distances(a, b),
+            pairwise_sq_distances(a, b, b_sq_norms=norms),
+        )
+
+    def test_norm_shape_validated(self):
+        a, b = np.zeros((2, 3)), np.zeros((4, 3))
+        with pytest.raises(ValueError):
+            pairwise_sq_distances(a, b, b_sq_norms=np.zeros(3))

@@ -103,6 +103,24 @@ class TestPairwiseDistancesBitIdentity:
         pairwise_sq_distances(a, b)
         assert np.array_equal(a, a0) and np.array_equal(b, b0)
 
+    def test_precomputed_norms_bit_identical(self):
+        # The per-fit ‖b‖² cache feeds the same einsum values into the
+        # same in-place assembly, so the cached path must be bitwise
+        # equal to the recomputing one — in both compute dtypes.
+        for dtype in (np.float64, np.float32):
+            a = rng(12).normal(size=(17, 4)).astype(dtype)
+            b = rng(13).normal(size=(23, 4)).astype(dtype)
+            norms = np.einsum("ij,ij->i", b, b)
+            assert np.array_equal(
+                pairwise_sq_distances(a, b),
+                pairwise_sq_distances(a, b, b_sq_norms=norms),
+            )
+
+    def test_preserves_float32(self):
+        a = rng(14).normal(size=(5, 3)).astype(np.float32)
+        b = rng(15).normal(size=(7, 3)).astype(np.float32)
+        assert pairwise_sq_distances(a, b).dtype == np.dtype(np.float32)
+
 
 def mode_filter_reference(classes: np.ndarray, window: int) -> np.ndarray:
     """The pre-vectorization per-window bincount loop."""

@@ -207,7 +207,7 @@ class TestExtraction:
             "f",
             name="repro.core.knn",
         )
-        assert fn.declared == "float32"  # tag wins over the float64 map
+        assert fn.declared == "float32"  # tag wins over the module map
 
     def test_module_policy_applies_to_kernel_modules(self):
         fn = function_facts(
@@ -220,8 +220,8 @@ class TestExtraction:
             "f",
             name="repro.core.knn",
         )
-        assert DEFAULT_DTYPE_POLICY["repro.core.knn"] == "float64"
-        assert fn.declared == "float64"
+        assert DEFAULT_DTYPE_POLICY["repro.core.knn"] == "preserve"
+        assert fn.declared == "preserve"
 
     def test_non_policy_module_has_no_declaration(self):
         fn = function_facts(
@@ -672,7 +672,7 @@ class TestNumericsReport:
             for k in payload["kernels"]
             if k["function"] == "BatchClassifier._classify_batch"
         )
-        assert batch["declared"] == "float64"
+        assert batch["declared"] == "preserve"
         # The stacked kernel writes through preallocated buffers.
         assert any(op["kind"] == "inplace" for op in batch["ops"])
 

@@ -58,6 +58,22 @@ class TestMemoization:
         assert a is b
         assert len(calls) == 1
 
+    def test_compute_dtypes_never_alias(self, cache, calls):
+        # A float64 reference model and a float32 tolerance model of
+        # otherwise equal tuning are distinct cache entries, whichever
+        # order they are requested in.
+        f64 = ClassifierConfig(compute_dtype="float64")
+        f32 = ClassifierConfig(compute_dtype="float32")
+        a = cache.get(f64)
+        b = cache.get(f32)
+        assert a is not b
+        assert a.config.compute_dtype == "float64"
+        assert b.config.compute_dtype == "float32"
+        # Repeat gets hit their own entry, never the other dtype's.
+        assert cache.get(f64) is a
+        assert cache.get(f32) is b
+        assert calls == [(f64, 0), (f32, 0)]
+
 
 class TestPut:
     def test_put_preseeds_cache(self, cache, calls):
