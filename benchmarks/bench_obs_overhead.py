@@ -1,7 +1,7 @@
 """Observability overhead — instrumentation must stay under 5%.
 
 Times the two hottest instrumented paths — ``classify_series`` (the
-paper's Figure 2 pipeline) and ``BatchClassifier.classify_many`` (the
+paper's Figure 2 pipeline) and ``BatchClassifier.classify_batch`` (the
 serving layer's vectorised front door) — with collection disabled and
 enabled.  Rounds are paired — each disabled round is immediately
 followed by an enabled one — and the asserted statistic is the *median
@@ -116,12 +116,12 @@ def test_obs_overhead_under_five_percent(classifier, seis_run, out_dir):
     _assert_under_budget(out_dir, "obs_overhead.txt", "classify_series", off, on)
 
 
-def test_obs_overhead_classify_many_under_five_percent(classifier, seis_run, out_dir):
+def test_obs_overhead_classify_batch_under_five_percent(classifier, seis_run, out_dir):
     batch = BatchClassifier(classifier)
     series_list = [seis_run.series] * 4
-    off, on = _paired_rounds(lambda: batch.classify_many(series_list))
+    off, on = _paired_rounds(lambda: batch.classify_batch(series_list))
     _assert_under_budget(
-        out_dir, "obs_overhead_batch.txt", "classify_many", off, on
+        out_dir, "obs_overhead_batch.txt", "classify_batch", off, on
     )
 
 

@@ -1,7 +1,7 @@
 """Serving-layer throughput — the batch kernel must stay ≥ 3× sequential.
 
 Times ``classify_series`` in a per-run loop against
-``BatchClassifier.classify_many`` on a 64-run fleet of short monitoring
+``BatchClassifier.classify_batch`` on a 64-run fleet of short monitoring
 windows (the serving regime: many concurrent runs classified every
 scheduling round), asserting bit-identity of every output along the way.
 The arms are timed in interleaved pairs with a min-of-repeats estimator,

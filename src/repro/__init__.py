@@ -25,6 +25,8 @@ Subpackages
 - :mod:`repro.workloads` — synthetic models of the paper's benchmarks.
 - :mod:`repro.sim` — discrete-time execution engine with contention.
 - :mod:`repro.monitoring` — Ganglia-style multicast monitoring.
+- :mod:`repro.ingest` — streaming tick-level ingest plane: per-node ring
+  buffers, a merged announcement timeline, watermarked batch drains.
 - :mod:`repro.db` — the application database and run statistics.
 - :mod:`repro.scheduler` — class-aware scheduling and throughput studies.
 - :mod:`repro.analysis` — cluster diagrams and report rendering.
@@ -32,12 +34,13 @@ Subpackages
 - :mod:`repro.obs` — observability: metrics registry, tracing spans,
   Prometheus/JSON exporters (off by default; ``obs.enable()``).
 - :mod:`repro.serve` — batched fleet-classification serving layer
-  (vectorized ``classify_many``, micro-batching service, model cache).
+  (the unified ``Classifier`` protocol, vectorized ``classify_batch``,
+  micro-batching service, model cache).
 - :mod:`repro.errors` — the typed exception hierarchy
   (``except ReproError`` catches every caller-facing error).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import (
     analysis,
@@ -45,6 +48,7 @@ from . import (
     db,
     errors,
     experiments,
+    ingest,
     manager,
     metrics,
     monitoring,
@@ -62,6 +66,7 @@ __all__ = [
     "db",
     "errors",
     "experiments",
+    "ingest",
     "manager",
     "metrics",
     "monitoring",

@@ -75,6 +75,57 @@ def pairwise_sq_distances(
     return d2
 
 
+def rowwise_sq_distances(
+    a: np.ndarray, b: np.ndarray, b_sq_norms: np.ndarray | None = None
+) -> np.ndarray:
+    """Batch-size-invariant variant of :func:`pairwise_sq_distances`.
+
+    dtype: preserve
+
+    Same ``(len(a), len(b))`` squared-distance matrix and the same
+    in-place ``(−2ab) + aa + bb`` assembly and zero clamp, but the
+    ``a·bᵀ`` term is accumulated feature column by feature column with
+    broadcast multiplies instead of one GEMM.  BLAS selects different
+    GEMM kernels by operand shape, so ``pairwise_sq_distances`` on a
+    ``(1, q)`` query and on row *i* of an ``(m, q)`` stack may differ in
+    the last bits; here every operation is elementwise with a fixed
+    accumulation order over the ``q`` feature columns, so row *i*'s
+    distances are bit-identical for **any** batch size.  This is the
+    streaming-ingest distance kernel: the per-announcement path and the
+    drained-batch path both run it, which is what makes their results
+    bit-identical by construction.  ``q`` is the PCA dimension (2 for
+    the paper's configuration), so the column loop is two fused passes,
+    not a scalar loop.
+    """
+    a = _check_matrix(a, dtype=None)
+    b = _check_matrix(b, dtype=None)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}")
+    aa = np.einsum("ij,ij->i", a, a)[:, None]
+    if b_sq_norms is None:
+        bb = np.einsum("ij,ij->i", b, b)[None, :]
+    else:
+        bb = np.asarray(b_sq_norms)
+        if bb.shape != (b.shape[0],):
+            raise ValueError(
+                f"b_sq_norms shape {bb.shape} does not match {b.shape[0]} pool rows"
+            )
+        bb = bb[None, :]
+    q = a.shape[1]
+    # ab[i, t] = Σ_j a[i, j]·b[t, j], accumulated j = 0, 1, … with one
+    # preallocated scratch — fixed order, no GEMM, no per-column buffer.
+    d2 = np.multiply(a[:, 0][:, None], b[:, 0][None, :])
+    scratch = np.empty_like(d2)
+    for j in range(1, q):
+        np.multiply(a[:, j][:, None], b[:, j][None, :], out=scratch)
+        d2 += scratch
+    d2 *= -2.0
+    d2 += aa
+    d2 += bb
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
 class KNeighborsClassifier:
     """Vote-of-k-nearest-neighbors classifier.
 
@@ -237,12 +288,44 @@ class KNeighborsClassifier:
         for start in range(0, m, self.chunk_size):
             stop = min(start + self.chunk_size, m)
             d2 = pairwise_sq_distances(x[start:stop], self._x, b_sq_norms=self._sq_norms)
-            # argpartition for the k smallest, then sort just those.
-            part = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
-            part_d = np.take_along_axis(d2, part, axis=1)
-            order = np.argsort(part_d, axis=1, kind="stable")
-            indices[start:stop] = np.take_along_axis(part, order, axis=1)
-            distances[start:stop] = np.sqrt(np.take_along_axis(part_d, order, axis=1))
+            self._topk_into(d2, indices[start:stop], distances[start:stop])
+        return indices, distances
+
+    def _topk_into(self, d2: np.ndarray, idx_out: np.ndarray, dist_out: np.ndarray) -> None:
+        """Select the k nearest per row of a squared-distance chunk.
+
+        *d2* has shape ``(c, n)``; writes the sorted neighbor indices
+        and (square-rooted) distances into the ``(c, k)`` output slices.
+        argpartition for the k smallest, then sort just those — every
+        step is row-wise, so selection is batch-size-invariant.
+        """
+        part = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+        part_d = np.take_along_axis(d2, part, axis=1)
+        order = np.argsort(part_d, axis=1, kind="stable")
+        idx_out[:] = np.take_along_axis(part, order, axis=1)
+        dist_out[:] = np.sqrt(np.take_along_axis(part_d, order, axis=1))
+
+    def kneighbors_rows(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch-size-invariant neighbor search (streaming-ingest kernel).
+
+        Same contract as :meth:`kneighbors` — ``(m, q)`` queries in,
+        sorted ``(m, k)`` ``(indices, distances)`` out — but distances
+        come from :func:`rowwise_sq_distances`, whose bits for row *i*
+        do not depend on how many rows share the batch.  The top-k
+        selection and the vote are row-wise already, so a drained batch
+        of announcements classifies bit-identically to the same
+        announcements one at a time.
+        """
+        if self._x is None:
+            raise RuntimeError("classifier not fitted")
+        x = _check_matrix(x, dtype=self._x.dtype)
+        m = x.shape[0]
+        indices = np.empty((m, self.k), dtype=np.int64)
+        distances = np.empty((m, self.k), dtype=self._x.dtype)
+        for start in range(0, m, self.chunk_size):
+            stop = min(start + self.chunk_size, m)
+            d2 = rowwise_sq_distances(x[start:stop], self._x, b_sq_norms=self._sq_norms)
+            self._topk_into(d2, indices[start:stop], distances[start:stop])
         return indices, distances
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -252,6 +335,17 @@ class KNeighborsClassifier:
         class vector ``C`` (the paper's ``C(1×m)`` stage output).
         """
         indices, distances = self.kneighbors(x)
+        return self.vote(indices, distances)
+
+    def predict_rows(self, x: np.ndarray) -> np.ndarray:
+        """Batch-size-invariant :meth:`predict` (streaming-ingest kernel).
+
+        *x* is row-per-sample, shape ``(m, q)``; returns the length-``m``
+        class vector.  Routes through :meth:`kneighbors_rows` and the
+        shared :meth:`vote`, so row *i*'s class is bit-identical whether
+        it arrives alone or inside a drained batch of any size.
+        """
+        indices, distances = self.kneighbors_rows(x)
         return self.vote(indices, distances)
 
     def vote(self, indices: np.ndarray, distances: np.ndarray) -> np.ndarray:

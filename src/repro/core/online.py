@@ -2,16 +2,39 @@
 
 The paper's §5.3 cost analysis concludes the classifier is cheap enough
 "to consider the classifier for online training".  This module supplies
-the runtime piece: an :class:`OnlineClassifier` subscribes to the
-monitoring substrate's multicast channel and classifies every node's
-announcements *as they arrive*, maintaining per-node rolling state —
-current class, class streak, and running composition — that a scheduler
-can query mid-run instead of waiting for the application to finish.
+the runtime piece: an :class:`OnlineClassifier` consumes the monitoring
+substrate's announcements and classifies them, maintaining per-node
+rolling state — current class, class streak, and running composition —
+that a scheduler can query mid-run instead of waiting for the
+application to finish.
+
+Two consumption modes share one kernel:
+
+* **push** — attached to a raw multicast channel, every announcement is
+  classified on delivery (the paper's §4 shape);
+* **pull** — attached to an ingest plane (:mod:`repro.ingest`), batches
+  of ring-buffered announcements are drained, classified in one
+  vectorized call, and fanned back into the same per-node state
+  (:meth:`OnlineClassifier.pump`).
+
+Both modes run the batch-size-invariant
+:meth:`~repro.core.pipeline.ApplicationClassifier.classify_rows`
+kernel, so the drained-batch results are bit-identical (per compute
+dtype) to classifying each announcement alone, and the fan-back
+arithmetic reproduces the sequential :meth:`NodeClassificationState.record`
+fold exactly.
+
+The 1.2.0 unified entry points are the ``Classifier`` protocol methods
+``classify`` / ``classify_batch`` / ``classify_stream`` (see
+``repro.serve.protocol``); ``classify_announcement`` remains as a
+one-release deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -73,6 +96,44 @@ class NodeClassificationState:
         return SnapshotClass(int(self.class_counts.argmax()))
 
 
+@dataclass(frozen=True)
+class DrainClassification:
+    """Classified results of one drained announcement batch.
+
+    Parallel arrays in the drain's merged chronological order:
+    ``codes[i]`` is the class of the announcement at ``timestamps[i]``
+    from node ``nodes[node_ids[i]]``.  Unlike a ``DrainBatch``, the
+    arrays here are owned copies — safe to keep across drains.
+    """
+
+    nodes: tuple[str, ...]
+    node_ids: np.ndarray
+    timestamps: np.ndarray
+    codes: np.ndarray
+    watermark: float
+
+    def __len__(self) -> int:
+        """Number of classified announcements."""
+        return int(self.codes.shape[0])
+
+    def codes_for(self, node: str) -> np.ndarray:
+        """Class codes of *node*'s announcements, in timestamp order.
+
+        Returns a 1-D integer vector of shape ``(rows_for_node,)`` — a
+        view selected from the drain-wide :attr:`codes` vector.
+
+        Raises
+        ------
+        KeyError
+            If *node* is not in :attr:`nodes`.
+        """
+        try:
+            node_id = self.nodes.index(node)
+        except ValueError:
+            raise KeyError(f"node {node!r} not in this drain") from None
+        return self.codes[self.node_ids == node_id]
+
+
 class OnlineClassifier:
     """Classify monitoring announcements as they arrive.
 
@@ -81,7 +142,10 @@ class OnlineClassifier:
     classifier:
         A *trained* :class:`~repro.core.pipeline.ApplicationClassifier`.
     channel:
-        Multicast channel to subscribe to.
+        Announcement source: either a multicast channel to subscribe to
+        (push mode) or an ingest plane to :meth:`pump` drained batches
+        from (pull mode).  Duck-typed — a source with ``subscribe`` is
+        a channel, one with ``drain`` is a plane.
     nodes:
         Optional allow-list; announcements from other nodes are ignored
         (e.g. track only the application VM, not the server VM).
@@ -95,7 +159,7 @@ class OnlineClassifier:
     def __init__(
         self,
         classifier: ApplicationClassifier,
-        channel: MulticastChannel,
+        channel: MulticastChannel | object,
         nodes: list[str] | None = None,
     ) -> None:
         if not classifier.trained:
@@ -109,38 +173,86 @@ class OnlineClassifier:
         # reference so unsubscribe can match it by identity.
         self._callback = self._on_announcement
         self._metric_idx: np.ndarray | None = None
-        # Hoisted compute dtype: announcements are cast once at gather
-        # time (a no-copy view in float64 mode), so the per-announcement
-        # path never upcasts a float32 model's buffers.
-        self._dtype = np.dtype(classifier.compute_dtype)
         self._attached = False
         self.attach()
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        channel: MulticastChannel | object,
+        *,
+        model_source,
+        seed: int = 0,
+        nodes: list[str] | None = None,
+    ) -> "OnlineClassifier":
+        """Build an attached online classifier from a ``ClassifierConfig``.
+
+        *model_source* is anything with ``get(config, seed=...)``
+        returning a trained classifier — in practice a
+        ``repro.serve.cache.ModelCache`` such as
+        ``repro.manager.service.shared_model_cache()``.  It is injected
+        rather than defaulted because training recipes live above core
+        in the layering DAG.  *channel* may be a multicast channel or an
+        ingest plane, exactly as in the constructor.
+        """
+        return cls(model_source.get(config, seed=seed), channel, nodes=nodes)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     @property
     def attached(self) -> bool:
-        """True while subscribed to the channel."""
+        """True while bound to an announcement source."""
         return self._attached
 
-    def attach(self) -> None:
-        """(Re)subscribe to the channel; idempotent.
+    @property
+    def pull_mode(self) -> bool:
+        """True when the bound source is an ingest plane (pumped, not pushed)."""
+        return hasattr(self.channel, "drain")
+
+    def attach(self, source: MulticastChannel | object | None = None) -> None:
+        """(Re)bind to an announcement source and start consuming; idempotent.
+
+        With no argument, resumes consuming from the current source —
+        the pre-1.2 signature, still idempotent.  With *source*, rebinds
+        to it first (detaching from the old source if needed): a source
+        with ``subscribe`` is a raw multicast channel and every
+        announcement is classified on delivery; a source with ``drain``
+        is an ingest plane and announcements are consumed in drained
+        batches via :meth:`pump`.
 
         The selector's metric-index array is (re)computed here, once per
         attachment, so the per-announcement path never touches the
         catalog.  Node state accumulated before a detach is kept — a
         re-attached classifier resumes its rolling compositions.
+
+        Raises
+        ------
+        TypeError
+            If the source is neither a channel nor an ingest plane.
         """
+        if source is not None and source is not self.channel:
+            if self._attached:
+                self.detach()
+            self.channel = source
         if self._attached:
             return
+        push_source = hasattr(self.channel, "subscribe")
+        if not push_source and not hasattr(self.channel, "drain"):
+            raise TypeError(
+                "announcement source must be a multicast channel (subscribe) "
+                "or an ingest plane (drain), got "
+                f"{type(self.channel).__name__}"
+            )
         self._metric_idx = np.asarray(metric_indices(self._selector_names), dtype=np.intp)
-        self.channel.subscribe(self._callback)
+        if push_source:
+            self.channel.subscribe(self._callback)
         self._attached = True
         obs_event("online.attach", nodes=str(len(self._states)))
 
     def detach(self) -> None:
-        """Unsubscribe from the channel (stop consuming announcements).
+        """Unbind from the announcement source (stop consuming).
 
         Idempotent: a second ``detach()`` is a no-op, and a channel that
         already dropped the subscription (torn down or replaced) is
@@ -151,13 +263,14 @@ class OnlineClassifier:
             return
         self._attached = False
         obs_event("online.detach", nodes=str(len(self._states)))
-        try:
-            self.channel.unsubscribe(self._callback)
-        except ValueError:
-            # The channel no longer knows this listener (it was torn
-            # down or recreated underneath us); detaching twice through
-            # different paths must not blow up the shutdown sequence.
-            pass
+        if hasattr(self.channel, "subscribe"):
+            try:
+                self.channel.unsubscribe(self._callback)
+            except ValueError:
+                # The channel no longer knows this listener (it was torn
+                # down or recreated underneath us); detaching twice through
+                # different paths must not blow up the shutdown sequence.
+                pass
 
     # ------------------------------------------------------------------
     # streaming path
@@ -174,7 +287,7 @@ class OnlineClassifier:
         timed = obs_enabled()
         clock = self.classifier.clock
         t = clock() if timed else 0.0
-        cls = self.classify_announcement(announcement)
+        cls = self.classify(announcement)
         state = self._states.get(announcement.node)
         if state is None:
             state = NodeClassificationState(node=announcement.node)
@@ -187,25 +300,209 @@ class OnlineClassifier:
             ).observe(clock() - t)
             obs_counter("online.announcements.classified", help="Announcements classified.").inc()
 
-    def classify_announcement(self, announcement: MetricAnnouncement) -> SnapshotClass:
-        """Classify a single 33-metric announcement vector.
-
-        Uses the selector index array hoisted at :meth:`attach` time —
-        nothing on this path recomputes catalog lookups.
+    def _require_attached(self) -> None:
+        """Guard for the classify paths (hoisted state is attach-scoped).
 
         Raises
         ------
         RuntimeError
-            If called while detached (the hoisted state is only
-            guaranteed fresh between ``attach()`` and ``detach()``).
+            If called while detached (the hoisted selector index array
+            is only guaranteed fresh between ``attach()`` and
+            ``detach()``).
         """
         if not self._attached or self._metric_idx is None:
             raise RuntimeError(
                 "OnlineClassifier is detached; call attach() before classifying announcements"
             )
-        raw = announcement.values[self._metric_idx].astype(self._dtype, copy=False)[None, :]
-        code = self.classifier.classify_snapshot_features(raw)[0]
+
+    def classify(self, snapshot: MetricAnnouncement) -> SnapshotClass:
+        """Classify one 33-metric announcement (protocol entry point).
+
+        Pure — no per-node state is recorded (delivery through the
+        attached source records state; see :meth:`state`).  Runs the
+        batch-size-invariant ``classify_rows`` kernel on a single row,
+        so the result is bit-identical to the same announcement inside
+        any drained batch.  Uses the selector index array hoisted at
+        :meth:`attach` time — nothing on this path recomputes catalog
+        lookups.
+
+        Raises
+        ------
+        RuntimeError
+            If called while detached.
+        """
+        self._require_attached()
+        raw = snapshot.values[self._metric_idx][None, :]
+        code = self.classifier.classify_rows(raw)[0]
         return SnapshotClass(int(code))
+
+    def classify_batch(self, snapshots: Iterable[MetricAnnouncement]) -> list[SnapshotClass]:
+        """Classify many announcements in one vectorized call (protocol entry point).
+
+        Pure, like :meth:`classify`, and bit-identical to it per
+        announcement: the rows are stacked and run through the same
+        batch-size-invariant kernel.  Returns one class per
+        announcement, in input order.
+
+        Raises
+        ------
+        RuntimeError
+            If called while detached.
+        """
+        self._require_attached()
+        announcements = list(snapshots)
+        if not announcements:
+            return []
+        raw = np.stack([a.values for a in announcements])[:, self._metric_idx]
+        codes = self.classifier.classify_rows(raw)
+        return [SnapshotClass(int(code)) for code in codes]
+
+    def classify_stream(self, drains: Iterable) -> Iterator[DrainClassification]:
+        """Classify a stream of drained batches (protocol entry point).
+
+        *drains* yields ``DrainBatch``-shaped windows (``nodes``,
+        ``node_ids``, ``timestamps``, ``values``, ``watermark``); each
+        is classified in one vectorized call and **fanned back into the
+        per-node rolling state** exactly as per-announcement delivery
+        would have, then yielded as a :class:`DrainClassification`.
+        Lazy: state mutates as the caller iterates.
+
+        Raises
+        ------
+        RuntimeError
+            If a batch is consumed while detached.
+        """
+        for batch in drains:
+            yield self._classify_drain(batch)
+
+    def pump(self, max_rows: int | None = None, *, flush: bool = False) -> DrainClassification:
+        """Drain the attached ingest plane once and classify the batch.
+
+        The pull-mode consumption step: drain every announcement behind
+        the plane's watermark (all of them with *flush*), classify the
+        merged batch in one vectorized call, and fan the results back
+        into per-node state.  Returns the classified batch (empty when
+        nothing was drainable).
+
+        Raises
+        ------
+        RuntimeError
+            If detached, or if the attached source is not an ingest
+            plane.
+        """
+        self._require_attached()
+        if not self.pull_mode:
+            raise RuntimeError(
+                "attached source is not an ingest plane; pump() requires attach(plane)"
+            )
+        batch = self.channel.drain(max_rows, flush=flush)
+        return self._classify_drain(batch)
+
+    def classify_announcement(self, announcement: MetricAnnouncement) -> SnapshotClass:
+        """Deprecated alias of :meth:`classify` (gone in the release after 1.2).
+
+        Raises
+        ------
+        RuntimeError
+            If called while detached.
+        """
+        warnings.warn(
+            "OnlineClassifier.classify_announcement(...) is deprecated and will "
+            "be removed in the next release; use the Classifier protocol method "
+            "classify(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.classify(announcement)
+
+    # ------------------------------------------------------------------
+    # drained-batch fan-back
+    # ------------------------------------------------------------------
+    def _classify_drain(self, batch) -> DrainClassification:
+        """Classify one drained batch and fold it into per-node state."""
+        self._require_attached()
+        node_ids = np.asarray(batch.node_ids)
+        timestamps = np.asarray(batch.timestamps)
+        values = batch.values
+        if self._allow is not None and node_ids.shape[0]:
+            allowed = np.asarray([name in self._allow for name in batch.nodes], dtype=bool)
+            keep = allowed[node_ids]
+            dropped = node_ids.shape[0] - int(np.count_nonzero(keep))
+            if dropped:
+                obs_counter("online.announcements.dropped", help="Announcements ignored.").inc(
+                    float(dropped)
+                )
+                node_ids = node_ids[keep]
+                timestamps = timestamps[keep]
+                values = values[keep]
+        if node_ids.shape[0] == 0:
+            return DrainClassification(
+                nodes=batch.nodes,
+                node_ids=node_ids.copy(),
+                timestamps=timestamps.copy(),
+                codes=np.empty(0, dtype=np.int64),
+                watermark=float(batch.watermark),
+            )
+        timed = obs_enabled()
+        clock = self.classifier.clock
+        t = clock() if timed else 0.0
+        codes = self.classifier.classify_rows(values[:, self._metric_idx])
+        self._record_codes(batch.nodes, node_ids, timestamps, codes)
+        if timed:
+            obs_histogram(
+                "online.batch.seconds",
+                help="Drained-batch online classification latency.",
+            ).observe(clock() - t)
+            obs_counter("online.announcements.classified", help="Announcements classified.").inc(
+                float(codes.shape[0])
+            )
+        return DrainClassification(
+            nodes=batch.nodes,
+            node_ids=node_ids.copy(),
+            timestamps=timestamps.copy(),
+            codes=codes,
+            watermark=float(batch.watermark),
+        )
+
+    def _record_codes(
+        self,
+        nodes: tuple[str, ...],
+        node_ids: np.ndarray,
+        timestamps: np.ndarray,
+        codes: np.ndarray,
+    ) -> None:
+        """Fold a classified batch into per-node state, record-for-record.
+
+        Vectorized equivalent of calling
+        :meth:`NodeClassificationState.record` on each row in timeline
+        order: class counts via one bincount per node, and the streak as
+        the trailing constant run — extended by the previous streak when
+        the whole slice is one class and it matches the node's current
+        class (exactly what the sequential fold would have done).
+        """
+        for node_id in np.unique(node_ids):
+            sel = node_ids == node_id
+            node_codes = codes[sel]
+            node_ts = timestamps[sel]
+            node = nodes[int(node_id)]
+            state = self._states.get(node)
+            if state is None:
+                state = NodeClassificationState(node=node)
+                self._states[node] = state
+            state.class_counts += np.bincount(node_codes, minlength=len(ALL_CLASSES))
+            count = int(node_codes.shape[0])
+            state.snapshots_seen += count
+            state.last_timestamp = float(node_ts[-1])
+            last = SnapshotClass(int(node_codes[-1]))
+            changes = np.flatnonzero(node_codes[:-1] != node_codes[1:])
+            if changes.size:
+                streak = count - 1 - int(changes[-1])
+            elif state.current_class is last:
+                streak = state.streak + count
+            else:
+                streak = count
+            state.current_class = last
+            state.streak = streak
 
     # ------------------------------------------------------------------
     # queries

@@ -416,3 +416,45 @@ class ApplicationClassifier:
             return self.knn.predict(scores)
         normalized = self.preprocessor.transform_features(features)
         return self.knn.predict(self.pca.transform(normalized))
+
+    def classify_rows(self, features: np.ndarray) -> np.ndarray:
+        """Batch-size-invariant classification of raw feature rows.
+
+        Same contract as :meth:`classify_snapshot_features` — ``(k, p)``
+        pre-selected raw feature rows in, length-``k`` class vector out —
+        but with a guarantee the GEMM-based paths cannot make: **row
+        *i*'s class is bit-identical for any batch size**, because every
+        projection is accumulated feature column by feature column with
+        elementwise broadcasts (fixed order, no shape-dependent BLAS
+        kernel selection) and the neighbor search runs
+        :meth:`~repro.core.knn.KNeighborsClassifier.predict_rows`.
+
+        This is the streaming-ingest kernel: the unified ``classify``
+        protocol method and the drained-batch ``pump`` both run it,
+        which makes "drain a window, classify a batch" bit-identical
+        (per compute dtype) to classifying each announcement alone.
+        The float64 mode keeps the staged normalize→center→project
+        structure of the reference pipeline; the float32 tolerance mode
+        accumulates the fused affine projection.
+        """
+        x = np.asarray(features, dtype=self._dtype)
+        if x.ndim != 2:
+            raise ValueError(f"expected (k, p) feature rows, got shape {x.shape}")
+        if self.compute_dtype != "float64":
+            weights = self.fused_weights_  # (p, q)
+            scores = np.empty((x.shape[0], weights.shape[1]), dtype=self._dtype)
+            scores[:] = self.fused_bias_
+            scratch = np.empty_like(scores)
+            for j in range(weights.shape[0]):
+                np.multiply(x[:, j][:, None], weights[j][None, :], out=scratch)
+                scores += scratch
+            return self.knn.predict_rows(scores)
+        centered = self.preprocessor.transform_features(x)
+        centered -= self.pca.mean_
+        components = self.pca.components_  # (q, p)
+        scores = np.multiply(centered[:, 0][:, None], components[:, 0][None, :])
+        scratch = np.empty_like(scores)
+        for j in range(1, centered.shape[1]):
+            np.multiply(centered[:, j][:, None], components[:, j][None, :], out=scratch)
+            scores += scratch
+        return self.knn.predict_rows(scores)

@@ -112,6 +112,29 @@ class ResourceManager:
     # ------------------------------------------------------------------
     # classifier lifecycle
     # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: ClassifierConfig | None = None,
+        *,
+        seed: int = 0,
+        db: ApplicationDB | None = None,
+        model_cache: ModelCache | None = None,
+    ) -> ResourceManager:
+        """Build a manager whose model comes from *config* via the cache.
+
+        The :class:`~repro.serve.protocol.Classifier`-protocol factory:
+        the model itself is fetched lazily (trained on first use) from
+        *model_cache* — the process-wide :func:`shared_model_cache` by
+        default — keyed by ``(config, seed)``.
+        """
+        return cls(
+            db=db if db is not None else ApplicationDB(),
+            seed=seed,
+            config=config,
+            model_cache=model_cache,
+        )
+
     def ensure_trained(self) -> ApplicationClassifier:
         """Fetch (or train) the configured classifier on first use; return it.
 
@@ -156,7 +179,7 @@ class ResourceManager:
         )
         return self.classify(workload, vm_mem_mb=vm_mem_mb)
 
-    def classify_many(
+    def classify_batch(
         self, workloads: Sequence[Workload], *, vm_mem_mb: float = 256.0
     ) -> list[ClassificationResult]:
         """Profile and classify a fleet of workloads in one batched pass.
@@ -167,7 +190,7 @@ class ResourceManager:
         :class:`~repro.serve.batch.BatchClassifier` — results are
         bit-identical to per-run classification, nothing is recorded.
         """
-        with obs_span("manager.classify_many"):
+        with obs_span("manager.classify_batch"):
             classifier = self.ensure_trained()
             runs = []
             for workload in workloads:
@@ -179,7 +202,33 @@ class ResourceManager:
                         seed=self.seed + 1000 + self._profile_counter,
                     )
                 )
-            return BatchClassifier(classifier).classify_many([r.series for r in runs])
+            return BatchClassifier(classifier).classify_batch([r.series for r in runs])
+
+    def classify_many(
+        self, workloads: Sequence[Workload], *, vm_mem_mb: float = 256.0
+    ) -> list[ClassificationResult]:
+        """Deprecated pre-1.2 name of :meth:`classify_batch` (one-release shim)."""
+        warnings.warn(
+            "ResourceManager.classify_many is deprecated and will be removed "
+            "in the next release; use the Classifier protocol method "
+            "ResourceManager.classify_batch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.classify_batch(workloads, vm_mem_mb=vm_mem_mb)
+
+    def classify_stream(self, drains):
+        """Lazily classify a stream of ingest-plane drains.
+
+        The :class:`~repro.serve.protocol.Classifier` streaming verb:
+        each :class:`~repro.ingest.DrainBatch` is regrouped into
+        per-node series and pushed through the vectorized batch kernel,
+        yielding one ``list[ClassificationResult]`` per drain.  Nothing
+        is profiled or recorded — monitoring announcements already carry
+        their measurements.
+        """
+        batch = BatchClassifier(self.ensure_trained())
+        yield from batch.classify_stream(drains)
 
     def learn_many(
         self,
@@ -208,7 +257,7 @@ class ResourceManager:
                         seed=self.seed + 1000 + self._profile_counter,
                     )
                 )
-            results = BatchClassifier(classifier).classify_many([r.series for r in runs])
+            results = BatchClassifier(classifier).classify_batch([r.series for r in runs])
             outcomes = []
             for application, run, result in zip(apps, runs, results):
                 record = RunRecord(

@@ -69,6 +69,9 @@ DEFAULT_DTYPE_POLICY: dict[str, str] = {
     "repro.core.stages": "float64",
     "repro.core.pipeline": "preserve",
     "repro.serve.batch": "preserve",
+    "repro.ingest.ring": "float64",
+    "repro.ingest.plane": "float64",
+    "repro.ingest.timeline": "float64",
 }
 
 #: Valid values of a docstring ``dtype:`` tag.

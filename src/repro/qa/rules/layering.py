@@ -4,11 +4,12 @@ The reproduction is layered bottom-up::
 
     vm, metrics, obs, errors         (leaves: no repro imports)
     workloads, monitoring            (vm + metrics [+ obs])
+    ingest                           (metrics + monitoring [+ obs/errors])
     core                             (metrics + monitoring [+ obs/errors])
     sim                              (metrics, monitoring, vm, workloads [+ obs])
     db                               (core + metrics [+ errors/obs])
     analysis                         (core + metrics [+ errors])
-    serve                            (core, metrics [+ obs/errors])
+    serve                            (core, ingest, metrics [+ obs/errors])
     scheduler                        (everything below experiments)
     experiments                      (everything below manager/cli)
     manager                          (everything below cli [+ obs/serve])
@@ -20,7 +21,11 @@ The reproduction is layered bottom-up::
 cycle; it must never import back into the tree.  ``errors`` is the
 equally cross-cutting exception leaf: any layer may raise from it, it
 imports nothing back.  ``serve`` is the batched serving layer over
-``core``; only ``manager`` and ``cli`` may depend on it.
+``core``; only ``manager`` and ``cli`` may depend on it.  ``ingest`` is
+the streaming buffer plane between ``monitoring`` (producer) and the
+consumers above ``core``: it may look down at monitoring/metrics only,
+and only ``serve`` and ``cli`` may look down at it (``core`` reaches the
+plane by duck typing, never by import).
 
 Violations of this DAG created the original ``metrics → analysis``
 cycle; this rule keeps it from regrowing.  Imports guarded by
@@ -46,11 +51,12 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "qa": frozenset(),
     "workloads": frozenset({"metrics", "vm"}),
     "monitoring": frozenset({"metrics", "obs", "vm"}),
+    "ingest": frozenset({"errors", "metrics", "monitoring", "obs"}),
     "core": frozenset({"errors", "metrics", "monitoring", "obs"}),
     "sim": frozenset({"errors", "metrics", "monitoring", "obs", "vm", "workloads"}),
     "db": frozenset({"core", "errors", "metrics", "obs"}),
     "analysis": frozenset({"core", "errors", "metrics"}),
-    "serve": frozenset({"core", "errors", "metrics", "obs"}),
+    "serve": frozenset({"core", "errors", "ingest", "metrics", "obs"}),
     "scheduler": frozenset(
         {"core", "db", "errors", "metrics", "monitoring", "obs", "sim", "vm", "workloads"}
     ),
@@ -93,6 +99,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "db",
             "errors",
             "experiments",
+            "ingest",
             "manager",
             "metrics",
             "monitoring",

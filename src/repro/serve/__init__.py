@@ -5,8 +5,11 @@ deployment watching a fleet classifies hundreds of short monitoring
 windows per scheduling round.  This package is the serving layer for
 that regime:
 
+- :class:`~repro.serve.protocol.Classifier` — the 1.2.0 unified
+  protocol (``classify`` / ``classify_batch`` / ``classify_stream``)
+  every classification front end satisfies;
 - :class:`~repro.serve.batch.BatchClassifier` — vectorized
-  ``classify_many`` over many snapshot series, **bit-identical** to the
+  ``classify_batch`` over many snapshot series, **bit-identical** to the
   sequential ``classify_series`` path at a multiple of its throughput;
 - :class:`~repro.serve.service.ClassificationService` — bounded-queue
   micro-batching front end (flush on size or time) with explicit
@@ -15,7 +18,12 @@ that regime:
   :class:`~repro.core.config.ClassifierConfig`, shared across managers
   and workers;
 - :func:`~repro.serve.bench.run_throughput_benchmark` — the
-  sequential-vs-batched measurement behind ``repro serve bench``.
+  sequential-vs-batched measurement behind ``repro serve bench``;
+- :func:`~repro.serve.stream.run_ingest_benchmark` and
+  :func:`~repro.serve.stream.drain_to_series` — the ingest-plane
+  consumers: per-announcement vs drained-batch timing behind
+  ``repro ingest bench``, and drain→series regrouping for the
+  micro-batcher (``ClassificationService.submit_drain``).
 
 Typical use::
 
@@ -31,14 +39,20 @@ from __future__ import annotations
 from .batch import BatchClassifier
 from .bench import ServeBenchResult, run_throughput_benchmark
 from .cache import ModelCache, Trainer
+from .protocol import Classifier
 from .service import ClassificationService, ServiceStats
+from .stream import IngestBenchResult, drain_to_series, run_ingest_benchmark
 
 __all__ = [
     "BatchClassifier",
     "ClassificationService",
+    "Classifier",
+    "IngestBenchResult",
     "ModelCache",
     "ServeBenchResult",
     "ServiceStats",
     "Trainer",
+    "drain_to_series",
+    "run_ingest_benchmark",
     "run_throughput_benchmark",
 ]

@@ -34,7 +34,8 @@ and sequential).
 
 from __future__ import annotations
 
-from typing import Sequence
+import warnings
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -70,7 +71,67 @@ class BatchClassifier:
             raise NotTrainedError("batch classification requires a trained classifier")
         self.classifier = classifier
 
+    @classmethod
+    def from_config(
+        cls, config, *, model_source, seed: int = 0
+    ) -> "BatchClassifier":
+        """Build a batch classifier from a ``ClassifierConfig``.
+
+        *model_source* is anything with ``get(config, seed=...)``
+        returning a trained classifier — in practice a
+        :class:`~repro.serve.cache.ModelCache` such as
+        ``repro.manager.service.shared_model_cache()``; injected because
+        training recipes live above ``repro.serve`` in the layering DAG.
+        """
+        return cls(model_source.get(config, seed=seed))
+
+    def classify(self, snapshot: SnapshotSeries) -> ClassificationResult:
+        """Classify one series (the unified protocol entry point).
+
+        Single-series form of :meth:`classify_batch` — same validation,
+        same stacked kernel, bit-identical to the sequential
+        ``classify_series`` path.
+
+        Raises
+        ------
+        NotTrainedError
+            If the classifier lost its training since construction.
+        EmptySeriesError
+            If the series is empty.
+        """
+        return self.classify_batch([snapshot])[0]
+
+    def classify_stream(
+        self, drains: Iterable
+    ) -> Iterator[list[ClassificationResult]]:
+        """Classify a stream of ingest-plane drains (protocol entry point).
+
+        *drains* yields ``DrainBatch``-shaped windows; each is regrouped
+        into per-node series (:func:`repro.serve.stream.drain_to_series`)
+        and classified through the stacked kernel, yielding one result
+        list per drained batch (nodes in the batch's node order; nodes
+        with no rows in a window are skipped).  Lazy — drains are
+        consumed as the caller iterates.
+        """
+        from .stream import drain_to_series
+
+        for batch in drains:
+            yield self.classify_batch(drain_to_series(batch))
+
     def classify_many(
+        self, series_list: Sequence[SnapshotSeries]
+    ) -> list[ClassificationResult]:
+        """Deprecated alias of :meth:`classify_batch` (gone in the release after 1.2)."""
+        warnings.warn(
+            "BatchClassifier.classify_many(...) is deprecated and will be "
+            "removed in the next release; use the Classifier protocol method "
+            "classify_batch(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.classify_batch(series_list)
+
+    def classify_batch(
         self, series_list: Sequence[SnapshotSeries]
     ) -> list[ClassificationResult]:
         """Classify every series; results are bit-identical to the sequential path.
@@ -101,20 +162,20 @@ class BatchClassifier:
         if not series_list:
             return []
         with obs_span("serve.batch.classify", clock=clf.clock):
-            results = self._classify_batch(series_list)
+            results = self._run_stacked(series_list)
         if obs_enabled():
-            obs_counter("serve.batch.runs", help="Runs classified by classify_many.").inc(
+            obs_counter("serve.batch.runs", help="Runs classified by classify_batch.").inc(
                 len(results)
             )
             obs_counter(
-                "serve.batch.snapshots", help="Snapshots classified by classify_many."
+                "serve.batch.snapshots", help="Snapshots classified by classify_batch."
             ).inc(sum(r.num_samples for r in results))
         return results
 
     # ------------------------------------------------------------------
     # the stacked kernel
     # ------------------------------------------------------------------
-    def _classify_batch(
+    def _run_stacked(
         self, series_list: Sequence[SnapshotSeries]
     ) -> list[ClassificationResult]:
         clf = self.classifier

@@ -1,7 +1,7 @@
 """Throughput measurement harness for the batched serving kernel.
 
 Times the sequential per-run path (``classify_series`` in a loop)
-against :meth:`BatchClassifier.classify_many` on the same fleet of
+against :meth:`BatchClassifier.classify_batch` on the same fleet of
 snapshot series, verifies bit-identity of every output on the way, and
 reports the speedup.  The fleet itself is supplied by the caller
 (``repro serve bench`` and ``benchmarks/bench_serve_throughput.py``
@@ -80,7 +80,7 @@ def run_dtype_benchmark(
 ) -> DtypeBenchResult:
     """Time the float64 batched path against the float32 tolerance mode.
 
-    Both arms run :meth:`BatchClassifier.classify_many` over the same
+    Both arms run :meth:`BatchClassifier.classify_batch` over the same
     fleet, interleaved with a min-of-repeats estimator exactly like
     :func:`run_throughput_benchmark`.  Correctness is checked before
     timing: the float32 batch must match the float32 sequential path
@@ -106,8 +106,8 @@ def run_dtype_benchmark(
     batch64 = BatchClassifier(classifier_f64)
     batch32 = BatchClassifier(classifier_f32)
 
-    results64 = batch64.classify_many(series_list)
-    results32 = batch32.classify_many(series_list)
+    results64 = batch64.classify_batch(series_list)
+    results32 = batch32.classify_batch(series_list)
     labels64 = np.concatenate([r.class_vector for r in results64])
     labels32 = np.concatenate([r.class_vector for r in results32])
     agreement = float(np.mean(labels64 == labels32))
@@ -116,10 +116,10 @@ def run_dtype_benchmark(
     f32_s = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        batch64.classify_many(series_list)
+        batch64.classify_batch(series_list)
         f64_s = min(f64_s, time.perf_counter() - t0)
         t0 = time.perf_counter()
-        batch32.classify_many(series_list)
+        batch32.classify_batch(series_list)
         f32_s = min(f32_s, time.perf_counter() - t0)
     return DtypeBenchResult(
         num_runs=len(series_list),
@@ -136,7 +136,7 @@ def run_dtype_benchmark(
 def _parity(classifier: ApplicationClassifier, series_list: Sequence[SnapshotSeries]) -> bool:
     """True iff batched outputs match the sequential path bit for bit."""
     sequential = [classifier.classify_series(s) for s in series_list]
-    batched = BatchClassifier(classifier).classify_many(series_list)
+    batched = BatchClassifier(classifier).classify_batch(series_list)
     for seq_r, bat_r in zip(sequential, batched):
         if not np.array_equal(seq_r.class_vector, bat_r.class_vector):
             return False
@@ -182,7 +182,7 @@ def run_throughput_benchmark(
             classifier.classify_series(series)
 
     def batch_pass() -> None:
-        batch.classify_many(series_list)
+        batch.classify_batch(series_list)
 
     sequential_pass()  # warm-up: caches, lazy allocations
     batch_pass()

@@ -1,0 +1,54 @@
+"""The unified ``Classifier`` protocol (public API 1.2.0).
+
+Before 1.2 the tree had three classification entry points with three
+spellings: ``OnlineClassifier.classify_announcement`` (one announcement
+at a time), ``BatchClassifier.classify_many`` (a fleet of series per
+call), and ``ResourceManager.classify`` (one profiled workload).  The
+:class:`Classifier` protocol unifies them behind one structural shape:
+
+* ``classify(snapshot)`` — one unit of work (an announcement, a
+  snapshot series, a workload), one result;
+* ``classify_batch(snapshots)`` — many units in one vectorized call,
+  results in input order;
+* ``classify_stream(drain_iter)`` — a lazy stream of ingest-plane
+  drains (:class:`~repro.ingest.DrainBatch`), one classified window
+  yielded per drain.
+
+The protocol is *structural* (:func:`typing.runtime_checkable`): the
+snapshot and result types are each implementation's own —
+announcements in, ``SnapshotClass`` out for the online path; series in,
+``ClassificationResult`` out for the batch path — and each
+implementation also carries a ``from_config`` factory that builds it
+from a :class:`~repro.core.config.ClassifierConfig` plus an injected
+model source.  The ingest plane's consumer path speaks *only* this
+protocol; the pre-1.2 spellings remain as one-release
+``DeprecationWarning`` shims (``docs/API.md`` § Deprecation policy).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+__all__ = ["Classifier"]
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Structural protocol every classification front end satisfies.
+
+    Implementations: ``repro.core.online.OnlineClassifier``,
+    ``repro.serve.batch.BatchClassifier``, and
+    ``repro.manager.service.ResourceManager``.
+    """
+
+    def classify(self, snapshot) -> object:
+        """Classify one unit of work."""
+        ...
+
+    def classify_batch(self, snapshots: Iterable) -> list:
+        """Classify many units in one vectorized call, in input order."""
+        ...
+
+    def classify_stream(self, drains: Iterable) -> Iterator:
+        """Lazily classify a stream of drained ingest windows."""
+        ...

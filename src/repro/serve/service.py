@@ -305,6 +305,28 @@ class ClassificationService:
         """Blocking convenience: :meth:`submit` and wait for the result."""
         return self.submit(series).result(timeout=timeout)
 
+    def submit_drain(self, batch) -> list[Future[ClassificationResult]]:
+        """Enqueue an ingest-plane drain as per-node series requests.
+
+        Regroups a :class:`~repro.ingest.DrainBatch` into per-node
+        series (:func:`~repro.serve.stream.drain_to_series`) and submits
+        each — the route from the streaming ingest plane into the
+        micro-batcher, keeping its backpressure and draining-shutdown
+        semantics.  Returns one future per node with rows in the drain,
+        in the drain's node order.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            If the bounded queue fills mid-drain (already-submitted
+            futures stay live; the rest of the drain is shed).
+        RuntimeError
+            After shutdown.
+        """
+        from .stream import drain_to_series
+
+        return [self.submit(series) for series in drain_to_series(batch)]
+
     @property
     def stats(self) -> ServiceStats:
         """Lifetime request/batch counters (a consistent snapshot)."""
@@ -366,7 +388,7 @@ class ClassificationService:
                 buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
             ).observe(len(batch))
         try:
-            results = self.batch.classify_many([r.series for r in batch])
+            results = self.batch.classify_batch([r.series for r in batch])
         except Exception as exc:  # propagate to every waiting caller
             for request in batch:
                 request.future.set_exception(exc)

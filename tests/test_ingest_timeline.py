@@ -1,0 +1,76 @@
+"""Merged announcement timeline: the heap reference vs the vectorized merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ingest import iter_merged, stable_merge_order
+
+
+def merge_via_heap(segments):
+    """Flatten segments through the k-way heap reference, keeping labels."""
+    return [(ts, seg, elem) for ts, seg, elem in iter_merged(segments)]
+
+
+def merge_via_argsort(segments):
+    """Flatten segments through the vectorized merge, keeping labels."""
+    lengths = [len(s) for s in segments]
+    flat = np.concatenate([np.asarray(s, dtype=np.float64) for s in segments])
+    seg_of = np.repeat(np.arange(len(segments)), lengths)
+    elem_of = np.concatenate([np.arange(n) for n in lengths])
+    order = stable_merge_order(flat)
+    return [(float(flat[i]), int(seg_of[i]), int(elem_of[i])) for i in order]
+
+
+class TestEquivalence:
+    def test_simple_interleave(self):
+        segments = [[1.0, 4.0, 7.0], [2.0, 3.0, 8.0], [0.5, 6.0]]
+        assert merge_via_heap(segments) == merge_via_argsort(segments)
+
+    def test_ties_break_in_segment_order(self):
+        segments = [[1.0, 2.0], [1.0, 2.0], [1.0]]
+        merged = merge_via_heap(segments)
+        assert merged == [
+            (1.0, 0, 0),
+            (1.0, 1, 0),
+            (1.0, 2, 0),
+            (2.0, 0, 1),
+            (2.0, 1, 1),
+        ]
+        assert merged == merge_via_argsort(segments)
+
+    def test_empty_segments_are_skipped(self):
+        segments = [[], [3.0], [], [1.0, 2.0]]
+        merged = merge_via_heap(segments)
+        assert [ts for ts, _, _ in merged] == [1.0, 2.0, 3.0]
+        assert merged == merge_via_argsort(segments)
+
+    def test_all_empty(self):
+        assert merge_via_heap([[], []]) == []
+        assert stable_merge_order(np.empty(0)).shape == (0,)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_with_heavy_ties(self, seed):
+        rng = np.random.default_rng(seed)
+        segments = []
+        for _ in range(rng.integers(2, 7)):
+            n = int(rng.integers(0, 40))
+            # Coarse quantization forces many cross-segment ties.
+            segments.append(sorted(np.round(rng.uniform(0, 10, n) * 2) / 2))
+        assert merge_via_heap(segments) == merge_via_argsort(segments)
+
+
+class TestContract:
+    def test_output_is_globally_sorted(self):
+        rng = np.random.default_rng(7)
+        segments = [sorted(rng.uniform(0, 100, 25)) for _ in range(4)]
+        ts = [t for t, _, _ in merge_via_heap(segments)]
+        assert ts == sorted(ts)
+
+    def test_within_segment_order_is_preserved(self):
+        segments = [[5.0, 5.0, 5.0], [5.0, 5.0]]
+        merged = merge_via_heap(segments)
+        for seg in (0, 1):
+            elems = [e for _, s, e in merged if s == seg]
+            assert elems == sorted(elems)

@@ -82,20 +82,20 @@ class TestLearning:
 
 
 class TestBatchPaths:
-    def test_classify_many_matches_sequential(self, classifier):
+    def test_classify_batch_matches_sequential(self, classifier):
         jobs = [cpu_job(30.0), io_job(30.0), cpu_job(40.0)]
         batched_mgr = ResourceManager(classifier=classifier, seed=11)
         sequential_mgr = ResourceManager(classifier=classifier, seed=11)
-        batched = batched_mgr.classify_many(jobs)
+        batched = batched_mgr.classify_batch(jobs)
         sequential = [sequential_mgr.classify(job) for job in jobs]
         for bat, seq in zip(batched, sequential):
             assert np.array_equal(bat.class_vector, seq.class_vector)
             assert np.array_equal(bat.scores, seq.scores)
             assert bat.application_class is seq.application_class
 
-    def test_classify_many_does_not_record(self, classifier):
+    def test_classify_batch_does_not_record(self, classifier):
         mgr = ResourceManager(classifier=classifier, seed=11)
-        mgr.classify_many([cpu_job(30.0), io_job(30.0)])
+        mgr.classify_batch([cpu_job(30.0), io_job(30.0)])
         assert mgr.db.total_runs() == 0
 
     def test_learn_many_records_every_run(self, classifier):

@@ -666,11 +666,11 @@ class TestNumericsReport:
         payload = json.loads(capsys.readouterr().out)
         kernels = {k["module"] + "." + k["function"] for k in payload["kernels"]}
         assert "repro.core.knn.pairwise_sq_distances" in kernels
-        assert "repro.serve.batch.BatchClassifier._classify_batch" in kernels
+        assert "repro.serve.batch.BatchClassifier._run_stacked" in kernels
         batch = next(
             k
             for k in payload["kernels"]
-            if k["function"] == "BatchClassifier._classify_batch"
+            if k["function"] == "BatchClassifier._run_stacked"
         )
         assert batch["declared"] == "preserve"
         # The stacked kernel writes through preallocated buffers.

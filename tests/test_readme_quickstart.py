@@ -22,7 +22,7 @@ def test_readme_serve_snippet():
 
     classifier = shared_model_cache().get()
     series_list = [profiled_run(postmark(), seed=42).series]
-    results = BatchClassifier(classifier).classify_many(series_list)
+    results = BatchClassifier(classifier).classify_batch(series_list)
     assert results[0].application_class.name == "IO"
 
     with ClassificationService(classifier, batch_size=16) as service:
@@ -31,10 +31,27 @@ def test_readme_serve_snippet():
     assert results[0].application_class.name == "IO"
 
 
+def test_readme_ingest_snippet():
+    from repro.core.online import OnlineClassifier
+    from repro.ingest import IngestPlane, MulticastChannel, synthetic_fleet
+    from repro.manager.service import shared_model_cache
+
+    classifier = shared_model_cache().get()
+    channel = MulticastChannel()
+    plane = IngestPlane(channel, lateness_s=5.0)
+    online = OnlineClassifier(classifier, plane)
+
+    for announcement in synthetic_fleet(4, 8, seed=1):
+        channel.announce(announcement)
+    window = online.pump(flush=True)
+    assert len(window) == 32
+    assert len(online.nodes()) == 4
+
+
 def test_package_version_importable():
     import repro
 
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
     # Every advertised subpackage is importable from the root.
     for name in repro.__all__:
         if name != "__version__":

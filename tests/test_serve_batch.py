@@ -33,7 +33,7 @@ def batch(classifier):
 class TestParity:
     def test_bit_identical_to_sequential(self, classifier, batch, fleet):
         sequential = [classifier.classify_series(s) for s in fleet]
-        batched = batch.classify_many(fleet)
+        batched = batch.classify_batch(fleet)
         assert len(batched) == len(fleet)
         for seq, bat in zip(sequential, batched):
             assert np.array_equal(seq.class_vector, bat.class_vector)
@@ -45,29 +45,29 @@ class TestParity:
             assert seq.node == bat.node
 
     def test_order_preserved(self, batch, fleet):
-        results = batch.classify_many(fleet)
+        results = batch.classify_batch(fleet)
         for series, result in zip(fleet, results):
             assert result.node == series.node
             assert result.num_samples == len(series)
 
     def test_single_run_batch(self, classifier, batch, fleet):
-        (result,) = batch.classify_many(fleet[:1])
+        (result,) = batch.classify_batch(fleet[:1])
         expected = classifier.classify_series(fleet[0])
         assert np.array_equal(result.class_vector, expected.class_vector)
         assert np.array_equal(result.scores, expected.scores)
 
     def test_results_are_independent_copies(self, batch, fleet):
-        results = batch.classify_many(fleet[:2])
+        results = batch.classify_batch(fleet[:2])
         results[0].class_vector[:] = -1
         results[0].scores[:] = 0.0
-        again = batch.classify_many(fleet[:2])
+        again = batch.classify_batch(fleet[:2])
         assert again[1].class_vector.min() >= 0
         assert not np.shares_memory(results[1].class_vector, again[1].class_vector)
 
 
 class TestTimings:
     def test_timings_sum_to_batch_totals(self, batch, fleet):
-        results = batch.classify_many(fleet)
+        results = batch.classify_batch(fleet)
         for stage in ("preprocess_s", "pca_s", "classify_s", "vote_s"):
             total = sum(getattr(r.timings, stage) for r in results)
             assert total >= 0.0
@@ -76,7 +76,7 @@ class TestTimings:
 
 class TestRejection:
     def test_empty_input_returns_empty(self, batch):
-        assert batch.classify_many([]) == []
+        assert batch.classify_batch([]) == []
 
     def test_empty_series_rejects_whole_batch(self, batch, fleet):
         empty = SnapshotSeries(
@@ -85,10 +85,10 @@ class TestRejection:
             matrix=np.empty((fleet[0].matrix.shape[0], 0), dtype=np.float64),
         )
         with pytest.raises(EmptySeriesError):
-            batch.classify_many([fleet[0], empty])
+            batch.classify_batch([fleet[0], empty])
         # Dual inheritance: pre-1.1 except ValueError still catches.
         with pytest.raises(ValueError):
-            batch.classify_many([empty])
+            batch.classify_batch([empty])
 
     def test_untrained_classifier_rejected(self):
         with pytest.raises(NotTrainedError):

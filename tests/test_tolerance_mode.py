@@ -144,7 +144,7 @@ class TestFloat32BitIdentity:
     def test_batched_matches_sequential_bitwise(self, classifier_f32, table2_corpus):
         series_list = [s for _, s in table2_corpus]
         sequential = [classifier_f32.classify_series(s) for s in series_list]
-        batched = BatchClassifier(classifier_f32).classify_many(series_list)
+        batched = BatchClassifier(classifier_f32).classify_batch(series_list)
         for seq, bat in zip(sequential, batched):
             assert np.array_equal(seq.class_vector, bat.class_vector)
             assert np.array_equal(seq.scores, bat.scores)
