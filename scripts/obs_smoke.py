@@ -6,9 +6,13 @@ urllib:
 
 * ``/metrics``  — 200, Prometheus content type, parseable text format
   (every non-comment line is ``name{labels} value``), trailing newline;
+* ``/metrics.json`` — 200 JSON with a recorder-backed ``windows`` list
+  and at least one histogram carrying trace exemplars;
 * ``/healthz``  — 200 with an ``"OK"`` overall verdict (a fresh
   profiling run must not page);
-* ``/readyz``   — 200 while serving.
+* ``/readyz``   — 200 while serving;
+* ``/profilez`` — 200 (the server runs with ``--profile``) with
+  non-empty ``span;folded;stack count`` collapsed lines.
 
 Finally sends SIGINT and asserts the server shuts down cleanly (exit
 status 0, "telemetry server stopped" on stdout).  Stdlib only; exits
@@ -29,6 +33,8 @@ BANNER = re.compile(r"serving telemetry on (http://\S+)")
 SAMPLE_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$"
 )
+#: Collapsed flame-stack line: ``span;module.func;... count``.
+COLLAPSED_LINE = re.compile(r"^.+ \d+$")
 
 
 def fail(msg: str) -> "None":
@@ -64,6 +70,46 @@ def check_metrics(base: str) -> None:
     print(f"obs_smoke: /metrics ok ({samples} samples)")
 
 
+def check_metrics_json(base: str) -> None:
+    """Assert /metrics.json carries recorder windows and trace exemplars."""
+    status, ctype, body = fetch(base + "/metrics.json")
+    if status != 200:
+        fail(f"/metrics.json returned {status}")
+    if not ctype.startswith("application/json"):
+        fail(f"/metrics.json content type {ctype!r}")
+    payload = json.loads(body)
+    windows = payload.get("windows")
+    if not isinstance(windows, list) or not windows:
+        fail("/metrics.json has no recorder windows")
+    exemplars = [
+        ex
+        for histogram in payload.get("histograms", [])
+        for ex in histogram.get("exemplars", [])
+    ]
+    if not exemplars:
+        fail("/metrics.json exposed no histogram exemplars after a traced run")
+    if not all("trace_id" in ex and "value" in ex for ex in exemplars):
+        fail(f"/metrics.json exemplars malformed: {exemplars[:3]!r}")
+    print(
+        f"obs_smoke: /metrics.json ok ({len(windows)} windows, "
+        f"{len(exemplars)} exemplars)"
+    )
+
+
+def check_profilez(base: str) -> None:
+    """Assert /profilez serves non-empty collapsed flame stacks."""
+    status, _, body = fetch(base + "/profilez")
+    if status != 200:
+        fail(f"/profilez returned {status}: {body!r}")
+    lines = [line for line in body.splitlines() if line]
+    if not lines:
+        fail("/profilez is empty — the profiler recorded no samples")
+    for line in lines:
+        if not COLLAPSED_LINE.match(line):
+            fail(f"/profilez line not collapsed-stack format: {line!r}")
+    print(f"obs_smoke: /profilez ok ({len(lines)} stacks)")
+
+
 def check_healthz(base: str) -> None:
     """Assert /healthz reports an overall OK verdict."""
     status, _, body = fetch(base + "/healthz")
@@ -86,7 +132,7 @@ def check_readyz(base: str) -> None:
 def main() -> int:
     """Run the smoke test; return a process exit status."""
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "obs", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro", "obs", "serve", "--port", "0", "--profile"],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -103,8 +149,10 @@ def main() -> int:
         if base is None:
             fail(f"server exited (status {proc.wait()}) before printing its URL")
         check_metrics(base)
+        check_metrics_json(base)
         check_healthz(base)
         check_readyz(base)
+        check_profilez(base)
         proc.send_signal(signal.SIGINT)
         try:
             rest = proc.stdout.read()

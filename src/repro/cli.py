@@ -11,8 +11,9 @@ Usage::
     python -m repro cost [--samples N]
     python -m repro serve bench [--runs N] [--repeats N] [--compute-dtype D] [--json]
     python -m repro ingest bench [--nodes N] [--per-node N] [--repeats N] [--json]
-    python -m repro obs dump [--app KEY] [--format prometheus|json] [--output FILE]
-    python -m repro obs serve [--app KEY] [--port N] [--duration S]
+    python -m repro obs dump [--app KEY] [--format prometheus|json|trace] [--trace ID]
+    python -m repro obs serve [--app KEY] [--port N] [--duration S] [--profile]
+    python -m repro obs profile [--app KEY] [--interval S] [--output FILE]
     python -m repro obs top [--app KEY] [--window S]
     python -m repro obs slo [--app KEY]
     python -m repro obs reset
@@ -142,6 +143,12 @@ def _build_parser() -> argparse.ArgumentParser:
     d.add_argument(
         "--output", default=None, help="write the dump to FILE instead of stdout"
     )
+    d.add_argument(
+        "--trace",
+        type=int,
+        default=None,
+        help="with --format trace: render only this request trace id",
+    )
 
     s = obs_sub.add_parser(
         "serve",
@@ -158,6 +165,26 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="serve for this many seconds then exit (default: until Ctrl-C)",
+    )
+    s.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the sampling profiler and expose its stacks on /profilez",
+    )
+
+    pf = obs_sub.add_parser(
+        "profile",
+        help="sample the profiled run with the stdlib profiler; print folded stacks",
+    )
+    _obs_run_args(pf)
+    pf.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="sampling interval in seconds (default: REPRO_OBS_PROFILER_INTERVAL or 0.01)",
+    )
+    pf.add_argument(
+        "--output", default=None, help="write the collapsed stacks to FILE instead of stdout"
     )
 
     t = obs_sub.add_parser("top", help="snapshot table of recorded metric series")
@@ -351,7 +378,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def _obs_profile(args: argparse.Namespace) -> int:
-    """Profile + learn the requested app with collection on; 0 on success."""
+    """Profile + learn the requested app with collection on; 0 on success.
+
+    The run is wrapped in a request trace so its spans carry a trace id
+    (exemplars in ``/metrics.json``, filterable via ``--trace``).
+    """
     try:
         e = entry(args.app)
     except KeyError:
@@ -359,7 +390,12 @@ def _obs_profile(args: argparse.Namespace) -> int:
         return 2
     manager = ResourceManager(seed=args.seed)
     mem = args.mem if args.mem is not None else e.vm_mem_mb
-    manager.profile_and_learn(args.app, e.build(), vm_mem_mb=mem)
+    registry = obs.get_registry()
+    ctx = registry.start_trace("cli.profile", mark="cli.begin")
+    with obs.span("cli.profile_and_learn", parent=ctx):
+        manager.profile_and_learn(args.app, e.build(), vm_mem_mb=mem)
+    if ctx:
+        registry.finish_trace(ctx, registry.clock())
     return 0
 
 
@@ -368,7 +404,7 @@ def _cmd_obs_dump(args: argparse.Namespace) -> int:
     if args.format == "json":
         text = obs.render_json(registry) + "\n"
     elif args.format == "trace":
-        rendered = obs.render_trace(registry.spans())
+        rendered = obs.render_trace(registry.spans(), trace_id=args.trace)
         text = rendered + "\n" if rendered else ""
     elif args.format == "events":
         text = obs.render_events_jsonl(registry.events())
@@ -384,21 +420,23 @@ def _cmd_obs_dump(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_obs_serve(args: argparse.Namespace) -> int:
+def _cmd_obs_serve(
+    args: argparse.Namespace, profiler: "obs.SamplingProfiler | None" = None
+) -> int:
     import threading
 
     registry = obs.get_registry()
     recorder = obs.MetricsRecorder(registry, interval_s=args.interval)
     recorder.sample()
     server = obs.TelemetryServer(
-        recorder=recorder, host=args.host, port=args.port
+        recorder=recorder, host=args.host, port=args.port, profiler=profiler
     ).start()
     recorder.start()
     print(f"serving telemetry on {server.url}", flush=True)
-    print(
-        "endpoints: /metrics /metrics.json /healthz /readyz /tracez /eventz",
-        flush=True,
-    )
+    endpoints = "endpoints: /metrics /metrics.json /healthz /readyz /tracez /eventz"
+    if profiler is not None:
+        endpoints += " /profilez"
+    print(endpoints, flush=True)
     try:
         if args.duration is not None:
             threading.Event().wait(args.duration)
@@ -410,7 +448,31 @@ def _cmd_obs_serve(args: argparse.Namespace) -> int:
     finally:
         recorder.stop()
         server.stop()
+        if profiler is not None:
+            profiler.stop()
     print("telemetry server stopped")
+    return 0
+
+
+def _cmd_obs_profile_verb(args: argparse.Namespace) -> int:
+    """Run the profiled workload under the sampling profiler."""
+    profiler = obs.SamplingProfiler(interval_s=args.interval)
+    profiler.start()
+    try:
+        if not args.no_run:
+            status = _obs_profile(args)
+            if status != 0:
+                return status
+    finally:
+        profiler.stop()
+    text = profiler.render_collapsed()
+    if args.output is not None:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {profiler.samples} samples to {args.output}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -435,6 +497,16 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print("observability registry reset")
         return 0
     obs.enable()
+    if args.obs_command == "profile":
+        # The profiler must be live *during* the run, so this verb
+        # handles --no-run itself instead of the shared path below.
+        return _cmd_obs_profile_verb(args)
+    # With `serve --profile` the sampler likewise starts ahead of the
+    # profiled run, so /profilez already holds the run's stacks.
+    profiler = None
+    if args.obs_command == "serve" and args.profile:
+        profiler = obs.SamplingProfiler()
+        profiler.start()
     # top/slo bracket the profiled run with two scrapes so windowed
     # rates cover the run itself.
     recorder = None
@@ -444,11 +516,13 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if not args.no_run:
         status = _obs_profile(args)
         if status != 0:
+            if profiler is not None:
+                profiler.stop()
             return status
     if args.obs_command == "dump":
         return _cmd_obs_dump(args)
     if args.obs_command == "serve":
-        return _cmd_obs_serve(args)
+        return _cmd_obs_serve(args, profiler)
     if args.obs_command == "top":
         assert recorder is not None
         return _cmd_obs_top(args, recorder)

@@ -358,23 +358,40 @@ class ApplicationClassifier:
             t1 = clock()
             timings.preprocess_s = t1 - t
 
-            t = clock()
+            t_pca = clock()
             if tolerance:
                 scores = features @ self.fused_weights_
                 scores += self.fused_bias_
             else:
                 scores = self.pca.transform(features)
-            timings.pca_s = clock() - t
+            timings.pca_s = clock() - t_pca
 
-            t = clock()
+            t_knn = clock()
             class_vector = self.knn.predict(scores)
-            timings.classify_s = clock() - t
+            timings.classify_s = clock() - t_knn
 
-            t = clock()
+            t_vote = clock()
             composition = ClassComposition.from_class_vector(class_vector)
             app_class = majority_vote(class_vector)
             category = application_category(composition)
-            timings.vote_s = clock() - t
+            timings.vote_s = clock() - t_vote
+
+            # Under a request trace (an enclosing span carrying a
+            # nonzero trace id) the per-stage latencies become child
+            # spans too — synthesized from the clock reads already
+            # taken, so tracing adds zero extra clock calls here.
+            if timed:
+                registry = obs_get_registry()
+                if registry.current_trace_id():
+                    registry.emit_spans(
+                        (
+                            ("pipeline.stage.filter", t0, t_filter - t0),
+                            ("pipeline.stage.normalize", t_filter, t1 - t_filter),
+                            ("pipeline.stage.pca", t_pca, timings.pca_s),
+                            ("pipeline.stage.knn", t_knn, timings.classify_s),
+                            ("pipeline.stage.postprocess", t_vote, timings.vote_s),
+                        )
+                    )
         if timed:
             stage_hists, snapshots_c, runs_c = self._obs_instruments()
             for stage, duration in (

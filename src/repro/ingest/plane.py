@@ -47,6 +47,7 @@ from ..obs import (
     enabled as obs_enabled,
     event as obs_event,
     gauge as obs_gauge,
+    get_registry as obs_get_registry,
     histogram as obs_histogram,
 )
 from .ring import AnnouncementRing, DEFAULT_RING_CAPACITY
@@ -84,6 +85,14 @@ class DrainBatch:
     timestamps: np.ndarray
     values: np.ndarray
     watermark: float
+    #: Request-trace ids per row (0 where tracing was off at push time);
+    #: ``None`` on batches built without the trace columns.
+    trace_ids: np.ndarray | None = None
+    #: Registry-clock reading at each row's ``push()`` (0.0 untraced).
+    enqueued_s: np.ndarray | None = None
+    #: Registry-clock reading when this batch was drained (0.0 when
+    #: observability was off), the trace's ``ingest.drain`` mark.
+    drained_s: float = 0.0
 
     def __len__(self) -> int:
         """Number of announcements in the batch."""
@@ -173,9 +182,13 @@ class IngestPlane:
         self._batch_ts: np.ndarray | None = None
         self._batch_vals: np.ndarray | None = None
         self._batch_nodes: np.ndarray | None = None
+        self._batch_tid: np.ndarray | None = None
+        self._batch_enq: np.ndarray | None = None
         self._out_ts = np.empty(0, dtype=np.float64)
         self._out_vals = np.empty((0, NUM_METRICS), dtype=np.float64)
         self._out_nodes = np.empty(0, dtype=np.intp)
+        self._out_tid = np.empty(0, dtype=np.int64)
+        self._out_enq = np.empty(0, dtype=np.float64)
         self._callback = self._on_announcement
         self._attached = False
         if channel is not None:
@@ -239,7 +252,11 @@ class IngestPlane:
         *values* is the node's full length-33 metric vector.  This is
         the per-announcement hot path: one dict lookup, the
         late/duplicate checks, and two array-row writes — no Python
-        object is created for the announcement.
+        object is created for the announcement.  While observability is
+        on, each accepted announcement also mints a request-trace id and
+        stamps the registry clock into the ring's parallel trace
+        columns, so the trace survives the ring boundary without
+        carrying any object.
         """
         self._received += 1
         timestamp = float(timestamp)
@@ -280,7 +297,13 @@ class IngestPlane:
                     "ingest.announcements.late",
                     help="Late announcements accepted behind the frontier.",
                 ).inc()
-        if not ring.push(timestamp, values) and obs_enabled():
+        trace_id = 0
+        enqueued_s = 0.0
+        if obs_enabled():
+            registry = obs_get_registry()
+            trace_id = registry.next_trace_id()
+            enqueued_s = registry.clock()
+        if not ring.push(timestamp, values, trace_id, enqueued_s) and obs_enabled():
             obs_counter(
                 "ingest.announcements.dropped",
                 help="Announcements the ingest plane discarded.",
@@ -349,9 +372,13 @@ class IngestPlane:
         self._batch_ts = np.empty(need, dtype=np.float64)
         self._batch_vals = np.empty((need, NUM_METRICS), dtype=np.float64)
         self._batch_nodes = np.empty(need, dtype=np.intp)
+        self._batch_tid = np.empty(need, dtype=np.int64)
+        self._batch_enq = np.empty(need, dtype=np.float64)
         self._out_ts = np.empty(need, dtype=np.float64)
         self._out_vals = np.empty((need, NUM_METRICS), dtype=np.float64)
         self._out_nodes = np.empty(need, dtype=np.intp)
+        self._out_tid = np.empty(need, dtype=np.int64)
+        self._out_enq = np.empty(need, dtype=np.float64)
         self._scratch_rows = need
 
     def drain(self, max_rows: int | None = None, *, flush: bool = False) -> DrainBatch:
@@ -383,6 +410,8 @@ class IngestPlane:
                 timestamps=self._out_ts[:0],
                 values=self._out_vals[:0],
                 watermark=float(watermark),
+                trace_ids=self._out_tid[:0],
+                enqueued_s=self._out_enq[:0],
             )
         self._ensure_buffers()
         if max_rows is not None and total > max_rows:
@@ -404,16 +433,25 @@ class IngestPlane:
         offset = 0
         for ring_id, ring in enumerate(self._rings):
             n = int(taken[ring_id])
-            ring.drain_into(n, self._batch_ts[offset:], self._batch_vals[offset:])
+            ring.drain_into(
+                n,
+                self._batch_ts[offset:],
+                self._batch_vals[offset:],
+                self._batch_tid[offset:],
+                self._batch_enq[offset:],
+            )
             self._batch_nodes[offset : offset + n] = ring_id
             offset += n
         order = stable_merge_order(self._batch_ts[:total])
         np.take(self._batch_ts[:total], order, axis=0, out=self._out_ts[:total])
         np.take(self._batch_nodes[:total], order, axis=0, out=self._out_nodes[:total])
         np.take(self._batch_vals[:total], order, axis=0, out=self._out_vals[:total])
+        np.take(self._batch_tid[:total], order, axis=0, out=self._out_tid[:total])
+        np.take(self._batch_enq[:total], order, axis=0, out=self._out_enq[:total])
         self._frontier = max(self._frontier, float(self._out_ts[total - 1]))
         self._drains += 1
         self._drained_rows += total
+        drained_s = obs_get_registry().clock() if timed else 0.0
         if timed:
             self._observe_drain(total, t0)
         return DrainBatch(
@@ -422,6 +460,9 @@ class IngestPlane:
             timestamps=self._out_ts[:total],
             values=self._out_vals[:total],
             watermark=float(watermark),
+            trace_ids=self._out_tid[:total],
+            enqueued_s=self._out_enq[:total],
+            drained_s=drained_s,
         )
 
     def _observe_drain(self, rows: int, t0: float) -> None:
@@ -452,7 +493,10 @@ def ingest_slo_rules() -> tuple[SloRule, ...]:
       (the lateness budget is too tight for the observed reordering);
     * ``ingest-ring-occupancy`` — worst per-node ring fill fraction
       (capacity-relative, so the thresholds hold for any ring size);
-    * ``ingest-drain-p99-seconds`` — drain gather+merge p99 latency.
+    * ``ingest-drain-p99-seconds`` — drain gather+merge p99 latency;
+    * ``ingest-drain-to-classify-p99`` — p99 latency from a batch's
+      drain to its batch compute (the request-trace attribution
+      histogram covering the ingest→serve hand-off).
     """
     return (
         SloRule(
@@ -483,6 +527,14 @@ def ingest_slo_rules() -> tuple[SloRule, ...]:
             metric="ingest.drain.seconds",
             warn=0.05,
             page=0.5,
+            quantile=0.99,
+        ),
+        SloRule(
+            name="ingest-drain-to-classify-p99",
+            kind="histogram_quantile",
+            metric="ingest.drain_to_classify.seconds",
+            warn=0.1,
+            page=1.0,
             quantile=0.99,
         ),
     )

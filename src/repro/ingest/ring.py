@@ -59,6 +59,11 @@ class AnnouncementRing:
         self.capacity = int(capacity)
         self.timestamps = np.empty(self.capacity, dtype=np.float64)
         self.values = np.empty((self.capacity, NUM_METRICS), dtype=np.float64)
+        # Request-trace carriage: trace id and enqueue clock reading per
+        # buffered announcement (0 / 0.0 when tracing is off).  Parallel
+        # arrays, not objects — the zero-object invariant holds.
+        self.trace_ids = np.zeros(self.capacity, dtype=np.int64)
+        self.enqueued_s = np.zeros(self.capacity, dtype=np.float64)
         self._start = 0
         self._count = 0
         #: Lifetime announcements accepted into the ring.
@@ -72,14 +77,21 @@ class AnnouncementRing:
     # ------------------------------------------------------------------
     # producer side
     # ------------------------------------------------------------------
-    def push(self, timestamp: float, values: np.ndarray) -> bool:
+    def push(
+        self,
+        timestamp: float,
+        values: np.ndarray,
+        trace_id: int = 0,
+        enqueued_s: float = 0.0,
+    ) -> bool:
         """Buffer one announcement; returns False when an old entry was dropped.
 
         *values* must be the node's full length-33 metric vector (any
         other length fails the row assignment).  A timestamp older than
         the newest buffered one is accepted — the ring re-sorts lazily
         on the next ordered read — so bounded network reordering never
-        loses data at this layer.
+        loses data at this layer.  *trace_id*/*enqueued_s* ride along in
+        parallel arrays so a request trace survives the ring boundary.
         """
         dropped = self._count == self.capacity
         if dropped:
@@ -92,6 +104,8 @@ class AnnouncementRing:
             slot = (self._start + self._count) % self.capacity
         self.timestamps[slot] = timestamp
         self.values[slot] = values
+        self.trace_ids[slot] = trace_id
+        self.enqueued_s[slot] = enqueued_s
         self._count += 1
         self.pushed += 1
         if timestamp < self.newest_timestamp:
@@ -136,6 +150,8 @@ class AnnouncementRing:
         order = idx[np.argsort(self.timestamps[idx], kind="stable")]
         self.timestamps[: self._count] = self.timestamps[order]
         self.values[: self._count] = self.values[order]
+        self.trace_ids[: self._count] = self.trace_ids[order]
+        self.enqueued_s[: self._count] = self.enqueued_s[order]
         self._start = 0
         self._ordered = True
 
@@ -167,21 +183,38 @@ class AnnouncementRing:
         if n > first:
             out[first:n] = self.timestamps[: n - first]
 
-    def drain_into(self, n: int, ts_out: np.ndarray, val_out: np.ndarray) -> None:
+    def drain_into(
+        self,
+        n: int,
+        ts_out: np.ndarray,
+        val_out: np.ndarray,
+        trace_out: np.ndarray | None = None,
+        enq_out: np.ndarray | None = None,
+    ) -> None:
         """Move the oldest *n* entries into ``ts_out[:n]`` / ``val_out[:n]``.
 
         The gather is two contiguous block copies into the caller's
         preallocated batch buffers (the ``pairwise_sq_distances``-style
         single-buffer pattern); the entries are consumed from the ring.
         *n* must not exceed ``len(self)`` and the ring must be ordered.
+        Pass *trace_out*/*enq_out* to carry the trace columns along
+        (consumed either way).
         """
         if n == 0:
             return
         first = min(self.capacity - self._start, n)
         ts_out[:first] = self.timestamps[self._start : self._start + first]
         val_out[:first] = self.values[self._start : self._start + first]
+        if trace_out is not None:
+            trace_out[:first] = self.trace_ids[self._start : self._start + first]
+        if enq_out is not None:
+            enq_out[:first] = self.enqueued_s[self._start : self._start + first]
         if n > first:
             ts_out[first:n] = self.timestamps[: n - first]
             val_out[first:n] = self.values[: n - first]
+            if trace_out is not None:
+                trace_out[first:n] = self.trace_ids[: n - first]
+            if enq_out is not None:
+                enq_out[first:n] = self.enqueued_s[: n - first]
         self._start = (self._start + n) % self.capacity
         self._count -= n

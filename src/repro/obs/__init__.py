@@ -40,9 +40,17 @@ from __future__ import annotations
 
 import threading
 
+from .context import (
+    NULL_TRACE,
+    SAMPLER_RATE_ENV,
+    TailSampler,
+    TraceContext,
+    sampler_from_env,
+)
 from .events import EventRecord, render_events_jsonl
 from .export import registry_to_dict, render_json, render_prometheus
 from .http import TelemetryServer
+from .profiler import PROFILER_INTERVAL_ENV, SamplingProfiler
 from .registry import (
     DEFAULT_LATENCY_BUCKETS_S,
     Clock,
@@ -67,16 +75,19 @@ def enable(
     clock: Clock | None = None,
     trace_capacity: int | None = None,
     event_capacity: int | None = None,
+    sampler: TailSampler | None = None,
 ) -> MetricsRegistry:
     """Switch collection on; returns the live registry.
 
     Idempotent: if already enabled, the existing registry (and its
     collected data) is kept; a non-``None`` *clock* replaces its default
-    span clock and non-``None`` capacities resize the span ring / event
-    journal (keeping the newest records) either way.  Capacities left
+    span clock, non-``None`` capacities resize the span ring / event
+    journal (keeping the newest records), and a non-``None`` *sampler*
+    replaces the tail-sampling policy either way.  Capacities left
     ``None`` fall back to the ``REPRO_OBS_TRACE_CAPACITY`` /
-    ``REPRO_OBS_EVENT_CAPACITY`` environment variables, then the
-    defaults.
+    ``REPRO_OBS_EVENT_CAPACITY`` environment variables; a fresh registry
+    with *sampler* left ``None`` consults ``REPRO_OBS_SAMPLER_RATE``
+    (see :func:`~repro.obs.context.sampler_from_env`).
     """
     global _registry
     with _SWITCH_LOCK:
@@ -88,9 +99,14 @@ def enable(
                 current.set_trace_capacity(trace_capacity)
             if event_capacity is not None:
                 current.set_event_capacity(event_capacity)
+            if sampler is not None:
+                current.sampler = sampler
             return current
         live = MetricsRegistry(
-            clock=clock, trace_capacity=trace_capacity, event_capacity=event_capacity
+            clock=clock,
+            trace_capacity=trace_capacity,
+            event_capacity=event_capacity,
+            sampler=sampler,
         )
         _registry = live
         return live
@@ -142,14 +158,53 @@ def histogram(
     return _registry.histogram(name, help=help, buckets=buckets, **labels)
 
 
-def span(name: str, clock: Clock | None = None) -> object:
+def span(name: str, clock: Clock | None = None, parent: TraceContext | None = None) -> object:
     """Open a tracing span on the active registry.
 
     While disabled this returns a shared no-op context manager that
     never reads any clock, so fake-clock call sequences in tests are
-    unchanged unless observability is explicitly on.
+    unchanged unless observability is explicitly on.  Pass a
+    :class:`TraceContext` as *parent* to attach the span to a trace
+    minted on another thread.
     """
-    return _registry.span(name, clock=clock)
+    return _registry.span(name, clock=clock, parent=parent)
+
+
+def start_trace(name: str = "serve.request", mark: str | None = None) -> TraceContext:
+    """Mint a request trace on the active registry.
+
+    Returns the shared falsy :data:`NULL_TRACE` while disabled (which
+    never reads any clock), so call sites can mint unconditionally and
+    gate all further tracing work on the context's truthiness.
+    """
+    return _registry.start_trace(name, mark=mark)
+
+
+def finish_trace(
+    ctx: TraceContext,
+    end_s: float,
+    records: list[SpanRecord] | tuple[SpanRecord, ...] = (),
+    error: bool = False,
+) -> bool:
+    """Complete *ctx* on the active registry (see
+    :meth:`~repro.obs.registry.MetricsRegistry.finish_trace`)."""
+    return _registry.finish_trace(ctx, end_s, records=records, error=error)
+
+
+def current_trace_id() -> int:
+    """Trace id of the span open on this thread (0 when untraced)."""
+    return _registry.current_trace_id()
+
+
+def set_sampler(sampler: TailSampler | None) -> None:
+    """Install (or clear, with ``None``) the tail-sampling policy.
+
+    No-op while disabled: the null registry never records traces, so
+    there is nothing to sample.
+    """
+    registry = _registry
+    if registry.enabled:
+        registry.sampler = sampler
 
 
 def event(name: str, **fields: str) -> None:
@@ -176,14 +231,21 @@ __all__ = [
     "Histogram",
     "MetricsRecorder",
     "MetricsRegistry",
+    "NULL_TRACE",
     "NullRegistry",
+    "PROFILER_INTERVAL_ENV",
+    "SAMPLER_RATE_ENV",
     "SPAN_HISTOGRAM_NAME",
+    "SamplingProfiler",
     "SloResult",
     "SloRule",
     "SpanRecord",
+    "TailSampler",
     "TelemetryServer",
+    "TraceContext",
     "Verdict",
     "counter",
+    "current_trace_id",
     "default_rules",
     "disable",
     "enable",
@@ -191,6 +253,7 @@ __all__ = [
     "evaluate",
     "event",
     "events",
+    "finish_trace",
     "gauge",
     "get_registry",
     "histogram",
@@ -202,5 +265,8 @@ __all__ = [
     "render_top",
     "render_trace",
     "reset",
+    "sampler_from_env",
+    "set_sampler",
     "span",
+    "start_trace",
 ]

@@ -125,6 +125,10 @@ def registry_to_dict(registry: MetricsRegistry | NullRegistry) -> dict:
                     "cumulative_counts": list(cumulative),
                     "sum": total,
                     "count": count,
+                    # Per-bucket (value, trace_id) exemplars: the JSON
+                    # dump is the exemplar surface (the text exposition
+                    # stays plain-Prometheus-0.0.4 parseable).
+                    "exemplars": instrument.exemplars(),
                 }
             )
     spans = [
@@ -136,6 +140,7 @@ def registry_to_dict(registry: MetricsRegistry | NullRegistry) -> dict:
             "duration_s": s.duration_s,
             "span_id": s.span_id,
             "parent_id": s.parent_id,
+            "trace_id": s.trace_id,
         }
         for s in registry.spans()
     ]

@@ -4,11 +4,16 @@ The scrape surface of :mod:`repro.obs`: a stdlib
 :class:`~http.server.ThreadingHTTPServer` serving
 
 * ``/metrics`` — Prometheus text exposition of the registry;
-* ``/metrics.json`` — structured JSON dump (instruments, spans, events);
+* ``/metrics.json`` — structured JSON dump (instruments with exemplars,
+  spans, events, plus recorder-windowed statistics consistent with
+  ``repro obs top``; ``?window=<seconds>`` overrides the window);
 * ``/healthz`` — SLO verdicts (200 on OK/WARN, 503 on PAGE) as JSON;
 * ``/readyz`` — lifecycle readiness (503 before start / while draining);
-* ``/tracez`` — the span ring rendered as an indented tree;
-* ``/eventz`` — the event journal as JSON Lines.
+* ``/tracez`` — the span ring rendered as a parent-linked tree
+  (``?trace=<id>`` filters to one request trace);
+* ``/eventz`` — the event journal as JSON Lines;
+* ``/profilez`` — the sampling profiler's folded flame stacks (404
+  when no profiler is attached).
 
 The server is start/stoppable programmatically (``repro obs serve``
 wraps it), binds port 0 by default so tests and embedders never collide,
@@ -27,13 +32,15 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from .events import render_events_jsonl
 from .export import registry_to_dict, render_prometheus
+from .profiler import SamplingProfiler
 from .registry import MetricsRegistry, NullRegistry
 from .slo import SloRule, Verdict, default_rules, evaluate, worst
 from .spans import render_trace
-from .timeseries import MetricsRecorder
+from .timeseries import MetricsRecorder, recorder_windows_dict
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -57,6 +64,10 @@ class TelemetryServer:
     host / port:
         Bind address; port 0 (default) picks a free port, readable from
         :attr:`port` after :meth:`start`.
+    profiler:
+        Sampling profiler whose folded stacks back ``/profilez``;
+        without one the endpoint is 404.  The server exposes but does
+        not own it — start/stop stay with the embedder.
     """
 
     def __init__(
@@ -66,9 +77,11 @@ class TelemetryServer:
         rules: tuple[SloRule, ...] | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        profiler: SamplingProfiler | None = None,
     ) -> None:
         self._registry = registry
         self.recorder = recorder
+        self.profiler = profiler
         self.rules = rules if rules is not None else default_rules()
         self.host = host
         self._requested_port = port
@@ -191,10 +204,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _query_value(self, query: dict[str, list[str]], key: str) -> str | None:
+        values = query.get(key)
+        return values[-1] if values else None
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         """Serve one exposition endpoint."""
         telemetry: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0]
+        parts = urlsplit(self.path)
+        path = parts.path
+        query = parse_qs(parts.query)
         registry = telemetry.resolve_registry()
         if path == "/metrics":
             body = render_prometheus(registry)
@@ -202,10 +221,26 @@ class _Handler(BaseHTTPRequestHandler):
                 body += "\n"
             self._respond(200, PROMETHEUS_CONTENT_TYPE, body)
         elif path == "/metrics.json":
+            window_raw = self._query_value(query, "window")
+            try:
+                window_s = float(window_raw) if window_raw is not None else 60.0
+            except ValueError:
+                self._respond(
+                    400, "text/plain; charset=utf-8", f"bad window: {window_raw}\n"
+                )
+                return
+            payload = registry_to_dict(registry)
+            # Windowed statistics straight from the recorder, so scrapes
+            # agree with `repro obs top` instead of lifetime aggregates.
+            payload["windows"] = (
+                recorder_windows_dict(telemetry.recorder, window_s)
+                if telemetry.recorder is not None
+                else []
+            )
             self._respond(
                 200,
                 "application/json",
-                json.dumps(registry_to_dict(registry), indent=2, sort_keys=True) + "\n",
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
             )
         elif path == "/healthz":
             verdict, results = telemetry.health()
@@ -229,12 +264,32 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._respond(503, "text/plain; charset=utf-8", "draining\n")
         elif path == "/tracez":
-            body = render_trace(registry.spans())
+            trace_raw = self._query_value(query, "trace")
+            trace_id: int | None = None
+            if trace_raw is not None:
+                try:
+                    trace_id = int(trace_raw)
+                except ValueError:
+                    self._respond(
+                        400, "text/plain; charset=utf-8", f"bad trace id: {trace_raw}\n"
+                    )
+                    return
+            body = render_trace(registry.spans(), trace_id=trace_id)
             self._respond(200, "text/plain; charset=utf-8", body + ("\n" if body else ""))
         elif path == "/eventz":
             self._respond(
                 200, "application/x-ndjson", render_events_jsonl(registry.events())
             )
+        elif path == "/profilez":
+            profiler = telemetry.profiler
+            if profiler is None:
+                self._respond(
+                    404, "text/plain; charset=utf-8", "no profiler attached\n"
+                )
+            else:
+                self._respond(
+                    200, "text/plain; charset=utf-8", profiler.render_collapsed()
+                )
         else:
             self._respond(404, "text/plain; charset=utf-8", f"no such endpoint: {path}\n")
 

@@ -1,0 +1,230 @@
+"""Stdlib-only sampling profiler with span-attributed folded stacks.
+
+A timer thread wakes every *interval_s* seconds, snapshots every
+thread's current Python frame via :func:`sys._current_frames`, folds
+each stack into the semicolon-joined collapsed form flamegraph tools
+eat (``module.outer;module.inner``), and attributes the sample to the
+innermost tracing span open on that thread (via
+:meth:`~repro.obs.registry.MetricsRegistry.active_span_name`), so a
+flame graph can be cut per span name.
+
+Design points, matching the rest of :mod:`repro.obs`:
+
+* **Off by default, no dependencies.**  Pure stdlib; nothing starts
+  until :meth:`SamplingProfiler.start`.
+* **Injectable everything.**  ``sample_once(frames=...)`` accepts a
+  frames mapping, so tests exercise folding and span attribution with
+  zero timers and zero sleeps.
+* **Idempotent lifecycle.**  ``start``/``stop`` follow the
+  recorder's pattern: safe to call twice, safe concurrently, and the
+  worker is joined *outside* the lock (the concurrency lint's
+  join-while-holding-lock rule).
+
+Caveats (documented, inherent to the approach): the sampler observes
+only Python frames — time spent inside a C extension (NumPy GEMMs)
+is charged to the Python line that called it; sampling bias makes
+counts statistical, not exact; and the profiler cannot see threads
+blocked in C code that never release the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from types import FrameType
+
+from .registry import MetricsRegistry, NullRegistry
+
+#: Environment knob for the default sampling interval (seconds).
+PROFILER_INTERVAL_ENV = "REPRO_OBS_PROFILER_INTERVAL"
+
+#: Default wall-clock sampling cadence: 100 Hz, the flamegraph norm.
+DEFAULT_PROFILER_INTERVAL_S = 0.01
+
+#: Frames walked per stack before truncating (runaway-recursion guard).
+MAX_STACK_DEPTH = 128
+
+#: Span key used for samples on threads with no open span.
+UNATTRIBUTED = "-"
+
+
+def profiler_interval_from_env(
+    default: float = DEFAULT_PROFILER_INTERVAL_S,
+) -> float:
+    """Resolve the sampling interval from the environment.
+
+    Junk or non-positive values fall back to *default*.
+    """
+    raw = os.environ.get(PROFILER_INTERVAL_ENV)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0.0 else default
+
+
+def fold_stack(frame: FrameType | None) -> str:
+    """Collapse a frame chain into ``outer;...;inner`` form."""
+    parts: list[str] = []
+    f = frame
+    while f is not None and len(parts) < MAX_STACK_DEPTH:
+        code = f.f_code
+        module = f.f_globals.get("__name__", "?")
+        parts.append(f"{module}.{code.co_name}")
+        f = f.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler; aggregates folded stacks.
+
+    Parameters
+    ----------
+    interval_s:
+        Sampling cadence; ``None`` falls back to
+        :data:`PROFILER_INTERVAL_ENV` then
+        :data:`DEFAULT_PROFILER_INTERVAL_S`.
+    registry:
+        Registry whose open-span stacks attribute samples to span
+        names; ``None`` resolves the global facade registry at each
+        sample, so a profiler constructed before ``obs.enable()`` still
+        attributes correctly afterwards.
+    """
+
+    def __init__(
+        self,
+        interval_s: float | None = None,
+        registry: MetricsRegistry | NullRegistry | None = None,
+    ) -> None:
+        if interval_s is None:
+            interval_s = profiler_interval_from_env()
+        if interval_s <= 0.0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.interval_s = float(interval_s)
+        self.registry = registry
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[str, str], int] = {}
+        self._samples = 0
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        """Start the sampling thread (idempotent); returns self."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-obs-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop and join the sampling thread (idempotent)."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            if thread is not None:
+                self._stop_event.set()
+        if thread is not None:
+            thread.join()
+
+    @property
+    def running(self) -> bool:
+        """Whether the sampling thread is live."""
+        with self._lock:
+            return self._thread is not None
+
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self.interval_s):
+            self.sample_once()
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _resolve_registry(self) -> MetricsRegistry | NullRegistry:
+        if self.registry is not None:
+            return self.registry
+        from . import get_registry  # late: the facade imports this module
+
+        return get_registry()
+
+    def sample_once(self, frames: dict[int, FrameType] | None = None) -> int:
+        """Take one sample; returns the number of stacks recorded.
+
+        *frames* defaults to :func:`sys._current_frames`; tests inject
+        a mapping for deterministic folding.  The profiler's own
+        sampling thread is excluded.
+        """
+        if frames is None:
+            frames = sys._current_frames()
+        own = threading.get_ident()
+        registry = self._resolve_registry()
+        local: dict[tuple[str, str], int] = {}
+        for thread_id, frame in frames.items():
+            if thread_id == own:
+                continue
+            folded = fold_stack(frame)
+            if not folded:
+                continue
+            span = registry.active_span_name(thread_id) or UNATTRIBUTED
+            key = (span, folded)
+            local[key] = local.get(key, 0) + 1
+        with self._lock:
+            for key, n in local.items():
+                self._counts[key] = self._counts.get(key, 0) + n
+            self._samples += 1
+        return len(local)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Sampling rounds taken so far."""
+        with self._lock:
+            return self._samples
+
+    def stacks(self) -> dict[tuple[str, str], int]:
+        """Snapshot of ``(span, folded_stack) -> count``."""
+        with self._lock:
+            return dict(self._counts)
+
+    def render_collapsed(self) -> str:
+        """Folded flame stacks, one ``span;stack count`` line each.
+
+        The span name is the first frame of each folded line, so
+        ``flamegraph.pl``-style tools show per-span towers; lines are
+        sorted descending by count then lexically, and non-empty output
+        ends with a newline.
+        """
+        with self._lock:
+            items = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        if not items:
+            return ""
+        lines = [f"{span};{folded} {count}" for (span, folded), count in items]
+        return "\n".join(lines) + "\n"
+
+    def clear(self) -> None:
+        """Drop accumulated stacks and the sample count."""
+        with self._lock:
+            self._counts.clear()
+            self._samples = 0
+
+
+__all__ = [
+    "DEFAULT_PROFILER_INTERVAL_S",
+    "MAX_STACK_DEPTH",
+    "PROFILER_INTERVAL_ENV",
+    "SamplingProfiler",
+    "fold_stack",
+    "profiler_interval_from_env",
+]

@@ -32,8 +32,9 @@ import os
 import threading
 import time
 from collections import deque
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
+from .context import NULL_TRACE, TailSampler, TraceContext, sampler_from_env
 from .events import DEFAULT_EVENT_CAPACITY, EventJournal, EventRecord
 from .spans import SpanRecord, null_span
 
@@ -72,6 +73,11 @@ SPAN_HISTOGRAM_NAME = "span.seconds"
 
 #: Finished spans retained for trace dumps (bounded ring buffer).
 DEFAULT_TRACE_CAPACITY = 4096
+
+#: In-flight traces whose spans may sit in the pending buffer while a
+#: tail sampler awaits their completion; the oldest trace is evicted
+#: (spans discarded, ``obs.traces.evicted`` incremented) beyond this.
+MAX_PENDING_TRACES = 512
 
 #: Environment fallbacks for the ring capacities: consulted when
 #: :class:`MetricsRegistry` (or ``obs.enable``) is not given an explicit
@@ -222,7 +228,9 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "help", "buckets", "_lock", "_counts", "_sum", "_count")
+    __slots__ = (
+        "name", "labels", "help", "buckets", "_lock", "_counts", "_sum", "_count", "_exemplars"
+    )
 
     def __init__(
         self,
@@ -243,14 +251,42 @@ class Histogram:
         self._counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
         self._sum = 0.0
         self._count = 0
+        # Per-bucket (value, trace_id) exemplars; allocated on first
+        # traced observation so untraced histograms pay nothing.
+        self._exemplars: dict[int, tuple[float, int]] | None = None
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, trace_id: int | None = None) -> None:
+        """Record one observation, optionally tagged with a trace id.
+
+        A non-zero *trace_id* becomes the bucket's exemplar: the most
+        recent traced observation that landed there, linking the
+        aggregate back to one concrete request trace.
+        """
         i = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[i] += 1
             self._sum += value
             self._count += 1
+            if trace_id:
+                if self._exemplars is None:
+                    self._exemplars = {}
+                self._exemplars[i] = (float(value), int(trace_id))
+
+    def exemplars(self) -> list[dict[str, float | int | str]]:
+        """Per-bucket exemplars as ``{"le", "value", "trace_id"}`` dicts.
+
+        ``le`` is the bucket's upper bound (``"+Inf"`` for the overflow
+        bucket) matching the Prometheus cumulative-``le`` exposition.
+        """
+        with self._lock:
+            if not self._exemplars:
+                return []
+            items = sorted(self._exemplars.items())
+        out: list[dict[str, float | int | str]] = []
+        for i, (value, trace_id) in items:
+            le = self.buckets[i] if i < len(self.buckets) else "+Inf"
+            out.append({"le": le, "value": value, "trace_id": trace_id})
+        return out
 
     @property
     def count(self) -> int:
@@ -307,6 +343,12 @@ class MetricsRegistry:
         Event-journal records retained; ``None`` falls back to
         :data:`EVENT_CAPACITY_ENV` then
         :data:`~repro.obs.events.DEFAULT_EVENT_CAPACITY`.
+    sampler:
+        Tail-based trace sampling policy; ``None`` falls back to the
+        :data:`~repro.obs.context.SAMPLER_RATE_ENV` environment knob
+        (and to no sampling — every trace kept — when that is unset).
+        While a sampler is installed, spans carrying a trace id are
+        buffered until :meth:`finish_trace` decides keep/drop.
     """
 
     enabled = True
@@ -316,6 +358,7 @@ class MetricsRegistry:
         clock: Clock | None = None,
         trace_capacity: int | None = None,
         event_capacity: int | None = None,
+        sampler: TailSampler | None = None,
     ) -> None:
         if trace_capacity is None:
             trace_capacity = _capacity_from_env(TRACE_CAPACITY_ENV, DEFAULT_TRACE_CAPACITY)
@@ -334,11 +377,28 @@ class MetricsRegistry:
         self._spans: deque[SpanRecord] = deque(maxlen=trace_capacity)
         self._events = EventJournal(event_capacity)
         self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
         self._span_stacks = threading.local()
+        # Thread-id → that thread's open-span stack, maintained alongside
+        # the thread-local view so the sampling profiler can attribute a
+        # foreign thread's samples to its innermost open span.  Reads and
+        # writes are GIL-atomic dict operations.
+        self._thread_stacks: dict[int, list[tuple[str, int, int, int]]] = {}
+        self.sampler: TailSampler | None = (
+            sampler if sampler is not None else sampler_from_env()
+        )
+        # trace_id → spans held back while the tail sampler awaits the
+        # trace's completion (insertion-ordered: oldest trace evicted
+        # first when MAX_PENDING_TRACES in-flight traces pile up).
+        self._pending: dict[int, list[SpanRecord]] = {}
         # Per-name cache of the span-duration histograms: record_span is
         # the hottest registry path, and the get-or-create label-set
         # normalization is measurable there.
         self._span_hist: dict[str, Histogram] = {}
+        # (name, reason) cache of the sampler-outcome counters:
+        # finish_trace runs once per request, so the get-or-create
+        # lookup is measurable on the traced hot path too.
+        self._trace_counters: dict[tuple[str, str | None], Counter] = {}
 
     @property
     def event_capacity(self) -> int:
@@ -418,11 +478,13 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # spans
     # ------------------------------------------------------------------
-    def _stack(self) -> list[tuple[str, int]]:
+    def _stack(self) -> list[tuple[str, int, int, int]]:
+        # Stack entries are (name, span_id, trace_id, depth).
         stack = getattr(self._span_stacks, "stack", None)
         if stack is None:
             stack = []
             self._span_stacks.stack = stack
+            self._thread_stacks[threading.get_ident()] = stack
         return stack
 
     def current_span_id(self) -> int | None:
@@ -430,17 +492,219 @@ class MetricsRegistry:
         stack = self._stack()
         return stack[-1][1] if stack else None
 
-    def span(self, name: str, clock: Clock | None = None) -> "_SpanContext":
+    def current_trace_id(self) -> int:
+        """Trace id of the span open on this thread (0 when untraced)."""
+        stack = self._stack()
+        return stack[-1][2] if stack else 0
+
+    def active_span_name(self, thread_id: int) -> str | None:
+        """Innermost open span name on *thread_id*, if any.
+
+        Lock-free: the per-thread stack list is only mutated by its own
+        thread, and a stale read merely mis-attributes one profiler
+        sample by one span transition.
+        """
+        stack = self._thread_stacks.get(thread_id)  # qa: ignore[unguarded-shared-state]
+        if stack:
+            return stack[-1][0]
+        return None
+
+    def span(
+        self, name: str, clock: Clock | None = None, parent: TraceContext | None = None
+    ) -> "_SpanContext":
         """Open a tracing span; use as a context manager.
 
         The span's duration is read from *clock* (default: the registry
         clock), recorded in the trace buffer, and observed into the
-        ``span.seconds`` histogram labelled ``span=name``.
+        ``span.seconds`` histogram labelled ``span=name``.  Pass a
+        :class:`TraceContext` as *parent* to attach the span (and every
+        span nested inside it) to a trace minted on another thread —
+        the explicit cross-boundary hand-off that thread-local nesting
+        cannot express.
         """
-        return _SpanContext(self, name, clock if clock is not None else self.clock)
+        return _SpanContext(self, name, clock if clock is not None else self.clock, parent)
+
+    # ------------------------------------------------------------------
+    # traces
+    # ------------------------------------------------------------------
+    def next_trace_id(self) -> int:
+        """Allocate a process-unique trace id (for array-typed carriers)."""
+        return next(self._trace_ids)
+
+    def allocate_span_id(self) -> int:
+        """Allocate a span id for a synthesized (non-context) span."""
+        return next(self._span_ids)
+
+    def start_trace(self, name: str = "serve.request", mark: str | None = None) -> TraceContext:
+        """Mint a request trace rooted at the span open on this thread.
+
+        The context carries a freshly allocated trace id and root span
+        id; the root *record* is only written at :meth:`finish_trace`.
+        Pass *mark* to stamp the first boundary mark from the registry
+        clock in the same call.
+        """
+        stack = self._stack()
+        ctx = TraceContext(
+            next(self._trace_ids),
+            next(self._span_ids),
+            name=name,
+            parent_span_id=stack[-1][1] if stack else None,
+        )
+        if mark is not None:
+            ctx.mark(mark, self.clock())
+        return ctx
+
+    def adopt_trace(
+        self, name: str, trace_id: int, parent_span_id: int | None = None
+    ) -> TraceContext:
+        """Rebuild a context for a trace id carried through a buffer.
+
+        The ingest plane stores bare trace ids in its NumPy rings; the
+        consumer re-materializes a context (fresh root span id, same
+        trace id) on the other side.  A zero id returns the falsy
+        :data:`~repro.obs.context.NULL_TRACE`.
+        """
+        if not trace_id:
+            return NULL_TRACE
+        return TraceContext(
+            int(trace_id), next(self._span_ids), name=name, parent_span_id=parent_span_id
+        )
+
+    def finish_trace(
+        self,
+        ctx: TraceContext,
+        end_s: float,
+        records: list[SpanRecord] | tuple[SpanRecord, ...] = (),
+        error: bool = False,
+    ) -> bool:
+        """Complete a trace: sample it, then flush or drop its spans.
+
+        Synthesizes the root span (first mark → *end_s*), appends the
+        caller's extra *records* (attribution segments), and asks the
+        installed :class:`TailSampler` — if any — whether the trace is
+        worth keeping.  Kept traces flush their buffered spans into the
+        ring; dropped ones vanish.  Returns ``True`` when kept.
+        """
+        if not ctx:
+            return False
+        start_s = ctx.started_s if ctx.marks else end_s
+        duration_s = end_s - start_s
+        with self._lock:
+            pending = self._pending.pop(ctx.trace_id, None)
+        sampler = self.sampler
+        if sampler is None:
+            keep, reason = True, "unsampled"
+        else:
+            keep, reason = sampler.decide(duration_s, error=error)
+        if keep:
+            for record in pending or ():
+                self._commit_span(record)
+            for record in records:
+                self._commit_span(record)
+            self._commit_span(
+                SpanRecord(
+                    ctx.name, None, 0, start_s, duration_s,
+                    ctx.span_id, ctx.parent_span_id, ctx.trace_id,
+                )
+            )
+            self._trace_counter(
+                "obs.traces.kept", "Traces kept by the tail sampler.", reason
+            ).inc()
+        else:
+            self._trace_counter(
+                "obs.traces.dropped", "Traces dropped by the tail sampler."
+            ).inc()
+        return keep
+
+    def _trace_counter(self, name: str, help: str, reason: str | None = None) -> Counter:
+        key = (name, reason)
+        counter = self._trace_counters.get(key)
+        if counter is None:
+            labels = {"reason": reason} if reason is not None else {}
+            counter = self.counter(name, help=help, **labels)
+            self._trace_counters[key] = counter
+        return counter
+
+    def emit_span(self, name: str, start_s: float, duration_s: float) -> None:
+        """Record a synthesized span under this thread's open span.
+
+        No context manager, no clock reads: callers that already hold
+        the boundary timestamps (the pipeline's ``StageTimings``
+        accounting) turn them into child spans at tuple-construction
+        cost, which is what keeps per-stage trace spans inside the <5%
+        overhead gate.
+        """
+        stack = self._stack()
+        if stack:
+            top = stack[-1]
+            parent, parent_id, trace_id, depth = top[0], top[1], top[2], top[3] + 1
+        else:
+            parent, parent_id, trace_id, depth = None, None, 0, 0
+        self.record_span(
+            SpanRecord(
+                name, parent, depth, start_s, duration_s,
+                next(self._span_ids), parent_id, trace_id,
+            )
+        )
+
+    def emit_spans(self, spans: Iterable[tuple[str, float, float]]) -> None:
+        """Record synthesized sibling spans under this thread's open span.
+
+        Bulk variant of :meth:`emit_span` for span families produced by
+        one measurement pass (the pipeline's five stage timings): one
+        stack read and — when the family is buffered for a pending
+        trace — one lock acquisition for all of them, which is what
+        keeps per-stage trace spans affordable on the traced hot path.
+        """
+        stack = self._stack()
+        if stack:
+            top = stack[-1]
+            parent, parent_id, trace_id, depth = top[0], top[1], top[2], top[3] + 1
+        else:
+            parent, parent_id, trace_id, depth = None, None, 0, 0
+        span_ids = self._span_ids
+        records = [
+            SpanRecord(
+                name, parent, depth, start_s, duration_s,
+                next(span_ids), parent_id, trace_id,
+            )
+            for name, start_s, duration_s in spans
+        ]
+        if trace_id and self.sampler is not None:
+            self._buffer_spans(trace_id, records)
+            return
+        for record in records:
+            self._commit_span(record)
 
     def record_span(self, record: SpanRecord) -> None:
-        """Append a finished span and observe its duration histogram."""
+        """Append a finished span and observe its duration histogram.
+
+        While a tail sampler is installed, spans belonging to a trace
+        are buffered until :meth:`finish_trace` decides their fate.
+        """
+        if record.trace_id and self.sampler is not None:
+            self._buffer_spans(record.trace_id, (record,))
+            return
+        self._commit_span(record)
+
+    def _buffer_spans(self, trace_id: int, records: "Iterable[SpanRecord]") -> None:
+        evicted = 0
+        with self._lock:
+            pending = self._pending.get(trace_id)
+            if pending is None:
+                while len(self._pending) >= MAX_PENDING_TRACES:
+                    oldest = next(iter(self._pending))
+                    del self._pending[oldest]
+                    evicted += 1
+                pending = self._pending[trace_id] = []
+            pending.extend(records)
+        if evicted:
+            self.counter(
+                "obs.traces.evicted",
+                help="In-flight traces evicted from the pending buffer.",
+            ).inc(evicted)
+
+    def _commit_span(self, record: SpanRecord) -> None:
         # deque.append with maxlen is atomic under the GIL; no lock here.
         self._spans.append(record)
         hist = self._span_hist.get(record.name)
@@ -449,7 +713,7 @@ class MetricsRegistry:
                 SPAN_HISTOGRAM_NAME, help="Duration of tracing spans.", span=record.name
             )
             self._span_hist[record.name] = hist
-        hist.observe(record.duration_s)
+        hist.observe(record.duration_s, trace_id=record.trace_id or None)
 
     def spans(self) -> list[SpanRecord]:
         """Finished spans, oldest first (bounded by the trace capacity)."""
@@ -513,6 +777,8 @@ class MetricsRegistry:
             self._instruments.clear()
             self._spans.clear()
             self._span_hist.clear()
+            self._trace_counters.clear()
+            self._pending.clear()
             self.generation += 1
         self._events.clear()
 
@@ -524,26 +790,49 @@ class _SpanContext:
         "_registry",
         "_name",
         "_clock",
+        "_trace_parent",
         "_start",
         "_parent",
         "_depth",
+        "_trace_id",
         "_stack",
         "_span_id",
     )
 
-    def __init__(self, registry: MetricsRegistry, name: str, clock: Clock) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        clock: Clock,
+        trace_parent: TraceContext | None = None,
+    ) -> None:
         self._registry = registry
         self._name = name
         self._clock = clock
+        self._trace_parent = trace_parent
 
     def __enter__(self) -> "_SpanContext":
         # The thread-local stack lookup is cached for __exit__; a span
         # always exits on the thread that entered it (with-statement).
         stack = self._stack = self._registry._stack()
-        self._parent = stack[-1] if stack else None
-        self._depth = len(stack)
+        trace_parent = self._trace_parent
+        if trace_parent is not None and trace_parent:
+            # Explicit cross-thread parent: attach under the trace root
+            # minted on another thread, regardless of the local stack.
+            self._parent = (trace_parent.name, trace_parent.span_id)
+            self._depth = 1
+            self._trace_id = trace_parent.trace_id
+        elif stack:
+            top = stack[-1]
+            self._parent = (top[0], top[1])
+            self._depth = top[3] + 1
+            self._trace_id = top[2]
+        else:
+            self._parent = None
+            self._depth = 0
+            self._trace_id = 0
         self._span_id = next(self._registry._span_ids)
-        stack.append((self._name, self._span_id))
+        stack.append((self._name, self._span_id, self._trace_id, self._depth))
         self._start = self._clock()
         return self
 
@@ -562,6 +851,7 @@ class _SpanContext:
                 duration,
                 self._span_id,
                 parent[1] if parent is not None else None,
+                self._trace_id,
             )
         )
         return False
@@ -613,8 +903,12 @@ class _NullHistogram:
     count = 0
     sum = 0.0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: int | None = None) -> None:
         """Discard the observation."""
+
+    def exemplars(self) -> list[dict[str, float | int | str]]:
+        """Always empty."""
+        return []
 
     def snapshot(self) -> tuple[tuple[float, ...], tuple[int, ...], float, int]:
         """Empty snapshot."""
@@ -637,6 +931,7 @@ class NullRegistry:
     enabled = False
     clock: Clock = DEFAULT_CLOCK
     generation = 0
+    sampler: TailSampler | None = None
 
     def counter(self, name: str, help: str = "", **labels: str) -> _NullCounter:
         """Shared no-op counter."""
@@ -656,13 +951,60 @@ class NullRegistry:
         """Shared no-op histogram."""
         return _NULL_HISTOGRAM
 
-    def span(self, name: str, clock: Clock | None = None) -> object:
+    def span(
+        self, name: str, clock: Clock | None = None, parent: TraceContext | None = None
+    ) -> object:
         """Shared no-op context manager (never reads any clock)."""
         return null_span()
 
     def current_span_id(self) -> int | None:
         """Always ``None`` (no spans while disabled)."""
         return None
+
+    def current_trace_id(self) -> int:
+        """Always 0 (no traces while disabled)."""
+        return 0
+
+    def active_span_name(self, thread_id: int) -> str | None:
+        """Always ``None`` (no spans while disabled)."""
+        return None
+
+    def next_trace_id(self) -> int:
+        """Always 0, the "untraced" id (never reads any clock)."""
+        return 0
+
+    def allocate_span_id(self) -> int:
+        """Always 0 (no spans while disabled)."""
+        return 0
+
+    def start_trace(self, name: str = "serve.request", mark: str | None = None) -> TraceContext:
+        """The shared falsy :data:`~repro.obs.context.NULL_TRACE`."""
+        return NULL_TRACE
+
+    def adopt_trace(
+        self, name: str, trace_id: int, parent_span_id: int | None = None
+    ) -> TraceContext:
+        """The shared falsy :data:`~repro.obs.context.NULL_TRACE`."""
+        return NULL_TRACE
+
+    def finish_trace(
+        self,
+        ctx: TraceContext,
+        end_s: float,
+        records: list[SpanRecord] | tuple[SpanRecord, ...] = (),
+        error: bool = False,
+    ) -> bool:
+        """Discard the trace."""
+        return False
+
+    def emit_span(self, name: str, start_s: float, duration_s: float) -> None:
+        """Discard the span."""
+
+    def emit_spans(self, spans: Iterable[tuple[str, float, float]]) -> None:
+        """Discard the spans."""
+
+    def record_span(self, record: SpanRecord) -> None:
+        """Discard the span."""
 
     def event(self, name: str, **fields: str) -> None:
         """Discard the event (never reads any clock)."""
@@ -692,6 +1034,7 @@ __all__ = [
     "EVENT_CAPACITY_ENV",
     "Gauge",
     "Histogram",
+    "MAX_PENDING_TRACES",
     "MetricsRegistry",
     "NullRegistry",
     "SPAN_HISTOGRAM_NAME",

@@ -184,7 +184,10 @@ def default_rules() -> tuple[SloRule, ...]:
     * ``serve-overload-rate`` — submissions shed with
       ``ServiceOverloadedError`` per second (backpressure firing);
     * ``stage-p99-seconds`` — worst per-stage p99 latency of the
-      Figure-2 pipeline over the window.
+      Figure-2 pipeline over the window;
+    * ``serve-queue-wait-p99`` — p99 submit-to-dequeue wait from the
+      request-trace attribution histogram (the queue-side half of the
+      end-to-end latency, so a PAGE says *where* the time went).
     """
     return (
         SloRule(
@@ -212,6 +215,14 @@ def default_rules() -> tuple[SloRule, ...]:
             name="stage-p99-seconds",
             kind="histogram_quantile",
             metric="pipeline.stage.seconds",
+            warn=0.05,
+            page=0.5,
+            quantile=0.99,
+        ),
+        SloRule(
+            name="serve-queue-wait-p99",
+            kind="histogram_quantile",
+            metric="serve.queue_wait.seconds",
             warn=0.05,
             page=0.5,
             quantile=0.99,

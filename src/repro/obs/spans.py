@@ -49,6 +49,9 @@ class SpanRecord(NamedTuple):
     #: Id of the enclosing span, or ``None`` at root.  Event-journal
     #: records correlate to spans through these ids.
     parent_id: int | None = None
+    #: Id of the request trace this span belongs to, or 0 when the span
+    #: was recorded outside any :class:`~repro.obs.context.TraceContext`.
+    trace_id: int = 0
 
 
 class _NullSpan:
@@ -76,12 +79,46 @@ def null_span() -> _NullSpan:
     return _NULL_SPAN
 
 
-def render_trace(spans: list[SpanRecord]) -> str:
-    """Render finished spans as an indented text tree (dump order)."""
-    lines = []
+def render_trace(spans: list[SpanRecord], trace_id: int | None = None) -> str:
+    """Render finished spans as an indented text tree.
+
+    The tree is reconstructed from ``span_id``/``parent_id`` links rather
+    than dump order, so traces whose spans finished interleaved across
+    threads still render each child under its real parent.  Siblings are
+    ordered by ``(start_s, span_id)``.  A record whose parent is absent
+    from *spans* (evicted from the ring, or a hand-built fixture without
+    ids) renders as a root at its recorded depth.
+
+    Pass *trace_id* to render only the spans of one request trace.
+    """
+    if trace_id is not None:
+        spans = [s for s in spans if s.trace_id == trace_id]
+    by_id = {s.span_id: s for s in spans if s.span_id}
+    children: dict[int, list[SpanRecord]] = {}
+    roots: list[SpanRecord] = []
     for s in spans:
-        indent = "  " * s.depth
-        lines.append(f"{indent}{s.name}  {s.duration_s * 1000.0:.3f} ms")
+        parent = by_id.get(s.parent_id) if s.parent_id is not None else None
+        if parent is not None and parent is not s:
+            children.setdefault(s.parent_id, []).append(s)
+        else:
+            roots.append(s)
+
+    def ordered(records: list[SpanRecord]) -> list[SpanRecord]:
+        return sorted(records, key=lambda s: (s.start_s, s.span_id))
+
+    lines: list[str] = []
+    emitted: set[int] = set()
+    stack = [(s, s.depth) for s in reversed(ordered(roots))]
+    while stack:
+        s, depth = stack.pop()
+        if s.span_id:
+            if s.span_id in emitted:  # duplicate ids cannot loop the walk
+                continue
+            emitted.add(s.span_id)
+        suffix = f"  trace={s.trace_id}" if s.trace_id and s.parent_id is None else ""
+        lines.append(f"{'  ' * depth}{s.name}  {s.duration_s * 1000.0:.3f} ms{suffix}")
+        for child in reversed(ordered(children.get(s.span_id, []))):
+            stack.append((child, depth + 1))
     return "\n".join(lines)
 
 

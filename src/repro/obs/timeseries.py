@@ -348,11 +348,49 @@ def render_top(recorder: MetricsRecorder, window_s: float = 60.0) -> str:
     return "\n".join(lines)
 
 
+def _window_cell(value: float | None) -> float | None:
+    """JSON-safe window statistic: NaN becomes ``None``."""
+    if value is None or value != value:  # qa: ignore[float-eq]
+        return None
+    return value
+
+
+def recorder_windows_dict(recorder: MetricsRecorder, window_s: float = 60.0) -> list[dict]:
+    """Windowed statistics per recorded series, as JSON-ready dicts.
+
+    One dict per series with exactly the statistics
+    :func:`render_top` tabulates — last value, window min/max, counter
+    rate, histogram p50/p99 — computed over the same *window_s* and
+    honoring the same recorder window boundaries (rates need two
+    in-window samples; histogram quantiles subtract the oldest in-window
+    cumulative snapshot from the newest).  This is what ``/metrics.json``
+    embeds so scrapes agree with ``repro obs top``.
+    """
+    out = []
+    for s in recorder.all_series():
+        out.append(
+            {
+                "metric": s.name,
+                "labels": dict(s.labels),
+                "kind": s.kind,
+                "window_s": window_s,
+                "last": _window_cell(s.last()),
+                "min": _window_cell(s.minimum(window_s)),
+                "max": _window_cell(s.maximum(window_s)),
+                "rate_per_s": _window_cell(s.rate(window_s)),
+                "p50": _window_cell(s.quantile(0.5, window_s)),
+                "p99": _window_cell(s.quantile(0.99, window_s)),
+            }
+        )
+    return out
+
+
 __all__ = [
     "DEFAULT_INTERVAL_S",
     "DEFAULT_SERIES_CAPACITY",
     "InstrumentSeries",
     "MetricsRecorder",
     "SeriesPoint",
+    "recorder_windows_dict",
     "render_top",
 ]

@@ -153,6 +153,35 @@ class BatchClassifier:
             If any series is empty (the batch is rejected whole, before
             any work, so a bad request cannot half-classify a fleet).
         """
+        results, _stage_seconds = self._classify_validated(series_list)
+        return results
+
+    def classify_batch_traced(
+        self, series_list: Sequence[SnapshotSeries]
+    ) -> tuple[list[ClassificationResult], tuple[float, float, float, float, float]]:
+        """Classify plus the batch's five-stage wall-clock split.
+
+        Same kernel and validation as :meth:`classify_batch`, but also
+        returns ``(filter_s, normalize_s, pca_s, knn_s, vote_s)`` — the
+        batch's stage durations with the preprocess time split at the
+        gather/normalize boundary — so a request trace can synthesize
+        the five pipeline-stage spans under its compute span.  The extra
+        boundary costs one clock read per batch and only on this traced
+        entry point, keeping the untraced path's clock sequence (and the
+        fake-clock tests that pin it) unchanged.
+
+        Raises
+        ------
+        NotTrainedError
+            If the classifier lost its training since construction.
+        EmptySeriesError
+            If any series is empty.
+        """
+        return self._classify_validated(series_list, split_preprocess=True)
+
+    def _classify_validated(
+        self, series_list: Sequence[SnapshotSeries], split_preprocess: bool = False
+    ) -> tuple[list[ClassificationResult], tuple[float, float, float, float, float]]:
         clf = self.classifier
         if not clf.trained:
             raise NotTrainedError("classifier not trained")
@@ -160,9 +189,9 @@ class BatchClassifier:
             if len(series) == 0:
                 raise EmptySeriesError("cannot classify an empty series")
         if not series_list:
-            return []
+            return [], (0.0, 0.0, 0.0, 0.0, 0.0)
         with obs_span("serve.batch.classify", clock=clf.clock):
-            results = self._run_stacked(series_list)
+            results, stage_seconds = self._run_stacked(series_list, split_preprocess)
         if obs_enabled():
             obs_counter("serve.batch.runs", help="Runs classified by classify_batch.").inc(
                 len(results)
@@ -170,14 +199,14 @@ class BatchClassifier:
             obs_counter(
                 "serve.batch.snapshots", help="Snapshots classified by classify_batch."
             ).inc(sum(r.num_samples for r in results))
-        return results
+        return results, stage_seconds
 
     # ------------------------------------------------------------------
     # the stacked kernel
     # ------------------------------------------------------------------
     def _run_stacked(
-        self, series_list: Sequence[SnapshotSeries]
-    ) -> list[ClassificationResult]:
+        self, series_list: Sequence[SnapshotSeries], split_preprocess: bool = False
+    ) -> tuple[list[ClassificationResult], tuple[float, float, float, float, float]]:
         clf = self.classifier
         preprocessor = clf.preprocessor
         pca = clf.pca
@@ -212,8 +241,19 @@ class BatchClassifier:
         for i, s in enumerate(series_list):
             o = offsets[i]
             raw[o : o + lengths[i]] = s.matrix[idx_cols, :].T
+        # The traced path splits preprocess at the gather/normalize
+        # boundary with one extra clock read; the untraced path keeps
+        # its exact clock-call sequence (fake-clock tests pin it).
+        t_gather = clock() if split_preprocess else 0.0
         features = raw if tolerance else preprocessor.normalizer.transform(raw)
-        preprocess_s = clock() - t
+        t_done = clock()
+        preprocess_s = t_done - t
+        if split_preprocess:
+            filter_s = t_gather - t
+            normalize_s = t_done - t_gather
+        else:
+            filter_s = preprocess_s
+            normalize_s = 0.0
 
         # --- projection: the GEMM runs per run on the matching row
         # slice, so its operand shapes — and therefore its BLAS kernel
@@ -283,7 +323,7 @@ class BatchClassifier:
             result.timings.pca_s = pca_s * share
             result.timings.classify_s = classify_s * share
             result.timings.vote_s = vote_s * share
-        return results
+        return results, (filter_s, normalize_s, pca_s, classify_s, vote_s)
 
     def _package_results(
         self,

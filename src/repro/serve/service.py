@@ -35,8 +35,10 @@ from ..obs import (
     enabled as obs_enabled,
     event as obs_event,
     gauge as obs_gauge,
+    get_registry as obs_get_registry,
     histogram as obs_histogram,
 )
+from ..obs.context import TraceContext, build_request_records, observe_attribution
 from ..obs.http import TelemetryServer
 from .batch import BatchClassifier
 
@@ -60,14 +62,26 @@ class ServiceStats:
 
 
 class _Request:
-    """One queued classification request."""
+    """One queued classification request.
 
-    __slots__ = ("series", "future", "enqueued_at")
+    ``trace`` is the request's :class:`~repro.obs.context.TraceContext`
+    (or ``None`` untraced) — carried *explicitly* through the queue so
+    the worker thread that serves the request can re-attach it without
+    any thread-local crossing the boundary.
+    """
 
-    def __init__(self, series: SnapshotSeries, enqueued_at: float) -> None:
+    __slots__ = ("series", "future", "enqueued_at", "trace")
+
+    def __init__(
+        self,
+        series: SnapshotSeries,
+        enqueued_at: float,
+        trace: TraceContext | None = None,
+    ) -> None:
         self.series = series
         self.future: Future[ClassificationResult] = Future()
         self.enqueued_at = enqueued_at
+        self.trace = trace
 
 
 #: Queue sentinel that tells one worker to exit.
@@ -254,8 +268,17 @@ class ClassificationService:
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
-    def submit(self, series: SnapshotSeries) -> Future[ClassificationResult]:
+    def submit(
+        self, series: SnapshotSeries, *, trace: TraceContext | None = None
+    ) -> Future[ClassificationResult]:
         """Enqueue one series; returns a future with its ClassificationResult.
+
+        While observability is enabled every submission mints (or, via
+        *trace*, adopts — the ingest plane hands in contexts minted at
+        ``push``) a request trace and stamps its ``serve.enqueue``
+        boundary mark, so the worker that eventually serves the request
+        can attribute queue wait, batch-formation wait, and compute to
+        this exact request.
 
         Raises
         ------
@@ -269,7 +292,11 @@ class ClassificationService:
         """
         if len(series) == 0:
             raise EmptySeriesError("cannot classify an empty series")
-        request = _Request(series, time.monotonic())
+        registry = obs_get_registry()
+        ctx = trace if trace is not None else registry.start_trace("serve.request")
+        if ctx:
+            ctx.mark("serve.enqueue", registry.clock())
+        request = _Request(series, time.monotonic(), ctx if ctx else None)
         # One critical section covers the stopping check, the enqueue
         # (put_nowait never blocks), and the counter, so a request can
         # never slip into the queue after shutdown() snapshotted it.
@@ -313,7 +340,10 @@ class ClassificationService:
         each — the route from the streaming ingest plane into the
         micro-batcher, keeping its backpressure and draining-shutdown
         semantics.  Returns one future per node with rows in the drain,
-        in the drain's node order.
+        in the drain's node order.  Trace contexts minted at
+        ``IngestPlane.push`` ride along
+        (:func:`~repro.serve.stream.drain_trace_contexts`), so a request
+        trace spans ring, drain, queue, and batch.
 
         Raises
         ------
@@ -323,9 +353,14 @@ class ClassificationService:
         RuntimeError
             After shutdown.
         """
-        from .stream import drain_to_series
+        from .stream import drain_to_series, drain_trace_contexts
 
-        return [self.submit(series) for series in drain_to_series(batch)]
+        series_list = drain_to_series(batch)
+        traces = drain_trace_contexts(batch)
+        return [
+            self.submit(series, trace=trace)
+            for series, trace in zip(series_list, traces)
+        ]
 
     @property
     def stats(self) -> ServiceStats:
@@ -359,6 +394,9 @@ class ClassificationService:
         Returns the batch plus whether this worker consumed its own stop
         sentinel while collecting (it must exit after flushing).
         """
+        registry = obs_get_registry()
+        if first.trace:
+            first.trace.mark("serve.dequeue", registry.clock())
         batch = [first]
         deadline = time.monotonic() + self.max_wait_s
         while len(batch) < self.batch_size:
@@ -373,11 +411,15 @@ class ClassificationService:
             if item is _STOP:
                 return batch, True
             assert isinstance(item, _Request)
+            if item.trace:
+                item.trace.mark("serve.dequeue", registry.clock())
             batch.append(item)
         return batch, False
 
     def _process_batch(self, batch: list[_Request]) -> None:
         timed = obs_enabled()
+        registry = obs_get_registry()
+        traced = [r for r in batch if r.trace]
         if timed:
             obs_gauge("serve.queue.depth", help="Requests waiting in the queue.").set(
                 self._queue.qsize()
@@ -387,9 +429,26 @@ class ClassificationService:
                 help="Requests per flushed micro-batch.",
                 buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
             ).observe(len(batch))
+        if traced:
+            # One shared compute mark: the whole micro-batch enters the
+            # kernel together, so every trace's batch-wait ends here.
+            t_compute = registry.clock()
+            for request in traced:
+                request.trace.mark("serve.compute", t_compute)
         try:
-            results = self.batch.classify_batch([r.series for r in batch])
+            if traced:
+                results, stage_seconds = self.batch.classify_batch_traced(
+                    [r.series for r in batch]
+                )
+            else:
+                results = self.batch.classify_batch([r.series for r in batch])
         except Exception as exc:  # propagate to every waiting caller
+            if traced:
+                t_err = registry.clock()
+                for request in traced:
+                    ctx = request.trace
+                    records = build_request_records(registry, ctx, t_err, error=True)
+                    registry.finish_trace(ctx, t_err, records=records, error=True)
             for request in batch:
                 request.future.set_exception(exc)
             with self._lock:
@@ -400,6 +459,20 @@ class ClassificationService:
                     "serve.requests.failed", help="Requests failed by a batch error."
                 ).inc(len(batch))
             return
+        if traced:
+            # Finish every trace *before* resolving any future, so a
+            # caller that inspects the registry after .result() always
+            # sees its request's spans committed (or sampled away).
+            t_done = registry.clock()
+            total_rows = sum(len(r.series) for r in batch)
+            for request in traced:
+                ctx = request.trace
+                share = len(request.series) / total_rows
+                records = build_request_records(
+                    registry, ctx, t_done, stage_seconds=stage_seconds, share=share
+                )
+                observe_attribution(registry, ctx)
+                registry.finish_trace(ctx, t_done, records=records)
         done = time.monotonic()
         for request, result in zip(batch, results):
             request.future.set_result(result)

@@ -29,8 +29,15 @@ from ..core.online import OnlineClassifier
 from ..core.pipeline import ApplicationClassifier
 from ..ingest import DrainBatch, IngestPlane, MulticastChannel, synthetic_fleet
 from ..metrics.series import SnapshotSeries
+from ..obs import counter as obs_counter, get_registry as obs_get_registry
+from ..obs.context import TraceContext
 
-__all__ = ["IngestBenchResult", "drain_to_series", "run_ingest_benchmark"]
+__all__ = [
+    "IngestBenchResult",
+    "drain_to_series",
+    "drain_trace_contexts",
+    "run_ingest_benchmark",
+]
 
 
 def drain_to_series(batch: DrainBatch) -> list[SnapshotSeries]:
@@ -64,6 +71,52 @@ def drain_to_series(batch: DrainBatch) -> list[SnapshotSeries]:
             )
         )
     return series
+
+
+def drain_trace_contexts(batch: DrainBatch) -> list[TraceContext]:
+    """Adopt one request trace per node with rows in *batch*.
+
+    Aligned element-for-element with :func:`drain_to_series`: the i-th
+    context belongs to the i-th series.  A drained window coalesces a
+    node's announcements into one classification request, so the window
+    adopts the trace of its *oldest* row (the request that waited
+    longest) and the remaining rows' traces are counted into the
+    ``obs.traces.coalesced`` counter rather than finished — they ended
+    as part of a window that is observable through the representative
+    trace.  Each adopted context is stamped with the ``ingest.push``
+    (ring enqueue) and ``ingest.drain`` boundary marks recorded by the
+    plane, so downstream attribution can telescope ring-buffer wait and
+    drain hand-off into the request's end-to-end latency.
+
+    Returns falsy null contexts when the drain carries no trace ids
+    (tracing off at push time) — callers can pass them straight to
+    ``submit(..., trace=...)`` unconditionally.
+    """
+    registry = obs_get_registry()
+    contexts: list[TraceContext] = []
+    coalesced = 0
+    for node_id in range(len(batch.nodes)):
+        sel = batch.node_ids == node_id
+        rows = int(np.count_nonzero(sel))
+        if rows == 0:
+            continue
+        trace_id = 0
+        if batch.trace_ids is not None and batch.trace_ids.shape[0]:
+            trace_id = int(batch.trace_ids[sel][0])
+        ctx = registry.adopt_trace("serve.request", trace_id)
+        if ctx:
+            coalesced += rows - 1
+            if batch.enqueued_s is not None and batch.enqueued_s.shape[0]:
+                ctx.mark("ingest.push", float(batch.enqueued_s[sel][0]))
+            if batch.drained_s:
+                ctx.mark("ingest.drain", batch.drained_s)
+        contexts.append(ctx)
+    if coalesced:
+        obs_counter(
+            "obs.traces.coalesced",
+            help="Traced announcements folded into another row's window trace.",
+        ).inc(coalesced)
+    return contexts
 
 
 @dataclass(frozen=True)

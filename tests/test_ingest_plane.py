@@ -273,7 +273,9 @@ def test_slo_rules_cover_the_ingest_instruments():
         "ingest-late-rate",
         "ingest-ring-occupancy",
         "ingest-drain-p99-seconds",
+        "ingest-drain-to-classify-p99",
     }
     metrics = {r.metric for r in rules}
     assert "ingest.announcements.dropped" in metrics
     assert "ingest.ring.occupancy" in metrics
+    assert "ingest.drain_to_classify.seconds" in metrics

@@ -133,6 +133,63 @@ class TestMetricsEndpoints:
         assert "/nope" in body
 
 
+class TestTraceAndProfileEndpoints:
+    def test_tracez_trace_filter_selects_one_trace(self, registry, server):
+        first = registry.start_trace("serve.request", mark="serve.enqueue")
+        registry.finish_trace(first, 1.0)
+        second = registry.start_trace("serve.request", mark="serve.enqueue")
+        registry.finish_trace(second, 2.0)
+        status, _, body = fetch(server, f"/tracez?trace={first.trace_id}")
+        assert status == 200
+        assert f"trace={first.trace_id}" in body
+        assert f"trace={second.trace_id}" not in body
+
+    def test_tracez_bad_trace_id_is_400(self, server):
+        status, _, body = fetch(server, "/tracez?trace=bogus")
+        assert status == 400
+        assert "bogus" in body
+
+    def test_profilez_without_profiler_is_404(self, server):
+        status, _, body = fetch(server, "/profilez")
+        assert status == 404
+        assert "no profiler" in body
+
+    def test_profilez_serves_collapsed_stacks(self, registry):
+        import sys
+
+        from repro.obs.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler(interval_s=1.0, registry=registry)
+        profiler.sample_once(frames={99: sys._getframe()})
+        srv = TelemetryServer(registry=registry, profiler=profiler).start()
+        try:
+            status, ctype, body = fetch(srv, "/profilez")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            (line,) = body.splitlines()
+            stack, count = line.rsplit(" ", 1)
+            assert count == "1"
+            assert "test_obs_http" in stack
+        finally:
+            srv.stop()
+
+    def test_metrics_json_includes_recorder_windows(self, registry, recorder, server):
+        registry.counter("pipeline.runs").inc(2)
+        recorder.sample()
+        status, _, body = fetch(server, "/metrics.json?window=30")
+        assert status == 200
+        payload = json.loads(body)
+        assert isinstance(payload["windows"], list)
+        (window,) = [w for w in payload["windows"] if w["metric"] == "pipeline.runs"]
+        assert window["window_s"] == 30.0
+        assert window["last"] == 2.0
+
+    def test_metrics_json_bad_window_is_400(self, server):
+        status, _, body = fetch(server, "/metrics.json?window=wide")
+        assert status == 400
+        assert "wide" in body
+
+
 class TestHealthz:
     def make_server(self, registry, recorder):
         rules = (

@@ -1,0 +1,225 @@
+"""Tests for the stdlib sampling profiler (injected frames, no sleeps)."""
+
+import sys
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.profiler import (
+    DEFAULT_PROFILER_INTERVAL_S,
+    MAX_STACK_DEPTH,
+    PROFILER_INTERVAL_ENV,
+    SamplingProfiler,
+    UNATTRIBUTED,
+    fold_stack,
+    profiler_interval_from_env,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def current_frame():
+    return sys._getframe()
+
+
+class TestFoldStack:
+    def test_folds_outer_to_inner(self):
+        def inner():
+            return fold_stack(sys._getframe())
+
+        def outer():
+            return inner()
+
+        folded = outer()
+        parts = folded.split(";")
+        # Innermost frame last; this module's helpers adjacent.
+        assert parts[-1].endswith(".inner")
+        assert parts[-2].endswith(".outer")
+
+    def test_none_frame_folds_empty(self):
+        assert fold_stack(None) == ""
+
+    def test_depth_is_bounded(self):
+        def recurse(n):
+            if n == 0:
+                return fold_stack(sys._getframe())
+            return recurse(n - 1)
+
+        folded = recurse(MAX_STACK_DEPTH + 50)
+        assert len(folded.split(";")) == MAX_STACK_DEPTH
+
+
+class TestIntervalFromEnv:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(PROFILER_INTERVAL_ENV, raising=False)
+        assert profiler_interval_from_env() == DEFAULT_PROFILER_INTERVAL_S
+
+    def test_override_and_junk(self, monkeypatch):
+        monkeypatch.setenv(PROFILER_INTERVAL_ENV, "0.002")
+        assert profiler_interval_from_env() == 0.002
+        monkeypatch.setenv(PROFILER_INTERVAL_ENV, "fast")
+        assert profiler_interval_from_env() == DEFAULT_PROFILER_INTERVAL_S
+        monkeypatch.setenv(PROFILER_INTERVAL_ENV, "-1")
+        assert profiler_interval_from_env() == DEFAULT_PROFILER_INTERVAL_S
+
+    def test_constructor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0.0)
+
+
+class TestSampling:
+    def test_sample_once_with_injected_frames(self):
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(interval_s=1.0, registry=registry)
+        recorded = profiler.sample_once(frames={12345: current_frame()})
+        assert recorded == 1
+        assert profiler.samples == 1
+        (key, count) = next(iter(profiler.stacks().items()))
+        span, folded = key
+        assert span == UNATTRIBUTED
+        assert folded.endswith("test_obs_profiler.current_frame")
+        assert count == 1
+
+    def test_sample_attributes_to_open_span(self):
+        # The span is open on this thread; the sample is taken from a
+        # helper thread (sample_once skips its own thread's frames), so
+        # attribution must flow through the registry's per-thread span
+        # stacks rather than any thread-local of the sampling thread.
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(interval_s=1.0, registry=registry)
+        ident = threading.get_ident()
+        frame = current_frame()
+        with registry.span("serve.compute"):
+            worker = threading.Thread(
+                target=lambda: profiler.sample_once(frames={ident: frame})
+            )
+            worker.start()
+            worker.join()
+        spans = {span for span, _ in profiler.stacks()}
+        assert spans == {"serve.compute"}
+
+    def test_own_thread_excluded(self):
+        # A frames entry keyed by the sampling thread's own ident is
+        # skipped (the profiler never profiles itself).
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(interval_s=1.0, registry=registry)
+        recorded = []
+        frame = current_frame()
+
+        def sample_self():
+            recorded.append(
+                profiler.sample_once(frames={threading.get_ident(): frame})
+            )
+
+        worker = threading.Thread(target=sample_self)
+        worker.start()
+        worker.join()
+        assert recorded == [0]
+        assert profiler.stacks() == {}
+
+    def test_aggregation_counts_repeats(self):
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(interval_s=1.0, registry=registry)
+        frame = current_frame()
+        for _ in range(3):
+            profiler.sample_once(frames={99: frame})
+        assert profiler.samples == 3
+        assert list(profiler.stacks().values()) == [3]
+
+    def test_render_collapsed_format_and_order(self):
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(interval_s=1.0, registry=registry)
+        assert profiler.render_collapsed() == ""
+        frame = current_frame()
+        for _ in range(2):
+            profiler.sample_once(frames={99: frame})
+        ident = threading.get_ident()
+        with registry.span("hot"):
+            worker = threading.Thread(
+                target=lambda: profiler.sample_once(frames={ident: frame})
+            )
+            worker.start()
+            worker.join()
+        text = profiler.render_collapsed()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # Descending by count: the repeated unattributed stack first.
+        first_stack, first_count = lines[0].rsplit(" ", 1)
+        assert first_count == "2"
+        assert first_stack.startswith(f"{UNATTRIBUTED};")
+        assert lines[1].startswith("hot;")
+        assert lines[1].endswith(" 1")
+
+    def test_clear_resets(self):
+        profiler = SamplingProfiler(interval_s=1.0, registry=MetricsRegistry())
+        profiler.sample_once(frames={99: current_frame()})
+        profiler.clear()
+        assert profiler.samples == 0
+        assert profiler.stacks() == {}
+        assert profiler.render_collapsed() == ""
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval_s=0.001, registry=MetricsRegistry())
+        assert not profiler.running
+        profiler.start()
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_concurrent_stop_is_safe(self):
+        profiler = SamplingProfiler(interval_s=0.001, registry=MetricsRegistry())
+        profiler.start()
+        threads = [threading.Thread(target=profiler.stop) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not profiler.running
+
+    def test_restart_after_stop(self):
+        profiler = SamplingProfiler(interval_s=0.001, registry=MetricsRegistry())
+        profiler.start()
+        profiler.stop()
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+
+    def test_live_sampling_records_real_stacks(self):
+        profiler = SamplingProfiler(interval_s=0.001, registry=MetricsRegistry())
+        profiler.start()
+        try:
+            deadline = threading.Event()
+            # Busy-wait in Python frames until at least one sample lands.
+            for _ in range(20000):
+                if profiler.samples:
+                    break
+                deadline.wait(0.001)
+        finally:
+            profiler.stop()
+        assert profiler.samples >= 1
+        assert profiler.stacks()
+
+    def test_unresolved_registry_falls_back_to_facade(self):
+        registry = obs.enable()
+        profiler = SamplingProfiler(interval_s=1.0)
+        ident = threading.get_ident()
+        frame = current_frame()
+        with registry.span("facade.attributed"):
+            worker = threading.Thread(
+                target=lambda: profiler.sample_once(frames={ident: frame})
+            )
+            worker.start()
+            worker.join()
+        assert {span for span, _ in profiler.stacks()} == {"facade.attributed"}

@@ -213,6 +213,7 @@ class TestDefaultRules:
             "serve-queue-depth",
             "serve-overload-rate",
             "stage-p99-seconds",
+            "serve-queue-wait-p99",
         ]
         assert all(r.kind in RULE_KINDS for r in rules)
         assert all(r.page >= r.warn for r in rules)

@@ -144,12 +144,14 @@ class TestNullSpanAndRender:
         assert [s.name for s in obs.get_registry().spans()] == ["live"]
 
     def test_render_trace_indents_by_depth(self):
+        # Legacy id-less records keep their recorded depth, ordered by
+        # start time (the tree reconstruction needs span ids).
         spans = [
             SpanRecord("inner", "outer", 1, 1.0, 0.002),
             SpanRecord("outer", None, 0, 0.0, 0.004),
         ]
         text = render_trace(spans)
-        assert text == "  inner  2.000 ms\nouter  4.000 ms"
+        assert text == "outer  4.000 ms\n  inner  2.000 ms"
 
     def test_render_trace_empty(self):
         assert render_trace([]) == ""
